@@ -1,0 +1,245 @@
+package ftbar
+
+import (
+	"io"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/exec"
+	"ftbar/internal/gen"
+	"ftbar/internal/hbp"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+	"ftbar/internal/reliab"
+	"ftbar/internal/sched"
+	"ftbar/internal/sim"
+	"ftbar/internal/spec"
+)
+
+// Algorithm model (paper Section 3.2).
+type (
+	// Graph is the algorithm model: a data-flow graph of operations and
+	// data-dependencies, executed once per iteration.
+	Graph = model.Graph
+	// Kind classifies an operation: Comp, Mem or ExtIO.
+	Kind = model.Kind
+	// OpID identifies an operation inside its Graph.
+	OpID = model.OpID
+	// EdgeID identifies a data-dependency inside its Graph.
+	EdgeID = model.EdgeID
+	// TaskID identifies a schedulable task of the compiled graph.
+	TaskID = model.TaskID
+)
+
+// Operation kinds.
+const (
+	Comp  = model.Comp
+	Mem   = model.Mem
+	ExtIO = model.ExtIO
+)
+
+// Architecture model (paper Section 3.3).
+type (
+	// Architecture is the target: processors and communication media.
+	Architecture = arch.Architecture
+	// ProcID identifies a processor.
+	ProcID = arch.ProcID
+	// MediumID identifies a communication medium.
+	MediumID = arch.MediumID
+)
+
+// Problem specification (paper Section 3.4).
+type (
+	// Problem bundles Alg, Arc, Exe/Dis, Rtc and Npf.
+	Problem = spec.Problem
+	// ExecTable holds execution times; Forbidden entries are the
+	// distribution constraints Dis.
+	ExecTable = spec.ExecTable
+	// CommTable holds communication times per medium.
+	CommTable = spec.CommTable
+	// Rtc holds the real-time constraints.
+	Rtc = spec.Rtc
+)
+
+// Forbidden is the ∞ marker of the tables.
+var Forbidden = spec.Forbidden
+
+// Scheduling.
+type (
+	// Schedule is a static distributed fault-tolerant schedule.
+	Schedule = sched.Schedule
+	// Replica is one placement of a task on a processor.
+	Replica = sched.Replica
+	// Comm is one scheduled data transmission.
+	Comm = sched.Comm
+	// GanttOptions controls schedule rendering.
+	GanttOptions = sched.GanttOptions
+	// Options tunes the FTBAR heuristic.
+	Options = core.Options
+	// Result is a scheduling outcome: the schedule, the Rtc verdict and
+	// the decision log.
+	Result = core.Result
+	// HBPResult is the baseline scheduler's outcome.
+	HBPResult = hbp.Result
+)
+
+// Simulation (paper Sections 4.3 and 5).
+type (
+	// Scenario describes failures, detection mode and iteration count.
+	Scenario = sim.Scenario
+	// Failure is one fail-silent processor failure window.
+	Failure = sim.Failure
+	// MediumFailure is one fail-silent link/bus failure window (the link
+	// failures the paper's conclusion lists as future work).
+	MediumFailure = sim.MediumFailure
+	// DetectionMode selects the paper's failure-detection option.
+	DetectionMode = sim.DetectionMode
+	// SimResult is a simulated execution report.
+	SimResult = sim.Result
+	// CrashReport summarises a worst-case single-failure sweep.
+	CrashReport = sim.CrashReport
+	// ReliabilityModel holds per-processor failure probabilities.
+	ReliabilityModel = reliab.Model
+	// ReliabilityReport is the exact reliability evaluation of a schedule.
+	ReliabilityReport = reliab.Report
+)
+
+// Detection modes.
+const (
+	DetectionNone     = sim.DetectionNone
+	DetectionExpected = sim.DetectionExpected
+)
+
+// Distributed executive.
+type (
+	// RunConfig configures a distributed execution.
+	RunConfig = exec.RunConfig
+	// Kill is a fault-injection directive for the executive.
+	Kill = exec.Kill
+	// ExecResult is a distributed execution outcome.
+	ExecResult = exec.Result
+	// Value is the datum flowing along data-dependencies.
+	Value = exec.Value
+)
+
+// Workload generation (paper Section 6.1).
+type (
+	// GenParams configures the random problem generator.
+	GenParams = gen.Params
+)
+
+// NewGraph returns an empty algorithm graph.
+func NewGraph() *Graph { return model.NewGraph() }
+
+// NewArchitecture returns an empty architecture.
+func NewArchitecture() *Architecture { return arch.New() }
+
+// FullyConnected builds n processors with one point-to-point link per pair
+// (the paper's Figure 2 uses FullyConnected(3)).
+func FullyConnected(n int) *Architecture { return arch.FullyConnected(n) }
+
+// BusArchitecture builds n processors sharing one multi-point bus.
+func BusArchitecture(n int) *Architecture { return arch.Bus(n) }
+
+// Ring builds n processors linked in a cycle.
+func Ring(n int) *Architecture { return arch.Ring(n) }
+
+// Star builds a hub processor linked to n-1 spokes.
+func Star(n int) *Architecture { return arch.Star(n) }
+
+// NewExecTable returns an all-Forbidden execution table to fill in.
+func NewExecTable(g *Graph, a *Architecture) *ExecTable { return spec.NewExecTable(g, a) }
+
+// NewUniformExecTable returns a homogeneous execution table.
+func NewUniformExecTable(g *Graph, a *Architecture, d float64) (*ExecTable, error) {
+	return spec.NewUniformExecTable(g, a, d)
+}
+
+// NewCommTable returns an all-Forbidden communication table to fill in.
+func NewCommTable(g *Graph, a *Architecture) *CommTable { return spec.NewCommTable(g, a) }
+
+// NewUniformCommTable returns a homogeneous communication table.
+func NewUniformCommTable(g *Graph, a *Architecture, d float64) (*CommTable, error) {
+	return spec.NewUniformCommTable(g, a, d)
+}
+
+// Run schedules the problem with FTBAR (the paper's heuristic).
+func Run(p *Problem, opts Options) (*Result, error) { return core.Run(p, opts) }
+
+// Basic runs the paper's non-fault-tolerant SynDEx-style baseline
+// (Section 4.4): Npf = 0, no predecessor duplication.
+func Basic(p *Problem) (*Result, error) { return core.Basic(p) }
+
+// NonFT runs FTBAR at Npf = 0, the baseline of the paper's overhead
+// formula (Section 6.2).
+func NonFT(p *Problem) (*Result, error) { return core.NonFT(p) }
+
+// RunHBP schedules the problem with the reconstructed HBP comparator
+// (Hashimoto et al.; requires Npf = 1).
+func RunHBP(p *Problem) (*HBPResult, error) { return hbp.Run(p) }
+
+// Simulate executes a schedule in virtual time under a failure scenario.
+func Simulate(s *Schedule, sc Scenario) (*SimResult, error) { return sim.Run(s, sc) }
+
+// CrashAtZero simulates the schedule with one processor dead from time 0
+// (the paper's Figure 8 experiment).
+func CrashAtZero(s *Schedule, p ProcID) (*SimResult, error) { return sim.CrashAtZero(s, p) }
+
+// PermanentFailure builds a crash of p at time at.
+func PermanentFailure(p ProcID, at float64) Failure { return sim.Permanent(p, at) }
+
+// IntermittentFailure builds a transient failure of p during [from, to).
+func IntermittentFailure(p ProcID, from, to float64) Failure {
+	return sim.Intermittent(p, from, to)
+}
+
+// PermanentLinkFailure builds a crash of medium m at time at.
+func PermanentLinkFailure(m MediumID, at float64) MediumFailure {
+	return sim.PermanentLink(m, at)
+}
+
+// IntermittentLinkFailure builds a transient failure of medium m during
+// [from, to).
+func IntermittentLinkFailure(m MediumID, from, to float64) MediumFailure {
+	return sim.IntermittentLink(m, from, to)
+}
+
+// Reliability evaluates the probability that the schedule delivers every
+// output under independent per-processor failure probabilities, by exact
+// enumeration of crash subsets (the reliability extension the paper's
+// conclusion announces).
+func Reliability(s *Schedule, m ReliabilityModel) (*ReliabilityReport, error) {
+	return reliab.Evaluate(s, m)
+}
+
+// UniformReliabilityModel gives every one of n processors failure
+// probability q.
+func UniformReliabilityModel(n int, q float64) ReliabilityModel {
+	return reliab.Uniform(n, q)
+}
+
+// SingleFailureSweep probes every crash instant that can change the
+// outcome, for every processor, and reports the worst makespans.
+func SingleFailureSweep(s *Schedule) ([]CrashReport, error) { return sim.SingleFailureSweep(s) }
+
+// WorstSingleFailureMakespan bounds the makespan under any single crash.
+func WorstSingleFailureMakespan(s *Schedule) (float64, error) {
+	return sim.WorstSingleFailureMakespan(s)
+}
+
+// Execute runs the schedule's distributed programs on goroutine processors
+// over channel media and checks the outputs against a sequential oracle.
+func Execute(s *Schedule, cfg RunConfig) (*ExecResult, error) { return exec.Run(s, cfg) }
+
+// Generate builds a random problem with the paper's Section 6.1 recipe.
+func Generate(p GenParams) (*Problem, error) { return gen.Generate(p) }
+
+// PaperExample returns the paper's worked example: the Figure 2 graphs,
+// the Tables 1-2 time tables, Rtc = 16 and Npf = 1.
+func PaperExample() *Problem { return paperex.Problem() }
+
+// RenderGantt writes a textual Gantt chart of the schedule (the analogue
+// of the paper's Figures 5-8).
+func RenderGantt(w io.Writer, s *Schedule, opts GanttOptions) error {
+	return s.Render(w, opts)
+}

@@ -1,0 +1,165 @@
+package ftbar_test
+
+import (
+	"strings"
+	"testing"
+
+	"ftbar"
+)
+
+// TestQuickstartFlow exercises the documented public API end to end.
+func TestQuickstartFlow(t *testing.T) {
+	g := ftbar.NewGraph()
+	in := g.MustAddOp("sensor", ftbar.ExtIO)
+	f := g.MustAddOp("filter", ftbar.Comp)
+	out := g.MustAddOp("actuator", ftbar.ExtIO)
+	g.MustAddEdge(in, f)
+	g.MustAddEdge(f, out)
+
+	arc := ftbar.FullyConnected(3)
+	exe, err := ftbar.NewUniformExecTable(g, arc, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := ftbar.NewUniformCommTable(g, arc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ftbar.Problem{Alg: g, Arc: arc, Exec: exe, Comm: com, Npf: 1}
+
+	res, err := ftbar.Run(p, ftbar.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for proc := ftbar.ProcID(0); proc < 3; proc++ {
+		simRes, err := ftbar.CrashAtZero(res.Schedule, proc)
+		if err != nil {
+			t.Fatalf("CrashAtZero: %v", err)
+		}
+		if !simRes.Iterations[0].OutputsOK {
+			t.Errorf("crash of P%d lost outputs", proc+1)
+		}
+	}
+	execRes, err := ftbar.Execute(res.Schedule, ftbar.RunConfig{Iterations: 2})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !execRes.Match() {
+		t.Error("distributed execution diverged from reference")
+	}
+}
+
+func TestPaperExampleThroughFacade(t *testing.T) {
+	p := ftbar.PaperExample()
+	res, err := ftbar.Run(p, ftbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeetsRtc {
+		t.Errorf("paper example missed Rtc: %s", res.RtcViolation)
+	}
+	var b strings.Builder
+	if err := ftbar.RenderGantt(&b, res.Schedule, ftbar.GanttOptions{Bars: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"processor P1", "medium L1.2", "schedule length"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Gantt output missing %q", want)
+		}
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	p := ftbar.PaperExample()
+	basic, err := ftbar.Basic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonft, err := ftbar.NonFT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbpRes, err := ftbar.RunHBP(p.Homogenize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.Schedule.Length() <= 0 || nonft.Schedule.Length() <= 0 || hbpRes.Schedule.Length() <= 0 {
+		t.Error("degenerate baseline lengths")
+	}
+}
+
+func TestGenerateThroughFacade(t *testing.T) {
+	p, err := ftbar.Generate(ftbar.GenParams{N: 25, CCR: 2, Procs: 4, Npf: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ftbar.Run(p, ftbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("generated schedule invalid: %v", err)
+	}
+	worst, err := ftbar.WorstSingleFailureMakespan(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < res.Schedule.Length() {
+		t.Errorf("worst single-failure makespan %g below fault-free %g", worst, res.Schedule.Length())
+	}
+}
+
+func TestFailureConstructors(t *testing.T) {
+	f := ftbar.PermanentFailure(1, 2.5)
+	if f.Proc != 1 || f.At != 2.5 {
+		t.Errorf("PermanentFailure = %+v", f)
+	}
+	i := ftbar.IntermittentFailure(0, 1, 2)
+	if i.At != 1 || i.Until != 2 {
+		t.Errorf("IntermittentFailure = %+v", i)
+	}
+	lf := ftbar.PermanentLinkFailure(2, 1.5)
+	if lf.Medium != 2 || lf.At != 1.5 {
+		t.Errorf("PermanentLinkFailure = %+v", lf)
+	}
+	li := ftbar.IntermittentLinkFailure(0, 1, 2)
+	if li.At != 1 || li.Until != 2 {
+		t.Errorf("IntermittentLinkFailure = %+v", li)
+	}
+}
+
+func TestReliabilityThroughFacade(t *testing.T) {
+	res, err := ftbar.Run(ftbar.PaperExample(), ftbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ftbar.Reliability(res.Schedule, ftbar.UniformReliabilityModel(3, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GuaranteedNpf != 1 {
+		t.Errorf("GuaranteedNpf = %d, want 1", rep.GuaranteedNpf)
+	}
+	if rep.Reliability <= 0.999 || rep.Reliability >= 1 {
+		t.Errorf("Reliability = %g, out of expected band", rep.Reliability)
+	}
+}
+
+func TestLinkFailureThroughFacade(t *testing.T) {
+	res, err := ftbar.Run(ftbar.PaperExample(), ftbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ftbar.Simulate(res.Schedule, ftbar.Scenario{
+		MediumFailures: []ftbar.MediumFailure{ftbar.PermanentLinkFailure(0, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Iterations[0].OutputsOK {
+		t.Error("single link failure lost outputs")
+	}
+}

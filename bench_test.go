@@ -1,0 +1,247 @@
+package ftbar_test
+
+// One benchmark per table/figure of the paper's evaluation (the experiment
+// ids E1..E8 are indexed in DESIGN.md Section 3), plus ablations of FTBAR's
+// design choices. Where a benchmark's interesting output is a schedule
+// quality rather than a wall-clock time, it is attached as a custom metric
+// (length, overhead%).
+//
+// The full-size experiment runs live in cmd/ftbench; these benchmarks use
+// reduced graph counts so `go test -bench=.` stays fast while exercising
+// the identical code paths.
+
+import (
+	"testing"
+
+	"ftbar"
+	"ftbar/internal/bench"
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/hbp"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sim"
+)
+
+// BenchmarkE1PaperExampleBuild covers Tables 1-2 and Figure 2: assembling
+// and validating the worked example's problem.
+func BenchmarkE1PaperExampleBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := paperex.Problem()
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Fig7FinalSchedule covers Figures 5-7: the FTBAR run on the
+// worked example. The schedule length is reported as a metric (paper:
+// 15.05; this implementation: 13.05).
+func BenchmarkE2Fig7FinalSchedule(b *testing.B) {
+	p := paperex.Problem()
+	var length float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(p, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		length = res.Schedule.Length()
+	}
+	b.ReportMetric(length, "length")
+}
+
+// BenchmarkE3Sect44Baseline covers Section 4.4: the basic non-fault-
+// tolerant heuristic (paper: 10.7; this implementation: 10.3).
+func BenchmarkE3Sect44Baseline(b *testing.B) {
+	p := paperex.Problem()
+	var length float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Basic(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		length = res.Schedule.Length()
+	}
+	b.ReportMetric(length, "length")
+}
+
+// BenchmarkE4Fig8CrashRetiming covers Figure 8: re-timing the example
+// schedule under the crash of each processor at time 0.
+func BenchmarkE4Fig8CrashRetiming(b *testing.B) {
+	res, err := core.Run(paperex.Problem(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		for p := ftbar.ProcID(0); p < 3; p++ {
+			r, err := sim.CrashAtZero(res.Schedule, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m := r.Iterations[0].Makespan; m > worst {
+				worst = m
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-makespan")
+}
+
+// BenchmarkE5Fig9OverheadVsN covers Figure 9: one sweep point of the
+// overhead-versus-N experiment (reduced graph count; cmd/ftbench runs the
+// paper's 60-graph points).
+func BenchmarkE5Fig9OverheadVsN(b *testing.B) {
+	var ftbarOvh, hbpOvh float64
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig9(bench.Fig9Config{
+			Ns: []int{40}, CCR: 5, Procs: 4, Graphs: 3, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ftbarOvh, hbpOvh = pts[0].FTBAR, pts[0].HBP
+	}
+	b.ReportMetric(ftbarOvh, "ftbar-ovh%")
+	b.ReportMetric(hbpOvh, "hbp-ovh%")
+}
+
+// BenchmarkE6Fig10OverheadVsCCR covers Figure 10: one sweep point of the
+// overhead-versus-CCR experiment at CCR = 5.
+func BenchmarkE6Fig10OverheadVsCCR(b *testing.B) {
+	var ftbarOvh, hbpOvh float64
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig10(bench.Fig10Config{
+			CCRs: []float64{5}, N: 30, Procs: 4, Graphs: 3, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ftbarOvh, hbpOvh = pts[0].FTBAR, pts[0].HBP
+	}
+	b.ReportMetric(ftbarOvh, "ftbar-ovh%")
+	b.ReportMetric(hbpOvh, "hbp-ovh%")
+}
+
+// BenchmarkE7HeuristicRuntime covers the complexity comparison of
+// Section 6.2: FTBAR must be faster than HBP on the same workload because
+// HBP searches every processor pair.
+func BenchmarkE7HeuristicRuntime(b *testing.B) {
+	p, err := gen.Generate(gen.Params{N: 50, CCR: 2, Procs: 4, Npf: 1, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("FTBAR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HBP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hbp.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8NpfSweep covers the conclusion's Npf experiment: the overhead
+// at Npf = 2 on a heterogeneous six-processor architecture.
+func BenchmarkE8NpfSweep(b *testing.B) {
+	var ovh float64
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.NpfSweep(bench.NpfConfig{
+			Npfs: []int{2}, N: 20, CCR: 2, Procs: 6, Graphs: 2,
+			Seed: int64(i + 1), Heterogeneity: 0.3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ovh = pts[0].Overhead
+	}
+	b.ReportMetric(ovh, "ovh%")
+}
+
+// BenchmarkAblationDuplication isolates Minimize-start-time: FTBAR with
+// and without predecessor duplication on a communication-heavy workload.
+// The schedule lengths appear as metrics; duplication should win at
+// CCR = 5.
+func BenchmarkAblationDuplication(b *testing.B) {
+	p, err := gen.Generate(gen.Params{N: 40, CCR: 5, Procs: 4, Npf: 1, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-duplication", func(b *testing.B) {
+		var length float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(p, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			length = res.Schedule.Length()
+		}
+		b.ReportMetric(length, "length")
+	})
+	b.Run("no-duplication", func(b *testing.B) {
+		var length float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(p, core.Options{NoDuplication: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			length = res.Schedule.Length()
+		}
+		b.ReportMetric(length, "length")
+	})
+}
+
+// BenchmarkAblationTails isolates the S̄ convention: the paper-calibrated
+// exec-only tails against comm-aware tails (Options.TailsWithComms).
+func BenchmarkAblationTails(b *testing.B) {
+	p, err := gen.Generate(gen.Params{N: 40, CCR: 5, Procs: 4, Npf: 1, Seed: 29})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exec-only", func(b *testing.B) {
+		var length float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(p, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			length = res.Schedule.Length()
+		}
+		b.ReportMetric(length, "length")
+	})
+	b.Run("with-comms", func(b *testing.B) {
+		var length float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(p, core.Options{TailsWithComms: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			length = res.Schedule.Length()
+		}
+		b.ReportMetric(length, "length")
+	})
+}
+
+// BenchmarkExecutive measures the goroutine executive end to end on the
+// worked example (one iteration, no failures).
+func BenchmarkExecutive(b *testing.B) {
+	res, err := core.Run(paperex.Problem(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := ftbar.Execute(res.Schedule, ftbar.RunConfig{Iterations: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Match() {
+			b.Fatal("executive diverged")
+		}
+	}
+}

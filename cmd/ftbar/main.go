@@ -1,0 +1,118 @@
+// Command ftbar schedules a problem with the FTBAR heuristic and prints the
+// resulting fault-tolerant static schedule.
+//
+// Usage:
+//
+//	ftbar -example                  # the paper's worked example
+//	ftbar -spec problem.json        # a problem written by ftgen or by hand
+//	ftbar -example -npf 0 -basic    # the non-fault-tolerant baseline
+//	ftbar -example -json            # machine-readable schedule
+//	ftbar -example -bars            # proportional Gantt bars
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftbar"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftbar", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a problem JSON (see cmd/ftgen)")
+	example := fs.Bool("example", false, "use the paper's worked example")
+	npf := fs.Int("npf", -1, "override the problem's Npf (-1 keeps it)")
+	basic := fs.Bool("basic", false, "disable predecessor duplication (SynDEx-style basic heuristic)")
+	asJSON := fs.Bool("json", false, "print the schedule as JSON")
+	bars := fs.Bool("bars", false, "render proportional Gantt bars")
+	steps := fs.Bool("steps", false, "print the heuristic's decision log (task, processors, pressures)")
+	stats := fs.Bool("stats", false, "print schedule statistics (utilisation, comm volume, critical ops)")
+	dot := fs.Bool("dot", false, "emit the algorithm graph in Graphviz DOT format and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProblem(*specPath, *example)
+	if err != nil {
+		return err
+	}
+	if *npf >= 0 {
+		p.Npf = *npf
+	}
+	if *dot {
+		return p.Alg.WriteDOT(out, "algorithm")
+	}
+	res, err := ftbar.Run(p, ftbar.Options{NoDuplication: *basic})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(res.Schedule, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	if *steps {
+		tg := res.Schedule.Tasks()
+		for n, st := range res.Steps {
+			fmt.Fprintf(out, "step %2d: %-12s urgency %8.3f on", n+1, tg.Task(st.Task).Name, st.Urgency)
+			for i, proc := range st.Procs {
+				fmt.Fprintf(out, " %s(σ=%.3f)", p.Arc.Proc(proc).Name, st.Sigmas[i])
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if err := ftbar.RenderGantt(out, res.Schedule, ftbar.GanttOptions{Bars: *bars}); err != nil {
+		return err
+	}
+	if *stats {
+		st := res.Schedule.Stats()
+		fmt.Fprintf(out, "replicas %d (%d beyond Npf+1), comms %d totalling %.4g time units\n",
+			st.Replicas, st.ExtraReplicas, st.Comms, st.CommTime)
+		for i, u := range st.ProcUtilisation {
+			fmt.Fprintf(out, "  %s utilisation %5.1f%%\n", p.Arc.Proc(ftbar.ProcID(i)).Name, u*100)
+		}
+		for i, u := range st.MediumUtilisation {
+			fmt.Fprintf(out, "  %s utilisation %5.1f%%\n", p.Arc.Medium(ftbar.MediumID(i)).Name, u*100)
+		}
+	}
+	if res.MeetsRtc {
+		fmt.Fprintln(out, "real-time constraints satisfied")
+	} else if res.RtcViolation != "" {
+		fmt.Fprintf(out, "REAL-TIME CONSTRAINT VIOLATED: %s\n", res.RtcViolation)
+	}
+	return nil
+}
+
+func loadProblem(path string, example bool) (*ftbar.Problem, error) {
+	switch {
+	case example && path != "":
+		return nil, fmt.Errorf("-example and -spec are mutually exclusive")
+	case example:
+		return ftbar.PaperExample(), nil
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var p ftbar.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	default:
+		return nil, fmt.Errorf("need -example or -spec FILE")
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftbar"
+)
+
+func TestRunExample(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"schedule length 13.05", "processor P1", "real-time constraints satisfied"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExampleJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc["length"].(float64) != 13.05 {
+		t.Errorf("length = %v", doc["length"])
+	}
+}
+
+func TestRunBasicOverride(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-npf", "0", "-basic"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "schedule length 10.3") {
+		t.Errorf("basic schedule length missing: %s", out.String())
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	p, err := ftbar.Generate(ftbar.GenParams{N: 8, CCR: 1, Procs: 3, Npf: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "schedule length") {
+		t.Errorf("no schedule rendered: %s", out.String())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-steps"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Step 3 must show the paper's calibrated pressures for C.
+	if !strings.Contains(out.String(), "step  3: C") {
+		t.Errorf("missing step 3 for C:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "σ=9.233") || !strings.Contains(out.String(), "σ=9.733") {
+		t.Errorf("missing calibrated pressures:\n%s", out.String())
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-stats"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"replicas", "utilisation", "P1 utilisation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-dot"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), `"I" -> "A";`) {
+		t.Errorf("DOT output missing edge: %s", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no source accepted")
+	}
+	if err := run([]string{"-example", "-spec", "x.json"}, &out); err == nil {
+		t.Error("both sources accepted")
+	}
+	if err := run([]string{"-spec", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command ftbench regenerates the paper's performance evaluation.
+//
+// Usage:
+//
+//	ftbench -experiment example          # Sect. 4.4 + Fig. 8 table
+//	ftbench -experiment fig9             # overhead vs N (Figure 9)
+//	ftbench -experiment fig10            # overhead vs CCR (Figure 10)
+//	ftbench -experiment npf              # overhead vs Npf (Sect. 7)
+//	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
+//	ftbench -experiment fig10 -csv       # CSV series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftbar/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf")
+	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
+	seed := fs.Int64("seed", 2003, "base seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *experiment {
+	case "example":
+		rep, err := bench.Example()
+		if err != nil {
+			return err
+		}
+		return bench.RenderExample(out, rep)
+	case "fig9":
+		cfg := bench.DefaultFig9()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		pts, err := bench.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return bench.RenderPointsCSV(out, "N", pts)
+		}
+		fmt.Fprintf(out, "Figure 9: overhead vs N (CCR=%g, P=%d, Npf=1, %d graphs/point)\n",
+			cfg.CCR, cfg.Procs, cfg.Graphs)
+		return bench.RenderPoints(out, "N", pts)
+	case "fig10":
+		cfg := bench.DefaultFig10()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		pts, err := bench.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return bench.RenderPointsCSV(out, "CCR", pts)
+		}
+		fmt.Fprintf(out, "Figure 10: overhead vs CCR (N=%d, P=%d, Npf=1, %d graphs/point)\n",
+			cfg.N, cfg.Procs, cfg.Graphs)
+		return bench.RenderPoints(out, "CCR", pts)
+	case "npf":
+		cfg := bench.DefaultNpf()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		pts, err := bench.NpfSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Npf sweep (N=%d, CCR=%g, P=%d, heterogeneity=%g, %d graphs/point)\n",
+			cfg.N, cfg.CCR, cfg.Procs, cfg.Heterogeneity, cfg.Graphs)
+		return bench.RenderNpf(out, pts)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExampleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "example"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"paper worked example", "crash of P1", "measured"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig9Small(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig9", "-graphs", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Figure 9") {
+		t.Errorf("missing header: %s", out.String())
+	}
+}
+
+func TestRunFig10CSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig10", "-graphs", "2", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "ccr,ftbar_overhead") {
+		t.Errorf("missing CSV header: %s", out.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got != 7 { // header + 6 CCRs
+		t.Errorf("CSV rows = %d, want 7", got)
+	}
+}
+
+func TestRunNpfSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "npf", "-graphs", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Npf sweep") {
+		t.Errorf("missing header: %s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig42"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

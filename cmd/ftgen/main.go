@@ -1,0 +1,49 @@
+// Command ftgen emits a random scheduling problem as JSON, using the
+// paper's Section 6.1 recipe. The output feeds cmd/ftbar and cmd/ftsim.
+//
+// Usage:
+//
+//	ftgen -n 50 -ccr 5 -procs 4 -npf 1 -seed 7 > problem.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftbar"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftgen", flag.ContinueOnError)
+	n := fs.Int("n", 30, "number of operations")
+	ccr := fs.Float64("ccr", 1, "communication-to-computation ratio")
+	procs := fs.Int("procs", 4, "number of fully connected processors")
+	npf := fs.Int("npf", 1, "tolerated processor failures")
+	seed := fs.Int64("seed", 1, "random seed")
+	het := fs.Float64("heterogeneity", 0, "per-processor time spread in [0,1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := ftbar.Generate(ftbar.GenParams{
+		N: *n, CCR: *ccr, Procs: *procs, Npf: *npf, Seed: *seed, Heterogeneity: *het,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(data))
+	return err
+}

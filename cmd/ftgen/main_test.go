@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ftbar"
+)
+
+func TestRunEmitsLoadableProblem(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "12", "-ccr", "2", "-procs", "3", "-npf", "1", "-seed", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Alg.NumOps() != 12 || p.Arc.NumProcs() != 3 || p.Npf != 1 {
+		t.Errorf("problem shape: ops=%d procs=%d npf=%d", p.Alg.NumOps(), p.Arc.NumProcs(), p.Npf)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("emitted problem invalid: %v", err)
+	}
+	// And it schedules.
+	res, err := ftbar.Run(&p, ftbar.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if err := run([]string{"-npf", "9", "-procs", "3"}, &out); err == nil {
+		t.Error("Npf >= procs accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Command ftsim schedules a problem and executes the schedule in virtual
+// time under injected fail-silent failures, printing the re-timed makespan
+// of every iteration (the paper's Figure 8 experiment generalised).
+//
+// Usage:
+//
+//	ftsim -example -fail P1@0                 # crash P1 at time 0
+//	ftsim -example -fail P1@2.5 -fail P2@9    # two crashes
+//	ftsim -example -fail P1@1:4               # intermittent failure [1,4)
+//	ftsim -example -iterations 3 -detect      # detection option 2
+//	ftsim -spec problem.json -fail P3@0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftbar"
+)
+
+// failureFlags accumulates repeated -fail flags.
+type failureFlags []string
+
+func (f *failureFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *failureFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftsim", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a problem JSON")
+	example := fs.Bool("example", false, "use the paper's worked example")
+	iterations := fs.Int("iterations", 1, "iterations of the data-flow graph")
+	detect := fs.Bool("detect", false, "enable failure detection (paper Section 5, option 2)")
+	sweep := fs.Bool("sweep", false, "probe the worst crash instant of every processor")
+	reliability := fs.Float64("reliability", 0, "per-processor failure probability; evaluates schedule reliability")
+	var fails failureFlags
+	fs.Var(&fails, "fail", "failure spec Pk@t (permanent) or Pk@t1:t2 (intermittent); repeatable")
+	var linkFails failureFlags
+	fs.Var(&linkFails, "faillink", "link failure spec Lname@t or Lname@t1:t2; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProblem(*specPath, *example)
+	if err != nil {
+		return err
+	}
+	res, err := ftbar.Run(p, ftbar.Options{})
+	if err != nil {
+		return err
+	}
+	s := res.Schedule
+	fmt.Fprintf(out, "fault-free schedule length: %.4g\n", s.Length())
+	if *reliability > 0 {
+		rep, err := ftbar.Reliability(s, ftbar.UniformReliabilityModel(p.Arc.NumProcs(), *reliability))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "reliability at q=%g per processor: %.6f (masks %d of %d crash subsets, guaranteed Npf %d)\n",
+			*reliability, rep.Reliability, rep.MaskedSubsets, rep.TotalSubsets, rep.GuaranteedNpf)
+		for _, set := range rep.UnmaskedMinimal {
+			names := make([]string, 0, len(set))
+			for _, id := range set {
+				names = append(names, p.Arc.Proc(id).Name)
+			}
+			fmt.Fprintf(out, "  weakest point: {%s}\n", strings.Join(names, ", "))
+		}
+		return nil
+	}
+	if *sweep {
+		reports, err := ftbar.SingleFailureSweep(s)
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			fmt.Fprintf(out, "%s: crash at 0 -> %.4g, worst crash (t=%.4g) -> %.4g, masked: %v\n",
+				p.Arc.Proc(r.Proc).Name, r.AtZeroMakespan, r.WorstAt, r.WorstMakespan, r.Masked)
+		}
+		return nil
+	}
+	sc := ftbar.Scenario{Iterations: *iterations}
+	if *detect {
+		sc.Detection = ftbar.DetectionExpected
+	}
+	for _, spec := range fails {
+		f, err := parseFailure(p, spec)
+		if err != nil {
+			return err
+		}
+		sc.Failures = append(sc.Failures, f)
+	}
+	for _, spec := range linkFails {
+		f, err := parseLinkFailure(p, spec)
+		if err != nil {
+			return err
+		}
+		sc.MediumFailures = append(sc.MediumFailures, f)
+	}
+	sim, err := ftbar.Simulate(s, sc)
+	if err != nil {
+		return err
+	}
+	for _, it := range sim.Iterations {
+		fmt.Fprintf(out, "iteration %d: makespan %.4g, outputs ok: %v, replicas %d done / %d dead, comms %d delivered / %d skipped\n",
+			it.Index, it.Makespan, it.OutputsOK, it.Done, it.Dead, it.Delivered, it.Skipped)
+	}
+	return nil
+}
+
+// parseFailure understands "P1@0", "P2@2.5" and "P1@1:4".
+func parseFailure(p *ftbar.Problem, s string) (ftbar.Failure, error) {
+	name, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return ftbar.Failure{}, fmt.Errorf("bad failure %q, want Pk@t or Pk@t1:t2", s)
+	}
+	proc, found := p.Arc.ProcByName(name)
+	if !found {
+		return ftbar.Failure{}, fmt.Errorf("unknown processor %q", name)
+	}
+	from, to, intermittent := strings.Cut(window, ":")
+	at, err := strconv.ParseFloat(from, 64)
+	if err != nil {
+		return ftbar.Failure{}, fmt.Errorf("bad failure time in %q: %w", s, err)
+	}
+	if !intermittent {
+		return ftbar.PermanentFailure(proc.ID, at), nil
+	}
+	until, err := strconv.ParseFloat(to, 64)
+	if err != nil {
+		return ftbar.Failure{}, fmt.Errorf("bad recovery time in %q: %w", s, err)
+	}
+	return ftbar.IntermittentFailure(proc.ID, at, until), nil
+}
+
+// parseLinkFailure understands "L1.2@0" and "BUS@1:4".
+func parseLinkFailure(p *ftbar.Problem, s string) (ftbar.MediumFailure, error) {
+	name, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return ftbar.MediumFailure{}, fmt.Errorf("bad link failure %q, want Lname@t or Lname@t1:t2", s)
+	}
+	medium, found := p.Arc.MediumByName(name)
+	if !found {
+		return ftbar.MediumFailure{}, fmt.Errorf("unknown medium %q", name)
+	}
+	from, to, intermittent := strings.Cut(window, ":")
+	at, err := strconv.ParseFloat(from, 64)
+	if err != nil {
+		return ftbar.MediumFailure{}, fmt.Errorf("bad failure time in %q: %w", s, err)
+	}
+	if !intermittent {
+		return ftbar.PermanentLinkFailure(medium.ID, at), nil
+	}
+	until, err := strconv.ParseFloat(to, 64)
+	if err != nil {
+		return ftbar.MediumFailure{}, fmt.Errorf("bad recovery time in %q: %w", s, err)
+	}
+	return ftbar.IntermittentLinkFailure(medium.ID, at, until), nil
+}
+
+func loadProblem(path string, example bool) (*ftbar.Problem, error) {
+	switch {
+	case example && path != "":
+		return nil, fmt.Errorf("-example and -spec are mutually exclusive")
+	case example:
+		return ftbar.PaperExample(), nil
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var p ftbar.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	default:
+		return nil, fmt.Errorf("need -example or -spec FILE")
+	}
+}

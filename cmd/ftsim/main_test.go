@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ftbar"
+)
+
+func TestRunCrash(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-fail", "P1@0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fault-free schedule length: 13.05") {
+		t.Errorf("missing fault-free length: %s", s)
+	}
+	if !strings.Contains(s, "makespan 13.35") || !strings.Contains(s, "outputs ok: true") {
+		t.Errorf("missing crash re-timing: %s", s)
+	}
+}
+
+func TestRunIntermittent(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-fail", "P1@1:4", "-iterations", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.Count(out.String(), "iteration"); got != 2 {
+		t.Errorf("iterations reported = %d, want 2: %s", got, out.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-sweep"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"P1:", "P2:", "P3:", "masked: true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep output missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunDetect(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-fail", "P2@0", "-iterations", "3", "-detect"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.Count(out.String(), "outputs ok: true"); got != 3 {
+		t.Errorf("masked iterations = %d, want 3", got)
+	}
+}
+
+func TestParseFailure(t *testing.T) {
+	p := ftbar.PaperExample()
+	cases := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"P1@0", false},
+		{"P2@2.5", false},
+		{"P1@1:4", false},
+		{"P9@0", true},
+		{"P1", true},
+		{"P1@x", true},
+		{"P1@1:y", true},
+	}
+	for _, tc := range cases {
+		_, err := parseFailure(p, tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseFailure(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRunNeedsSource(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no source accepted")
+	}
+}
+
+func TestRunReliability(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-reliability", "0.01"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"reliability at q=0.01", "guaranteed Npf 1", "weakest point"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunLinkFailure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-faillink", "L1.3@0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "outputs ok: true") {
+		t.Errorf("single link failure not masked: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("no skipped frames reported: %s", out.String())
+	}
+}
+
+func TestParseLinkFailure(t *testing.T) {
+	p := ftbar.PaperExample()
+	cases := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"L1.2@0", false},
+		{"L2.3@1:4", false},
+		{"L9.9@0", true},
+		{"L1.2", true},
+		{"L1.2@x", true},
+		{"L1.2@1:y", true},
+	}
+	for _, tc := range cases {
+		_, err := parseLinkFailure(p, tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseLinkFailure(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+	}
+}

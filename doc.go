@@ -1,0 +1,48 @@
+// Package ftbar is a Go implementation of FTBAR — the Fault-Tolerance
+// Based Active Replication scheduling heuristic of Girault, Kalla,
+// Sighireanu and Sorel, "An Algorithm for Automatically Obtaining
+// Distributed and Fault-Tolerant Static Schedules" (DSN 2003).
+//
+// Given an algorithm modelled as a data-flow graph (Alg), a distributed
+// target architecture of processors and communication media (Arc),
+// distribution constraints and heterogeneous execution/communication time
+// tables (Exe/Dis), real-time constraints (Rtc) and a number Npf of
+// fail-silent processor failures to tolerate, FTBAR produces a static
+// distributed schedule in which
+//
+//   - every operation is actively replicated on at least Npf+1 distinct
+//     processors,
+//   - every inter-processor data-dependency is replicated on parallel
+//     communication media,
+//   - each replica starts as soon as its first complete input set arrives
+//     and ignores later duplicates,
+//
+// so that up to Npf processor crashes are masked without timeouts and
+// without any failure-detection mechanism, and the completion date of the
+// schedule — with or without failures — is known before execution.
+//
+// # Quick start
+//
+//	g := ftbar.NewGraph()
+//	in := g.MustAddOp("sensor", ftbar.ExtIO)
+//	f := g.MustAddOp("filter", ftbar.Comp)
+//	out := g.MustAddOp("actuator", ftbar.ExtIO)
+//	g.MustAddEdge(in, f)
+//	g.MustAddEdge(f, out)
+//
+//	arc := ftbar.FullyConnected(3)
+//	exe, _ := ftbar.NewUniformExecTable(g, arc, 1.0)
+//	com, _ := ftbar.NewUniformCommTable(g, arc, 0.5)
+//	p := &ftbar.Problem{Alg: g, Arc: arc, Exec: exe, Comm: com, Npf: 1}
+//
+//	res, err := ftbar.Run(p, ftbar.Options{})
+//	// res.Schedule masks any single processor crash.
+//
+// The packages under internal implement the substrates: the algorithm and
+// architecture models, the time tables, the schedule structure, the FTBAR
+// and HBP heuristics, the random workload generator of the paper's
+// Section 6.1, a discrete-event executor with failure injection, a
+// goroutine-based distributed executive, and the benchmark harness that
+// regenerates every table and figure of the paper's evaluation (see
+// DESIGN.md and EXPERIMENTS.md).
+package ftbar

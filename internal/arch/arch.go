@@ -1,0 +1,283 @@
+// Package arch implements the architecture model of the paper (Section 3.3):
+// a graph whose vertices are processors and whose edges are communication
+// media. A processor owns one computation unit, local memory, and one
+// communication unit per medium it is bound to. Media generalise the paper's
+// point-to-point links to multi-point buses: a medium connects two or more
+// processors and serialises the communications assigned to it.
+package arch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ProcID indexes a processor inside its Architecture, densely from 0.
+type ProcID int
+
+// MediumID indexes a communication medium, densely from 0.
+type MediumID int
+
+// Processor is a computing site of the target architecture.
+type Processor struct {
+	ID   ProcID
+	Name string
+}
+
+// Medium is a communication medium binding two or more processors. A medium
+// with exactly two endpoints is the paper's point-to-point link; more
+// endpoints model a multi-point bus. Communications scheduled on one medium
+// are totally ordered (paper Section 4.2).
+type Medium struct {
+	ID        MediumID
+	Name      string
+	Endpoints []ProcID
+}
+
+// IsPointToPoint reports whether the medium binds exactly two processors.
+func (m Medium) IsPointToPoint() bool { return len(m.Endpoints) == 2 }
+
+// Connects reports whether p is bound to the medium.
+func (m Medium) Connects(p ProcID) bool {
+	for _, e := range m.Endpoints {
+		if e == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors reported by architecture construction and validation.
+var (
+	ErrDuplicateProc   = errors.New("arch: duplicate processor name")
+	ErrDuplicateMedium = errors.New("arch: duplicate medium name")
+	ErrUnknownProc     = errors.New("arch: unknown processor")
+	ErrBadEndpoints    = errors.New("arch: medium needs at least two distinct endpoints")
+	ErrNoProcessors    = errors.New("arch: architecture has no processors")
+	ErrDisconnected    = errors.New("arch: architecture is not connected")
+	ErrNoRoute         = errors.New("arch: no route between processors")
+)
+
+// Architecture is a mutable architecture graph. The zero value is empty and
+// ready to use.
+type Architecture struct {
+	procs  []Processor
+	media  []Medium
+	byName map[string]ProcID
+	// mediaOf[p] lists the media processor p is bound to.
+	mediaOf [][]MediumID
+}
+
+// New returns an empty architecture.
+func New() *Architecture {
+	return &Architecture{byName: make(map[string]ProcID)}
+}
+
+// AddProcessor adds a processor with a unique name and returns its id.
+func (a *Architecture) AddProcessor(name string) (ProcID, error) {
+	if name == "" {
+		return -1, fmt.Errorf("%w: empty name", ErrDuplicateProc)
+	}
+	if a.byName == nil {
+		a.byName = make(map[string]ProcID)
+	}
+	if _, ok := a.byName[name]; ok {
+		return -1, fmt.Errorf("%w: %q", ErrDuplicateProc, name)
+	}
+	id := ProcID(len(a.procs))
+	a.procs = append(a.procs, Processor{ID: id, Name: name})
+	a.byName[name] = id
+	a.mediaOf = append(a.mediaOf, nil)
+	return id, nil
+}
+
+// MustAddProcessor is AddProcessor that panics on error.
+func (a *Architecture) MustAddProcessor(name string) ProcID {
+	id, err := a.AddProcessor(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddMedium adds a communication medium binding the given processors and
+// returns its id. Endpoint order is normalised; duplicates are rejected.
+func (a *Architecture) AddMedium(name string, endpoints ...ProcID) (MediumID, error) {
+	if name == "" {
+		return -1, fmt.Errorf("%w: empty name", ErrDuplicateMedium)
+	}
+	for _, m := range a.media {
+		if m.Name == name {
+			return -1, fmt.Errorf("%w: %q", ErrDuplicateMedium, name)
+		}
+	}
+	if len(endpoints) < 2 {
+		return -1, fmt.Errorf("%w: %q has %d", ErrBadEndpoints, name, len(endpoints))
+	}
+	eps := append([]ProcID(nil), endpoints...)
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	for i, p := range eps {
+		if p < 0 || int(p) >= len(a.procs) {
+			return -1, fmt.Errorf("%w: id %d on medium %q", ErrUnknownProc, p, name)
+		}
+		if i > 0 && eps[i-1] == p {
+			return -1, fmt.Errorf("%w: duplicate endpoint %q on %q", ErrBadEndpoints, a.procs[p].Name, name)
+		}
+	}
+	id := MediumID(len(a.media))
+	a.media = append(a.media, Medium{ID: id, Name: name, Endpoints: eps})
+	for _, p := range eps {
+		a.mediaOf[p] = append(a.mediaOf[p], id)
+	}
+	return id, nil
+}
+
+// MustAddMedium is AddMedium that panics on error.
+func (a *Architecture) MustAddMedium(name string, endpoints ...ProcID) MediumID {
+	id, err := a.AddMedium(name, endpoints...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Link adds a point-to-point link between two processors given by name.
+func (a *Architecture) Link(name, p, q string) (MediumID, error) {
+	pi, ok := a.byName[p]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownProc, p)
+	}
+	qi, ok := a.byName[q]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownProc, q)
+	}
+	return a.AddMedium(name, pi, qi)
+}
+
+// NumProcs returns the number of processors.
+func (a *Architecture) NumProcs() int { return len(a.procs) }
+
+// NumMedia returns the number of communication media.
+func (a *Architecture) NumMedia() int { return len(a.media) }
+
+// Proc returns the processor with the given id.
+func (a *Architecture) Proc(id ProcID) Processor { return a.procs[id] }
+
+// Medium returns a copy of the medium with the given id.
+func (a *Architecture) Medium(id MediumID) Medium {
+	m := a.media[id]
+	m.Endpoints = append([]ProcID(nil), m.Endpoints...)
+	return m
+}
+
+// ProcByName returns the processor named name.
+func (a *Architecture) ProcByName(name string) (Processor, bool) {
+	id, ok := a.byName[name]
+	if !ok {
+		return Processor{}, false
+	}
+	return a.procs[id], true
+}
+
+// MediumByName returns the medium named name.
+func (a *Architecture) MediumByName(name string) (Medium, bool) {
+	for _, m := range a.media {
+		if m.Name == name {
+			return a.Medium(m.ID), true
+		}
+	}
+	return Medium{}, false
+}
+
+// Procs returns all processors in id order.
+func (a *Architecture) Procs() []Processor {
+	out := make([]Processor, len(a.procs))
+	copy(out, a.procs)
+	return out
+}
+
+// Media returns copies of all media in id order.
+func (a *Architecture) Media() []Medium {
+	out := make([]Medium, len(a.media))
+	for i := range a.media {
+		out[i] = a.Medium(MediumID(i))
+	}
+	return out
+}
+
+// MediaOf returns the media processor p is bound to, in id order.
+func (a *Architecture) MediaOf(p ProcID) []MediumID {
+	out := make([]MediumID, len(a.mediaOf[p]))
+	copy(out, a.mediaOf[p])
+	return out
+}
+
+// MediaBetween returns the media that directly connect p and q, in id order.
+func (a *Architecture) MediaBetween(p, q ProcID) []MediumID {
+	if p == q {
+		return nil
+	}
+	var out []MediumID
+	for _, mid := range a.mediaOf[p] {
+		if a.media[mid].Connects(q) {
+			out = append(out, mid)
+		}
+	}
+	return out
+}
+
+// Validate checks that the architecture has at least one processor and that
+// every processor can reach every other through the media.
+func (a *Architecture) Validate() error {
+	if len(a.procs) == 0 {
+		return ErrNoProcessors
+	}
+	if len(a.procs) == 1 {
+		return nil
+	}
+	seen := make([]bool, len(a.procs))
+	queue := []ProcID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, mid := range a.mediaOf[p] {
+			for _, q := range a.media[mid].Endpoints {
+				if !seen[q] {
+					seen[q] = true
+					count++
+					queue = append(queue, q)
+				}
+			}
+		}
+	}
+	if count != len(a.procs) {
+		for id, ok := range seen {
+			if !ok {
+				return fmt.Errorf("%w: %q unreachable from %q",
+					ErrDisconnected, a.procs[id].Name, a.procs[0].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the architecture.
+func (a *Architecture) Clone() *Architecture {
+	c := New()
+	c.procs = append([]Processor(nil), a.procs...)
+	for name, id := range a.byName {
+		c.byName[name] = id
+	}
+	c.media = make([]Medium, len(a.media))
+	for i, m := range a.media {
+		m.Endpoints = append([]ProcID(nil), m.Endpoints...)
+		c.media[i] = m
+	}
+	c.mediaOf = make([][]MediumID, len(a.mediaOf))
+	for i, l := range a.mediaOf {
+		c.mediaOf[i] = append([]MediumID(nil), l...)
+	}
+	return c
+}

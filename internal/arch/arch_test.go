@@ -1,0 +1,197 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAddProcessorAssignsDenseIDs(t *testing.T) {
+	a := New()
+	for i, name := range []string{"P1", "P2", "P3"} {
+		id, err := a.AddProcessor(name)
+		if err != nil {
+			t.Fatalf("AddProcessor(%q): %v", name, err)
+		}
+		if int(id) != i {
+			t.Errorf("AddProcessor(%q) = %d, want %d", name, id, i)
+		}
+	}
+}
+
+func TestAddProcessorRejectsDuplicate(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	if _, err := a.AddProcessor("P1"); !errors.Is(err, ErrDuplicateProc) {
+		t.Errorf("duplicate error = %v, want ErrDuplicateProc", err)
+	}
+	if _, err := a.AddProcessor(""); err == nil {
+		t.Error("empty name accepted, want error")
+	}
+}
+
+func TestAddMediumValidation(t *testing.T) {
+	a := New()
+	p1 := a.MustAddProcessor("P1")
+	p2 := a.MustAddProcessor("P2")
+	if _, err := a.AddMedium("L", p1); !errors.Is(err, ErrBadEndpoints) {
+		t.Errorf("one endpoint error = %v, want ErrBadEndpoints", err)
+	}
+	if _, err := a.AddMedium("L", p1, p1); !errors.Is(err, ErrBadEndpoints) {
+		t.Errorf("duplicate endpoint error = %v, want ErrBadEndpoints", err)
+	}
+	if _, err := a.AddMedium("L", p1, ProcID(9)); !errors.Is(err, ErrUnknownProc) {
+		t.Errorf("unknown endpoint error = %v, want ErrUnknownProc", err)
+	}
+	if _, err := a.AddMedium("L", p1, p2); err != nil {
+		t.Errorf("valid medium rejected: %v", err)
+	}
+	if _, err := a.AddMedium("L", p1, p2); !errors.Is(err, ErrDuplicateMedium) {
+		t.Errorf("duplicate name error = %v, want ErrDuplicateMedium", err)
+	}
+}
+
+func TestLinkByName(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	a.MustAddProcessor("P2")
+	if _, err := a.Link("L1.2", "P1", "P2"); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if _, err := a.Link("x", "P1", "nope"); !errors.Is(err, ErrUnknownProc) {
+		t.Errorf("Link unknown proc error = %v, want ErrUnknownProc", err)
+	}
+	if _, err := a.Link("x", "nope", "P1"); !errors.Is(err, ErrUnknownProc) {
+		t.Errorf("Link unknown proc error = %v, want ErrUnknownProc", err)
+	}
+}
+
+func TestMediaBetween(t *testing.T) {
+	a := FullyConnected(3)
+	m := a.MediaBetween(0, 2)
+	if len(m) != 1 {
+		t.Fatalf("MediaBetween(0,2) = %v, want one medium", m)
+	}
+	if got := a.Medium(m[0]).Name; got != "L1.3" {
+		t.Errorf("medium name = %q, want L1.3", got)
+	}
+	if got := a.MediaBetween(1, 1); got != nil {
+		t.Errorf("MediaBetween(p,p) = %v, want nil", got)
+	}
+}
+
+func TestMediaBetweenOnBus(t *testing.T) {
+	a := Bus(4)
+	for p := 0; p < 4; p++ {
+		for q := p + 1; q < 4; q++ {
+			m := a.MediaBetween(ProcID(p), ProcID(q))
+			if len(m) != 1 {
+				t.Errorf("MediaBetween(%d,%d) = %v, want the bus", p, q, m)
+			}
+		}
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	a.MustAddProcessor("P2")
+	a.MustAddProcessor("P3")
+	a.MustAddMedium("L1.2", 0, 1)
+	if err := a.Validate(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("Validate() = %v, want ErrDisconnected", err)
+	}
+	a.MustAddMedium("L2.3", 1, 2)
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateEmptyAndSingle(t *testing.T) {
+	if err := New().Validate(); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("empty Validate() = %v, want ErrNoProcessors", err)
+	}
+	a := New()
+	a.MustAddProcessor("solo")
+	if err := a.Validate(); err != nil {
+		t.Errorf("single-proc Validate() = %v, want nil", err)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	cases := []struct {
+		name       string
+		arch       *Architecture
+		wantProcs  int
+		wantMedia  int
+		pointToPnt bool
+	}{
+		{"FullyConnected(4)", FullyConnected(4), 4, 6, true},
+		{"Bus(5)", Bus(5), 5, 1, false},
+		{"Ring(5)", Ring(5), 5, 5, true},
+		{"Ring(2)", Ring(2), 2, 1, true},
+		{"Star(4)", Star(4), 4, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.arch.NumProcs(); got != tc.wantProcs {
+				t.Errorf("NumProcs() = %d, want %d", got, tc.wantProcs)
+			}
+			if got := tc.arch.NumMedia(); got != tc.wantMedia {
+				t.Errorf("NumMedia() = %d, want %d", got, tc.wantMedia)
+			}
+			if err := tc.arch.Validate(); err != nil {
+				t.Errorf("Validate() = %v", err)
+			}
+			for _, m := range tc.arch.Media() {
+				if tc.pointToPnt && !m.IsPointToPoint() {
+					t.Errorf("medium %q not point-to-point", m.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FullyConnected(3)
+	c := a.Clone()
+	c.MustAddProcessor("P4")
+	c.MustAddMedium("L1.4", 0, 3)
+	if a.NumProcs() != 3 || a.NumMedia() != 3 {
+		t.Errorf("mutating clone changed original: procs=%d media=%d", a.NumProcs(), a.NumMedia())
+	}
+}
+
+func TestLookupByName(t *testing.T) {
+	a := FullyConnected(3)
+	p, ok := a.ProcByName("P2")
+	if !ok || p.ID != 1 {
+		t.Errorf("ProcByName(P2) = %+v ok=%v", p, ok)
+	}
+	if _, ok := a.ProcByName("nope"); ok {
+		t.Error("ProcByName(nope) found something")
+	}
+	m, ok := a.MediumByName("L2.3")
+	if !ok || !m.Connects(1) || !m.Connects(2) {
+		t.Errorf("MediumByName(L2.3) = %+v ok=%v", m, ok)
+	}
+	if _, ok := a.MediumByName("nope"); ok {
+		t.Error("MediumByName(nope) found something")
+	}
+}
+
+func TestMediumAccessorsCopy(t *testing.T) {
+	a := FullyConnected(3)
+	m := a.Medium(0)
+	m.Endpoints[0] = 99
+	if a.Medium(0).Endpoints[0] == 99 {
+		t.Error("Medium() returned aliased endpoint storage")
+	}
+	mo := a.MediaOf(0)
+	if len(mo) != 2 {
+		t.Fatalf("MediaOf(0) = %v, want 2 media", mo)
+	}
+	mo[0] = 99
+	if a.MediaOf(0)[0] == 99 {
+		t.Error("MediaOf() returned aliased storage")
+	}
+}

@@ -1,0 +1,66 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type archJSON struct {
+	Procs []string     `json:"procs"`
+	Media []mediumJSON `json:"media"`
+}
+
+type mediumJSON struct {
+	Name      string   `json:"name"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// MarshalJSON encodes the architecture with processor names.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	doc := archJSON{Procs: make([]string, 0, len(a.procs))}
+	for _, p := range a.procs {
+		doc.Procs = append(doc.Procs, p.Name)
+	}
+	for _, m := range a.media {
+		mj := mediumJSON{Name: m.Name}
+		for _, e := range m.Endpoints {
+			mj.Endpoints = append(mj.Endpoints, a.procs[e].Name)
+		}
+		doc.Media = append(doc.Media, mj)
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes an architecture written by MarshalJSON. The receiver
+// must be empty.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	if len(a.procs) > 0 {
+		return fmt.Errorf("arch: unmarshal into non-empty architecture")
+	}
+	var doc archJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("arch: decode architecture: %w", err)
+	}
+	if a.byName == nil {
+		a.byName = make(map[string]ProcID)
+	}
+	for _, name := range doc.Procs {
+		if _, err := a.AddProcessor(name); err != nil {
+			return err
+		}
+	}
+	for _, m := range doc.Media {
+		eps := make([]ProcID, 0, len(m.Endpoints))
+		for _, name := range m.Endpoints {
+			id, ok := a.byName[name]
+			if !ok {
+				return fmt.Errorf("%w: %q on medium %q", ErrUnknownProc, name, m.Name)
+			}
+			eps = append(eps, id)
+		}
+		if _, err := a.AddMedium(m.Name, eps...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package arch
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestArchJSONRoundTrip(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	a.MustAddProcessor("P2")
+	a.MustAddProcessor("P3")
+	a.MustAddMedium("L1.2", 0, 1)
+	a.MustAddMedium("BUS", 0, 1, 2)
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back := New()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.NumProcs() != 3 || back.NumMedia() != 2 {
+		t.Fatalf("round trip: procs=%d media=%d", back.NumProcs(), back.NumMedia())
+	}
+	bus, ok := back.MediumByName("BUS")
+	if !ok || len(bus.Endpoints) != 3 {
+		t.Errorf("BUS after round trip = %+v ok=%v", bus, ok)
+	}
+}
+
+func TestArchUnmarshalRejectsUnknownEndpoint(t *testing.T) {
+	in := `{"procs":["P1"],"media":[{"name":"L","endpoints":["P1","P9"]}]}`
+	a := New()
+	if err := json.Unmarshal([]byte(in), a); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+}
+
+func TestArchUnmarshalRejectsNonEmpty(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	if err := json.Unmarshal([]byte(`{"procs":[],"media":[]}`), a); err == nil {
+		t.Error("unmarshal into non-empty architecture accepted")
+	}
+}
+
+func TestArchUnmarshalRejectsMalformed(t *testing.T) {
+	a := New()
+	if err := json.Unmarshal([]byte(`{"procs": 1}`), a); err == nil {
+		t.Error("malformed document accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hop is one medium traversal of a route: the data moves from From to To
+// over Medium. From and To are both endpoints of the medium.
+type Hop struct {
+	Medium MediumID
+	From   ProcID
+	To     ProcID
+}
+
+// Route is an ordered list of hops from a source processor to a destination
+// processor. Non-adjacent processors communicate store-and-forward through
+// the intermediate processors' communication units.
+type Route []Hop
+
+// RouteTable holds one precomputed route per ordered processor pair.
+// Schedulers consult it when a data-dependency must cross processors that
+// share no medium. For adjacent pairs the table holds the single cheapest
+// hop under the weights given to ComputeRoutes; schedulers remain free to
+// evaluate every direct medium instead (and do, for contention).
+type RouteTable struct {
+	n      int
+	routes []Route // index p*n+q
+}
+
+// ComputeRoutes runs Dijkstra from every processor using weight(m) as the
+// traversal cost of medium m, and returns the resulting table. A nil weight
+// function makes every medium cost one hop. Unreachable pairs keep a nil
+// route; Route returns ErrNoRoute for them.
+func (a *Architecture) ComputeRoutes(weight func(MediumID) float64) (*RouteTable, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if weight == nil {
+		weight = func(MediumID) float64 { return 1 }
+	}
+	for _, m := range a.media {
+		if w := weight(m.ID); w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("arch: invalid weight %g for medium %q", w, m.Name)
+		}
+	}
+	n := len(a.procs)
+	rt := &RouteTable{n: n, routes: make([]Route, n*n)}
+	for src := 0; src < n; src++ {
+		dist := make([]float64, n)
+		var prev []Hop = make([]Hop, n)
+		settled := make([]bool, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prev[i] = Hop{Medium: -1}
+		}
+		dist[src] = 0
+		for {
+			// Linear scan keeps the code simple; architectures are small
+			// (the paper evaluates at most a handful of processors).
+			u, best := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if !settled[i] && dist[i] < best {
+					u, best = i, dist[i]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			settled[u] = true
+			for _, mid := range a.mediaOf[u] {
+				w := weight(mid)
+				for _, v := range a.media[mid].Endpoints {
+					if int(v) == u || settled[v] {
+						continue
+					}
+					if nd := dist[u] + w; nd < dist[v] {
+						dist[v] = nd
+						prev[v] = Hop{Medium: mid, From: ProcID(u), To: v}
+					}
+				}
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src || math.IsInf(dist[dst], 1) {
+				continue
+			}
+			var route Route
+			for at := dst; at != src; at = int(prev[at].From) {
+				route = append(Route{prev[at]}, route...)
+			}
+			rt.routes[src*n+dst] = route
+		}
+	}
+	return rt, nil
+}
+
+// Route returns the precomputed route from p to q. The route from a
+// processor to itself is empty and nil-error.
+func (rt *RouteTable) Route(p, q ProcID) (Route, error) {
+	if p == q {
+		return nil, nil
+	}
+	r := rt.routes[int(p)*rt.n+int(q)]
+	if r == nil {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, p, q)
+	}
+	return r, nil
+}
+
+// Hops returns the hop count of the route from p to q, or -1 when there is
+// none.
+func (rt *RouteTable) Hops(p, q ProcID) int {
+	if p == q {
+		return 0
+	}
+	r := rt.routes[int(p)*rt.n+int(q)]
+	if r == nil {
+		return -1
+	}
+	return len(r)
+}

@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestComputeRoutesFullyConnected(t *testing.T) {
+	a := FullyConnected(4)
+	rt, err := a.ComputeRoutes(nil)
+	if err != nil {
+		t.Fatalf("ComputeRoutes: %v", err)
+	}
+	for p := 0; p < 4; p++ {
+		for q := 0; q < 4; q++ {
+			want := 1
+			if p == q {
+				want = 0
+			}
+			if got := rt.Hops(ProcID(p), ProcID(q)); got != want {
+				t.Errorf("Hops(%d,%d) = %d, want %d", p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestComputeRoutesStarGoesThroughHub(t *testing.T) {
+	a := Star(4) // P1 hub, P2..P4 spokes
+	rt, err := a.ComputeRoutes(nil)
+	if err != nil {
+		t.Fatalf("ComputeRoutes: %v", err)
+	}
+	r, err := rt.Route(1, 2) // P2 -> P3 must pass through P1
+	if err != nil {
+		t.Fatalf("Route(1,2): %v", err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("Route(1,2) = %v, want 2 hops", r)
+	}
+	if r[0].From != 1 || r[0].To != 0 || r[1].From != 0 || r[1].To != 2 {
+		t.Errorf("route path = %+v, want P2->P1->P3", r)
+	}
+}
+
+func TestComputeRoutesWeighted(t *testing.T) {
+	// Triangle where the direct edge is expensive: route must detour.
+	a := New()
+	a.MustAddProcessor("P1")
+	a.MustAddProcessor("P2")
+	a.MustAddProcessor("P3")
+	direct := a.MustAddMedium("L1.3", 0, 2)
+	a.MustAddMedium("L1.2", 0, 1)
+	a.MustAddMedium("L2.3", 1, 2)
+	rt, err := a.ComputeRoutes(func(m MediumID) float64 {
+		if m == direct {
+			return 10
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatalf("ComputeRoutes: %v", err)
+	}
+	r, err := rt.Route(0, 2)
+	if err != nil {
+		t.Fatalf("Route(0,2): %v", err)
+	}
+	if len(r) != 2 {
+		t.Errorf("Route(0,2) = %v, want 2-hop detour", r)
+	}
+}
+
+func TestComputeRoutesRejectsBadWeight(t *testing.T) {
+	a := FullyConnected(2)
+	if _, err := a.ComputeRoutes(func(MediumID) float64 { return -1 }); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := a.ComputeRoutes(func(MediumID) float64 { return math.NaN() }); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestComputeRoutesRejectsInvalidArch(t *testing.T) {
+	a := New()
+	a.MustAddProcessor("P1")
+	a.MustAddProcessor("P2")
+	if _, err := a.ComputeRoutes(nil); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("ComputeRoutes on disconnected = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestRouteSelfIsEmpty(t *testing.T) {
+	a := FullyConnected(2)
+	rt, err := a.ComputeRoutes(nil)
+	if err != nil {
+		t.Fatalf("ComputeRoutes: %v", err)
+	}
+	r, err := rt.Route(0, 0)
+	if err != nil || r != nil {
+		t.Errorf("Route(p,p) = %v, %v; want nil, nil", r, err)
+	}
+}
+
+func TestRouteHopEndpointsChain(t *testing.T) {
+	a := Ring(6)
+	rt, err := a.ComputeRoutes(nil)
+	if err != nil {
+		t.Fatalf("ComputeRoutes: %v", err)
+	}
+	for p := 0; p < 6; p++ {
+		for q := 0; q < 6; q++ {
+			if p == q {
+				continue
+			}
+			r, err := rt.Route(ProcID(p), ProcID(q))
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", p, q, err)
+			}
+			if r[0].From != ProcID(p) || r[len(r)-1].To != ProcID(q) {
+				t.Errorf("Route(%d,%d) endpoints wrong: %+v", p, q, r)
+			}
+			for i := 1; i < len(r); i++ {
+				if r[i].From != r[i-1].To {
+					t.Errorf("Route(%d,%d) hop %d discontinuous: %+v", p, q, i, r)
+				}
+			}
+			// Ring of 6: max 3 hops.
+			if len(r) > 3 {
+				t.Errorf("Route(%d,%d) too long: %d hops", p, q, len(r))
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package arch
+
+import "fmt"
+
+// This file provides the standard topologies used by the examples, the
+// benchmark harness, and the tests. All constructors name processors
+// "P1".."Pn" (matching the paper's figures) and return a validated
+// architecture.
+
+// FullyConnected builds n processors with one point-to-point link per
+// unordered pair, named "Li.j" with i<j (the paper's Figure 2 layout is
+// FullyConnected(3)).
+func FullyConnected(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.MustAddMedium(fmt.Sprintf("L%d.%d", i+1, j+1), ProcID(i), ProcID(j))
+		}
+	}
+	return a
+}
+
+// Bus builds n processors sharing one multi-point bus named "BUS". All
+// communications serialise on the single medium, the configuration the
+// paper's earlier work (ICDCS'01) targeted.
+func Bus(n int) *Architecture {
+	a := New()
+	eps := make([]ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		eps = append(eps, a.MustAddProcessor(fmt.Sprintf("P%d", i)))
+	}
+	if n >= 2 {
+		a.MustAddMedium("BUS", eps...)
+	}
+	return a
+}
+
+// Ring builds n processors with point-to-point links closing a cycle:
+// P1-P2, ..., P(n-1)-Pn, Pn-P1.
+func Ring(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	if n == 2 {
+		a.MustAddMedium("L1.2", 0, 1)
+		return a
+	}
+	for i := 0; i < n && n >= 2; i++ {
+		j := (i + 1) % n
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a.MustAddMedium(fmt.Sprintf("L%d.%d", lo+1, hi+1), ProcID(i), ProcID(j))
+	}
+	return a
+}
+
+// Star builds a hub processor P1 linked point-to-point to n-1 spokes
+// P2..Pn.
+func Star(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	for i := 1; i < n; i++ {
+		a.MustAddMedium(fmt.Sprintf("L1.%d", i+1), 0, ProcID(i))
+	}
+	return a
+}

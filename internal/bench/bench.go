@@ -1,0 +1,162 @@
+// Package bench regenerates the paper's performance evaluation (Section 6):
+// the fault-tolerance overheads of FTBAR and HBP on random graphs, with and
+// without a processor failure, as functions of the operation count N
+// (Figure 9) and of the communication-to-computation ratio CCR (Figure 10),
+// plus the worked-example table of Section 4.4 and the Npf sweep the
+// conclusion mentions as ongoing work.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/hbp"
+	"ftbar/internal/sched"
+	"ftbar/internal/sim"
+	"ftbar/internal/spec"
+)
+
+// ErrBadConfig reports invalid experiment configuration.
+var ErrBadConfig = errors.New("bench: invalid configuration")
+
+// Overhead is the paper's fault-tolerance overhead formula (Section 6.2):
+// (FTSL - nonFTSL) / FTSL × 100, where nonFTSL is the schedule length of
+// FTBAR at Npf = 0.
+func Overhead(ftsl, nonftsl float64) float64 {
+	if ftsl == 0 {
+		return 0
+	}
+	return (ftsl - nonftsl) / ftsl * 100
+}
+
+// Comparison is the outcome of running FTBAR, HBP and the non-FT baseline
+// on one problem.
+type Comparison struct {
+	FTBARLength float64
+	HBPLength   float64
+	NonFTLength float64
+	// FTBAROverhead and HBPOverhead are the no-failure overheads.
+	FTBAROverhead float64
+	HBPOverhead   float64
+	// FTBARFail[p] and HBPFail[p] are the overheads when processor p
+	// fails at time 0 (the re-timed makespan against the same baseline).
+	FTBARFail []float64
+	HBPFail   []float64
+}
+
+// Compare runs the three schedulers on the problem (Npf must be 1, HBP's
+// requirement) and simulates the crash of every processor.
+func Compare(p *spec.Problem) (*Comparison, error) {
+	if p.Npf != 1 {
+		return nil, fmt.Errorf("%w: comparison needs Npf = 1, got %d", ErrBadConfig, p.Npf)
+	}
+	ftbar, err := core.Run(p, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("ftbar: %w", err)
+	}
+	hbpRes, err := hbp.Run(p)
+	if err != nil {
+		return nil, fmt.Errorf("hbp: %w", err)
+	}
+	nonft, err := core.NonFT(p)
+	if err != nil {
+		return nil, fmt.Errorf("non-ft baseline: %w", err)
+	}
+	c := &Comparison{
+		FTBARLength: ftbar.Schedule.Length(),
+		HBPLength:   hbpRes.Schedule.Length(),
+		NonFTLength: nonft.Schedule.Length(),
+	}
+	c.FTBAROverhead = Overhead(c.FTBARLength, c.NonFTLength)
+	c.HBPOverhead = Overhead(c.HBPLength, c.NonFTLength)
+	nP := p.Arc.NumProcs()
+	c.FTBARFail = make([]float64, nP)
+	c.HBPFail = make([]float64, nP)
+	for proc := 0; proc < nP; proc++ {
+		ftLen, err := crashLength(ftbar.Schedule, arch.ProcID(proc))
+		if err != nil {
+			return nil, err
+		}
+		hbpLen, err := crashLength(hbpRes.Schedule, arch.ProcID(proc))
+		if err != nil {
+			return nil, err
+		}
+		c.FTBARFail[proc] = Overhead(ftLen, c.NonFTLength)
+		c.HBPFail[proc] = Overhead(hbpLen, c.NonFTLength)
+	}
+	return c, nil
+}
+
+// crashLength is the re-timed makespan when proc fails at time 0.
+func crashLength(s *sched.Schedule, proc arch.ProcID) (float64, error) {
+	res, err := sim.CrashAtZero(s, proc)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Iterations[0].OutputsOK {
+		return 0, fmt.Errorf("bench: crash of processor %d lost outputs", proc)
+	}
+	return res.Iterations[0].Makespan, nil
+}
+
+// Point is one aggregated measurement of a sweep: the average overheads
+// over Graphs random problems at one x value (N or CCR), without failure
+// and with one failure (averaged per processor, then the maximum over the
+// processors, the paper's aggregation for Figures 9(b) and 10(b)).
+type Point struct {
+	X            float64
+	FTBAR        float64
+	HBP          float64
+	FTBARFailure float64
+	HBPFailure   float64
+	Graphs       int
+}
+
+// aggregate averages comparisons into a Point.
+func aggregate(x float64, comps []*Comparison) Point {
+	pt := Point{X: x, Graphs: len(comps)}
+	if len(comps) == 0 {
+		return pt
+	}
+	nP := len(comps[0].FTBARFail)
+	ftFail := make([]float64, nP)
+	hbpFail := make([]float64, nP)
+	for _, c := range comps {
+		pt.FTBAR += c.FTBAROverhead
+		pt.HBP += c.HBPOverhead
+		for p := 0; p < nP; p++ {
+			ftFail[p] += c.FTBARFail[p]
+			hbpFail[p] += c.HBPFail[p]
+		}
+	}
+	n := float64(len(comps))
+	pt.FTBAR /= n
+	pt.HBP /= n
+	for p := 0; p < nP; p++ {
+		pt.FTBARFailure = math.Max(pt.FTBARFailure, ftFail[p]/n)
+		pt.HBPFailure = math.Max(pt.HBPFailure, hbpFail[p]/n)
+	}
+	return pt
+}
+
+// sweepPoint generates Graphs random problems with the parameter factory
+// and aggregates their comparisons.
+func sweepPoint(x float64, graphs int, params func(seed int64) gen.Params) (Point, error) {
+	comps := make([]*Comparison, 0, graphs)
+	for g := 0; g < graphs; g++ {
+		problem, err := gen.Generate(params(int64(g + 1)))
+		if err != nil {
+			return Point{}, err
+		}
+		c, err := Compare(problem)
+		if err != nil {
+			return Point{}, fmt.Errorf("graph %d: %w", g, err)
+		}
+		comps = append(comps, c)
+	}
+	return aggregate(x, comps), nil
+}

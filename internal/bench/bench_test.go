@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+)
+
+func TestOverheadFormula(t *testing.T) {
+	cases := []struct {
+		ftsl, nonftsl, want float64
+	}{
+		{20, 10, 50},
+		{10, 10, 0},
+		{0, 0, 0},
+		{15.05, 10.7, (15.05 - 10.7) / 15.05 * 100},
+	}
+	for _, tc := range cases {
+		if got := Overhead(tc.ftsl, tc.nonftsl); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Overhead(%g,%g) = %g, want %g", tc.ftsl, tc.nonftsl, got, tc.want)
+		}
+	}
+}
+
+func TestCompareOnGeneratedGraph(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 20, CCR: 5, Procs: 4, Npf: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(p)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.FTBARLength <= 0 || c.HBPLength <= 0 || c.NonFTLength <= 0 {
+		t.Fatalf("degenerate lengths: %+v", c)
+	}
+	if c.NonFTLength > c.FTBARLength+1e-9 {
+		t.Errorf("non-FT %g longer than FT %g", c.NonFTLength, c.FTBARLength)
+	}
+	if len(c.FTBARFail) != 4 || len(c.HBPFail) != 4 {
+		t.Fatalf("failure overheads not per-processor: %+v", c)
+	}
+	for p := 0; p < 4; p++ {
+		if c.FTBARFail[p] < c.FTBAROverhead-60 {
+			t.Errorf("P%d failure overhead %g implausibly below no-failure %g",
+				p+1, c.FTBARFail[p], c.FTBAROverhead)
+		}
+	}
+}
+
+func TestCompareRequiresNpf1(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 10, CCR: 1, Procs: 4, Npf: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(p); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Compare Npf=0 error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	pts, err := Fig9(Fig9Config{Ns: []int{10, 30}, CCR: 5, Procs: 4, Graphs: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Graphs != 4 {
+			t.Errorf("point %g has %d graphs", pt.X, pt.Graphs)
+		}
+		// Overheads live in (-100, 100); tiny negatives are float noise,
+		// larger ones mean a baseline beat the FT schedule badly.
+		if pt.FTBAR < -20 || pt.FTBAR > 100 || pt.HBP < -20 || pt.HBP > 100 {
+			t.Errorf("overheads out of range: %+v", pt)
+		}
+	}
+	// The headline of Figure 9: overhead grows with N and FTBAR <= HBP.
+	if pts[1].FTBAR < pts[0].FTBAR-10 {
+		t.Errorf("overhead dropped sharply with N: %g -> %g", pts[0].FTBAR, pts[1].FTBAR)
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	pts, err := Fig10(Fig10Config{CCRs: []float64{0.5, 5}, N: 20, Procs: 4, Graphs: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The headline of Figure 10: at CCR >= 2 FTBAR beats HBP.
+	if pts[1].FTBAR > pts[1].HBP+1e-9 {
+		t.Errorf("at CCR=5 FTBAR overhead %g exceeds HBP %g", pts[1].FTBAR, pts[1].HBP)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Fig9(Fig9Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty Fig9 config error = %v", err)
+	}
+	if _, err := Fig10(Fig10Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty Fig10 config error = %v", err)
+	}
+	if _, err := NpfSweep(NpfConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty Npf config error = %v", err)
+	}
+}
+
+func TestNpfSweepSmallRun(t *testing.T) {
+	pts, err := NpfSweep(NpfConfig{
+		Npfs: []int{0, 1, 2}, N: 15, CCR: 2, Procs: 5, Graphs: 3, Seed: 1, Heterogeneity: 0.3,
+	})
+	if err != nil {
+		t.Fatalf("NpfSweep: %v", err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if math.Abs(pts[0].Overhead) > 1e-9 {
+		t.Errorf("Npf=0 overhead = %g, want 0", pts[0].Overhead)
+	}
+	if pts[2].Overhead < pts[1].Overhead-15 {
+		t.Errorf("overhead should grow with Npf: %g -> %g", pts[1].Overhead, pts[2].Overhead)
+	}
+}
+
+func TestExampleReport(t *testing.T) {
+	rep, err := Example()
+	if err != nil {
+		t.Fatalf("Example: %v", err)
+	}
+	if rep.FTLength > paperex.Rtc {
+		t.Errorf("example FT length %g exceeds Rtc", rep.FTLength)
+	}
+	if rep.FTLength < rep.NonFTLength-1e-9 {
+		t.Errorf("FT %g below non-FT %g", rep.FTLength, rep.NonFTLength)
+	}
+	if !rep.MeetsRtc {
+		t.Error("example should meet Rtc")
+	}
+	for i, c := range rep.CrashLengths {
+		if c <= 0 || c > paperex.Rtc {
+			t.Errorf("crash length %d = %g out of range", i, c)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	pts := []Point{{X: 10, FTBAR: 40.5, HBP: 45.1, FTBARFailure: 44.2, HBPFailure: 50.0, Graphs: 60}}
+	var text strings.Builder
+	if err := RenderPoints(&text, "N", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "40.50") || !strings.Contains(text.String(), "graphs") {
+		t.Errorf("text table missing data: %s", text.String())
+	}
+	var csv strings.Builder
+	if err := RenderPointsCSV(&csv, "N", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "n,ftbar_overhead") {
+		t.Errorf("csv header wrong: %s", csv.String())
+	}
+	var npf strings.Builder
+	if err := RenderNpf(&npf, []NpfPoint{{Npf: 1, Overhead: 33.3, Graphs: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(npf.String(), "33.30") {
+		t.Errorf("npf table missing data: %s", npf.String())
+	}
+	rep, err := Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex strings.Builder
+	if err := RenderExample(&ex, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "paper") || !strings.Contains(ex.String(), "crash of P1") {
+		t.Errorf("example report incomplete: %s", ex.String())
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sim"
+)
+
+// Fig9Config parameterises the Figure 9 sweep: overhead versus the number
+// of operations at fixed CCR. The paper uses N = 10..80 step 10, CCR = 5,
+// P = 4, Npf = 1 and 60 graphs per point.
+type Fig9Config struct {
+	Ns     []int
+	CCR    float64
+	Procs  int
+	Graphs int
+	Seed   int64
+}
+
+// DefaultFig9 returns the paper's configuration.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Ns:     []int{10, 20, 30, 40, 50, 60, 70, 80},
+		CCR:    5,
+		Procs:  4,
+		Graphs: 60,
+		Seed:   2003,
+	}
+}
+
+// Fig9 runs the sweep and returns one Point per N.
+func Fig9(cfg Fig9Config) ([]Point, error) {
+	if len(cfg.Ns) == 0 || cfg.Graphs < 1 {
+		return nil, fmt.Errorf("%w: fig9 %+v", ErrBadConfig, cfg)
+	}
+	var out []Point
+	for _, n := range cfg.Ns {
+		n := n
+		pt, err := sweepPoint(float64(n), cfg.Graphs, func(seed int64) gen.Params {
+			return gen.Params{
+				N: n, CCR: cfg.CCR, Procs: cfg.Procs, Npf: 1,
+				Seed: cfg.Seed*1_000_003 + int64(n)*1009 + seed,
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig10Config parameterises the Figure 10 sweep: overhead versus CCR at
+// fixed N. The paper uses CCR in {0.1, 0.5, 1, 2, 5, 10}, N = 50, P = 4,
+// Npf = 1.
+type Fig10Config struct {
+	CCRs   []float64
+	N      int
+	Procs  int
+	Graphs int
+	Seed   int64
+}
+
+// DefaultFig10 returns the paper's configuration.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		CCRs:   []float64{0.1, 0.5, 1, 2, 5, 10},
+		N:      50,
+		Procs:  4,
+		Graphs: 60,
+		Seed:   2003,
+	}
+}
+
+// Fig10 runs the sweep and returns one Point per CCR.
+func Fig10(cfg Fig10Config) ([]Point, error) {
+	if len(cfg.CCRs) == 0 || cfg.Graphs < 1 {
+		return nil, fmt.Errorf("%w: fig10 %+v", ErrBadConfig, cfg)
+	}
+	var out []Point
+	for _, ccr := range cfg.CCRs {
+		ccr := ccr
+		pt, err := sweepPoint(ccr, cfg.Graphs, func(seed int64) gen.Params {
+			return gen.Params{
+				N: cfg.N, CCR: ccr, Procs: cfg.Procs, Npf: 1,
+				Seed: cfg.Seed*1_000_033 + int64(ccr*1000)*977 + seed,
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// NpfPoint is one measurement of the Npf sweep.
+type NpfPoint struct {
+	Npf      int
+	Overhead float64
+	Graphs   int
+}
+
+// NpfConfig parameterises the Npf sweep of experiment E8: the conclusion's
+// "the overheads increases with the number of failures Npf", on
+// heterogeneous architectures.
+type NpfConfig struct {
+	Npfs          []int
+	N             int
+	CCR           float64
+	Procs         int
+	Graphs        int
+	Seed          int64
+	Heterogeneity float64
+}
+
+// DefaultNpf returns a six-processor heterogeneous configuration.
+func DefaultNpf() NpfConfig {
+	return NpfConfig{
+		Npfs:          []int{0, 1, 2, 3},
+		N:             40,
+		CCR:           2,
+		Procs:         6,
+		Graphs:        20,
+		Seed:          2003,
+		Heterogeneity: 0.3,
+	}
+}
+
+// NpfSweep measures the FTBAR overhead as Npf grows.
+func NpfSweep(cfg NpfConfig) ([]NpfPoint, error) {
+	if len(cfg.Npfs) == 0 || cfg.Graphs < 1 {
+		return nil, fmt.Errorf("%w: npf %+v", ErrBadConfig, cfg)
+	}
+	var out []NpfPoint
+	for _, npf := range cfg.Npfs {
+		sum := 0.0
+		for g := 0; g < cfg.Graphs; g++ {
+			seed := cfg.Seed*1_000_087 + int64(npf)*13007 + int64(g+1)
+			problem, err := gen.Generate(gen.Params{
+				N: cfg.N, CCR: cfg.CCR, Procs: cfg.Procs, Npf: npf,
+				Seed: seed, Heterogeneity: cfg.Heterogeneity,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ft, err := core.Run(problem, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			nonft, err := core.NonFT(problem)
+			if err != nil {
+				return nil, err
+			}
+			sum += Overhead(ft.Schedule.Length(), nonft.Schedule.Length())
+		}
+		out = append(out, NpfPoint{Npf: npf, Overhead: sum / float64(cfg.Graphs), Graphs: cfg.Graphs})
+	}
+	return out, nil
+}
+
+// ExampleReport reproduces the worked-example numbers: the fault-tolerant
+// length of Figure 7, the basic length of Section 4.4 and the crash
+// re-timings of Figure 8, next to the paper's published values.
+type ExampleReport struct {
+	FTLength         float64
+	BasicLength      float64
+	NonFTLength      float64
+	OverheadAbsolute float64 // FT - basic, the paper's 4.35
+	CrashLengths     [3]float64
+	MeetsRtc         bool
+	PaperFTLength    float64
+	PaperBasicLength float64
+	PaperCrash       [3]float64
+}
+
+// Example runs the paper's worked example end to end.
+func Example() (*ExampleReport, error) {
+	p := paperex.Problem()
+	ft, err := core.Run(p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	basic, err := core.Basic(p)
+	if err != nil {
+		return nil, err
+	}
+	nonft, err := core.NonFT(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ExampleReport{
+		FTLength:         ft.Schedule.Length(),
+		BasicLength:      basic.Schedule.Length(),
+		NonFTLength:      nonft.Schedule.Length(),
+		MeetsRtc:         ft.MeetsRtc,
+		PaperFTLength:    paperex.FTLength,
+		PaperBasicLength: paperex.BasicLength,
+		PaperCrash:       [3]float64{paperex.CrashLengthP1, paperex.CrashLengthP2, paperex.CrashLengthP3},
+	}
+	rep.OverheadAbsolute = rep.FTLength - rep.BasicLength
+	for proc := 0; proc < 3; proc++ {
+		res, err := sim.CrashAtZero(ft.Schedule, arch.ProcID(proc))
+		if err != nil {
+			return nil, err
+		}
+		rep.CrashLengths[proc] = res.Iterations[0].Makespan
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderPoints writes a sweep as a fixed-width text table. xName labels the
+// swept parameter ("N" or "CCR").
+func RenderPoints(w io.Writer, xName string, points []Point) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s | %14s %14s | %16s %16s | %6s\n",
+		xName, "FTBAR ovh%", "HBP ovh%", "FTBAR fail ovh%", "HBP fail ovh%", "graphs")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8.3g | %14.2f %14.2f | %16.2f %16.2f | %6d\n",
+			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.Graphs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderPointsCSV writes a sweep as CSV with a header row.
+func RenderPointsCSV(w io.Writer, xName string, points []Point) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,ftbar_overhead,hbp_overhead,ftbar_fail_overhead,hbp_fail_overhead,graphs\n",
+		strings.ToLower(xName))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%d\n",
+			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.Graphs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderNpf writes the Npf sweep as a text table.
+func RenderNpf(w io.Writer, points []NpfPoint) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s | %14s | %6s\n", "Npf", "FTBAR ovh%", "graphs")
+	b.WriteString(strings.Repeat("-", 32) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%4d | %14.2f | %6d\n", p.Npf, p.Overhead, p.Graphs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderExample writes the worked-example report with measured and
+// published values side by side.
+func RenderExample(w io.Writer, r *ExampleReport) error {
+	var b strings.Builder
+	b.WriteString("paper worked example (Figure 2, Tables 1-2, Rtc=16, Npf=1)\n")
+	fmt.Fprintf(&b, "  %-34s measured %8.3f   paper %8.3f\n",
+		"fault-tolerant length (Fig. 7)", r.FTLength, r.PaperFTLength)
+	fmt.Fprintf(&b, "  %-34s measured %8.3f   paper %8.3f\n",
+		"basic non-FT length (Sect. 4.4)", r.BasicLength, r.PaperBasicLength)
+	fmt.Fprintf(&b, "  %-34s measured %8.3f   paper %8.3f\n",
+		"absolute FT overhead (Sect. 4.4)", r.OverheadAbsolute, r.PaperFTLength-r.PaperBasicLength)
+	fmt.Fprintf(&b, "  %-34s measured %8.3f\n", "FTBAR Npf=0 baseline length", r.NonFTLength)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "  crash of P%d at t=0 (Fig. 8)%8s measured %8.3f   paper %8.3f\n",
+			i+1, "", r.CrashLengths[i], r.PaperCrash[i])
+	}
+	fmt.Fprintf(&b, "  real-time constraint met: %v\n", r.MeetsRtc)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,332 @@
+// Package core implements FTBAR, the paper's contribution: a greedy list
+// scheduling heuristic that actively replicates every operation on Npf+1
+// processors and every inter-processor data-dependency on parallel media,
+// so the resulting static schedule masks up to Npf fail-silent processor
+// failures without timeouts or detection.
+//
+// The cost function is the schedule pressure calibrated against the worked
+// example of the paper (Section 4.3): the pressures 9.73 / 10.53 / 9.23 the
+// paper reports for operation C on P1/P2/P3 are reproduced exactly by
+//
+//	σ(o,p) = S_worst(o,p) + Exe(o,p) + S̄(o)    [− R(n−1), constant, dropped]
+//
+// where S̄(o) is the longest downstream path from the end of o summing mean
+// execution times only, and the candidate selected at each step is the one
+// whose best (minimum) pressure is largest — the classical SynDEx most
+// urgent rule, which uniquely selects C at step 3 like the paper does.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/sched"
+	"ftbar/internal/spec"
+)
+
+// Errors returned by the scheduler.
+var (
+	ErrNoProcessorChoice = errors.New("core: not enough processors for required replicas")
+	ErrInternal          = errors.New("core: internal scheduling inconsistency")
+)
+
+// Options tunes the heuristic. The zero value is the paper's FTBAR.
+type Options struct {
+	// NoDuplication disables Minimize-start-time (the Ahmad-Kwok
+	// predecessor duplication of micro-step Â). The paper's "basic"
+	// SynDEx-style heuristic is FTBAR with Npf = 0 and NoDuplication.
+	NoDuplication bool
+	// TailsWithComms adds mean communication times to the S̄ tails. The
+	// paper's calibration excludes them (see the package comment); this
+	// knob exists for the ablation benchmarks.
+	TailsWithComms bool
+}
+
+// Step records one scheduling decision for inspection and tests.
+type Step struct {
+	Task    model.TaskID
+	Procs   []arch.ProcID // chosen processors, ascending pressure
+	Sigmas  []float64     // pressures of the chosen processors
+	Urgency float64       // best pressure, the selection key
+}
+
+// Result is the outcome of a scheduling run.
+type Result struct {
+	Schedule *sched.Schedule
+	// MeetsRtc reports whether the fault-free schedule satisfies the
+	// problem's real-time constraints; RtcViolation carries the first
+	// violation when it does not (the paper's "warning to the designer").
+	MeetsRtc     bool
+	RtcViolation string
+	// Steps is the decision log, one entry per scheduled task.
+	Steps []Step
+	// ExtraReplicas counts replicas beyond the mandatory Npf+1, i.e. the
+	// predecessor duplications Minimize-start-time kept.
+	ExtraReplicas int
+}
+
+// Run schedules the problem with FTBAR and returns the fault-tolerant
+// static schedule. The problem's Npf selects the replication level;
+// Npf = 0 degenerates to a plain (non-fault-tolerant) list scheduling.
+func Run(p *spec.Problem, opts Options) (*Result, error) {
+	s, err := sched.NewSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	tg := s.Tasks()
+	sch := &scheduler{
+		s:     s,
+		tg:    tg,
+		p:     p,
+		opts:  opts,
+		tails: Tails(p, tg, opts.TailsWithComms),
+		done:  make([]bool, tg.NumTasks()),
+	}
+	if err := sch.run(); err != nil {
+		return nil, err
+	}
+	// placeMinimized rolls back speculative duplications by swapping in a
+	// clone, so the scheduler's current schedule is the authoritative one.
+	res := &Result{
+		Schedule:      sch.s,
+		Steps:         sch.steps,
+		ExtraReplicas: sch.extraReplicas(),
+	}
+	ok, rtcErr := sch.s.MeetsRtc()
+	res.MeetsRtc = ok
+	if rtcErr != nil {
+		res.RtcViolation = rtcErr.Error()
+	}
+	return res, nil
+}
+
+// Basic runs the paper's non-fault-tolerant baseline (Section 4.4): the
+// SynDEx-style pressure heuristic, i.e. FTBAR downgraded to Npf = 0 with
+// predecessor duplication disabled. The input problem is not modified.
+func Basic(p *spec.Problem) (*Result, error) {
+	q := p.Clone()
+	q.Npf = 0
+	return Run(q, Options{NoDuplication: true})
+}
+
+// NonFT runs FTBAR with Npf = 0, the baseline the performance evaluation
+// divides by (Section 6.2: "the non FTSL is produced by FTBAR with
+// Npf = 0"). The input problem is not modified.
+func NonFT(p *spec.Problem) (*Result, error) {
+	q := p.Clone()
+	q.Npf = 0
+	return Run(q, Options{})
+}
+
+// Tails computes the S̄ term of the schedule pressure for every task: the
+// longest downstream path measured from the end of the task, summing mean
+// execution times (and mean communication times when withComms is set).
+func Tails(p *spec.Problem, tg *model.TaskGraph, withComms bool) []float64 {
+	cm := model.CostModel{
+		TaskCost: func(t model.TaskID) float64 {
+			return p.Exec.MeanTime(tg.Task(t).Op)
+		},
+		EdgeCost: func(e model.TaskEdgeID) float64 {
+			if !withComms {
+				return 0
+			}
+			return p.Comm.MeanTime(tg.Edge(e).Orig)
+		},
+	}
+	return tg.Tails(cm)
+}
+
+// Sigma computes the schedule pressure of placing task t on processor p
+// against the current partial schedule, using precomputed tails. It returns
+// +Inf for impossible placements.
+func Sigma(s *sched.Schedule, tails []float64, t model.TaskID, p arch.ProcID) float64 {
+	pl, err := s.Preview(t, p)
+	if err != nil {
+		return math.Inf(1)
+	}
+	exec := s.Problem().Exec.Time(s.Tasks().Task(t).Op, p)
+	return pl.SWorst + exec + tails[t]
+}
+
+// scheduler carries the mutable state of one run.
+type scheduler struct {
+	s     *sched.Schedule
+	tg    *model.TaskGraph
+	p     *spec.Problem
+	opts  Options
+	tails []float64
+	done  []bool
+	steps []Step
+}
+
+func (sch *scheduler) run() error {
+	remaining := sch.tg.NumTasks()
+	for remaining > 0 {
+		cands := sch.candidates()
+		if len(cands) == 0 {
+			return fmt.Errorf("%w: %d tasks unschedulable", ErrInternal, remaining)
+		}
+		best, procs, sigmas, err := sch.selectCandidate(cands)
+		if err != nil {
+			return err
+		}
+		for _, proc := range procs {
+			if sch.opts.NoDuplication {
+				_, err = sch.s.PlaceReplica(best, proc)
+			} else {
+				err = sch.placeMinimized(best, proc)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		sch.done[best] = true
+		remaining--
+		sch.steps = append(sch.steps, Step{
+			Task: best, Procs: procs, Sigmas: sigmas, Urgency: sigmas[0],
+		})
+	}
+	return nil
+}
+
+// candidates returns the unscheduled tasks whose predecessors are all
+// scheduled, in ascending id order (paper: O_cand). A mem's write half
+// additionally waits for its read half, whose placements pin the write's
+// processors (DESIGN.md Section 4).
+func (sch *scheduler) candidates() []model.TaskID {
+	readOf := make(map[model.TaskID]model.TaskID)
+	for _, mp := range sch.tg.MemPairs() {
+		readOf[mp.Write] = mp.Read
+	}
+	var out []model.TaskID
+	for t := 0; t < sch.tg.NumTasks(); t++ {
+		if sch.done[t] {
+			continue
+		}
+		ready := true
+		for _, pred := range sch.tg.Preds(model.TaskID(t)) {
+			if !sch.done[pred] {
+				ready = false
+				break
+			}
+		}
+		if read, ok := readOf[model.TaskID(t)]; ok && !sch.done[read] {
+			ready = false
+		}
+		if ready {
+			out = append(out, model.TaskID(t))
+		}
+	}
+	return out
+}
+
+// selectCandidate performs micro-steps À and Á: for every candidate keep
+// the Npf+1 processors of minimum pressure, then pick the candidate whose
+// best pressure is maximal (most urgent). Ties break towards the smaller
+// task id; candidate order makes this deterministic.
+func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, error) {
+	bestTask := model.TaskID(-1)
+	bestUrgency := math.Inf(-1)
+	var bestProcs []arch.ProcID
+	var bestSigmas []float64
+	for _, t := range cands {
+		procs, sigmas, err := sch.bestProcs(t)
+		if err != nil {
+			return -1, nil, nil, err
+		}
+		if sigmas[0] > bestUrgency {
+			bestTask, bestUrgency = t, sigmas[0]
+			bestProcs, bestSigmas = procs, sigmas
+		}
+	}
+	if bestTask < 0 {
+		return -1, nil, nil, fmt.Errorf("%w: no selectable candidate", ErrInternal)
+	}
+	return bestTask, bestProcs, bestSigmas, nil
+}
+
+// bestProcs returns the target processors for a task in ascending pressure
+// order. Ordinary tasks get the Npf+1 cheapest processors; mem write halves
+// are pinned to their read half's processors, index-aligned, so the
+// register state stays local across iterations.
+func (sch *scheduler) bestProcs(t model.TaskID) ([]arch.ProcID, []float64, error) {
+	task := sch.tg.Task(t)
+	if task.Role == model.MemWrite {
+		return sch.memWriteProcs(t)
+	}
+	type cand struct {
+		proc  arch.ProcID
+		sigma float64
+	}
+	var all []cand
+	for p := 0; p < sch.p.Arc.NumProcs(); p++ {
+		sig := Sigma(sch.s, sch.tails, t, arch.ProcID(p))
+		if !math.IsInf(sig, 1) {
+			all = append(all, cand{arch.ProcID(p), sig})
+		}
+	}
+	need := sch.p.Npf + 1
+	if len(all) < need {
+		return nil, nil, fmt.Errorf("%w: task %q has %d usable processors, need %d",
+			ErrNoProcessorChoice, task.Name, len(all), need)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sigma != all[j].sigma {
+			return all[i].sigma < all[j].sigma
+		}
+		return all[i].proc < all[j].proc
+	})
+	procs := make([]arch.ProcID, need)
+	sigmas := make([]float64, need)
+	for i := 0; i < need; i++ {
+		procs[i] = all[i].proc
+		sigmas[i] = all[i].sigma
+	}
+	return procs, sigmas, nil
+}
+
+// memWriteProcs pins a mem's write half to the processors hosting its read
+// half, in replica-index order.
+func (sch *scheduler) memWriteProcs(t model.TaskID) ([]arch.ProcID, []float64, error) {
+	task := sch.tg.Task(t)
+	for _, mp := range sch.tg.MemPairs() {
+		if mp.Write != t {
+			continue
+		}
+		reads := sch.s.Replicas(mp.Read)
+		if len(reads) == 0 {
+			return nil, nil, fmt.Errorf("%w: mem %q write before read", ErrInternal, task.Name)
+		}
+		procs := make([]arch.ProcID, len(reads))
+		sigmas := make([]float64, len(reads))
+		for i, r := range reads {
+			procs[i] = r.Proc
+			sigmas[i] = Sigma(sch.s, sch.tails, t, r.Proc)
+			if math.IsInf(sigmas[i], 1) {
+				return nil, nil, fmt.Errorf("%w: mem %q write forbidden on %q",
+					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(r.Proc).Name)
+			}
+		}
+		// Selection needs ascending sigma first; placement order must stay
+		// index-aligned with the read half, so only the urgency is sorted.
+		sorted := append([]float64(nil), sigmas...)
+		sort.Float64s(sorted)
+		return procs, sorted, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %q is not a mem write", ErrInternal, task.Name)
+}
+
+// extraReplicas counts replicas beyond Npf+1 over all tasks.
+func (sch *scheduler) extraReplicas() int {
+	extra := 0
+	for t := 0; t < sch.tg.NumTasks(); t++ {
+		if n := len(sch.s.Replicas(model.TaskID(t))); n > sch.p.Npf+1 {
+			extra += n - (sch.p.Npf + 1)
+		}
+	}
+	return extra
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sched"
+	"ftbar/internal/spec"
+)
+
+func runPaper(t *testing.T, opts Options) *Result {
+	t.Helper()
+	res, err := Run(paperex.Problem(), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestPaperExampleSchedules(t *testing.T) {
+	res := runPaper(t, Options{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !res.Schedule.Scheduled() {
+		t.Fatal("schedule incomplete")
+	}
+	// Paper Section 4.3: every operation is replicated at least twice on
+	// distinct processors and the real-time constraint Rtc=16 is met.
+	tg := res.Schedule.Tasks()
+	for task := 0; task < tg.NumTasks(); task++ {
+		reps := res.Schedule.Replicas(model.TaskID(task))
+		if len(reps) < 2 {
+			t.Errorf("task %q has %d replicas, want >= 2", tg.Task(model.TaskID(task)).Name, len(reps))
+		}
+	}
+	if !res.MeetsRtc {
+		t.Errorf("Rtc violated: %s", res.RtcViolation)
+	}
+	if l := res.Schedule.Length(); l > paperex.Rtc {
+		t.Errorf("length %g exceeds Rtc %g", l, paperex.Rtc)
+	}
+}
+
+// TestPaperExampleLength pins the fault-tolerant schedule length of this
+// implementation on the paper's example. The paper's Figure 7 reports
+// 15.05; this implementation finds 13.05 — shorter, because secondary
+// tie-breaking rules (unspecified in the paper) differ. EXPERIMENTS.md
+// discusses the delta; the value is pinned here to catch regressions.
+func TestPaperExampleLength(t *testing.T) {
+	res := runPaper(t, Options{})
+	if got := res.Schedule.Length(); math.Abs(got-13.05) > 1e-9 {
+		t.Errorf("FT schedule length = %g, want 13.05 (paper: %g)", got, paperex.FTLength)
+	}
+	if got := res.Schedule.Length(); got > paperex.FTLength+1e-9 {
+		t.Errorf("FT schedule length %g regressed past the paper's %g", got, paperex.FTLength)
+	}
+}
+
+// TestPaperStep3Pressures reproduces the pressures the paper reports when
+// operation C is considered at step 3: 9.73 on P1, 10.53 on P2 and 9.23 on
+// P3. This pins the calibration of the cost function (see the package
+// comment).
+func TestPaperStep3Pressures(t *testing.T) {
+	p := paperex.Problem()
+	s, err := sched.NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := s.Tasks()
+	find := func(name string) model.TaskID {
+		for id := 0; id < tg.NumTasks(); id++ {
+			if tg.Task(model.TaskID(id)).Name == name {
+				return model.TaskID(id)
+			}
+		}
+		t.Fatalf("task %q not found", name)
+		return -1
+	}
+	// Steps 1-2 place I on P1,P2 then A on P1,P2 (Figure 5).
+	for _, pl := range []struct {
+		task string
+		proc arch.ProcID
+	}{{"I", 0}, {"I", 1}, {"A", 0}, {"A", 1}} {
+		if _, err := s.PlaceReplica(find(pl.task), pl.proc); err != nil {
+			t.Fatalf("place %s on P%d: %v", pl.task, pl.proc+1, err)
+		}
+	}
+	tails := Tails(p, tg, false)
+	c := find("C")
+	want := []float64{9.7333333333, 10.5333333333, 9.2333333333}
+	for proc, w := range want {
+		got := Sigma(s, tails, c, arch.ProcID(proc))
+		if math.Abs(got-w) > 1e-6 {
+			t.Errorf("sigma(C, P%d) = %.6f, want %.6f (paper: %.2f)", proc+1, got, w, w)
+		}
+	}
+	// And step 3 must select C on {P3, P1}, duplicating A onto P3 with
+	// start 2.25 (the paper's Figure 6: A starts at the end of the
+	// earliest I->A comm on L1.3).
+	res := runPaper(t, Options{})
+	step3 := res.Steps[2]
+	if tg.Task(step3.Task).Name != "C" {
+		t.Fatalf("step 3 selected %q, want C", tg.Task(step3.Task).Name)
+	}
+	if len(step3.Procs) != 2 || step3.Procs[0] != 2 || step3.Procs[1] != 0 {
+		t.Errorf("step 3 procs = %v, want [P3 P1]", step3.Procs)
+	}
+	a := find("A")
+	aOnP3 := res.Schedule.ReplicaOn(a, 2)
+	if aOnP3 == nil {
+		t.Fatal("A was not duplicated onto P3")
+	}
+	if math.Abs(aOnP3.Start-2.25) > 1e-9 {
+		t.Errorf("A on P3 starts at %g, want 2.25", aOnP3.Start)
+	}
+}
+
+// TestPaperExampleBasic pins the non-fault-tolerant baseline. The paper's
+// Section 4.4 reports 10.7 for the SynDEx basic heuristic.
+func TestPaperExampleBasic(t *testing.T) {
+	res, err := Basic(paperex.Problem())
+	if err != nil {
+		t.Fatalf("Basic: %v", err)
+	}
+	if res.Schedule.Npf() != 0 {
+		t.Errorf("basic Npf = %d, want 0", res.Schedule.Npf())
+	}
+	got := res.Schedule.Length()
+	t.Logf("basic length = %g (paper: %g)", got, paperex.BasicLength)
+	if got > paperex.BasicLength+1e-9 {
+		t.Errorf("basic length %g exceeds the paper's %g", got, paperex.BasicLength)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNonFTUsesDuplication(t *testing.T) {
+	res, err := NonFT(paperex.Problem())
+	if err != nil {
+		t.Fatalf("NonFT: %v", err)
+	}
+	if res.Schedule.Npf() != 0 {
+		t.Errorf("NonFT Npf = %d, want 0", res.Schedule.Npf())
+	}
+	basic, err := Basic(paperex.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length() > basic.Schedule.Length()+1e-9 {
+		t.Errorf("NonFT (with duplication) %g longer than Basic %g",
+			res.Schedule.Length(), basic.Schedule.Length())
+	}
+}
+
+func TestRunDoesNotMutateProblemNpf(t *testing.T) {
+	p := paperex.Problem()
+	if _, err := Basic(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Npf != 1 {
+		t.Errorf("Basic mutated problem Npf to %d", p.Npf)
+	}
+	if _, err := NonFT(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Npf != 1 {
+		t.Errorf("NonFT mutated problem Npf to %d", p.Npf)
+	}
+}
+
+func TestFaultToleranceOverheadPositive(t *testing.T) {
+	ft := runPaper(t, Options{})
+	nonft, err := NonFT(paperex.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Schedule.Length() < nonft.Schedule.Length() {
+		t.Errorf("FT schedule %g shorter than non-FT %g",
+			ft.Schedule.Length(), nonft.Schedule.Length())
+	}
+}
+
+func TestNoDuplicationKeepsExactReplicaCount(t *testing.T) {
+	res := runPaper(t, Options{NoDuplication: true})
+	if res.ExtraReplicas != 0 {
+		t.Errorf("ExtraReplicas = %d, want 0 without duplication", res.ExtraReplicas)
+	}
+	tg := res.Schedule.Tasks()
+	for task := 0; task < tg.NumTasks(); task++ {
+		if n := len(res.Schedule.Replicas(model.TaskID(task))); n != 2 {
+			t.Errorf("task %q has %d replicas, want exactly 2", tg.Task(model.TaskID(task)).Name, n)
+		}
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDuplicationCreatesExtraReplicas(t *testing.T) {
+	res := runPaper(t, Options{})
+	if res.ExtraReplicas == 0 {
+		t.Error("expected Minimize-start-time to keep at least one duplication on the example")
+	}
+}
+
+func TestTailsWithCommsAreLonger(t *testing.T) {
+	p := paperex.Problem()
+	tg, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Tails(p, tg, false)
+	comms := Tails(p, tg, true)
+	anyLonger := false
+	for i := range plain {
+		if comms[i] < plain[i]-1e-9 {
+			t.Errorf("task %d: tail with comms %g < without %g", i, comms[i], plain[i])
+		}
+		if comms[i] > plain[i]+1e-9 {
+			anyLonger = true
+		}
+	}
+	if !anyLonger {
+		t.Error("comm-aware tails never longer; expected comm costs to appear")
+	}
+}
+
+func TestRtcViolationReported(t *testing.T) {
+	p := paperex.Problem()
+	p.Rtc = spec.Rtc{Deadline: 5} // impossible
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MeetsRtc || res.RtcViolation == "" {
+		t.Errorf("MeetsRtc = %v, violation = %q; want reported violation",
+			res.MeetsRtc, res.RtcViolation)
+	}
+}
+
+func TestRunRejectsInvalidProblem(t *testing.T) {
+	p := paperex.Problem()
+	p.Npf = 5 // only 3 processors
+	if _, err := Run(p, Options{}); !errors.Is(err, spec.ErrTooFewprocs) {
+		t.Errorf("Run with Npf=5 error = %v, want ErrTooFewprocs", err)
+	}
+}
+
+func TestNpf2OnFourProcs(t *testing.T) {
+	// Npf=2 on a 4-processor fully connected architecture: every task must
+	// have >= 3 replicas.
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	c := g.MustAddOp("c", model.Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, c)
+	ar := arch.FullyConnected(4)
+	exec, _ := spec.NewUniformExecTable(g, ar, 1)
+	comm, _ := spec.NewUniformCommTable(g, ar, 0.5)
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 2}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tg := res.Schedule.Tasks()
+	for task := 0; task < tg.NumTasks(); task++ {
+		if n := len(res.Schedule.Replicas(model.TaskID(task))); n < 3 {
+			t.Errorf("task %d has %d replicas, want >= 3", task, n)
+		}
+	}
+}
+
+func TestMemTaskPairsStayColocated(t *testing.T) {
+	// Feedback loop through a register: in -> ctl -> st(mem) -> ctl.
+	g := model.NewGraph()
+	in := g.MustAddOp("in", model.ExtIO)
+	ctl := g.MustAddOp("ctl", model.Comp)
+	st := g.MustAddOp("st", model.Mem)
+	out := g.MustAddOp("out", model.ExtIO)
+	g.MustAddEdge(in, ctl)
+	g.MustAddEdge(st, ctl)
+	g.MustAddEdge(ctl, st)
+	g.MustAddEdge(ctl, out)
+	ar := arch.FullyConnected(3)
+	exec, _ := spec.NewUniformExecTable(g, ar, 1)
+	comm, _ := spec.NewUniformCommTable(g, ar, 0.5)
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBusArchitectureSerialisesComms(t *testing.T) {
+	p := paperex.Problem()
+	// Same problem on a 3-processor bus: one medium, all comms serialised.
+	bus := arch.Bus(3)
+	comm := spec.NewCommTable(p.Alg, bus)
+	for e := 0; e < p.Alg.NumEdges(); e++ {
+		comm.MustSet(model.EdgeID(e), 0, p.Comm.Time(model.EdgeID(e), 0))
+	}
+	q := &spec.Problem{Alg: p.Alg, Arc: bus, Exec: p.Exec, Comm: comm, Npf: 1}
+	res, err := Run(q, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	ft := runPaper(t, Options{})
+	if res.Schedule.Length() < ft.Schedule.Length()-1e-9 {
+		t.Errorf("bus schedule %g shorter than point-to-point %g; serialisation should cost",
+			res.Schedule.Length(), ft.Schedule.Length())
+	}
+}
+
+func TestStepsCoverAllTasks(t *testing.T) {
+	res := runPaper(t, Options{})
+	if got, want := len(res.Steps), res.Schedule.Tasks().NumTasks(); got != want {
+		t.Errorf("len(Steps) = %d, want %d", got, want)
+	}
+	seen := make(map[model.TaskID]bool)
+	for _, st := range res.Steps {
+		if seen[st.Task] {
+			t.Errorf("task %d scheduled twice", st.Task)
+		}
+		seen[st.Task] = true
+		if len(st.Procs) == 0 || len(st.Procs) != len(st.Sigmas) {
+			t.Errorf("step for task %d malformed: %+v", st.Task, st)
+		}
+	}
+}

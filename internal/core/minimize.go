@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/sched"
+)
+
+// placeMinimized implements the paper's Minimize-start-time procedure
+// (micro-step Â, after Ahmad & Kwok): before committing a replica of t on
+// p, repeatedly duplicate the Latest Immediate Predecessor onto p while
+// that strictly reduces S_worst(t, p); a non-improving duplication is
+// undone wholesale (step Ï) and the replica is finally scheduled at its
+// S_best (step Ð).
+//
+// Undo is realised by cloning the schedule before each speculative
+// duplication and swapping the clone back on regression.
+func (sch *scheduler) placeMinimized(t model.TaskID, p arch.ProcID) error {
+	pl, details, err := sch.s.PreviewDetail(t, p)
+	if err != nil {
+		return err // step Ë: t cannot be scheduled on p
+	}
+	sWorst := pl.SWorst
+	for {
+		lip, ok := sch.findLIP(details, p)
+		if !ok {
+			break
+		}
+		snapshot := sch.s.Clone()
+		if err := sch.placeMinimized(lip, p); err != nil {
+			// The duplication itself is impossible; keep the snapshot
+			// untouched and stop improving.
+			sch.s = snapshot
+			break
+		}
+		newPl, newDetails, err := sch.s.PreviewDetail(t, p)
+		if err != nil || newPl.SWorst >= sWorst-timeEps {
+			sch.s = snapshot // step Ï: undo all replications of Í
+			break
+		}
+		sWorst = newPl.SWorst // step Ñ: improved; look for the new LIP
+		details = newDetails
+	}
+	_, err = sch.s.PlaceReplica(t, p) // step Ð: schedule at S_best
+	return err
+}
+
+const timeEps = 1e-9
+
+// findLIP locates the Latest Immediate Predecessor of the previewed
+// placement: the source of the in-edge whose worst-case arrival constrains
+// S_worst. Duplication cannot help when that edge is already local, and is
+// refused when the predecessor is forbidden on the processor, already
+// replicated there, or a mem half (registers stay at their chosen sites,
+// see DESIGN.md Section 4).
+func (sch *scheduler) findLIP(details []sched.EdgeArrival, p arch.ProcID) (model.TaskID, bool) {
+	lip := model.TaskID(-1)
+	worst := math.Inf(-1)
+	for _, d := range details {
+		if d.Worst > worst {
+			worst = d.Worst
+			if d.Local {
+				lip = -1
+				continue
+			}
+			lip = d.Src
+		}
+	}
+	if lip < 0 {
+		return -1, false
+	}
+	task := sch.tg.Task(lip)
+	if task.Kind == model.Mem {
+		return -1, false
+	}
+	if !sch.p.Exec.Allowed(task.Op, p) {
+		return -1, false
+	}
+	if sch.s.ReplicaOn(lip, p) != nil {
+		return -1, false
+	}
+	return lip, true
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/gen"
+	"ftbar/internal/model"
+	"ftbar/internal/sim"
+)
+
+// genProblem draws a small random problem from the paper's recipe.
+func genProblemParams(seed int64, nRaw, ccrRaw uint8, npf int, het float64) gen.Params {
+	return gen.Params{
+		N:             int(nRaw%25) + 2,
+		CCR:           0.2 + float64(ccrRaw%80)/10,
+		Procs:         4,
+		Npf:           npf,
+		Seed:          seed,
+		Heterogeneity: het,
+	}
+}
+
+// TestQuickSchedulesValidate: FTBAR output on any generated problem passes
+// the full structural and temporal validation.
+func TestQuickSchedulesValidate(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		p, err := gen.Generate(genProblemParams(seed, nRaw, ccrRaw, 1, 0))
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, Options{})
+		if err != nil {
+			t.Logf("Run: %v", err)
+			return false
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Logf("Validate(seed=%d): %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeterogeneousSchedulesValidate repeats the validation property
+// on heterogeneous problems with Npf = 2.
+func TestQuickHeterogeneousSchedulesValidate(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		p, err := gen.Generate(genProblemParams(seed, nRaw, ccrRaw, 2, 0.4))
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, Options{})
+		if err != nil {
+			return false
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Logf("Validate(seed=%d): %v", seed, err)
+			return false
+		}
+		for task := 0; task < res.Schedule.Tasks().NumTasks(); task++ {
+			if len(res.Schedule.Replicas(model.TaskID(task))) < 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoDuplicationValidates: the ablated heuristic also yields valid
+// schedules with exactly Npf+1 replicas.
+func TestQuickNoDuplicationValidates(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		p, err := gen.Generate(genProblemParams(seed, nRaw, ccrRaw, 1, 0))
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, Options{NoDuplication: true})
+		if err != nil {
+			return false
+		}
+		if res.ExtraReplicas != 0 {
+			return false
+		}
+		return res.Schedule.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterministic: the heuristic is a pure function of the problem.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		params := genProblemParams(seed, nRaw, ccrRaw, 1, 0.2)
+		p1, err := gen.Generate(params)
+		if err != nil {
+			return false
+		}
+		p2, err := gen.Generate(params)
+		if err != nil {
+			return false
+		}
+		r1, err := Run(p1, Options{})
+		if err != nil {
+			return false
+		}
+		r2, err := Run(p2, Options{})
+		if err != nil {
+			return false
+		}
+		if r1.Schedule.Length() != r2.Schedule.Length() {
+			return false
+		}
+		if len(r1.Steps) != len(r2.Steps) {
+			return false
+		}
+		for i := range r1.Steps {
+			if r1.Steps[i].Task != r2.Steps[i].Task {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEverySingleCrashIsMasked is the paper's central guarantee as a
+// property: on any generated problem, the FTBAR schedule survives the
+// crash of any single processor at time 0 with every output produced.
+func TestQuickEverySingleCrashIsMasked(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		p, err := gen.Generate(genProblemParams(seed, nRaw, ccrRaw, 1, 0.3))
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, Options{})
+		if err != nil {
+			return false
+		}
+		for proc := 0; proc < p.Arc.NumProcs(); proc++ {
+			crash, err := sim.CrashAtZero(res.Schedule, arch.ProcID(proc))
+			if err != nil {
+				t.Logf("CrashAtZero(seed=%d, P%d): %v", seed, proc+1, err)
+				return false
+			}
+			if !crash.Iterations[0].OutputsOK {
+				t.Logf("seed=%d: crash of P%d lost outputs", seed, proc+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCrashAtAnyInstantIsMasked sharpens the property: the crash may
+// happen at any outcome-changing instant, not just time 0.
+func TestQuickCrashAtAnyInstantIsMasked(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		p, err := gen.Generate(genProblemParams(seed, nRaw%12, 20, 1, 0))
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, Options{})
+		if err != nil {
+			return false
+		}
+		reports, err := sim.SingleFailureSweep(res.Schedule)
+		if err != nil {
+			t.Logf("sweep(seed=%d): %v", seed, err)
+			return false
+		}
+		for _, r := range reports {
+			if !r.Masked {
+				t.Logf("seed=%d: crash of P%d at t=%g lost outputs", seed, r.Proc+1, r.WorstAt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

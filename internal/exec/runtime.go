@@ -1,0 +1,451 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/sched"
+)
+
+// Errors reported by the runtime.
+var (
+	ErrBadRunConfig = errors.New("exec: invalid run configuration")
+)
+
+// Kill is a fault-injection directive: processor Proc dies right before
+// executing replica (Task, Index) of iteration Iteration. Death is
+// fail-silent: the goroutine stops computing and sending; values it already
+// handed to communication units are still delivered.
+type Kill struct {
+	Proc      arch.ProcID
+	Task      model.TaskID
+	Index     int
+	Iteration int
+}
+
+// RunConfig configures one distributed execution.
+type RunConfig struct {
+	// Iterations of the data-flow graph; 0 means 1.
+	Iterations int
+	// Kills are the injected failures.
+	Kills []Kill
+	// KillAtStart lists processors dead from the beginning.
+	KillAtStart []arch.ProcID
+	// Timeout bounds the whole run; 0 means 10 seconds. A run that cannot
+	// finish (more failures than Npf block a receiver forever) is
+	// cancelled and reported as stalled instead of hanging the test.
+	Timeout time.Duration
+}
+
+// Result is the outcome of a distributed execution.
+type Result struct {
+	// Outputs[iter][task] is the first value delivered for each output
+	// task (extio sinks, or all sinks when the graph has none).
+	Outputs []map[model.TaskID]Value
+	// Reference is the sequential oracle for the same iterations.
+	Reference []map[model.TaskID]Value
+	// Stalled reports that the run timed out with processors blocked —
+	// expected when more than Npf processors were killed.
+	Stalled bool
+}
+
+// Match reports whether every produced output of every iteration equals the
+// sequential reference and every output was produced.
+func (r *Result) Match() bool {
+	for iter := range r.Outputs {
+		for task, want := range r.Reference[iter] {
+			got, ok := r.Outputs[iter][task]
+			if ok && got != want {
+				return false
+			}
+		}
+		if len(r.Outputs[iter]) == 0 {
+			return false
+		}
+	}
+	return !r.Stalled
+}
+
+// Complete reports whether every output task produced a value in every
+// iteration (failure masking held).
+func (r *Result) Complete(outputs []model.TaskID) bool {
+	for iter := range r.Outputs {
+		for _, t := range outputs {
+			if _, ok := r.Outputs[iter][t]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// message travels through communication units; skip marks a transmission
+// that never happened because its producer died.
+type message struct {
+	value Value
+	skip  bool
+}
+
+// runtime holds the channel fabric of one execution.
+type runtime struct {
+	s     *sched.Schedule
+	tg    *model.TaskGraph
+	iters int
+
+	// handoff[iter][comm] carries the value from the producing replica
+	// (hop 0) or the previous hop into the comm's sending unit.
+	handoff []map[*sched.Comm]chan message
+	// mailbox[iter][key] collects deliveries for one (replica, edge);
+	// capacity equals the number of scheduled incoming comms, so senders
+	// never block.
+	mailbox []map[mbKey]chan Value
+	// outgoing[replica] lists the hop-0 comms fed by that replica.
+	outgoing map[*sched.Replica][]*sched.Comm
+	// next[comm] is the following hop of a multi-hop chain, nil at the
+	// last hop.
+	next map[*sched.Comm]*sched.Comm
+	// incomingN[key] is the number of scheduled deliveries per mailbox.
+	incomingN map[mbKey]int
+
+	dead    []chan struct{} // closed when processor dies
+	outputs []model.TaskID
+	results chan outputEvent
+}
+
+type mbKey struct {
+	task  model.TaskID
+	index int
+	edge  model.TaskEdgeID
+}
+
+type outputEvent struct {
+	iter  int
+	task  model.TaskID
+	value Value
+}
+
+// Run executes the schedule's distributed programs and compares the outputs
+// against the sequential reference.
+func Run(s *sched.Schedule, cfg RunConfig) (*Result, error) {
+	iters := cfg.Iterations
+	if iters == 0 {
+		iters = 1
+	}
+	if iters < 0 {
+		return nil, fmt.Errorf("%w: iterations %d", ErrBadRunConfig, cfg.Iterations)
+	}
+	nP := s.Problem().Arc.NumProcs()
+	for _, k := range cfg.Kills {
+		if int(k.Proc) < 0 || int(k.Proc) >= nP || k.Iteration < 0 || k.Iteration >= iters {
+			return nil, fmt.Errorf("%w: kill %+v", ErrBadRunConfig, k)
+		}
+	}
+	for _, p := range cfg.KillAtStart {
+		if int(p) < 0 || int(p) >= nP {
+			return nil, fmt.Errorf("%w: kill at start of proc %d", ErrBadRunConfig, p)
+		}
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	rt := newRuntime(s, iters)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	killAt := make(map[arch.ProcID]map[replicaIter]bool)
+	for _, k := range cfg.Kills {
+		if killAt[k.Proc] == nil {
+			killAt[k.Proc] = make(map[replicaIter]bool)
+		}
+		killAt[k.Proc][replicaIter{k.Task, k.Index, k.Iteration}] = true
+	}
+	deadAtStart := make(map[arch.ProcID]bool)
+	for _, p := range cfg.KillAtStart {
+		deadAtStart[p] = true
+	}
+	for p := 0; p < nP; p++ {
+		proc := arch.ProcID(p)
+		if deadAtStart[proc] {
+			close(rt.dead[p])
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.runNode(ctx, proc, killAt[proc])
+		}()
+	}
+	for m := 0; m < s.Problem().Arc.NumMedia(); m++ {
+		medium := arch.MediumID(m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.runMedium(ctx, medium)
+		}()
+	}
+	doneCh := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+	stalled := false
+	select {
+	case <-doneCh:
+	case <-ctx.Done():
+		stalled = true
+		<-doneCh // goroutines exit via ctx in every blocking select
+	}
+	close(rt.results)
+	res := &Result{
+		Outputs:   make([]map[model.TaskID]Value, iters),
+		Reference: Reference(s, iters),
+		Stalled:   stalled,
+	}
+	for i := range res.Outputs {
+		res.Outputs[i] = make(map[model.TaskID]Value)
+	}
+	for ev := range rt.results {
+		if _, ok := res.Outputs[ev.iter][ev.task]; !ok {
+			res.Outputs[ev.iter][ev.task] = ev.value // first arrival wins
+		}
+	}
+	return res, nil
+}
+
+type replicaIter struct {
+	task  model.TaskID
+	index int
+	iter  int
+}
+
+func newRuntime(s *sched.Schedule, iters int) *runtime {
+	tg := s.Tasks()
+	nP := s.Problem().Arc.NumProcs()
+	nM := s.Problem().Arc.NumMedia()
+	rt := &runtime{
+		s:         s,
+		tg:        tg,
+		iters:     iters,
+		outgoing:  make(map[*sched.Replica][]*sched.Comm),
+		next:      make(map[*sched.Comm]*sched.Comm),
+		incomingN: make(map[mbKey]int),
+		dead:      make([]chan struct{}, nP),
+		outputs:   outputTasks(tg),
+	}
+	for p := range rt.dead {
+		rt.dead[p] = make(chan struct{})
+	}
+	// Chain and fan-in indexes.
+	type chainKey struct {
+		edge     model.TaskEdgeID
+		srcIndex int
+		dstIndex int
+	}
+	chains := make(map[chainKey][]*sched.Comm)
+	for m := 0; m < nM; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
+			chains[chainKey{c.Edge, c.SrcIndex, c.DstIndex}] = append(
+				chains[chainKey{c.Edge, c.SrcIndex, c.DstIndex}], c)
+		}
+	}
+	for _, hops := range chains {
+		byHop := make([]*sched.Comm, len(hops))
+		for _, c := range hops {
+			byHop[c.Hop] = c
+		}
+		first := byHop[0]
+		edge := tg.Edge(first.Edge)
+		src := s.Replicas(edge.Src)[first.SrcIndex]
+		rt.outgoing[src] = append(rt.outgoing[src], first)
+		for i := 0; i+1 < len(byHop); i++ {
+			rt.next[byHop[i]] = byHop[i+1]
+		}
+		last := byHop[len(byHop)-1]
+		rt.incomingN[mbKey{edge.Dst, last.DstIndex, last.Edge}]++
+	}
+	rt.handoff = make([]map[*sched.Comm]chan message, iters)
+	rt.mailbox = make([]map[mbKey]chan Value, iters)
+	for i := 0; i < iters; i++ {
+		rt.handoff[i] = make(map[*sched.Comm]chan message)
+		rt.mailbox[i] = make(map[mbKey]chan Value)
+		for m := 0; m < nM; m++ {
+			for _, c := range s.MediumSeq(arch.MediumID(m)) {
+				rt.handoff[i][c] = make(chan message, 1)
+			}
+		}
+		for k, n := range rt.incomingN {
+			rt.mailbox[i][k] = make(chan Value, n)
+		}
+	}
+	nOut := 0
+	for _, t := range rt.outputs {
+		nOut += len(s.Replicas(t))
+	}
+	rt.results = make(chan outputEvent, nOut*iters+1)
+	return rt
+}
+
+// outputTasks mirrors the simulator's output definition: extio sinks, else
+// non-mem sinks, else all sinks.
+func outputTasks(tg *model.TaskGraph) []model.TaskID {
+	var extio, nonMem, all []model.TaskID
+	for _, t := range tg.Sinks() {
+		all = append(all, t)
+		if tg.Task(t).Kind == model.ExtIO {
+			extio = append(extio, t)
+		}
+		if tg.Task(t).Role != model.MemWrite {
+			nonMem = append(nonMem, t)
+		}
+	}
+	if len(extio) > 0 {
+		return extio
+	}
+	if len(nonMem) > 0 {
+		return nonMem
+	}
+	return all
+}
+
+// Outputs exposes the output task set used for completeness checks.
+func Outputs(s *sched.Schedule) []model.TaskID {
+	return outputTasks(s.Tasks())
+}
+
+// runNode is one processor's static program: execute the replica sequence
+// in order for every iteration, reading inputs from mailboxes (first value
+// wins) or local memory, and handing results to the communication units.
+func (rt *runtime) runNode(ctx context.Context, p arch.ProcID, kills map[replicaIter]bool) {
+	memState := make(map[model.OpID]Value)
+	for _, mp := range rt.tg.MemPairs() {
+		memState[mp.Op] = initValue(rt.s.Problem().Alg.Op(mp.Op).Name)
+	}
+	seq := rt.s.ProcSeq(p)
+	for iter := 0; iter < rt.iters; iter++ {
+		local := make(map[model.TaskID]Value)
+		for _, r := range seq {
+			if kills[replicaIter{r.Task, r.Index, iter}] {
+				close(rt.dead[p])
+				return
+			}
+			task := rt.tg.Task(r.Task)
+			var inputs []edgeValue
+			blocked := false
+			for _, eid := range rt.tg.In(r.Task) {
+				key := mbKey{r.Task, r.Index, eid}
+				if rt.incomingN[key] > 0 {
+					select {
+					case v := <-rt.mailbox[iter][key]:
+						inputs = append(inputs, edgeValue{eid, v})
+					case <-ctx.Done():
+						blocked = true
+					}
+				} else {
+					edge := rt.tg.Edge(eid)
+					inputs = append(inputs, edgeValue{eid, local[edge.Src]})
+				}
+				if blocked {
+					break
+				}
+			}
+			if blocked {
+				close(rt.dead[p])
+				return
+			}
+			v, newState := evalTask(rt.tg, r.Task, iter, inputs, memState[task.Op])
+			if task.Role == model.MemWrite {
+				memState[task.Op] = newState
+			}
+			local[r.Task] = v
+			for _, c := range rt.outgoing[r] {
+				rt.handoff[iter][c] <- message{value: v}
+			}
+			if rt.isOutput(r.Task) {
+				rt.results <- outputEvent{iter: iter, task: r.Task, value: v}
+			}
+		}
+	}
+}
+
+func (rt *runtime) isOutput(t model.TaskID) bool {
+	for _, o := range rt.outputs {
+		if o == t {
+			return true
+		}
+	}
+	return false
+}
+
+// runMedium is one communication medium: it processes its static comm
+// sequence in order, for every iteration. A value is taken from the hop's
+// handoff; a dead producer resolves the handoff as a skip so the medium
+// never waits on a silent processor (the paper's "no timeout" property
+// holds because the data is replicated, not because senders are awaited).
+func (rt *runtime) runMedium(ctx context.Context, m arch.MediumID) {
+	seq := rt.s.MediumSeq(m)
+	for iter := 0; iter < rt.iters; iter++ {
+		for _, c := range seq {
+			msg, ok := rt.takeHandoff(ctx, iter, c)
+			if !ok {
+				return // cancelled
+			}
+			if next := rt.next[c]; next != nil {
+				rt.handoff[iter][next] <- msg
+				continue
+			}
+			if msg.skip {
+				continue
+			}
+			edge := rt.tg.Edge(c.Edge)
+			rt.mailbox[iter][mbKey{edge.Dst, c.DstIndex, c.Edge}] <- msg.value
+		}
+	}
+}
+
+// takeHandoff waits for the hop's input value, resolving dead producers as
+// skips. Values already handed off by a processor that died later are still
+// preferred over the death signal.
+func (rt *runtime) takeHandoff(ctx context.Context, iter int, c *sched.Comm) (message, bool) {
+	ch := rt.handoff[iter][c]
+	// Hop 0 waits on the producing processor; later hops always receive a
+	// message (possibly a skip) from the previous medium.
+	var deadCh chan struct{}
+	if c.Hop == 0 {
+		deadCh = rt.dead[c.From]
+	}
+	select {
+	case msg := <-ch:
+		return msg, true
+	default:
+	}
+	if deadCh != nil {
+		select {
+		case msg := <-ch:
+			return msg, true
+		case <-deadCh:
+			// The producer died; it may still have handed the value off
+			// just before dying.
+			select {
+			case msg := <-ch:
+				return msg, true
+			default:
+				return message{skip: true}, true
+			}
+		case <-ctx.Done():
+			return message{}, false
+		}
+	}
+	select {
+	case msg := <-ch:
+		return msg, true
+	case <-ctx.Done():
+		return message{}, false
+	}
+}

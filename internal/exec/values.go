@@ -1,0 +1,105 @@
+// Package exec is the distributed executive: it turns a static schedule
+// into per-processor programs and runs them as goroutines communicating
+// over channel-backed media, the library's analogue of the executable
+// distributed code SynDEx generates from an FTBAR schedule (paper
+// Figure 1). Replicated operations compute identical values, every replica
+// sends its results in parallel, and receivers use the first arriving
+// input set — so killing up to Npf processor goroutines must not change
+// any output (failure masking, paper Section 5).
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"ftbar/internal/model"
+	"ftbar/internal/sched"
+)
+
+// Value is the datum flowing along data-dependencies. Values are built
+// deterministically from the operation name, the iteration and the input
+// values, so every replica of an operation produces the same Value and
+// first-arrival races cannot change results.
+type Value string
+
+// sourceValue is the value produced by a source operation (sensors): the
+// paper assumes two executions of an input extio in the same iteration
+// return the same value.
+func sourceValue(name string, iter int) Value {
+	return Value(fmt.Sprintf("%s@%d", name, iter))
+}
+
+// initValue is the state a mem holds before the first iteration.
+func initValue(name string) Value {
+	return Value("init:" + name)
+}
+
+// compValue hashes the operation identity and its inputs into a compact
+// deterministic value (a readable concatenation would grow exponentially
+// with graph depth).
+func compValue(name string, iter int, inputs []edgeValue) Value {
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].edge < inputs[j].edge })
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%d", name, iter)
+	for _, in := range inputs {
+		fmt.Fprintf(h, "|%d=%s", in.edge, in.value)
+	}
+	return Value(fmt.Sprintf("%s#%016x", name, h.Sum64()))
+}
+
+type edgeValue struct {
+	edge  model.TaskEdgeID
+	value Value
+}
+
+// evalTask computes the value of one task given its input values and the
+// mem state, returning the value and the updated state (unchanged for
+// non-mem tasks).
+func evalTask(tg *model.TaskGraph, t model.TaskID, iter int, inputs []edgeValue, state Value) (Value, Value) {
+	task := tg.Task(t)
+	switch task.Role {
+	case model.MemRead:
+		return state, state
+	case model.MemWrite:
+		v := compValue(task.Name, iter, inputs)
+		return v, v
+	default:
+		if len(inputs) == 0 {
+			return sourceValue(task.Name, iter), state
+		}
+		return compValue(task.Name, iter, inputs), state
+	}
+}
+
+// Reference computes the expected value of every task for each iteration by
+// sequential evaluation — the oracle the distributed runtime is checked
+// against.
+func Reference(s *sched.Schedule, iterations int) []map[model.TaskID]Value {
+	tg := s.Tasks()
+	states := make(map[model.OpID]Value)
+	for _, mp := range tg.MemPairs() {
+		states[mp.Op] = initValue(s.Problem().Alg.Op(mp.Op).Name)
+	}
+	out := make([]map[model.TaskID]Value, iterations)
+	for iter := 0; iter < iterations; iter++ {
+		values := make(map[model.TaskID]Value, tg.NumTasks())
+		// Reads deliver the previous iteration's state; evaluate them
+		// before everything else, then the rest in topological order.
+		for _, t := range tg.Topo() {
+			task := tg.Task(t)
+			var inputs []edgeValue
+			for _, eid := range tg.In(t) {
+				edge := tg.Edge(eid)
+				inputs = append(inputs, edgeValue{eid, values[edge.Src]})
+			}
+			v, newState := evalTask(tg, t, iter, inputs, states[task.Op])
+			values[t] = v
+			if task.Role == model.MemWrite {
+				states[task.Op] = newState
+			}
+		}
+		out[iter] = values
+	}
+	return out
+}

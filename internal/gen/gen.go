@@ -1,0 +1,182 @@
+// Package gen generates the random scheduling problems of the paper's
+// performance evaluation (Section 6.1): layered algorithm graphs whose
+// operations connect only towards higher levels, execution times drawn
+// uniformly around a mean, and communication times drawn uniformly around
+// CCR times that mean. Generation is fully deterministic in the seed.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// ErrBadParams reports invalid generation parameters.
+var ErrBadParams = errors.New("gen: invalid parameters")
+
+// Params configures one random problem.
+type Params struct {
+	// N is the number of operations (paper: 10..80).
+	N int
+	// CCR is the communication-to-computation ratio: average communication
+	// time divided by average computation time (paper: 0.1..10).
+	CCR float64
+	// Procs is the number of fully connected processors (paper: 4).
+	Procs int
+	// Npf is the failure count of the generated problem.
+	Npf int
+	// Seed drives all randomness.
+	Seed int64
+	// AvgComp is the mean computation time; 0 defaults to 1.
+	AvgComp float64
+	// Jitter is the relative half-width of the uniform time distributions;
+	// 0 defaults to 0.5 (times in [0.5m, 1.5m]).
+	Jitter float64
+	// EdgesPerOp targets the edge density; 0 defaults to 2.
+	EdgesPerOp float64
+	// Heterogeneity, when positive, scales each (op, processor) time by an
+	// independent uniform factor in [1-h, 1+h]; 0 keeps the architecture
+	// homogeneous (the setting of the paper's HBP comparison).
+	Heterogeneity float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.AvgComp == 0 {
+		p.AvgComp = 1
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.EdgesPerOp == 0 {
+		p.EdgesPerOp = 2
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("%w: N = %d", ErrBadParams, p.N)
+	case p.CCR <= 0:
+		return fmt.Errorf("%w: CCR = %g", ErrBadParams, p.CCR)
+	case p.Procs < 2:
+		return fmt.Errorf("%w: Procs = %d", ErrBadParams, p.Procs)
+	case p.Npf < 0 || p.Npf >= p.Procs:
+		return fmt.Errorf("%w: Npf = %d with %d processors", ErrBadParams, p.Npf, p.Procs)
+	case p.AvgComp < 0 || p.Jitter < 0 || p.Jitter >= 1 || p.Heterogeneity < 0 || p.Heterogeneity >= 1:
+		return fmt.Errorf("%w: AvgComp=%g Jitter=%g Heterogeneity=%g",
+			ErrBadParams, p.AvgComp, p.Jitter, p.Heterogeneity)
+	}
+	return nil
+}
+
+// Generate builds one random problem. The same Params always produce the
+// same problem.
+func Generate(params Params) (*spec.Problem, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(params.Seed))
+	g, err := generateGraph(rng, params)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.FullyConnected(params.Procs)
+	exec := spec.NewExecTable(g, a)
+	uniform := func(mean float64) float64 {
+		return mean * (1 - params.Jitter + 2*params.Jitter*rng.Float64())
+	}
+	for op := 0; op < g.NumOps(); op++ {
+		base := uniform(params.AvgComp)
+		for proc := 0; proc < params.Procs; proc++ {
+			d := base
+			if h := params.Heterogeneity; h > 0 {
+				d *= 1 - h + 2*h*rng.Float64()
+			}
+			exec.MustSet(model.OpID(op), arch.ProcID(proc), d)
+		}
+	}
+	comm := spec.NewCommTable(g, a)
+	avgComm := params.CCR * params.AvgComp
+	for e := 0; e < g.NumEdges(); e++ {
+		base := uniform(avgComm)
+		for m := 0; m < a.NumMedia(); m++ {
+			d := base
+			if h := params.Heterogeneity; h > 0 {
+				d *= 1 - h + 2*h*rng.Float64()
+			}
+			comm.MustSet(model.EdgeID(e), arch.MediumID(m), d)
+		}
+	}
+	return &spec.Problem{Alg: g, Arc: a, Exec: exec, Comm: comm, Npf: params.Npf}, nil
+}
+
+// generateGraph builds the layered DAG: a random number of levels, a random
+// distribution of the N operations over them, every non-first-level
+// operation connected from a lower level, and extra forward edges up to the
+// density target.
+func generateGraph(rng *rand.Rand, params Params) (*model.Graph, error) {
+	n := params.N
+	g := model.NewGraph()
+	for i := 0; i < n; i++ {
+		g.MustAddOp(fmt.Sprintf("op%03d", i), model.Comp)
+	}
+	if n == 1 {
+		return g, nil
+	}
+	// Random level count around sqrt(N), at least 2, at most N.
+	base := int(math.Sqrt(float64(n)))
+	levels := base + rng.Intn(base+1)
+	if levels < 2 {
+		levels = 2
+	}
+	if levels > n {
+		levels = n
+	}
+	// Every level gets one op; the rest spread uniformly.
+	levelOf := make([]int, n)
+	for i := 0; i < levels; i++ {
+		levelOf[i] = i
+	}
+	for i := levels; i < n; i++ {
+		levelOf[i] = rng.Intn(levels)
+	}
+	rng.Shuffle(n, func(i, j int) { levelOf[i], levelOf[j] = levelOf[j], levelOf[i] })
+	byLevel := make([][]model.OpID, levels)
+	for op, l := range levelOf {
+		byLevel[l] = append(byLevel[l], model.OpID(op))
+	}
+	pick := func(ops []model.OpID) model.OpID { return ops[rng.Intn(len(ops))] }
+	// Ops below a level, cumulative, for predecessor picks.
+	var lower []model.OpID
+	edges := 0
+	for l := 1; l < levels; l++ {
+		lower = append(lower, byLevel[l-1]...)
+		for _, op := range byLevel[l] {
+			if _, err := g.AddEdge(pick(lower), op); err != nil {
+				return nil, err
+			}
+			edges++
+		}
+	}
+	// Extra random forward edges to reach the density target.
+	target := int(params.EdgesPerOp * float64(n))
+	for tries := 0; edges < target && tries < 20*target; tries++ {
+		src := model.OpID(rng.Intn(n))
+		dst := model.OpID(rng.Intn(n))
+		if levelOf[src] >= levelOf[dst] {
+			continue
+		}
+		if _, err := g.AddEdge(src, dst); err != nil {
+			continue // duplicate edge; try again
+		}
+		edges++
+	}
+	return g, nil
+}

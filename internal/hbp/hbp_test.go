@@ -1,0 +1,115 @@
+package hbp
+
+import (
+	"errors"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sim"
+	"ftbar/internal/spec"
+)
+
+func TestRejectsWrongNpf(t *testing.T) {
+	p := paperex.Problem()
+	p.Npf = 0
+	if _, err := Run(p); !errors.Is(err, ErrNpfUnsupported) {
+		t.Errorf("Npf=0 error = %v, want ErrNpfUnsupported", err)
+	}
+}
+
+func TestSchedulesHomogenizedExample(t *testing.T) {
+	p := paperex.Problem().Homogenize()
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tg := res.Schedule.Tasks()
+	for task := 0; task < tg.NumTasks(); task++ {
+		if n := len(res.Schedule.Replicas(model.TaskID(task))); n != 2 {
+			t.Errorf("task %q has %d replicas, want exactly 2", tg.Task(model.TaskID(task)).Name, n)
+		}
+	}
+}
+
+func TestMasksEverySingleCrash(t *testing.T) {
+	p := paperex.Problem().Homogenize()
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for proc := arch.ProcID(0); proc < 3; proc++ {
+		r, err := sim.CrashAtZero(res.Schedule, proc)
+		if err != nil {
+			t.Fatalf("CrashAtZero(P%d): %v", proc+1, err)
+		}
+		if !r.Iterations[0].OutputsOK {
+			t.Errorf("P%d crash lost outputs under HBP", proc+1)
+		}
+	}
+}
+
+func TestFTBARBeatsHBPAtHighCCR(t *testing.T) {
+	// Scale the example's communications up (CCR well above 2) on a
+	// homogeneous variant: FTBAR's duplication must win, the effect the
+	// paper's Figure 10 reports.
+	p := paperex.Problem().Homogenize()
+	for e := 0; e < p.Alg.NumEdges(); e++ {
+		mean := p.Comm.MeanTime(model.EdgeID(e))
+		for m := 0; m < p.Arc.NumMedia(); m++ {
+			p.Comm.MustSet(model.EdgeID(e), arch.MediumID(m), mean*6)
+		}
+	}
+	hbpRes, err := Run(p)
+	if err != nil {
+		t.Fatalf("HBP: %v", err)
+	}
+	ftbarRes, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatalf("FTBAR: %v", err)
+	}
+	if ftbarRes.Schedule.Length() > hbpRes.Schedule.Length()+1e-9 {
+		t.Errorf("FTBAR %g longer than HBP %g at high CCR",
+			ftbarRes.Schedule.Length(), hbpRes.Schedule.Length())
+	}
+}
+
+func TestMemFeedbackLoop(t *testing.T) {
+	g := model.NewGraph()
+	in := g.MustAddOp("in", model.ExtIO)
+	ctl := g.MustAddOp("ctl", model.Comp)
+	st := g.MustAddOp("st", model.Mem)
+	out := g.MustAddOp("out", model.ExtIO)
+	g.MustAddEdge(in, ctl)
+	g.MustAddEdge(st, ctl)
+	g.MustAddEdge(ctl, st)
+	g.MustAddEdge(ctl, out)
+	ar := arch.FullyConnected(3)
+	exec, _ := spec.NewUniformExecTable(g, ar, 1)
+	comm, _ := spec.NewUniformCommTable(g, ar, 0.5)
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRtcReported(t *testing.T) {
+	p := paperex.Problem().Homogenize()
+	p.Rtc = spec.Rtc{Deadline: 1} // impossible
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MeetsRtc || res.RtcViolation == "" {
+		t.Errorf("MeetsRtc = %v, violation %q; want violation", res.MeetsRtc, res.RtcViolation)
+	}
+}

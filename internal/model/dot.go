@@ -1,0 +1,32 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the algorithm graph in Graphviz DOT format: comps as
+// boxes, mems as double-bordered boxes (registers), extios as ellipses.
+// The output of `ftbar -example -dot | dot -Tsvg` matches the paper's
+// Figure 2(a) layout style.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, op := range g.ops {
+		attrs := "shape=box"
+		switch op.Kind {
+		case Mem:
+			attrs = "shape=box, peripheries=2"
+		case ExtIO:
+			attrs = "shape=ellipse"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", op.Name, attrs)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", g.ops[e.Src].Name, g.ops[e.Dst].Name)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,37 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("sensor", ExtIO)
+	g.MustAddOp("law", Comp)
+	g.MustAddOp("state", Mem)
+	g.MustConnect("sensor", "law")
+	g.MustConnect("law", "state")
+	g.MustConnect("state", "law")
+
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "alg"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "alg"`,
+		`"sensor" [shape=ellipse];`,
+		`"law" [shape=box];`,
+		`"state" [shape=box, peripheries=2];`,
+		`"sensor" -> "law";`,
+		`"state" -> "law";`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Error("DOT not closed")
+	}
+}

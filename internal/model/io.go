@@ -1,0 +1,81 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the on-disk shape of an algorithm graph.
+type graphJSON struct {
+	Ops   []opJSON   `json:"ops"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type opJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type edgeJSON struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// MarshalJSON encodes the graph with operation names, not numeric ids, so
+// files stay meaningful when edited by hand.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := graphJSON{
+		Ops:   make([]opJSON, 0, len(g.ops)),
+		Edges: make([]edgeJSON, 0, len(g.edges)),
+	}
+	for _, op := range g.ops {
+		doc.Ops = append(doc.Ops, opJSON{Name: op.Name, Kind: op.Kind.String()})
+	}
+	for _, e := range g.edges {
+		doc.Edges = append(doc.Edges, edgeJSON{Src: g.ops[e.Src].Name, Dst: g.ops[e.Dst].Name})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a graph written by MarshalJSON. The receiver must be
+// empty.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	if len(g.ops) > 0 {
+		return fmt.Errorf("model: unmarshal into non-empty graph")
+	}
+	var doc graphJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("model: decode graph: %w", err)
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]OpID)
+	}
+	for _, op := range doc.Ops {
+		kind, err := parseKind(op.Kind)
+		if err != nil {
+			return err
+		}
+		if _, err := g.AddOp(op.Name, kind); err != nil {
+			return err
+		}
+	}
+	for _, e := range doc.Edges {
+		if _, err := g.Connect(e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "comp":
+		return Comp, nil
+	case "mem":
+		return Mem, nil
+	case "extio":
+		return ExtIO, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadKind, s)
+	}
+}

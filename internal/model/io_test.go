@@ -1,0 +1,89 @@
+package model
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("I", ExtIO)
+	g.MustAddOp("A", Comp)
+	g.MustAddOp("M", Mem)
+	g.MustConnect("I", "A")
+	g.MustConnect("A", "M")
+	g.MustConnect("M", "A")
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back := NewGraph()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.NumOps() != g.NumOps() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: ops=%d edges=%d, want %d/%d",
+			back.NumOps(), back.NumEdges(), g.NumOps(), g.NumEdges())
+	}
+	for i := 0; i < g.NumOps(); i++ {
+		a, b := g.Op(OpID(i)), back.Op(OpID(i))
+		if a.Name != b.Name || a.Kind != b.Kind {
+			t.Errorf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.EdgeName(EdgeID(i)) != back.EdgeName(EdgeID(i)) {
+			t.Errorf("edge %d: %q != %q", i, g.EdgeName(EdgeID(i)), back.EdgeName(EdgeID(i)))
+		}
+	}
+}
+
+func TestGraphJSONUsesNames(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("sensor", ExtIO)
+	g.MustAddOp("law", Comp)
+	g.MustConnect("sensor", "law")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"sensor"`, `"law"`, `"extio"`, `"comp"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+}
+
+func TestGraphUnmarshalRejectsBadKind(t *testing.T) {
+	in := `{"ops":[{"name":"A","kind":"turbo"}],"edges":[]}`
+	g := NewGraph()
+	if err := json.Unmarshal([]byte(in), g); err == nil {
+		t.Error("Unmarshal bad kind succeeded, want error")
+	}
+}
+
+func TestGraphUnmarshalRejectsUnknownEdgeEndpoint(t *testing.T) {
+	in := `{"ops":[{"name":"A","kind":"comp"}],"edges":[{"src":"A","dst":"Z"}]}`
+	g := NewGraph()
+	if err := json.Unmarshal([]byte(in), g); err == nil {
+		t.Error("Unmarshal unknown endpoint succeeded, want error")
+	}
+}
+
+func TestGraphUnmarshalRejectsNonEmptyReceiver(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("A", Comp)
+	if err := json.Unmarshal([]byte(`{"ops":[],"edges":[]}`), g); err == nil {
+		t.Error("Unmarshal into non-empty graph succeeded, want error")
+	}
+}
+
+func TestGraphUnmarshalRejectsMalformedJSON(t *testing.T) {
+	g := NewGraph()
+	if err := json.Unmarshal([]byte(`{"ops": 42}`), g); err == nil {
+		t.Error("Unmarshal malformed document succeeded, want error")
+	}
+}

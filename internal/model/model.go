@@ -1,0 +1,398 @@
+// Package model implements the algorithm model of the paper (Section 3.2):
+// a cyclic data-flow graph whose vertices are operations (computations,
+// memories, external inputs/outputs) and whose edges are data-dependencies.
+//
+// The graph is executed once per iteration. Memory operations (mem) behave
+// like registers: their output (the value written during the previous
+// iteration) precedes their input, so feedback loops through a mem are
+// legal. Compile splits every mem into a read task (a source) and a write
+// task (a sink) and yields the acyclic TaskGraph that the schedulers work on.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind classifies an operation (paper Section 3.2).
+type Kind int
+
+// Operation kinds. Comp is a pure computation (outputs depend only on
+// inputs), Mem holds a value between iterations like a register, and ExtIO
+// is an external input (sensor) or output (actuator) interface depending on
+// its position in the graph.
+const (
+	Comp Kind = iota + 1
+	Mem
+	ExtIO
+)
+
+// String returns the lower-case name used by the paper.
+func (k Kind) String() string {
+	switch k {
+	case Comp:
+		return "comp"
+	case Mem:
+		return "mem"
+	case ExtIO:
+		return "extio"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is one of the declared kinds.
+func (k Kind) Valid() bool { return k == Comp || k == Mem || k == ExtIO }
+
+// OpID indexes an operation inside its Graph. IDs are dense: the first
+// operation added gets 0, the next 1, and so on.
+type OpID int
+
+// EdgeID indexes a data-dependency inside its Graph, densely like OpID.
+type EdgeID int
+
+// Op is an operation vertex of the algorithm graph.
+type Op struct {
+	ID   OpID
+	Name string
+	Kind Kind
+}
+
+// Edge is a data-dependency between two operations. Src produces a value
+// consumed by Dst. At most one edge may connect a given ordered pair.
+type Edge struct {
+	ID  EdgeID
+	Src OpID
+	Dst OpID
+}
+
+// Graph is a mutable algorithm graph. The zero value is an empty graph
+// ready to use.
+type Graph struct {
+	ops    []Op
+	edges  []Edge
+	byName map[string]OpID
+	outs   [][]EdgeID // outgoing edge ids per op
+	ins    [][]EdgeID // incoming edge ids per op
+}
+
+// Errors reported by graph construction and validation.
+var (
+	ErrDuplicateOp   = errors.New("model: duplicate operation name")
+	ErrDuplicateEdge = errors.New("model: duplicate data-dependency")
+	ErrSelfLoop      = errors.New("model: self data-dependency")
+	ErrUnknownOp     = errors.New("model: unknown operation")
+	ErrBadKind       = errors.New("model: invalid operation kind")
+	ErrCycle         = errors.New("model: dependency cycle not broken by a mem")
+	ErrExtIOPosition = errors.New("model: extio must be a pure source or a pure sink")
+	ErrEmptyGraph    = errors.New("model: graph has no operations")
+)
+
+// NewGraph returns an empty algorithm graph.
+func NewGraph() *Graph {
+	return &Graph{byName: make(map[string]OpID)}
+}
+
+// AddOp adds an operation with the given unique name and kind and returns
+// its id.
+func (g *Graph) AddOp(name string, kind Kind) (OpID, error) {
+	if !kind.Valid() {
+		return -1, fmt.Errorf("%w: %d for %q", ErrBadKind, int(kind), name)
+	}
+	if name == "" {
+		return -1, fmt.Errorf("%w: empty name", ErrDuplicateOp)
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]OpID)
+	}
+	if _, ok := g.byName[name]; ok {
+		return -1, fmt.Errorf("%w: %q", ErrDuplicateOp, name)
+	}
+	id := OpID(len(g.ops))
+	g.ops = append(g.ops, Op{ID: id, Name: name, Kind: kind})
+	g.byName[name] = id
+	g.outs = append(g.outs, nil)
+	g.ins = append(g.ins, nil)
+	return id, nil
+}
+
+// MustAddOp is AddOp that panics on error; intended for tests and static
+// example construction where the input is known to be valid.
+func (g *Graph) MustAddOp(name string, kind Kind) OpID {
+	id, err := g.AddOp(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddEdge adds a data-dependency src -> dst and returns its id.
+func (g *Graph) AddEdge(src, dst OpID) (EdgeID, error) {
+	if !g.validOp(src) {
+		return -1, fmt.Errorf("%w: src id %d", ErrUnknownOp, src)
+	}
+	if !g.validOp(dst) {
+		return -1, fmt.Errorf("%w: dst id %d", ErrUnknownOp, dst)
+	}
+	if src == dst {
+		return -1, fmt.Errorf("%w: %q", ErrSelfLoop, g.ops[src].Name)
+	}
+	for _, eid := range g.outs[src] {
+		if g.edges[eid].Dst == dst {
+			return -1, fmt.Errorf("%w: %s", ErrDuplicateEdge, g.EdgeName(eid))
+		}
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, Src: src, Dst: dst})
+	g.outs[src] = append(g.outs[src], id)
+	g.ins[dst] = append(g.ins[dst], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(src, dst OpID) EdgeID {
+	id, err := g.AddEdge(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Connect adds a data-dependency between two operations given by name.
+func (g *Graph) Connect(src, dst string) (EdgeID, error) {
+	s, ok := g.byName[src]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownOp, src)
+	}
+	d, ok := g.byName[dst]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownOp, dst)
+	}
+	return g.AddEdge(s, d)
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(src, dst string) EdgeID {
+	id, err := g.Connect(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) validOp(id OpID) bool { return id >= 0 && int(id) < len(g.ops) }
+
+// NumOps returns the number of operations.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumEdges returns the number of data-dependencies.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Op returns the operation with the given id. It panics on an out-of-range
+// id, mirroring slice indexing.
+func (g *Graph) Op(id OpID) Op { return g.ops[id] }
+
+// Edge returns the data-dependency with the given id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// OpByName returns the operation named name.
+func (g *Graph) OpByName(name string) (Op, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return Op{}, false
+	}
+	return g.ops[id], true
+}
+
+// EdgeName renders an edge as "Src->Dst" using operation names, matching the
+// paper's "Src . Dst" notation.
+func (g *Graph) EdgeName(id EdgeID) string {
+	e := g.edges[id]
+	return g.ops[e.Src].Name + "->" + g.ops[e.Dst].Name
+}
+
+// Ops returns a copy of all operations in id order.
+func (g *Graph) Ops() []Op {
+	out := make([]Op, len(g.ops))
+	copy(out, g.ops)
+	return out
+}
+
+// Edges returns a copy of all data-dependencies in id order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// In returns the ids of the edges entering op, in insertion order.
+func (g *Graph) In(op OpID) []EdgeID {
+	out := make([]EdgeID, len(g.ins[op]))
+	copy(out, g.ins[op])
+	return out
+}
+
+// Out returns the ids of the edges leaving op, in insertion order.
+func (g *Graph) Out(op OpID) []EdgeID {
+	out := make([]EdgeID, len(g.outs[op]))
+	copy(out, g.outs[op])
+	return out
+}
+
+// Preds returns the distinct predecessor operations of op in id order.
+func (g *Graph) Preds(op OpID) []OpID {
+	return g.neighbors(g.ins[op], func(e Edge) OpID { return e.Src })
+}
+
+// Succs returns the distinct successor operations of op in id order.
+func (g *Graph) Succs(op OpID) []OpID {
+	return g.neighbors(g.outs[op], func(e Edge) OpID { return e.Dst })
+}
+
+func (g *Graph) neighbors(edges []EdgeID, pick func(Edge) OpID) []OpID {
+	seen := make(map[OpID]bool, len(edges))
+	out := make([]OpID, 0, len(edges))
+	for _, eid := range edges {
+		id := pick(g.edges[eid])
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sources returns the operations with no incoming data-dependency, in id
+// order. The paper calls these the external input interfaces.
+func (g *Graph) Sources() []OpID {
+	var out []OpID
+	for _, op := range g.ops {
+		if len(g.ins[op.ID]) == 0 {
+			out = append(out, op.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns the operations with no outgoing data-dependency, in id
+// order. The paper calls these the external output interfaces.
+func (g *Graph) Sinks() []OpID {
+	var out []OpID
+	for _, op := range g.ops {
+		if len(g.outs[op.ID]) == 0 {
+			out = append(out, op.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural rules of the algorithm model:
+//
+//   - the graph has at least one operation;
+//   - every extio is a pure source or a pure sink (paper Section 3.2);
+//   - every dependency cycle passes through at least one mem, i.e. the graph
+//     with mem outputs removed is acyclic.
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return ErrEmptyGraph
+	}
+	for _, op := range g.ops {
+		if op.Kind != ExtIO {
+			continue
+		}
+		if len(g.ins[op.ID]) > 0 && len(g.outs[op.ID]) > 0 {
+			return fmt.Errorf("%w: %q has both inputs and outputs", ErrExtIOPosition, op.Name)
+		}
+	}
+	if cyc := g.findCycle(); cyc != nil {
+		return fmt.Errorf("%w: %s", ErrCycle, g.cyclePath(cyc))
+	}
+	return nil
+}
+
+// findCycle looks for a cycle in the precedence relation (all edges except
+// those leaving a mem, whose output belongs to the previous iteration).
+// It returns the ops on one cycle, or nil.
+func (g *Graph) findCycle() []OpID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.ops))
+	parent := make([]OpID, len(g.ops))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleFrom, cycleTo OpID = -1, -1
+	var dfs func(u OpID) bool
+	dfs = func(u OpID) bool {
+		color[u] = gray
+		if g.ops[u].Kind != Mem { // mem outputs carry last iteration's value
+			for _, eid := range g.outs[u] {
+				v := g.edges[eid].Dst
+				switch color[v] {
+				case white:
+					parent[v] = u
+					if dfs(v) {
+						return true
+					}
+				case gray:
+					cycleFrom, cycleTo = u, v
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, op := range g.ops {
+		if color[op.ID] == white && dfs(op.ID) {
+			var cyc []OpID
+			for v := cycleFrom; v != -1 && v != cycleTo; v = parent[v] {
+				cyc = append(cyc, v)
+			}
+			cyc = append(cyc, cycleTo)
+			// Reverse into forward order.
+			for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+				cyc[i], cyc[j] = cyc[j], cyc[i]
+			}
+			return cyc
+		}
+	}
+	return nil
+}
+
+func (g *Graph) cyclePath(cyc []OpID) string {
+	s := ""
+	for _, id := range cyc {
+		s += g.ops[id].Name + " -> "
+	}
+	if len(cyc) > 0 {
+		s += g.ops[cyc[0]].Name
+	}
+	return s
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.ops = append([]Op(nil), g.ops...)
+	c.edges = append([]Edge(nil), g.edges...)
+	for name, id := range g.byName {
+		c.byName[name] = id
+	}
+	c.outs = cloneEdgeLists(g.outs)
+	c.ins = cloneEdgeLists(g.ins)
+	return c
+}
+
+func cloneEdgeLists(src [][]EdgeID) [][]EdgeID {
+	out := make([][]EdgeID, len(src))
+	for i, l := range src {
+		out[i] = append([]EdgeID(nil), l...)
+	}
+	return out
+}

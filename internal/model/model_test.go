@@ -1,0 +1,243 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+// diamond builds I -> {A, B} -> O.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	g.MustAddOp("I", ExtIO)
+	g.MustAddOp("A", Comp)
+	g.MustAddOp("B", Comp)
+	g.MustAddOp("O", ExtIO)
+	g.MustConnect("I", "A")
+	g.MustConnect("I", "B")
+	g.MustConnect("A", "O")
+	g.MustConnect("B", "O")
+	return g
+}
+
+func TestAddOpAssignsDenseIDs(t *testing.T) {
+	g := NewGraph()
+	for i, name := range []string{"x", "y", "z"} {
+		id, err := g.AddOp(name, Comp)
+		if err != nil {
+			t.Fatalf("AddOp(%q): %v", name, err)
+		}
+		if int(id) != i {
+			t.Errorf("AddOp(%q) id = %d, want %d", name, id, i)
+		}
+	}
+	if got := g.NumOps(); got != 3 {
+		t.Errorf("NumOps() = %d, want 3", got)
+	}
+}
+
+func TestAddOpRejectsDuplicates(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("A", Comp)
+	if _, err := g.AddOp("A", Comp); !errors.Is(err, ErrDuplicateOp) {
+		t.Errorf("duplicate AddOp error = %v, want ErrDuplicateOp", err)
+	}
+}
+
+func TestAddOpRejectsEmptyName(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddOp("", Comp); err == nil {
+		t.Error("AddOp(\"\") succeeded, want error")
+	}
+}
+
+func TestAddOpRejectsBadKind(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddOp("A", Kind(99)); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad kind error = %v, want ErrBadKind", err)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	if _, err := g.AddEdge(a, a); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop error = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	b := g.MustAddOp("B", Comp)
+	g.MustAddEdge(a, b)
+	if _, err := g.AddEdge(a, b); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate edge error = %v, want ErrDuplicateEdge", err)
+	}
+}
+
+func TestAddEdgeRejectsUnknownOps(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	if _, err := g.AddEdge(a, OpID(7)); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("unknown dst error = %v, want ErrUnknownOp", err)
+	}
+	if _, err := g.AddEdge(OpID(-1), a); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("unknown src error = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestConnectByName(t *testing.T) {
+	g := diamond(t)
+	if got := g.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges() = %d, want 4", got)
+	}
+	if _, err := g.Connect("nope", "A"); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("Connect unknown src error = %v, want ErrUnknownOp", err)
+	}
+	if _, err := g.Connect("A", "nope"); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("Connect unknown dst error = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	g := diamond(t)
+	o, _ := g.OpByName("O")
+	preds := g.Preds(o.ID)
+	if len(preds) != 2 {
+		t.Fatalf("Preds(O) = %v, want 2 entries", preds)
+	}
+	i, _ := g.OpByName("I")
+	succs := g.Succs(i.ID)
+	if len(succs) != 2 {
+		t.Fatalf("Succs(I) = %v, want 2 entries", succs)
+	}
+	for k := 1; k < len(succs); k++ {
+		if succs[k-1] >= succs[k] {
+			t.Errorf("Succs(I) not sorted: %v", succs)
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if got := g.Sources(); len(got) != 1 || g.Op(got[0]).Name != "I" {
+		t.Errorf("Sources() = %v, want [I]", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || g.Op(got[0]).Name != "O" {
+		t.Errorf("Sinks() = %v, want [O]", got)
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsEmptyGraph(t *testing.T) {
+	if err := NewGraph().Validate(); !errors.Is(err, ErrEmptyGraph) {
+		t.Errorf("Validate() = %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestValidateRejectsCompCycle(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	b := g.MustAddOp("B", Comp)
+	c := g.MustAddOp("C", Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(c, a)
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate() = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateAcceptsMemBrokenCycle(t *testing.T) {
+	// Classic feedback loop: controller -> memory -> controller.
+	g := NewGraph()
+	ctl := g.MustAddOp("ctl", Comp)
+	m := g.MustAddOp("state", Mem)
+	g.MustAddEdge(ctl, m)
+	g.MustAddEdge(m, ctl)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil (cycle broken by mem)", err)
+	}
+}
+
+func TestValidateRejectsMidstreamExtIO(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	x := g.MustAddOp("X", ExtIO)
+	b := g.MustAddOp("B", Comp)
+	g.MustAddEdge(a, x)
+	g.MustAddEdge(x, b)
+	if err := g.Validate(); !errors.Is(err, ErrExtIOPosition) {
+		t.Errorf("Validate() = %v, want ErrExtIOPosition", err)
+	}
+}
+
+func TestEdgeName(t *testing.T) {
+	g := diamond(t)
+	if got := g.EdgeName(0); got != "I->A" {
+		t.Errorf("EdgeName(0) = %q, want \"I->A\"", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{Comp, "comp"},
+		{Mem, "mem"},
+		{ExtIO, "extio"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tc.kind), got, tc.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddOp("extra", Comp)
+	c.MustConnect("A", "extra")
+	if g.NumOps() != 4 || g.NumEdges() != 4 {
+		t.Errorf("mutating clone changed original: ops=%d edges=%d", g.NumOps(), g.NumEdges())
+	}
+	if c.NumOps() != 5 || c.NumEdges() != 5 {
+		t.Errorf("clone mutation lost: ops=%d edges=%d", c.NumOps(), c.NumEdges())
+	}
+}
+
+func TestOpsEdgesCopies(t *testing.T) {
+	g := diamond(t)
+	ops := g.Ops()
+	ops[0].Name = "mutated"
+	if g.Op(0).Name == "mutated" {
+		t.Error("Ops() returned aliased storage")
+	}
+	edges := g.Edges()
+	edges[0].Src = 99
+	if g.Edge(0).Src == 99 {
+		t.Error("Edges() returned aliased storage")
+	}
+}
+
+func TestInOutCopies(t *testing.T) {
+	g := diamond(t)
+	i, _ := g.OpByName("I")
+	out := g.Out(i.ID)
+	if len(out) != 2 {
+		t.Fatalf("Out(I) = %v, want 2 edges", out)
+	}
+	out[0] = 99
+	if g.Out(i.ID)[0] == 99 {
+		t.Error("Out() returned aliased storage")
+	}
+}

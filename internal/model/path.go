@@ -1,0 +1,82 @@
+package model
+
+// This file provides the static longest-path quantities list schedulers
+// need: hop heights (HBP's partitioning key) and weighted tails (the S̄ term
+// of FTBAR's schedule pressure, and critical path lengths).
+
+// Heights returns, for every task, the length in hops of the longest path
+// from any source to that task. Sources have height 0. HBP partitions tasks
+// by this value; tasks sharing a height are mutually independent.
+func (tg *TaskGraph) Heights() []int {
+	h := make([]int, len(tg.tasks))
+	for _, u := range tg.topo {
+		for _, eid := range tg.outs[u] {
+			v := tg.edges[eid].Dst
+			if h[u]+1 > h[v] {
+				h[v] = h[u] + 1
+			}
+		}
+	}
+	return h
+}
+
+// Depths returns, for every task, the length in hops of the longest path
+// from that task to any sink. Sinks have depth 0.
+func (tg *TaskGraph) Depths() []int {
+	d := make([]int, len(tg.tasks))
+	for i := len(tg.topo) - 1; i >= 0; i-- {
+		u := tg.topo[i]
+		for _, eid := range tg.outs[u] {
+			v := tg.edges[eid].Dst
+			if d[v]+1 > d[u] {
+				d[u] = d[v] + 1
+			}
+		}
+	}
+	return d
+}
+
+// CostModel supplies the static per-task and per-dependency durations used
+// for path computations. FTBAR uses mean times over the allowed processors
+// and media (see DESIGN.md Section 4); tests may use constants.
+type CostModel struct {
+	// TaskCost returns the nominal duration of a task.
+	TaskCost func(TaskID) float64
+	// EdgeCost returns the nominal duration of a dependency when it
+	// crosses processors.
+	EdgeCost func(TaskEdgeID) float64
+}
+
+// Tails returns, for every task, the paper's S̄ quantity: the longest
+// downstream path measured from the *end* of the task to the end of the
+// graph. A sink's tail is 0; for any other task it is
+//
+//	max over out-edges e=(t,v) of EdgeCost(e) + TaskCost(v) + Tails(v).
+func (tg *TaskGraph) Tails(cm CostModel) []float64 {
+	tails := make([]float64, len(tg.tasks))
+	for i := len(tg.topo) - 1; i >= 0; i-- {
+		u := tg.topo[i]
+		for _, eid := range tg.outs[u] {
+			v := tg.edges[eid].Dst
+			c := cm.EdgeCost(eid) + cm.TaskCost(v) + tails[v]
+			if c > tails[u] {
+				tails[u] = c
+			}
+		}
+	}
+	return tails
+}
+
+// CriticalPath returns the static critical path length of the graph under
+// the cost model: the maximum over tasks of TaskCost(t) + tail(t), taken
+// over source tasks and, because costs are non-negative, over all tasks.
+func (tg *TaskGraph) CriticalPath(cm CostModel) float64 {
+	tails := tg.Tails(cm)
+	var best float64
+	for id := range tg.tasks {
+		if c := cm.TaskCost(TaskID(id)) + tails[id]; c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// chainGraph builds a -> b -> c with no branches.
+func chainGraph(t *testing.T) *TaskGraph {
+	t.Helper()
+	g := NewGraph()
+	a := g.MustAddOp("a", Comp)
+	b := g.MustAddOp("b", Comp)
+	c := g.MustAddOp("c", Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return tg
+}
+
+func constCosts(task, edge float64) CostModel {
+	return CostModel{
+		TaskCost: func(TaskID) float64 { return task },
+		EdgeCost: func(TaskEdgeID) float64 { return edge },
+	}
+}
+
+func TestHeightsChain(t *testing.T) {
+	tg := chainGraph(t)
+	want := []int{0, 1, 2}
+	got := tg.Heights()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Heights()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepthsChain(t *testing.T) {
+	tg := chainGraph(t)
+	want := []int{2, 1, 0}
+	got := tg.Depths()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Depths()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeightsDiamond(t *testing.T) {
+	tg := compileDiamond(t)
+	h := tg.Heights()
+	// I=0, A=B=1, O=2 (ids follow insertion order).
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("Heights()[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestTailsChainUnitCosts(t *testing.T) {
+	tg := chainGraph(t)
+	tails := tg.Tails(constCosts(1, 0.5))
+	// c: 0; b: 0.5+1+0 = 1.5; a: 0.5+1+1.5 = 3.
+	want := []float64{3, 1.5, 0}
+	for i := range want {
+		if math.Abs(tails[i]-want[i]) > 1e-9 {
+			t.Errorf("Tails()[%d] = %g, want %g", i, tails[i], want[i])
+		}
+	}
+}
+
+func TestTailsTakeMaxBranch(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("a", Comp)
+	b := g.MustAddOp("b", Comp)
+	c := g.MustAddOp("c", Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cm := CostModel{
+		TaskCost: func(id TaskID) float64 {
+			if tg.Task(id).Name == "c" {
+				return 10
+			}
+			return 1
+		},
+		EdgeCost: func(TaskEdgeID) float64 { return 2 },
+	}
+	tails := tg.Tails(cm)
+	if want := 12.0; math.Abs(tails[a]-want) > 1e-9 { // 2 + 10 via c
+		t.Errorf("Tails(a) = %g, want %g", tails[a], want)
+	}
+	_ = b
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	tg := chainGraph(t)
+	got := tg.CriticalPath(constCosts(1, 0.5))
+	if want := 4.0; math.Abs(got-want) > 1e-9 { // 1 + 3 (tail of a)
+		t.Errorf("CriticalPath() = %g, want %g", got, want)
+	}
+}
+
+func TestCriticalPathSingleTask(t *testing.T) {
+	g := NewGraph()
+	g.MustAddOp("only", Comp)
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := tg.CriticalPath(constCosts(7, 1)); got != 7 {
+		t.Errorf("CriticalPath() = %g, want 7", got)
+	}
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random layered-ish DAG: ops 0..n-1 with edges only from
+// lower to higher ids, so it is acyclic by construction.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.MustAddOp(fmt.Sprintf("op%03d", i), Comp)
+	}
+	for dst := 1; dst < n; dst++ {
+		// Every non-source gets at least one predecessor; maybe more.
+		src := rng.Intn(dst)
+		g.MustAddEdge(OpID(src), OpID(dst))
+		for k := 0; k < 2; k++ {
+			s := rng.Intn(dst)
+			if s != src {
+				if _, err := g.AddEdge(OpID(s), OpID(dst)); err == nil {
+					src = -2 // at least two preds now; keep going
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickRandomForwardGraphsAreValid(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%40) + 1
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		if err := g.Validate(); err != nil {
+			t.Logf("seed=%d n=%d: %v", seed, n, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderIsConsistent(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%40) + 1
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		tg, err := Compile(g)
+		if err != nil {
+			return false
+		}
+		pos := make([]int, tg.NumTasks())
+		for i, id := range tg.Topo() {
+			pos[id] = i
+		}
+		for e := 0; e < tg.NumEdges(); e++ {
+			edge := tg.Edge(TaskEdgeID(e))
+			if pos[edge.Src] >= pos[edge.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHeightsStrictlyIncreaseAlongEdges(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%40) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		tg, err := Compile(g)
+		if err != nil {
+			return false
+		}
+		h := tg.Heights()
+		for e := 0; e < tg.NumEdges(); e++ {
+			edge := tg.Edge(TaskEdgeID(e))
+			if h[edge.Src] >= h[edge.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTailsDominateSuccessors(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%40) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		tg, err := Compile(g)
+		if err != nil {
+			return false
+		}
+		cm := constCosts(1, 0.25)
+		tails := tg.Tails(cm)
+		for e := 0; e < tg.NumEdges(); e++ {
+			edge := tg.Edge(TaskEdgeID(e))
+			// tail(src) >= edge + task(dst) + tail(dst) by definition of max.
+			if tails[edge.Src] < 0.25+1+tails[edge.Dst]-1e-9 {
+				return false
+			}
+		}
+		for _, v := range tails {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

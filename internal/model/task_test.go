@@ -1,0 +1,171 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func compileDiamond(t *testing.T) *TaskGraph {
+	t.Helper()
+	tg, err := Compile(diamond(t))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return tg
+}
+
+func TestCompileMapsOpsToTasks(t *testing.T) {
+	tg := compileDiamond(t)
+	if tg.NumTasks() != 4 {
+		t.Fatalf("NumTasks() = %d, want 4", tg.NumTasks())
+	}
+	if tg.NumEdges() != 4 {
+		t.Fatalf("NumEdges() = %d, want 4", tg.NumEdges())
+	}
+	for op := 0; op < tg.Graph().NumOps(); op++ {
+		task := tg.Task(tg.TaskOf(OpID(op)))
+		if task.Op != OpID(op) {
+			t.Errorf("TaskOf(%d).Op = %d", op, task.Op)
+		}
+		if task.Role != NotMem {
+			t.Errorf("TaskOf(%d).Role = %v, want NotMem", op, task.Role)
+		}
+	}
+}
+
+func TestCompileRejectsInvalidGraph(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddOp("A", Comp)
+	b := g.MustAddOp("B", Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := Compile(g); !errors.Is(err, ErrCycle) {
+		t.Errorf("Compile cyclic = %v, want ErrCycle", err)
+	}
+}
+
+func TestCompileSplitsMem(t *testing.T) {
+	g := NewGraph()
+	in := g.MustAddOp("in", ExtIO)
+	ctl := g.MustAddOp("ctl", Comp)
+	st := g.MustAddOp("st", Mem)
+	out := g.MustAddOp("out", ExtIO)
+	g.MustAddEdge(in, ctl)
+	g.MustAddEdge(st, ctl) // register read feeds the controller
+	g.MustAddEdge(ctl, st) // controller updates the register
+	g.MustAddEdge(ctl, out)
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if tg.NumTasks() != 5 { // in, ctl, st/read, st/write, out
+		t.Fatalf("NumTasks() = %d, want 5", tg.NumTasks())
+	}
+	pairs := tg.MemPairs()
+	if len(pairs) != 1 {
+		t.Fatalf("MemPairs() = %v, want 1 pair", pairs)
+	}
+	read, write := tg.Task(pairs[0].Read), tg.Task(pairs[0].Write)
+	if read.Role != MemRead || write.Role != MemWrite {
+		t.Errorf("roles = %v/%v, want read/write", read.Role, write.Role)
+	}
+	if read.Name != "st/read" || write.Name != "st/write" {
+		t.Errorf("names = %q/%q", read.Name, write.Name)
+	}
+	// The read half must be a source; the write half a sink.
+	if tg.NumIn(pairs[0].Read) != 0 {
+		t.Errorf("mem read has %d inputs, want 0", tg.NumIn(pairs[0].Read))
+	}
+	if tg.NumOut(pairs[0].Write) != 0 {
+		t.Errorf("mem write has %d outputs, want 0", tg.NumOut(pairs[0].Write))
+	}
+	// Edge identities must survive the split.
+	for _, te := range []TaskEdgeID{0, 1, 2, 3} {
+		e := tg.Edge(te)
+		orig := tg.Graph().Edge(e.Orig)
+		srcOp := tg.Task(e.Src).Op
+		dstOp := tg.Task(e.Dst).Op
+		if srcOp != orig.Src || dstOp != orig.Dst {
+			t.Errorf("edge %d maps ops %d->%d, orig %d->%d", te, srcOp, dstOp, orig.Src, orig.Dst)
+		}
+	}
+}
+
+func TestTopoRespectsEdges(t *testing.T) {
+	tg := compileDiamond(t)
+	pos := make(map[TaskID]int)
+	for i, id := range tg.Topo() {
+		pos[id] = i
+	}
+	if len(pos) != tg.NumTasks() {
+		t.Fatalf("Topo() has %d unique tasks, want %d", len(pos), tg.NumTasks())
+	}
+	for i := 0; i < tg.NumEdges(); i++ {
+		e := tg.Edge(TaskEdgeID(i))
+		if pos[e.Src] >= pos[e.Dst] {
+			t.Errorf("edge %d: src pos %d >= dst pos %d", i, pos[e.Src], pos[e.Dst])
+		}
+	}
+}
+
+func TestSourcesSinksTasks(t *testing.T) {
+	tg := compileDiamond(t)
+	if got := tg.Sources(); len(got) != 1 || tg.Task(got[0]).Name != "I" {
+		t.Errorf("Sources() = %v, want [I]", got)
+	}
+	if got := tg.Sinks(); len(got) != 1 || tg.Task(got[0]).Name != "O" {
+		t.Errorf("Sinks() = %v, want [O]", got)
+	}
+}
+
+func TestPredsSuccsTasks(t *testing.T) {
+	tg := compileDiamond(t)
+	var o TaskID = -1
+	for id := 0; id < tg.NumTasks(); id++ {
+		if tg.Task(TaskID(id)).Name == "O" {
+			o = TaskID(id)
+		}
+	}
+	if o < 0 {
+		t.Fatal("task O not found")
+	}
+	if got := tg.Preds(o); len(got) != 2 {
+		t.Errorf("Preds(O) = %v, want 2", got)
+	}
+	if got := tg.Succs(o); len(got) != 0 {
+		t.Errorf("Succs(O) = %v, want none", got)
+	}
+}
+
+func TestMemRoleString(t *testing.T) {
+	cases := []struct {
+		role MemRole
+		want string
+	}{
+		{NotMem, "op"},
+		{MemRead, "read"},
+		{MemWrite, "write"},
+		{MemRole(9), "MemRole(9)"},
+	}
+	for _, tc := range cases {
+		if got := tc.role.String(); got != tc.want {
+			t.Errorf("MemRole(%d).String() = %q, want %q", int(tc.role), got, tc.want)
+		}
+	}
+}
+
+func TestTaskIDHeapOrders(t *testing.T) {
+	h := newTaskIDHeap()
+	for _, v := range []TaskID{5, 1, 4, 1, 3, 0} {
+		h.push(v)
+	}
+	want := []TaskID{0, 1, 1, 3, 4, 5}
+	for i, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop #%d = %d, want %d", i, got, w)
+		}
+	}
+	if h.len() != 0 {
+		t.Errorf("heap not drained: len=%d", h.len())
+	}
+}

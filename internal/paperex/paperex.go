@@ -1,0 +1,124 @@
+// Package paperex builds the worked example of the paper: the nine-operation
+// algorithm graph and three-processor architecture of Figure 2, the
+// execution times of Table 1 (with its ∞ distribution constraints), the
+// communication times of Table 2, the real-time constraint Rtc = 16, and
+// Npf = 1. Tests and benchmarks pin the published results against it:
+// fault-tolerant length 15.05, basic (non-fault-tolerant) length 10.7,
+// and crash re-timings 15.35 / 15.05 / 12.6 when P1 / P2 / P3 fails at 0.
+package paperex
+
+import (
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// Published results for the example, recorded in the paper.
+const (
+	// Rtc is the deadline of Section 3.4.
+	Rtc = 16.0
+	// Npf is the tolerated failure count of Section 4.3.
+	Npf = 1
+	// FTLength is the final fault-tolerant schedule length (Figure 7).
+	FTLength = 15.05
+	// BasicLength is the non-fault-tolerant schedule length (Section 4.4).
+	BasicLength = 10.7
+	// CrashLengthP1, CrashLengthP2, CrashLengthP3 are the schedule lengths
+	// when the respective processor crashes at time 0 (Section 4.3).
+	CrashLengthP1 = 15.35
+	CrashLengthP2 = 15.05
+	CrashLengthP3 = 12.6
+)
+
+// Graph returns the algorithm graph of Figure 2(a): extios I and O, comps
+// A–G, and the eleven data-dependencies of Table 2.
+func Graph() *model.Graph {
+	g := model.NewGraph()
+	g.MustAddOp("I", model.ExtIO)
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		g.MustAddOp(name, model.Comp)
+	}
+	g.MustAddOp("O", model.ExtIO)
+	// Table 2 column order fixes the edge ids.
+	g.MustConnect("I", "A")
+	g.MustConnect("A", "B")
+	g.MustConnect("A", "C")
+	g.MustConnect("A", "D")
+	g.MustConnect("A", "E")
+	g.MustConnect("B", "F")
+	g.MustConnect("C", "F")
+	g.MustConnect("D", "G")
+	g.MustConnect("E", "G")
+	g.MustConnect("F", "G")
+	g.MustConnect("G", "O")
+	return g
+}
+
+// Architecture returns the architecture graph of Figure 2(b): processors
+// P1, P2, P3 and point-to-point links L1.2, L1.3, L2.3.
+func Architecture() *arch.Architecture {
+	return arch.FullyConnected(3)
+}
+
+// Problem assembles the full example with the published tables, Rtc = 16
+// and Npf = 1.
+func Problem() *spec.Problem {
+	g := Graph()
+	a := Architecture()
+	exec := spec.NewExecTable(g, a)
+	// Table 1 rows: P1, P2, P3. Inf marks the Dis constraints
+	// (O cannot run on P2, I cannot run on P3).
+	times := map[string][3]float64{
+		"I": {1, 1.3, spec.Forbidden},
+		"A": {2, 1.5, 1},
+		"B": {3, 1, 1.5},
+		"C": {2, 3, 1},
+		"D": {3, 1.7, 3},
+		"E": {1, 1.2, 2},
+		"F": {2, 2.5, 1},
+		"G": {1.4, 1, 1.5},
+		"O": {1.4, spec.Forbidden, 1.8},
+	}
+	for name, row := range times {
+		op, _ := g.OpByName(name)
+		for proc, d := range row {
+			if d != spec.Forbidden {
+				exec.MustSet(op.ID, arch.ProcID(proc), d)
+			}
+		}
+	}
+	comm := spec.NewCommTable(g, a)
+	// Table 2 rows, per edge: L1.2, then L2.3 and L1.3 share a value.
+	// Media ids from FullyConnected(3): 0=L1.2, 1=L1.3, 2=L2.3.
+	commTimes := map[string][2]float64{ // {L1.2, L1.3/L2.3}
+		"I->A": {1.75, 1.25},
+		"A->B": {1, 0.5},
+		"A->C": {1, 0.5},
+		"A->D": {1.5, 1},
+		"A->E": {1, 0.5},
+		"B->F": {1, 0.5},
+		"C->F": {1.3, 0.8},
+		"D->G": {1.9, 1.4},
+		"E->G": {1.3, 0.8},
+		"F->G": {1, 0.5},
+		"G->O": {1.1, 0.6},
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := model.EdgeID(e)
+		row, ok := commTimes[g.EdgeName(id)]
+		if !ok {
+			panic("paperex: missing comm times for " + g.EdgeName(id))
+		}
+		comm.MustSet(id, 0, row[0]) // L1.2
+		comm.MustSet(id, 1, row[1]) // L1.3
+		comm.MustSet(id, 2, row[1]) // L2.3
+	}
+	return &spec.Problem{
+		Alg:  g,
+		Arc:  a,
+		Exec: exec,
+		Comm: comm,
+		Rtc:  spec.Rtc{Deadline: Rtc},
+		Npf:  Npf,
+	}
+}

@@ -1,0 +1,147 @@
+package paperex
+
+import (
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+func TestProblemValidates(t *testing.T) {
+	p := Problem()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Npf != 1 {
+		t.Errorf("Npf = %d, want 1", p.Npf)
+	}
+	if p.Rtc.Deadline != 16 {
+		t.Errorf("Rtc = %g, want 16", p.Rtc.Deadline)
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := Graph()
+	if g.NumOps() != 9 {
+		t.Errorf("NumOps = %d, want 9", g.NumOps())
+	}
+	if g.NumEdges() != 11 {
+		t.Errorf("NumEdges = %d, want 11", g.NumEdges())
+	}
+	i, _ := g.OpByName("I")
+	o, _ := g.OpByName("O")
+	if i.Kind != model.ExtIO || o.Kind != model.ExtIO {
+		t.Error("I and O must be extios")
+	}
+	if src := g.Sources(); len(src) != 1 || src[0] != i.ID {
+		t.Errorf("Sources = %v, want [I]", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != o.ID {
+		t.Errorf("Sinks = %v, want [O]", snk)
+	}
+}
+
+func TestTable1Entries(t *testing.T) {
+	p := Problem()
+	cases := []struct {
+		op   string
+		proc int
+		want float64
+	}{
+		{"I", 0, 1}, {"I", 1, 1.3},
+		{"A", 0, 2}, {"A", 1, 1.5}, {"A", 2, 1},
+		{"B", 0, 3}, {"B", 1, 1}, {"B", 2, 1.5},
+		{"C", 0, 2}, {"C", 1, 3}, {"C", 2, 1},
+		{"D", 0, 3}, {"D", 1, 1.7}, {"D", 2, 3},
+		{"E", 0, 1}, {"E", 1, 1.2}, {"E", 2, 2},
+		{"F", 0, 2}, {"F", 1, 2.5}, {"F", 2, 1},
+		{"G", 0, 1.4}, {"G", 1, 1}, {"G", 2, 1.5},
+		{"O", 0, 1.4}, {"O", 2, 1.8},
+	}
+	for _, tc := range cases {
+		op, _ := p.Alg.OpByName(tc.op)
+		if got := p.Exec.Time(op.ID, arch.ProcID(tc.proc)); got != tc.want {
+			t.Errorf("Exe[%s][P%d] = %g, want %g", tc.op, tc.proc+1, got, tc.want)
+		}
+	}
+	// The two Dis constraints.
+	i, _ := p.Alg.OpByName("I")
+	o, _ := p.Alg.OpByName("O")
+	if p.Exec.Allowed(i.ID, 2) {
+		t.Error("I allowed on P3, want forbidden")
+	}
+	if p.Exec.Allowed(o.ID, 1) {
+		t.Error("O allowed on P2, want forbidden")
+	}
+}
+
+func TestTable2Entries(t *testing.T) {
+	p := Problem()
+	l12, _ := p.Arc.MediumByName("L1.2")
+	l13, _ := p.Arc.MediumByName("L1.3")
+	l23, _ := p.Arc.MediumByName("L2.3")
+	cases := []struct {
+		edge string
+		slow float64 // L1.2
+		fast float64 // L1.3 and L2.3
+	}{
+		{"I->A", 1.75, 1.25},
+		{"A->B", 1, 0.5},
+		{"A->C", 1, 0.5},
+		{"A->D", 1.5, 1},
+		{"A->E", 1, 0.5},
+		{"B->F", 1, 0.5},
+		{"C->F", 1.3, 0.8},
+		{"D->G", 1.9, 1.4},
+		{"E->G", 1.3, 0.8},
+		{"F->G", 1, 0.5},
+		{"G->O", 1.1, 0.6},
+	}
+	if len(cases) != p.Alg.NumEdges() {
+		t.Fatalf("fixture drift: %d cases for %d edges", len(cases), p.Alg.NumEdges())
+	}
+	for e := 0; e < p.Alg.NumEdges(); e++ {
+		id := model.EdgeID(e)
+		name := p.Alg.EdgeName(id)
+		var tc *struct {
+			edge string
+			slow float64
+			fast float64
+		}
+		for i := range cases {
+			if cases[i].edge == name {
+				tc = &cases[i]
+			}
+		}
+		if tc == nil {
+			t.Fatalf("unexpected edge %s", name)
+		}
+		if got := p.Comm.Time(id, l12.ID); got != tc.slow {
+			t.Errorf("Comm[%s][L1.2] = %g, want %g", name, got, tc.slow)
+		}
+		if got := p.Comm.Time(id, l13.ID); got != tc.fast {
+			t.Errorf("Comm[%s][L1.3] = %g, want %g", name, got, tc.fast)
+		}
+		if got := p.Comm.Time(id, l23.ID); got != tc.fast {
+			t.Errorf("Comm[%s][L2.3] = %g, want %g", name, got, tc.fast)
+		}
+	}
+}
+
+func TestHomogenizedVariantValidates(t *testing.T) {
+	h := Problem().Homogenize()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("homogenized Validate: %v", err)
+	}
+	// After homogenisation every op runs everywhere (Dis constraints are
+	// replaced by the mean), so spec.Forbidden must be gone.
+	i, _ := h.Alg.OpByName("I")
+	if !h.Exec.Allowed(i.ID, 2) {
+		t.Error("homogenize kept the Dis constraint")
+	}
+	if got, want := h.Exec.Time(i.ID, 2), (1+1.3)/2; got != want {
+		t.Errorf("homogenized I time = %g, want %g", got, want)
+	}
+	_ = spec.Forbidden
+}

@@ -1,0 +1,160 @@
+// Package reliab evaluates the reliability of a fault-tolerant static
+// schedule: the probability that every output is produced given independent
+// per-processor failure probabilities. Taking reliability into account is
+// the second extension the paper's conclusion announces as future work.
+//
+// The evaluation is exact: every subset of processors is crashed at the
+// start of the iteration (the worst instant for data availability — a later
+// crash only leaves more values delivered) and the schedule is re-executed
+// by the discrete-event simulator; a subset counts as masked when all
+// outputs survive. The enumeration is exponential in the processor count
+// and guarded accordingly; the paper's architectures have 3-6 processors.
+package reliab
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/sched"
+	"ftbar/internal/sim"
+)
+
+// Errors reported by the evaluator.
+var (
+	ErrBadModel = errors.New("reliab: invalid failure model")
+	ErrTooLarge = errors.New("reliab: too many processors for exact enumeration")
+)
+
+// maxProcs bounds the exact enumeration (2^maxProcs simulations).
+const maxProcs = 16
+
+// Model holds the per-iteration failure probability of every processor.
+type Model struct {
+	// PFail[p] is the probability that processor p fail-silently crashes
+	// during one iteration.
+	PFail []float64
+}
+
+// Uniform returns a model where every one of n processors fails with
+// probability q.
+func Uniform(n int, q float64) Model {
+	m := Model{PFail: make([]float64, n)}
+	for i := range m.PFail {
+		m.PFail[i] = q
+	}
+	return m
+}
+
+// Report is the outcome of a reliability evaluation.
+type Report struct {
+	// Reliability is the probability that every output is produced.
+	Reliability float64
+	// MaskedSubsets counts the crash subsets the schedule masks, out of
+	// TotalSubsets.
+	MaskedSubsets int
+	TotalSubsets  int
+	// GuaranteedNpf is the largest k such that *every* subset of at most
+	// k crashed processors is masked — the schedule's actual achieved
+	// tolerance, which can exceed the Npf it was built for.
+	GuaranteedNpf int
+	// UnmaskedMinimal lists the smallest unmasked subsets (as processor
+	// id sets), the schedule's weakest points.
+	UnmaskedMinimal [][]arch.ProcID
+}
+
+// Evaluate computes the report for a schedule under the model.
+func Evaluate(s *sched.Schedule, m Model) (*Report, error) {
+	nP := s.Problem().Arc.NumProcs()
+	if len(m.PFail) != nP {
+		return nil, fmt.Errorf("%w: %d probabilities for %d processors", ErrBadModel, len(m.PFail), nP)
+	}
+	for p, q := range m.PFail {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return nil, fmt.Errorf("%w: PFail[%d] = %g", ErrBadModel, p, q)
+		}
+	}
+	if nP > maxProcs {
+		return nil, fmt.Errorf("%w: %d processors", ErrTooLarge, nP)
+	}
+	rep := &Report{TotalSubsets: 1 << nP, GuaranteedNpf: nP}
+	masked := make([]bool, 1<<nP)
+	for mask := 0; mask < 1<<nP; mask++ {
+		ok, err := subsetMasked(s, mask, nP)
+		if err != nil {
+			return nil, err
+		}
+		masked[mask] = ok
+		if ok {
+			rep.MaskedSubsets++
+			rep.Reliability += subsetProb(m, mask, nP)
+			continue
+		}
+		if size := bits.OnesCount(uint(mask)); size-1 < rep.GuaranteedNpf {
+			rep.GuaranteedNpf = size - 1
+		}
+	}
+	rep.UnmaskedMinimal = minimalUnmasked(masked, nP)
+	return rep, nil
+}
+
+// subsetMasked crashes the subset at time 0 and reports whether every
+// output survives. The full-crash subset is trivially unmasked.
+func subsetMasked(s *sched.Schedule, mask, nP int) (bool, error) {
+	if mask == (1<<nP)-1 {
+		return false, nil
+	}
+	var failures []sim.Failure
+	for p := 0; p < nP; p++ {
+		if mask&(1<<p) != 0 {
+			failures = append(failures, sim.Permanent(arch.ProcID(p), 0))
+		}
+	}
+	res, err := sim.Run(s, sim.Scenario{Failures: failures})
+	if err != nil {
+		return false, err
+	}
+	return res.Iterations[0].OutputsOK, nil
+}
+
+// subsetProb is the probability of exactly this crash subset.
+func subsetProb(m Model, mask, nP int) float64 {
+	p := 1.0
+	for i := 0; i < nP; i++ {
+		if mask&(1<<i) != 0 {
+			p *= m.PFail[i]
+		} else {
+			p *= 1 - m.PFail[i]
+		}
+	}
+	return p
+}
+
+// minimalUnmasked returns the unmasked subsets none of whose proper
+// subsets are unmasked.
+func minimalUnmasked(masked []bool, nP int) [][]arch.ProcID {
+	var out [][]arch.ProcID
+	for mask := 1; mask < len(masked); mask++ {
+		if masked[mask] {
+			continue
+		}
+		minimal := true
+		for p := 0; p < nP && minimal; p++ {
+			if mask&(1<<p) != 0 && !masked[mask&^(1<<p)] {
+				minimal = false
+			}
+		}
+		if minimal {
+			var set []arch.ProcID
+			for p := 0; p < nP; p++ {
+				if mask&(1<<p) != 0 {
+					set = append(set, arch.ProcID(p))
+				}
+			}
+			out = append(out, set)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package reliab
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sched"
+)
+
+func paperSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	res, err := core.Run(paperex.Problem(), core.Options{})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	return res.Schedule
+}
+
+func TestPaperExampleReliability(t *testing.T) {
+	s := paperSchedule(t)
+	const q = 0.01
+	rep, err := Evaluate(s, Uniform(3, q))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Exactly the empty set and the three singletons are masked: the input
+	// I exists only on P1/P2 and the distribution constraints pin O away
+	// from P2, so every processor pair is a weak point.
+	if rep.MaskedSubsets != 4 {
+		t.Errorf("MaskedSubsets = %d, want 4", rep.MaskedSubsets)
+	}
+	if rep.GuaranteedNpf != 1 {
+		t.Errorf("GuaranteedNpf = %d, want 1", rep.GuaranteedNpf)
+	}
+	want := math.Pow(1-q, 3) + 3*q*math.Pow(1-q, 2)
+	if math.Abs(rep.Reliability-want) > 1e-12 {
+		t.Errorf("Reliability = %.12f, want %.12f", rep.Reliability, want)
+	}
+	if len(rep.UnmaskedMinimal) != 3 {
+		t.Errorf("UnmaskedMinimal = %v, want the three pairs", rep.UnmaskedMinimal)
+	}
+	for _, set := range rep.UnmaskedMinimal {
+		if len(set) != 2 {
+			t.Errorf("minimal unmasked subset %v is not a pair", set)
+		}
+	}
+}
+
+func TestHeterogeneousProbabilities(t *testing.T) {
+	s := paperSchedule(t)
+	m := Model{PFail: []float64{0.1, 0.02, 0.005}}
+	rep, err := Evaluate(s, m)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// masked = {} ∪ {P1} ∪ {P2} ∪ {P3}.
+	want := (1-0.1)*(1-0.02)*(1-0.005) +
+		0.1*(1-0.02)*(1-0.005) +
+		(1-0.1)*0.02*(1-0.005) +
+		(1-0.1)*(1-0.02)*0.005
+	if math.Abs(rep.Reliability-want) > 1e-12 {
+		t.Errorf("Reliability = %.12f, want %.12f", rep.Reliability, want)
+	}
+}
+
+func TestZeroFailureProbabilityGivesCertainty(t *testing.T) {
+	s := paperSchedule(t)
+	rep, err := Evaluate(s, Uniform(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability != 1 {
+		t.Errorf("Reliability = %g, want 1", rep.Reliability)
+	}
+}
+
+func TestNpf2ScheduleGuaranteesMore(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 12, CCR: 1, Procs: 4, Npf: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(res.Schedule, Uniform(4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GuaranteedNpf < 2 {
+		t.Errorf("GuaranteedNpf = %d, want >= 2 for an Npf=2 schedule", rep.GuaranteedNpf)
+	}
+}
+
+func TestReliabilityGrowsWithNpf(t *testing.T) {
+	const q = 0.05
+	var prev float64
+	for _, npf := range []int{0, 1, 2} {
+		p, err := gen.Generate(gen.Params{N: 12, CCR: 1, Procs: 4, Npf: npf, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Evaluate(res.Schedule, Uniform(4, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Reliability < prev-1e-9 {
+			t.Errorf("reliability decreased at Npf=%d: %g -> %g", npf, prev, rep.Reliability)
+		}
+		prev = rep.Reliability
+	}
+	if prev < 0.99 {
+		t.Errorf("Npf=2 reliability = %g, expected near 1", prev)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	s := paperSchedule(t)
+	if _, err := Evaluate(s, Model{PFail: []float64{0.1}}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("short model error = %v", err)
+	}
+	if _, err := Evaluate(s, Model{PFail: []float64{0.1, -1, 0}}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative probability error = %v", err)
+	}
+	if _, err := Evaluate(s, Model{PFail: []float64{0.1, 2, 0}}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("probability > 1 error = %v", err)
+	}
+}
+
+func TestUniformModel(t *testing.T) {
+	m := Uniform(5, 0.25)
+	if len(m.PFail) != 5 {
+		t.Fatalf("len = %d", len(m.PFail))
+	}
+	for _, q := range m.PFail {
+		if q != 0.25 {
+			t.Errorf("q = %g", q)
+		}
+	}
+}

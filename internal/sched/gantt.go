@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ftbar/internal/arch"
+)
+
+// GanttOptions controls Render.
+type GanttOptions struct {
+	// Scale is the number of character columns per time unit for the bar
+	// chart; 0 selects a scale that fits roughly 100 columns.
+	Scale float64
+	// Bars disables the proportional bar chart when false, leaving the
+	// tabular listing only.
+	Bars bool
+}
+
+// Render writes a textual Gantt chart of the schedule: for every processor
+// the replicas it executes, for every medium the comms it carries, in the
+// style of the paper's Figures 5-8 (time grows downwards in the paper;
+// here it grows rightwards).
+func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
+	length := s.Length()
+	for _, seq := range s.mediumSeq {
+		for _, c := range seq {
+			if c.End > length {
+				length = c.End
+			}
+		}
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 100 / maxf(length, 1)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule length %.4g (Npf=%d)\n", s.Length(), s.npf)
+	for p := 0; p < s.problem.Arc.NumProcs(); p++ {
+		proc := s.problem.Arc.Proc(arch.ProcID(p))
+		fmt.Fprintf(&b, "-- processor %s\n", proc.Name)
+		if opts.Bars {
+			b.WriteString("   ")
+			b.WriteString(barLine(s.replicaSpans(s.procSeq[p]), scale))
+			b.WriteByte('\n')
+		}
+		for _, r := range s.procSeq[p] {
+			fmt.Fprintf(&b, "   %8.3f .. %8.3f  %s#%d\n", r.Start, r.End, s.tasks.Task(r.Task).Name, r.Index)
+		}
+	}
+	for m := 0; m < s.problem.Arc.NumMedia(); m++ {
+		medium := s.problem.Arc.Medium(arch.MediumID(m))
+		fmt.Fprintf(&b, "-- medium %s\n", medium.Name)
+		if opts.Bars {
+			b.WriteString("   ")
+			b.WriteString(barLine(commSpans(s.mediumSeq[m]), scale))
+			b.WriteByte('\n')
+		}
+		for _, c := range s.mediumSeq[m] {
+			fmt.Fprintf(&b, "   %8.3f .. %8.3f  %s %s=>%s (to #%d)\n",
+				c.Start, c.End, s.problem.Alg.EdgeName(c.Orig),
+				s.problem.Arc.Proc(c.From).Name, s.problem.Arc.Proc(c.To).Name, c.DstIndex)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// span is one labelled interval of a bar line.
+type span struct {
+	start, end float64
+	label      string
+}
+
+func (s *Schedule) replicaSpans(seq []*Replica) []span {
+	out := make([]span, 0, len(seq))
+	for _, r := range seq {
+		out = append(out, span{r.Start, r.End, "[" + s.tasks.Task(r.Task).Name})
+	}
+	return out
+}
+
+func commSpans(seq []*Comm) []span {
+	out := make([]span, 0, len(seq))
+	for _, c := range seq {
+		out = append(out, span{c.Start, c.End, "~"})
+	}
+	return out
+}
+
+// barLine renders non-overlapping spans as a proportional ASCII bar. Labels
+// longer than their box are truncated.
+func barLine(spans []span, scale float64) string {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	var b strings.Builder
+	col := 0
+	for _, sp := range spans {
+		from := int(sp.start * scale)
+		to := int(sp.end * scale)
+		if to <= from {
+			to = from + 1
+		}
+		for col < from {
+			b.WriteByte('.')
+			col++
+		}
+		width := to - from
+		fill := sp.label
+		for len(fill) < width {
+			fill += "#"
+		}
+		b.WriteString(fill[:width])
+		col = to
+	}
+	return b.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the schedule without bars, convenient for debugging and
+// golden tests.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	if err := s.Render(&b, GanttOptions{}); err != nil {
+		return fmt.Sprintf("sched: render failed: %v", err)
+	}
+	return b.String()
+}

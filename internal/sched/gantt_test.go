@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// builtSchedule places a->b across two processors for rendering tests.
+func builtSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	s := newSched(t, chainProblem(t, 0))
+	if _, err := s.PlaceReplica(taskByName(t, s, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(taskByName(t, s, "b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderListsAllResources(t *testing.T) {
+	s := builtSchedule(t)
+	var b strings.Builder
+	if err := s.Render(&b, GanttOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"schedule length 2.5",
+		"-- processor P1",
+		"-- processor P2",
+		"-- medium L1.2",
+		"a#0",
+		"b#0",
+		"a->b P1=>P2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBarsAreProportional(t *testing.T) {
+	s := builtSchedule(t)
+	var b strings.Builder
+	if err := s.Render(&b, GanttOptions{Bars: true, Scale: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// a runs [0,1) at scale 10: a 10-column box starting at column 0.
+	if !strings.Contains(out, "[a########") {
+		t.Errorf("missing proportional bar for a in:\n%s", out)
+	}
+	// b runs [1.5,2.5): box preceded by 15 dots.
+	if !strings.Contains(out, strings.Repeat(".", 15)+"[b") {
+		t.Errorf("missing offset bar for b in:\n%s", out)
+	}
+}
+
+func TestStringDelegatesToRender(t *testing.T) {
+	s := builtSchedule(t)
+	if got := s.String(); !strings.Contains(got, "-- processor P1") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestBarLineTruncatesLongLabels(t *testing.T) {
+	line := barLine([]span{{0, 0.1, "[averylongname"}}, 10)
+	if len(line) != 1 {
+		t.Errorf("barLine = %q, want single column", line)
+	}
+}
+
+func TestScheduleJSONExport(t *testing.T) {
+	s := builtSchedule(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var doc struct {
+		Npf      int     `json:"npf"`
+		Length   float64 `json:"length"`
+		Replicas []struct {
+			Task  string  `json:"task"`
+			Proc  string  `json:"proc"`
+			Start float64 `json:"start"`
+		} `json:"replicas"`
+		Comms []struct {
+			Edge   string `json:"edge"`
+			Medium string `json:"medium"`
+			From   string `json:"from"`
+			To     string `json:"to"`
+		} `json:"comms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Length != 2.5 || doc.Npf != 0 {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Replicas) != 2 || len(doc.Comms) != 1 {
+		t.Fatalf("counts: %d replicas, %d comms", len(doc.Replicas), len(doc.Comms))
+	}
+	if doc.Comms[0].Edge != "a->b" || doc.Comms[0].From != "P1" || doc.Comms[0].To != "P2" {
+		t.Errorf("comm = %+v", doc.Comms[0])
+	}
+}

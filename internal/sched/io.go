@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"encoding/json"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// scheduleJSON is the export shape of a schedule: enough to replay or
+// inspect it outside the library. It is write-only; schedules are rebuilt by
+// re-running the heuristic on the problem.
+type scheduleJSON struct {
+	Npf      int           `json:"npf"`
+	Length   float64       `json:"length"`
+	Replicas []replicaJSON `json:"replicas"`
+	Comms    []commJSON    `json:"comms"`
+}
+
+type replicaJSON struct {
+	Task  string  `json:"task"`
+	Index int     `json:"index"`
+	Proc  string  `json:"proc"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+type commJSON struct {
+	Edge     string  `json:"edge"`
+	SrcIndex int     `json:"src_index"`
+	DstIndex int     `json:"dst_index"`
+	Hop      int     `json:"hop"`
+	Medium   string  `json:"medium"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+// MarshalJSON exports the schedule with symbolic names.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	doc := scheduleJSON{Npf: s.npf, Length: s.Length()}
+	for t := 0; t < s.tasks.NumTasks(); t++ {
+		for _, r := range s.replicas[t] {
+			doc.Replicas = append(doc.Replicas, replicaJSON{
+				Task:  s.tasks.Task(model.TaskID(t)).Name,
+				Index: r.Index,
+				Proc:  s.problem.Arc.Proc(r.Proc).Name,
+				Start: r.Start,
+				End:   r.End,
+			})
+		}
+	}
+	for m := 0; m < s.problem.Arc.NumMedia(); m++ {
+		for _, c := range s.mediumSeq[m] {
+			doc.Comms = append(doc.Comms, commJSON{
+				Edge:     s.problem.Alg.EdgeName(c.Orig),
+				SrcIndex: c.SrcIndex,
+				DstIndex: c.DstIndex,
+				Hop:      c.Hop,
+				Medium:   s.problem.Arc.Medium(arch.MediumID(m)).Name,
+				From:     s.problem.Arc.Proc(c.From).Name,
+				To:       s.problem.Arc.Proc(c.To).Name,
+				Start:    c.Start,
+				End:      c.End,
+			})
+		}
+	}
+	return json.Marshal(doc)
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// starProblem builds a -> b on a 4-processor star where a may only run on
+// spoke P2 and b only on spoke P3, forcing the dependency through hub P1.
+func starProblem(t *testing.T) *spec.Problem {
+	t.Helper()
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	g.MustAddEdge(a, b)
+	ar := arch.Star(4) // P1 hub; P2..P4 spokes
+	exec := spec.NewExecTable(g, ar)
+	exec.MustSet(a, 1, 1) // a on P2 only
+	exec.MustSet(b, 2, 1) // b on P3 only
+	comm, err := spec.NewUniformCommTable(g, ar, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 0}
+}
+
+func TestMultiHopDeliveryThroughHub(t *testing.T) {
+	s := newSched(t, starProblem(t))
+	ta := taskByName(t, s, "a")
+	tb := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(ta, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.PlaceReplica(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hops of 0.5 each: P2 -> P1 on L1.2, then P1 -> P3 on L1.3.
+	if s.NumComms() != 2 {
+		t.Fatalf("NumComms = %d, want 2 hops", s.NumComms())
+	}
+	if r.Start != 2.0 { // a ends 1, +0.5 +0.5 store-and-forward
+		t.Errorf("b starts at %g, want 2.0", r.Start)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The chain must be spatially contiguous.
+	l12, _ := s.Problem().Arc.MediumByName("L1.2")
+	l13, _ := s.Problem().Arc.MediumByName("L1.3")
+	hop0 := s.MediumSeq(l12.ID)[0]
+	hop1 := s.MediumSeq(l13.ID)[0]
+	if hop0.Hop != 0 || hop0.LastHop || hop0.From != 1 || hop0.To != 0 {
+		t.Errorf("hop0 = %+v", hop0)
+	}
+	if hop1.Hop != 1 || !hop1.LastHop || hop1.From != 0 || hop1.To != 2 {
+		t.Errorf("hop1 = %+v", hop1)
+	}
+}
+
+// ringProblem forces replicated multi-hop comms with Npf = 1 on a 5-ring.
+func ringProblem(t *testing.T) *spec.Problem {
+	t.Helper()
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	c := g.MustAddOp("c", model.Comp)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(a, c)
+	ar := arch.Ring(5)
+	exec, err := spec.NewUniformExecTable(g, ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := spec.NewUniformCommTable(g, ar, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+}
+
+func TestRingScheduleValidates(t *testing.T) {
+	s := newSched(t, ringProblem(t))
+	// Place far apart to force hops: a on P1/P3, b on P2/P4, c on P3/P5.
+	ta := taskByName(t, s, "a")
+	tb := taskByName(t, s, "b")
+	tc := taskByName(t, s, "c")
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{ta, 0}, {ta, 2}, {tb, 1}, {tb, 3}, {tc, 2}, {tc, 4}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !s.Scheduled() {
+		t.Error("incomplete")
+	}
+}
+
+func TestForbiddenMediumForcesDetour(t *testing.T) {
+	// Fully connected 3, but the dependency may not use the direct link:
+	// the planner must route around it.
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	e := g.MustAddEdge(a, b)
+	ar := arch.FullyConnected(3)
+	exec := spec.NewExecTable(g, ar)
+	exec.MustSet(a, 0, 1) // a on P1 only
+	exec.MustSet(b, 1, 1) // b on P2 only
+	comm := spec.NewCommTable(g, ar)
+	l13, _ := ar.MediumByName("L1.3")
+	l23, _ := ar.MediumByName("L2.3")
+	comm.MustSet(e, l13.ID, 0.5)
+	comm.MustSet(e, l23.ID, 0.5) // L1.2 stays Forbidden
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 0}
+	s := newSched(t, p)
+	ta := taskByName(t, s, "a")
+	tb := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(ta, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.PlaceReplica(tb, 1)
+	if err != nil {
+		t.Fatalf("detour placement failed: %v", err)
+	}
+	if s.NumComms() != 2 {
+		t.Fatalf("NumComms = %d, want 2-hop detour via P3", s.NumComms())
+	}
+	if r.Start != 2.0 {
+		t.Errorf("b starts at %g, want 2.0", r.Start)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// Placement is the outcome of previewing or committing one replica of a
+// task on a processor.
+//
+// SBest is the paper's S_best: the earliest start, when the first complete
+// input set has arrived and the processor is free. SWorst is S_worst: the
+// start if every replicated input had to be waited for (the value the
+// schedule-pressure cost function uses, so the priority reflects the faulty
+// case). End is SBest plus the execution time on the processor.
+type Placement struct {
+	Task   model.TaskID
+	Proc   arch.ProcID
+	SBest  float64
+	SWorst float64
+	End    float64
+}
+
+// plannedComm is one comm hop planned but not yet committed.
+type plannedComm struct {
+	comm Comm
+}
+
+// EdgeArrival describes, for one in-edge of a previewed placement, how the
+// data would arrive: locally from a co-located predecessor replica, or as
+// the first (Best) and last (Worst) of the replicated comms. FTBAR's
+// Minimize-start-time uses it to identify the Latest Immediate Predecessor.
+type EdgeArrival struct {
+	Edge  model.TaskEdgeID
+	Src   model.TaskID
+	Local bool
+	Best  float64
+	Worst float64
+}
+
+// plan computes the placement of one replica of task t on processor p
+// against the current schedule state, planning (without committing) every
+// communication it implies. The overlay carries tentative medium busy-ends
+// so the hops of one placement contend with each other deterministically.
+func (s *Schedule) plan(t model.TaskID, p arch.ProcID) (Placement, []plannedComm, []EdgeArrival, error) {
+	task := s.tasks.Task(t)
+	exec := s.problem.Exec.Time(task.Op, p)
+	if math.IsInf(exec, 1) {
+		return Placement{}, nil, nil, fmt.Errorf("%w: %q on %q",
+			ErrForbiddenPlacement, task.Name, s.problem.Arc.Proc(p).Name)
+	}
+	if s.ReplicaOn(t, p) != nil {
+		return Placement{}, nil, nil, fmt.Errorf("%w: %q on %q",
+			ErrDuplicateReplica, task.Name, s.problem.Arc.Proc(p).Name)
+	}
+	overlay := make(map[arch.MediumID]float64)
+	dstIndex := len(s.replicas[t])
+	var plans []plannedComm
+	var details []EdgeArrival
+	arriveBest := 0.0
+	arriveWorst := 0.0
+	for _, eid := range s.tasks.In(t) {
+		edge := s.tasks.Edge(eid)
+		srcReps := s.replicas[edge.Src]
+		if len(srcReps) == 0 {
+			return Placement{}, nil, nil, fmt.Errorf("%w: %q needs %q",
+				ErrPredUnscheduled, task.Name, s.tasks.Task(edge.Src).Name)
+		}
+		if local := s.ReplicaOn(edge.Src, p); local != nil {
+			// Paper Figure 3(b): a co-located predecessor replica makes
+			// the dependency an intra-processor communication of zero
+			// cost; no comm is replicated at all.
+			arriveBest = math.Max(arriveBest, local.End)
+			arriveWorst = math.Max(arriveWorst, local.End)
+			details = append(details, EdgeArrival{
+				Edge: eid, Src: edge.Src, Local: true, Best: local.End, Worst: local.End,
+			})
+			continue
+		}
+		// Paper Figure 3(c): replicate the comm from the Npf+1
+		// earliest-finishing predecessor replicas over parallel media.
+		senders := earliestReplicas(srcReps, s.npf+1)
+		edgeBest, edgeWorst := math.Inf(1), 0.0
+		for _, sender := range senders {
+			arrival, hops, err := s.planDelivery(edge, sender, p, dstIndex, overlay)
+			if err != nil {
+				return Placement{}, nil, nil, err
+			}
+			plans = append(plans, hops...)
+			edgeBest = math.Min(edgeBest, arrival)
+			edgeWorst = math.Max(edgeWorst, arrival)
+		}
+		details = append(details, EdgeArrival{
+			Edge: eid, Src: edge.Src, Best: edgeBest, Worst: edgeWorst,
+		})
+		arriveBest = math.Max(arriveBest, edgeBest)
+		arriveWorst = math.Max(arriveWorst, edgeWorst)
+	}
+	free := s.procEnd[p]
+	sBest := math.Max(free, arriveBest)
+	sWorst := math.Max(free, arriveWorst)
+	pl := Placement{Task: t, Proc: p, SBest: sBest, SWorst: sWorst, End: sBest + exec}
+	return pl, plans, details, nil
+}
+
+// planDelivery plans the comm hops carrying edge's value from the sender
+// replica to processor dst and returns the arrival time. Direct media are
+// chosen greedily for earliest arrival under current contention; processors
+// sharing no medium use the precomputed store-and-forward route.
+func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.ProcID,
+	dstIndex int, overlay map[arch.MediumID]float64) (float64, []plannedComm, error) {
+
+	mEnd := func(m arch.MediumID) float64 {
+		if v, ok := overlay[m]; ok {
+			return v
+		}
+		return s.mediumEnd[m]
+	}
+	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) plannedComm {
+		end := start + dur
+		overlay[m] = end
+		return plannedComm{comm: Comm{
+			Edge: edge.ID, Orig: edge.Orig,
+			SrcIndex: sender.Index, DstIndex: dstIndex,
+			Hop: hop, LastHop: last,
+			Medium: m, From: from, To: to,
+			Start: start, End: end,
+		}}
+	}
+
+	if direct := s.problem.Arc.MediaBetween(sender.Proc, dst); len(direct) > 0 {
+		bestM := arch.MediumID(-1)
+		bestArrive := math.Inf(1)
+		bestStart := 0.0
+		for _, m := range direct {
+			dur := s.problem.Comm.Time(edge.Orig, m)
+			if math.IsInf(dur, 1) {
+				continue
+			}
+			start := math.Max(sender.End, mEnd(m))
+			if arrive := start + dur; arrive < bestArrive {
+				bestM, bestArrive, bestStart = m, arrive, start
+			}
+		}
+		if bestM >= 0 {
+			pc := newComm(bestM, sender.Proc, dst, 0, true,
+				bestStart, bestArrive-bestStart)
+			return bestArrive, []plannedComm{pc}, nil
+		}
+		// All direct media forbid this edge; fall through to routing.
+	}
+	route, err := s.routeFor(edge.Orig, sender.Proc, dst)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %s from %q to %q",
+			ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
+			s.problem.Arc.Proc(sender.Proc).Name, s.problem.Arc.Proc(dst).Name)
+	}
+	var plans []plannedComm
+	avail := sender.End
+	for i, hop := range route {
+		dur := s.problem.Comm.Time(edge.Orig, hop.Medium)
+		if math.IsInf(dur, 1) {
+			return 0, nil, fmt.Errorf("%w: %s forbidden on %q",
+				ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
+				s.problem.Arc.Medium(hop.Medium).Name)
+		}
+		start := math.Max(avail, mEnd(hop.Medium))
+		pc := newComm(hop.Medium, hop.From, hop.To, i, i == len(route)-1, start, dur)
+		plans = append(plans, pc)
+		avail = pc.comm.End
+	}
+	return avail, plans, nil
+}
+
+// earliestReplicas returns up to n replicas ordered by (End, Index): the
+// paper indexes the sending replicas k = 1..Npf+1, and the earliest
+// finishers minimise both S_best and S_worst.
+func earliestReplicas(reps []*Replica, n int) []*Replica {
+	sorted := append([]*Replica(nil), reps...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].End != sorted[j].End {
+			return sorted[i].End < sorted[j].End
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// Preview computes the placement of one replica of t on p without mutating
+// the schedule. Heuristics use it to evaluate the schedule pressure of every
+// candidate pair.
+func (s *Schedule) Preview(t model.TaskID, p arch.ProcID) (Placement, error) {
+	pl, _, _, err := s.plan(t, p)
+	return pl, err
+}
+
+// PreviewDetail is Preview plus the per-edge arrival breakdown, which
+// Minimize-start-time needs to locate the Latest Immediate Predecessor.
+func (s *Schedule) PreviewDetail(t model.TaskID, p arch.ProcID) (Placement, []EdgeArrival, error) {
+	pl, _, details, err := s.plan(t, p)
+	return pl, details, err
+}
+
+// PlaceReplica commits one replica of t on p: the implied comms are
+// serialised on their media and the replica is appended to the processor at
+// its S_best start (paper micro-step "Schedule o to p at S_best(o,p)").
+func (s *Schedule) PlaceReplica(t model.TaskID, p arch.ProcID) (*Replica, error) {
+	pl, plans, _, err := s.plan(t, p)
+	if err != nil {
+		return nil, err
+	}
+	for _, pc := range plans {
+		c := pc.comm
+		s.appendComm(&c)
+	}
+	r := &Replica{Task: t, Index: len(s.replicas[t]), Proc: p, Start: pl.SBest, End: pl.End}
+	s.replicas[t] = append(s.replicas[t], r)
+	s.procSeq[p] = append(s.procSeq[p], r)
+	s.procEnd[p] = r.End
+	return r, nil
+}
+
+func (s *Schedule) appendComm(c *Comm) {
+	s.mediumSeq[c.Medium] = append(s.mediumSeq[c.Medium], c)
+	if c.End > s.mediumEnd[c.Medium] {
+		s.mediumEnd[c.Medium] = c.End
+	}
+}

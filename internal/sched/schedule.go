@@ -1,0 +1,270 @@
+// Package sched implements the static distributed schedule produced by the
+// heuristics: replica placements on processors, communications serialised on
+// media (point-to-point links or buses, possibly multi-hop), fault-free
+// timing, structural validation, and Gantt rendering.
+//
+// A Schedule doubles as the list-scheduling builder: heuristics grow it with
+// PlaceReplica, preview placements with Preview (no mutation), and roll back
+// speculative work by Clone-and-swap, which is how FTBAR's
+// Minimize-start-time undo (paper micro-step ⑦) is realised.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// Errors reported while building a schedule.
+var (
+	ErrForbiddenPlacement = errors.New("sched: operation forbidden on processor")
+	ErrPredUnscheduled    = errors.New("sched: predecessor has no replica yet")
+	ErrDuplicateReplica   = errors.New("sched: task already has a replica on processor")
+	ErrNoPath             = errors.New("sched: no usable medium for dependency")
+	ErrInvalid            = errors.New("sched: invalid schedule")
+)
+
+// Replica is one placement of a task on a processor with its fault-free
+// static times. Start is the paper's S_best: the moment the first complete
+// input set arrives (and the processor is free); under failures the
+// simulator re-times it up to S_worst.
+type Replica struct {
+	Task  model.TaskID
+	Index int // dense per task: 0..len-1
+	Proc  arch.ProcID
+	Start float64
+	End   float64
+}
+
+// Comm is one scheduled data transmission: the value of Edge produced by
+// replica SrcIndex of the edge's source task, delivered towards replica
+// DstIndex of the destination task, over Medium from processor From to
+// processor To. Multi-hop routes produce one Comm per hop, chained by Hop.
+type Comm struct {
+	Edge     model.TaskEdgeID
+	Orig     model.EdgeID
+	SrcIndex int
+	DstIndex int
+	Hop      int // 0-based hop index within the route
+	LastHop  bool
+	Medium   arch.MediumID
+	From     arch.ProcID
+	To       arch.ProcID
+	Start    float64
+	End      float64
+}
+
+// Schedule is a static distributed schedule under construction or finished.
+// Create one with NewSchedule; the zero value is not usable.
+type Schedule struct {
+	problem *spec.Problem
+	tasks   *model.TaskGraph
+	// edgeRoutes caches one weighted routing table per data-dependency,
+	// consulted only when no direct medium carries the dependency. The
+	// cache is deterministic and append-only, so clones share it.
+	edgeRoutes map[model.EdgeID]*arch.RouteTable
+	npf        int
+
+	replicas  [][]*Replica // per task, in placement order
+	procSeq   [][]*Replica // per processor, in placement order
+	mediumSeq [][]*Comm    // per medium, in placement order
+	procEnd   []float64
+	mediumEnd []float64
+}
+
+// NewSchedule returns an empty schedule for the problem. It validates the
+// problem (which includes per-dependency reachability).
+func NewSchedule(p *spec.Problem) (*Schedule, error) {
+	tasks, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		problem:    p,
+		tasks:      tasks,
+		edgeRoutes: make(map[model.EdgeID]*arch.RouteTable),
+		npf:        p.Npf,
+		replicas:   make([][]*Replica, tasks.NumTasks()),
+		procSeq:    make([][]*Replica, p.Arc.NumProcs()),
+		mediumSeq:  make([][]*Comm, p.Arc.NumMedia()),
+		procEnd:    make([]float64, p.Arc.NumProcs()),
+		mediumEnd:  make([]float64, p.Arc.NumMedia()),
+	}, nil
+}
+
+// routeFor returns the weighted route of edge from processor p to q,
+// computing and caching the edge's routing table on first use.
+func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, error) {
+	rt, ok := s.edgeRoutes[edge]
+	if !ok {
+		var err error
+		rt, err = s.problem.EdgeRoutes(edge)
+		if err != nil {
+			return nil, err
+		}
+		s.edgeRoutes[edge] = rt
+	}
+	return rt.Route(p, q)
+}
+
+// Problem returns the scheduling problem.
+func (s *Schedule) Problem() *spec.Problem { return s.problem }
+
+// Tasks returns the compiled task graph.
+func (s *Schedule) Tasks() *model.TaskGraph { return s.tasks }
+
+// Npf returns the failure count the schedule was built for.
+func (s *Schedule) Npf() int { return s.npf }
+
+// Replicas returns the replicas of a task in placement order. The returned
+// slice aliases internal storage; callers must not mutate it.
+func (s *Schedule) Replicas(t model.TaskID) []*Replica { return s.replicas[t] }
+
+// ReplicaOn returns the replica of t on processor p, or nil.
+func (s *Schedule) ReplicaOn(t model.TaskID, p arch.ProcID) *Replica {
+	for _, r := range s.replicas[t] {
+		if r.Proc == p {
+			return r
+		}
+	}
+	return nil
+}
+
+// ProcSeq returns the replicas placed on processor p in order. The slice
+// aliases internal storage.
+func (s *Schedule) ProcSeq(p arch.ProcID) []*Replica { return s.procSeq[p] }
+
+// MediumSeq returns the comms scheduled on medium m in order. The slice
+// aliases internal storage.
+func (s *Schedule) MediumSeq(m arch.MediumID) []*Comm { return s.mediumSeq[m] }
+
+// ProcEnd returns the end of the last replica placed on p (0 when idle).
+func (s *Schedule) ProcEnd(p arch.ProcID) float64 { return s.procEnd[p] }
+
+// MediumEnd returns the end of the last comm placed on m (0 when idle).
+func (s *Schedule) MediumEnd(m arch.MediumID) float64 { return s.mediumEnd[m] }
+
+// NumComms returns the total number of scheduled comms (hops count
+// individually).
+func (s *Schedule) NumComms() int {
+	n := 0
+	for _, seq := range s.mediumSeq {
+		n += len(seq)
+	}
+	return n
+}
+
+// Length returns the fault-free makespan: the latest end over all replicas.
+// Trailing redundant comms do not extend it (they only matter under
+// failures).
+func (s *Schedule) Length() float64 {
+	var end float64
+	for _, reps := range s.replicas {
+		for _, r := range reps {
+			if r.End > end {
+				end = r.End
+			}
+		}
+	}
+	return end
+}
+
+// OpCompletion returns the fault-free completion date of an operation: the
+// earliest end among the replicas of its task (first result wins). Mems
+// report their write half. It returns +Inf when the op is unscheduled.
+func (s *Schedule) OpCompletion(op model.OpID) float64 {
+	t := s.tasks.TaskOf(op)
+	if s.tasks.Task(t).Kind == model.Mem {
+		for _, mp := range s.tasks.MemPairs() {
+			if mp.Op == op {
+				t = mp.Write
+			}
+		}
+	}
+	best := math.Inf(1)
+	for _, r := range s.replicas[t] {
+		if r.End < best {
+			best = r.End
+		}
+	}
+	return best
+}
+
+// MeetsRtc reports whether the fault-free schedule satisfies the problem's
+// real-time constraints, with the first violation described in the error.
+func (s *Schedule) MeetsRtc() (bool, error) {
+	rtc := s.problem.Rtc
+	if d := rtc.Deadline; d > 0 && !math.IsInf(d, 1) {
+		if l := s.Length(); l > d {
+			return false, fmt.Errorf("schedule length %.4g exceeds deadline %.4g", l, d)
+		}
+	}
+	ops := make([]model.OpID, 0, len(rtc.OpDeadlines))
+	for op := range rtc.OpDeadlines {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		d := rtc.OpDeadlines[op]
+		if c := s.OpCompletion(op); c > d {
+			return false, fmt.Errorf("operation %q completes at %.4g, deadline %.4g",
+				s.problem.Alg.Op(op).Name, c, d)
+		}
+	}
+	return true, nil
+}
+
+// Clone returns a deep copy: the fast path behind speculative scheduling
+// (FTBAR duplicates predecessors tentatively and must undo on regression).
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		problem:    s.problem,
+		tasks:      s.tasks,
+		edgeRoutes: s.edgeRoutes,
+		npf:        s.npf,
+		replicas:   make([][]*Replica, len(s.replicas)),
+		procSeq:    make([][]*Replica, len(s.procSeq)),
+		mediumSeq:  make([][]*Comm, len(s.mediumSeq)),
+		procEnd:    append([]float64(nil), s.procEnd...),
+		mediumEnd:  append([]float64(nil), s.mediumEnd...),
+	}
+	remap := make(map[*Replica]*Replica)
+	for t, reps := range s.replicas {
+		c.replicas[t] = make([]*Replica, len(reps))
+		for i, r := range reps {
+			cp := *r
+			c.replicas[t][i] = &cp
+			remap[r] = &cp
+		}
+	}
+	for p, seq := range s.procSeq {
+		c.procSeq[p] = make([]*Replica, len(seq))
+		for i, r := range seq {
+			c.procSeq[p][i] = remap[r]
+		}
+	}
+	for m, seq := range s.mediumSeq {
+		c.mediumSeq[m] = make([]*Comm, len(seq))
+		for i, cm := range seq {
+			cp := *cm
+			c.mediumSeq[m][i] = &cp
+		}
+	}
+	return c
+}
+
+// Scheduled reports whether every replica requirement is met: each task has
+// at least Npf+1 replicas.
+func (s *Schedule) Scheduled() bool {
+	for _, reps := range s.replicas {
+		if len(reps) < s.npf+1 {
+			return false
+		}
+	}
+	return true
+}

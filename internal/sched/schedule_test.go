@@ -1,0 +1,390 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// chainProblem builds a -> b on two fully connected processors, unit exec
+// times and 0.5 comm times, Npf failures tolerated.
+func chainProblem(t *testing.T, npf int) *spec.Problem {
+	t.Helper()
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	g.MustAddEdge(a, b)
+	ar := arch.FullyConnected(2)
+	exec, err := spec.NewUniformExecTable(g, ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := spec.NewUniformCommTable(g, ar, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: npf}
+}
+
+func newSched(t *testing.T, p *spec.Problem) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	return s
+}
+
+func taskByName(t *testing.T, s *Schedule, name string) model.TaskID {
+	t.Helper()
+	for id := 0; id < s.Tasks().NumTasks(); id++ {
+		if s.Tasks().Task(model.TaskID(id)).Name == name {
+			return model.TaskID(id)
+		}
+	}
+	t.Fatalf("task %q not found", name)
+	return -1
+}
+
+func TestPlaceReplicaSourceTask(t *testing.T) {
+	s := newSched(t, chainProblem(t, 1))
+	a := taskByName(t, s, "a")
+	r, err := s.PlaceReplica(a, 0)
+	if err != nil {
+		t.Fatalf("PlaceReplica: %v", err)
+	}
+	if r.Start != 0 || r.End != 1 {
+		t.Errorf("replica times = [%g,%g], want [0,1]", r.Start, r.End)
+	}
+	if got := s.ProcEnd(0); got != 1 {
+		t.Errorf("ProcEnd(0) = %g, want 1", got)
+	}
+	if s.NumComms() != 0 {
+		t.Errorf("source placement created %d comms", s.NumComms())
+	}
+}
+
+func TestPlaceReplicaSerialisesOnProcessor(t *testing.T) {
+	s := newSched(t, chainProblem(t, 0))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.PlaceReplica(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local dependency: no comm, b starts when a ends.
+	if r.Start != 1 || r.End != 2 {
+		t.Errorf("b times = [%g,%g], want [1,2]", r.Start, r.End)
+	}
+	if s.NumComms() != 0 {
+		t.Errorf("local dependency created %d comms", s.NumComms())
+	}
+}
+
+func TestPlaceReplicaRemoteCreatesComm(t *testing.T) {
+	s := newSched(t, chainProblem(t, 0))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.PlaceReplica(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumComms() != 1 {
+		t.Fatalf("remote dependency created %d comms, want 1", s.NumComms())
+	}
+	c := s.MediumSeq(0)[0]
+	if c.Start != 1 || c.End != 1.5 {
+		t.Errorf("comm times = [%g,%g], want [1,1.5]", c.Start, c.End)
+	}
+	if r.Start != 1.5 || r.End != 2.5 {
+		t.Errorf("b times = [%g,%g], want [1.5,2.5]", r.Start, r.End)
+	}
+}
+
+func TestPlaceReplicaNpf1ReplicatesComms(t *testing.T) {
+	p := chainProblem(t, 1)
+	// Npf=1 on two processors: a on both, then b's replicas each have a
+	// local copy of a, so no comms at all (Figure 3b).
+	s := newSched(t, p)
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumComms() != 0 {
+		t.Errorf("co-located replicas created %d comms, want 0", s.NumComms())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !s.Scheduled() {
+		t.Error("Scheduled() = false, want true")
+	}
+}
+
+// threeProcChain builds a->b with Npf=1 on three processors so that remote
+// placements force replicated comms.
+func threeProcChain(t *testing.T) *spec.Problem {
+	t.Helper()
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	g.MustAddEdge(a, b)
+	ar := arch.FullyConnected(3)
+	exec, err := spec.NewUniformExecTable(g, ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := spec.NewUniformCommTable(g, ar, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+}
+
+func TestPlaceReplicaReplicatesRemoteComms(t *testing.T) {
+	s := newSched(t, threeProcChain(t))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	// b's replica on P3 has no local copy of a: it must receive from both
+	// replicas of a (Npf+1 = 2 comms, Figure 3c).
+	r, err := s.PlaceReplica(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumComms() != 2 {
+		t.Fatalf("NumComms = %d, want 2", s.NumComms())
+	}
+	// Both comms run in parallel on L1.3 and L2.3: arrival 1.5; the
+	// replica starts at the earliest complete set (S_best).
+	if r.Start != 1.5 {
+		t.Errorf("b start = %g, want 1.5", r.Start)
+	}
+}
+
+func TestPreviewDoesNotMutate(t *testing.T) {
+	s := newSched(t, threeProcChain(t))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := s.NumComms()
+	pl, err := s.Preview(b, 2)
+	if err != nil {
+		t.Fatalf("Preview: %v", err)
+	}
+	if s.NumComms() != before {
+		t.Error("Preview committed comms")
+	}
+	if pl.SBest != 1.5 {
+		t.Errorf("SBest = %g, want 1.5", pl.SBest)
+	}
+	if pl.SWorst != 1.5 { // both arrive at 1.5 on parallel links
+		t.Errorf("SWorst = %g, want 1.5", pl.SWorst)
+	}
+	if pl.End != 2.5 {
+		t.Errorf("End = %g, want 2.5", pl.End)
+	}
+}
+
+func TestSWorstExceedsSBestUnderContention(t *testing.T) {
+	// On a shared bus the two replicated comms serialise, so the second
+	// arrival queues behind the first and S_worst > S_best.
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	c := g.MustAddOp("c", model.Comp)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, c)
+	ar := arch.Bus(3)
+	exec, _ := spec.NewUniformExecTable(g, ar, 1)
+	comm, _ := spec.NewUniformCommTable(g, ar, 0.5)
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+	s := newSched(t, p)
+	ta := taskByName(t, s, "a")
+	tb := taskByName(t, s, "b")
+	tc := taskByName(t, s, "c")
+	for _, proc := range []arch.ProcID{0, 1} {
+		if _, err := s.PlaceReplica(ta, proc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.PlaceReplica(tb, proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := s.Preview(tc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pl.SWorst > pl.SBest) {
+		t.Errorf("SWorst %g should exceed SBest %g under link contention", pl.SWorst, pl.SBest)
+	}
+}
+
+func TestPlaceReplicaErrors(t *testing.T) {
+	p := chainProblem(t, 0)
+	opA, _ := p.Alg.OpByName("a")
+	p.Exec.Forbid(opA.ID, 1)
+	s := newSched(t, p)
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if _, err := s.PlaceReplica(a, 1); !errors.Is(err, ErrForbiddenPlacement) {
+		t.Errorf("forbidden placement error = %v", err)
+	}
+	if _, err := s.PlaceReplica(b, 0); !errors.Is(err, ErrPredUnscheduled) {
+		t.Errorf("unscheduled pred error = %v", err)
+	}
+	if _, err := s.PlaceReplica(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(a, 0); !errors.Is(err, ErrDuplicateReplica) {
+		t.Errorf("duplicate replica error = %v", err)
+	}
+}
+
+func TestLengthAndOpCompletion(t *testing.T) {
+	s := newSched(t, chainProblem(t, 0))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	if got := s.Length(); got != 0 {
+		t.Errorf("empty Length = %g", got)
+	}
+	s.PlaceReplica(a, 0)
+	s.PlaceReplica(b, 1)
+	if got := s.Length(); got != 2.5 {
+		t.Errorf("Length = %g, want 2.5", got)
+	}
+	opB, _ := s.Problem().Alg.OpByName("b")
+	if got := s.OpCompletion(opB.ID); got != 2.5 {
+		t.Errorf("OpCompletion(b) = %g, want 2.5", got)
+	}
+	opA, _ := s.Problem().Alg.OpByName("a")
+	if got := s.OpCompletion(opA.ID); got != 1 {
+		t.Errorf("OpCompletion(a) = %g, want 1", got)
+	}
+}
+
+func TestOpCompletionUnscheduled(t *testing.T) {
+	s := newSched(t, chainProblem(t, 0))
+	opA, _ := s.Problem().Alg.OpByName("a")
+	if got := s.OpCompletion(opA.ID); !math.IsInf(got, 1) {
+		t.Errorf("OpCompletion unscheduled = %g, want +Inf", got)
+	}
+}
+
+func TestMeetsRtc(t *testing.T) {
+	p := chainProblem(t, 0)
+	p.Rtc = spec.Rtc{Deadline: 2.0}
+	s := newSched(t, p)
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	s.PlaceReplica(a, 0)
+	s.PlaceReplica(b, 1) // ends 2.5 > 2.0
+	ok, err := s.MeetsRtc()
+	if ok || err == nil {
+		t.Errorf("MeetsRtc = %v, %v; want false with reason", ok, err)
+	}
+	p.Rtc.Deadline = 3
+	ok, err = s.MeetsRtc()
+	if !ok || err != nil {
+		t.Errorf("MeetsRtc = %v, %v; want true", ok, err)
+	}
+}
+
+func TestMeetsRtcOpDeadline(t *testing.T) {
+	p := chainProblem(t, 0)
+	opB, _ := p.Alg.OpByName("b")
+	p.Rtc = spec.Rtc{OpDeadlines: map[model.OpID]float64{opB.ID: 2}}
+	s := newSched(t, p)
+	s.PlaceReplica(taskByName(t, s, "a"), 0)
+	s.PlaceReplica(taskByName(t, s, "b"), 1) // completes at 2.5
+	if ok, _ := s.MeetsRtc(); ok {
+		t.Error("op deadline violation not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newSched(t, threeProcChain(t))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	s.PlaceReplica(a, 0)
+	s.PlaceReplica(a, 1)
+	c := s.Clone()
+	if _, err := c.PlaceReplica(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Replicas(b)) != 0 {
+		t.Error("placing on clone mutated original replicas")
+	}
+	if s.NumComms() != 0 {
+		t.Error("placing on clone mutated original comms")
+	}
+	if c.NumComms() != 2 {
+		t.Errorf("clone comms = %d, want 2", c.NumComms())
+	}
+	// Original can still be extended consistently.
+	if _, err := s.PlaceReplica(b, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesMissingReplicas(t *testing.T) {
+	s := newSched(t, chainProblem(t, 1))
+	s.PlaceReplica(taskByName(t, s, "a"), 0)
+	if err := s.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Validate incomplete = %v, want ErrInvalid", err)
+	}
+}
+
+func TestValidateCatchesTamperedTimes(t *testing.T) {
+	s := newSched(t, chainProblem(t, 1))
+	a := taskByName(t, s, "a")
+	b := taskByName(t, s, "b")
+	s.PlaceReplica(a, 0)
+	s.PlaceReplica(a, 1)
+	s.PlaceReplica(b, 0)
+	r, _ := s.PlaceReplica(b, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	r.Start -= 0.5 // break End = Start + exec
+	if err := s.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("tampered schedule accepted: %v", err)
+	}
+}
+
+func TestScheduledReportsProgress(t *testing.T) {
+	s := newSched(t, chainProblem(t, 1))
+	if s.Scheduled() {
+		t.Error("empty schedule reports Scheduled")
+	}
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// Stats summarises a schedule quantitatively: the numbers behind the
+// paper's overhead discussion (Section 4.4's "some communications take
+// place although they are not necessary" trade-off).
+type Stats struct {
+	// Length is the fault-free makespan.
+	Length float64
+	// Replicas counts all placements; ExtraReplicas those beyond Npf+1
+	// (the duplications Minimize-start-time kept).
+	Replicas      int
+	ExtraReplicas int
+	// Comms counts scheduled transmissions (hops individually);
+	// CommTime is their total duration.
+	Comms    int
+	CommTime float64
+	// ProcBusy[p] is the total execution time on processor p;
+	// ProcUtilisation[p] divides it by the makespan.
+	ProcBusy        []float64
+	ProcUtilisation []float64
+	// MediumBusy[m] is the total transmission time on medium m;
+	// MediumUtilisation[m] divides it by the makespan.
+	MediumBusy        []float64
+	MediumUtilisation []float64
+	// CriticalOps lists the tasks whose earliest replica completes at the
+	// makespan (the fault-free critical terminals).
+	CriticalOps []model.TaskID
+}
+
+// Stats computes the summary.
+func (s *Schedule) Stats() Stats {
+	st := Stats{
+		Length:            s.Length(),
+		ProcBusy:          make([]float64, s.problem.Arc.NumProcs()),
+		ProcUtilisation:   make([]float64, s.problem.Arc.NumProcs()),
+		MediumBusy:        make([]float64, s.problem.Arc.NumMedia()),
+		MediumUtilisation: make([]float64, s.problem.Arc.NumMedia()),
+	}
+	for t, reps := range s.replicas {
+		st.Replicas += len(reps)
+		if extra := len(reps) - (s.npf + 1); extra > 0 {
+			st.ExtraReplicas += extra
+		}
+		for _, r := range reps {
+			st.ProcBusy[r.Proc] += r.End - r.Start
+		}
+		last := math.Inf(1)
+		for _, r := range reps {
+			last = math.Min(last, r.End)
+		}
+		if len(reps) > 0 && math.Abs(last-st.Length) <= timeEps {
+			st.CriticalOps = append(st.CriticalOps, model.TaskID(t))
+		}
+	}
+	for m, seq := range s.mediumSeq {
+		for _, c := range seq {
+			st.Comms++
+			st.CommTime += c.End - c.Start
+			st.MediumBusy[m] += c.End - c.Start
+		}
+	}
+	if st.Length > 0 {
+		for p := range st.ProcBusy {
+			st.ProcUtilisation[p] = st.ProcBusy[p] / st.Length
+		}
+		for m := range st.MediumBusy {
+			st.MediumUtilisation[m] = st.MediumBusy[m] / st.Length
+		}
+	}
+	return st
+}
+
+// BusiestProc returns the processor with the largest busy time.
+func (st Stats) BusiestProc() arch.ProcID {
+	best, id := -1.0, arch.ProcID(0)
+	for p, b := range st.ProcBusy {
+		if b > best {
+			best, id = b, arch.ProcID(p)
+		}
+	}
+	return id
+}

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsOnTwoProcChain(t *testing.T) {
+	s := builtSchedule(t) // a on P1 [0,1], b on P2 [1.5,2.5], one comm [1,1.5]
+	st := s.Stats()
+	if st.Length != 2.5 {
+		t.Errorf("Length = %g, want 2.5", st.Length)
+	}
+	if st.Replicas != 2 || st.ExtraReplicas != 0 {
+		t.Errorf("Replicas = %d/%d, want 2/0", st.Replicas, st.ExtraReplicas)
+	}
+	if st.Comms != 1 || math.Abs(st.CommTime-0.5) > 1e-9 {
+		t.Errorf("Comms = %d, CommTime = %g", st.Comms, st.CommTime)
+	}
+	if math.Abs(st.ProcBusy[0]-1) > 1e-9 || math.Abs(st.ProcBusy[1]-1) > 1e-9 {
+		t.Errorf("ProcBusy = %v", st.ProcBusy)
+	}
+	if math.Abs(st.ProcUtilisation[0]-0.4) > 1e-9 {
+		t.Errorf("ProcUtilisation[0] = %g, want 0.4", st.ProcUtilisation[0])
+	}
+	if math.Abs(st.MediumBusy[0]-0.5) > 1e-9 {
+		t.Errorf("MediumBusy = %v", st.MediumBusy)
+	}
+	if len(st.CriticalOps) != 1 || s.Tasks().Task(st.CriticalOps[0]).Name != "b" {
+		t.Errorf("CriticalOps = %v, want [b]", st.CriticalOps)
+	}
+}
+
+func TestStatsBusiestProc(t *testing.T) {
+	s := validSchedule(t)
+	st := s.Stats()
+	busiest := st.BusiestProc()
+	for p, b := range st.ProcBusy {
+		if b > st.ProcBusy[busiest] {
+			t.Errorf("BusiestProc = %d but P%d busier", busiest, p+1)
+		}
+	}
+	if st.Replicas != 4 {
+		t.Errorf("Replicas = %d, want 4", st.Replicas)
+	}
+}
+
+func TestStatsEmptySchedule(t *testing.T) {
+	s := newSched(t, chainProblem(t, 0))
+	st := s.Stats()
+	if st.Length != 0 || st.Replicas != 0 || st.Comms != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

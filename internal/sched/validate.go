@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+const timeEps = 1e-9
+
+// Validate checks every structural and temporal invariant of a finished
+// schedule (DESIGN.md Section 7):
+//
+//   - every task has at least Npf+1 replicas, on pairwise distinct
+//     processors, each allowed by the distribution constraints, with
+//     End = Start + Exe;
+//   - the two halves of every mem are co-located index by index;
+//   - per-processor and per-medium sequences are non-overlapping and
+//     ordered;
+//   - every comm is well-formed: its medium connects its endpoints, its
+//     duration matches the table, hop chains are contiguous, and the data
+//     leaves its source replica only after that replica finished;
+//   - every replica's inputs are covered: each in-edge is served either by
+//     a co-located predecessor replica or by at least Npf+1 incoming
+//     replicated comms, and the replica starts only after its earliest
+//     complete input set.
+func (s *Schedule) Validate() error {
+	if err := s.validateReplicas(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := s.validateMems(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := s.validateSequences(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := s.validateComms(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := s.validateCoverage(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+func (s *Schedule) validateReplicas() error {
+	for t := 0; t < s.tasks.NumTasks(); t++ {
+		task := s.tasks.Task(model.TaskID(t))
+		reps := s.replicas[t]
+		if len(reps) < s.npf+1 {
+			return fmt.Errorf("task %q has %d replicas, need %d", task.Name, len(reps), s.npf+1)
+		}
+		seen := make(map[int]bool)
+		for i, r := range reps {
+			if r.Index != i {
+				return fmt.Errorf("task %q replica %d has index %d", task.Name, i, r.Index)
+			}
+			if seen[int(r.Proc)] {
+				return fmt.Errorf("task %q has two replicas on %q", task.Name, s.problem.Arc.Proc(r.Proc).Name)
+			}
+			seen[int(r.Proc)] = true
+			exec := s.problem.Exec.Time(task.Op, r.Proc)
+			if math.IsInf(exec, 1) {
+				return fmt.Errorf("task %q placed on forbidden %q", task.Name, s.problem.Arc.Proc(r.Proc).Name)
+			}
+			if math.Abs(r.End-(r.Start+exec)) > timeEps {
+				return fmt.Errorf("task %q on %q: end %g != start %g + exe %g",
+					task.Name, s.problem.Arc.Proc(r.Proc).Name, r.End, r.Start, exec)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) validateMems() error {
+	for _, mp := range s.tasks.MemPairs() {
+		reads, writes := s.replicas[mp.Read], s.replicas[mp.Write]
+		if len(reads) != len(writes) {
+			return fmt.Errorf("mem %q: %d read replicas, %d write replicas",
+				s.problem.Alg.Op(mp.Op).Name, len(reads), len(writes))
+		}
+		for i := range reads {
+			if reads[i].Proc != writes[i].Proc {
+				return fmt.Errorf("mem %q replica %d: read on %q, write on %q",
+					s.problem.Alg.Op(mp.Op).Name, i,
+					s.problem.Arc.Proc(reads[i].Proc).Name,
+					s.problem.Arc.Proc(writes[i].Proc).Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) validateSequences() error {
+	for p, seq := range s.procSeq {
+		for i := 1; i < len(seq); i++ {
+			if seq[i].Start < seq[i-1].End-timeEps {
+				return fmt.Errorf("processor %q overlaps at item %d", s.problem.Arc.Proc(arch.ProcID(p)).Name, i)
+			}
+		}
+	}
+	for m, seq := range s.mediumSeq {
+		for i := 1; i < len(seq); i++ {
+			if seq[i].Start < seq[i-1].End-timeEps {
+				return fmt.Errorf("medium %q overlaps at item %d", s.problem.Arc.Medium(arch.MediumID(m)).Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) validateComms() error {
+	for m, seq := range s.mediumSeq {
+		medium := s.problem.Arc.Medium(arch.MediumID(m))
+		for i, c := range seq {
+			if c.Medium != medium.ID {
+				return fmt.Errorf("comm %d on medium %q claims medium %d", i, medium.Name, c.Medium)
+			}
+			if !medium.Connects(c.From) || !medium.Connects(c.To) || c.From == c.To {
+				return fmt.Errorf("comm %d on %q: endpoints %d->%d not on medium",
+					i, medium.Name, c.From, c.To)
+			}
+			dur := s.problem.Comm.Time(c.Orig, c.Medium)
+			if math.IsInf(dur, 1) || math.Abs(c.End-(c.Start+dur)) > timeEps {
+				return fmt.Errorf("comm %s on %q: bad duration (start %g end %g table %g)",
+					s.problem.Alg.EdgeName(c.Orig), medium.Name, c.Start, c.End, dur)
+			}
+			edge := s.tasks.Edge(c.Edge)
+			if c.Hop == 0 {
+				src := s.replicaAt(edge.Src, c.SrcIndex)
+				if src == nil {
+					return fmt.Errorf("comm %s: source replica %d missing", s.problem.Alg.EdgeName(c.Orig), c.SrcIndex)
+				}
+				if src.Proc != c.From {
+					return fmt.Errorf("comm %s: hop 0 leaves %d, source replica on %d",
+						s.problem.Alg.EdgeName(c.Orig), c.From, src.Proc)
+				}
+				if c.Start < src.End-timeEps {
+					return fmt.Errorf("comm %s starts %g before source replica end %g",
+						s.problem.Alg.EdgeName(c.Orig), c.Start, src.End)
+				}
+			}
+			if c.LastHop {
+				dst := s.replicaAt(edge.Dst, c.DstIndex)
+				if dst == nil {
+					return fmt.Errorf("comm %s: destination replica %d missing",
+						s.problem.Alg.EdgeName(c.Orig), c.DstIndex)
+				}
+				if dst.Proc != c.To {
+					return fmt.Errorf("comm %s: last hop reaches %d, destination replica on %d",
+						s.problem.Alg.EdgeName(c.Orig), c.To, dst.Proc)
+				}
+			}
+		}
+	}
+	return s.validateHopChains()
+}
+
+// validateHopChains checks multi-hop deliveries are contiguous in space and
+// time.
+func (s *Schedule) validateHopChains() error {
+	type chainKey struct {
+		edge     model.TaskEdgeID
+		srcIndex int
+		dstIndex int
+	}
+	chains := make(map[chainKey][]*Comm)
+	for _, seq := range s.mediumSeq {
+		for _, c := range seq {
+			k := chainKey{c.Edge, c.SrcIndex, c.DstIndex}
+			chains[k] = append(chains[k], c)
+		}
+	}
+	for k, hops := range chains {
+		byHop := make([]*Comm, len(hops))
+		for _, c := range hops {
+			if c.Hop < 0 || c.Hop >= len(hops) || byHop[c.Hop] != nil {
+				return fmt.Errorf("comm chain %v: bad hop numbering", k)
+			}
+			byHop[c.Hop] = c
+		}
+		for i := 1; i < len(byHop); i++ {
+			if byHop[i].From != byHop[i-1].To {
+				return fmt.Errorf("comm chain %v: hop %d discontinuous", k, i)
+			}
+			if byHop[i].Start < byHop[i-1].End-timeEps {
+				return fmt.Errorf("comm chain %v: hop %d starts before hop %d ends", k, i, i-1)
+			}
+		}
+		if !byHop[len(byHop)-1].LastHop {
+			return fmt.Errorf("comm chain %v: missing last hop", k)
+		}
+	}
+	return nil
+}
+
+// validateCoverage checks the Figure 3 rule and data availability for every
+// replica.
+func (s *Schedule) validateCoverage() error {
+	// arrivals[task][index][edge] collects last-hop delivery times.
+	arrivals := make(map[model.TaskID]map[int]map[model.TaskEdgeID][]float64)
+	for _, seq := range s.mediumSeq {
+		for _, c := range seq {
+			if !c.LastHop {
+				continue
+			}
+			edge := s.tasks.Edge(c.Edge)
+			byIdx, ok := arrivals[edge.Dst]
+			if !ok {
+				byIdx = make(map[int]map[model.TaskEdgeID][]float64)
+				arrivals[edge.Dst] = byIdx
+			}
+			byEdge, ok := byIdx[c.DstIndex]
+			if !ok {
+				byEdge = make(map[model.TaskEdgeID][]float64)
+				byIdx[c.DstIndex] = byEdge
+			}
+			byEdge[c.Edge] = append(byEdge[c.Edge], c.End)
+		}
+	}
+	for t := 0; t < s.tasks.NumTasks(); t++ {
+		tid := model.TaskID(t)
+		for _, r := range s.replicas[t] {
+			for _, eid := range s.tasks.In(tid) {
+				edge := s.tasks.Edge(eid)
+				ends := arrivals[tid][r.Index][eid]
+				if len(ends) == 0 {
+					// The static executive reads this input locally; a
+					// co-located predecessor replica must exist and have
+					// finished first. (A predecessor duplicated onto the
+					// processor *after* this replica was placed does not
+					// count: the replica reads from its scheduled comms.)
+					local := s.ReplicaOn(edge.Src, r.Proc)
+					if local == nil {
+						return fmt.Errorf("replica %q#%d: edge %s has no incoming comm and no local source",
+							s.tasks.Task(tid).Name, r.Index, s.problem.Alg.EdgeName(edge.Orig))
+					}
+					if r.Start < local.End-timeEps {
+						return fmt.Errorf("replica %q#%d starts %g before local input %q ends %g",
+							s.tasks.Task(tid).Name, r.Index, r.Start, s.tasks.Task(edge.Src).Name, local.End)
+					}
+					continue
+				}
+				want := s.npf + 1
+				if have := len(s.replicas[edge.Src]); have < want {
+					want = have
+				}
+				if len(ends) < want {
+					return fmt.Errorf("replica %q#%d: edge %s has %d incoming comms, want %d",
+						s.tasks.Task(tid).Name, r.Index, s.problem.Alg.EdgeName(edge.Orig), len(ends), want)
+				}
+				first := math.Inf(1)
+				for _, e := range ends {
+					first = math.Min(first, e)
+				}
+				if r.Start < first-timeEps {
+					return fmt.Errorf("replica %q#%d starts %g before first input of %s at %g",
+						s.tasks.Task(tid).Name, r.Index, r.Start, s.problem.Alg.EdgeName(edge.Orig), first)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) replicaAt(t model.TaskID, index int) *Replica {
+	reps := s.replicas[t]
+	if index < 0 || index >= len(reps) {
+		return nil
+	}
+	return reps[index]
+}

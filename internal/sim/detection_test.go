@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+)
+
+// The paper's Section 5 contrasts the two failure-detection options on
+// intermittent failures: with option 1 (no detection) a processor that
+// recovers keeps receiving inputs and rejoins; with option 2 the missing
+// comm marks it faulty forever — even though it came back to life, the
+// healthy processors never learn that, so the cut stays.
+
+func TestIntermittentRecoveryUnderOption1(t *testing.T) {
+	s := paperSchedule(t)
+	free, err := Run(s, Scenario{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1 silent during [1, 3): its early I->A comm towards P3 is skipped,
+	// its own computations are delayed, but it recovers.
+	res, err := Run(s, Scenario{
+		Iterations: 3,
+		Failures:   []Failure{Intermittent(0, 1, 3)},
+		Detection:  DetectionNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllOutputsOK() {
+		t.Fatal("intermittent failure lost outputs under option 1")
+	}
+	// Once the perturbation drains, the steady state matches fault-free:
+	// the last iteration delivers every comm again.
+	lastFree := free.Iterations[2]
+	last := res.Iterations[2]
+	if last.Delivered != lastFree.Delivered {
+		t.Errorf("option 1: delivered %d comms in iteration 3, fault-free delivers %d",
+			last.Delivered, lastFree.Delivered)
+	}
+	if last.Dead != 0 {
+		t.Errorf("option 1: %d replicas dead after recovery", last.Dead)
+	}
+}
+
+func TestIntermittentCannotRejoinUnderOption2(t *testing.T) {
+	s := paperSchedule(t)
+	free, err := Run(s, Scenario{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, Scenario{
+		Iterations: 3,
+		Failures:   []Failure{Intermittent(0, 1, 3)},
+		Detection:  DetectionExpected,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masking still holds (the outputs come from the other replicas)...
+	if !res.AllOutputsOK() {
+		t.Fatal("intermittent failure lost outputs under option 2")
+	}
+	// ...but the detection mistake persists: some healthy processor
+	// dropped its comms towards the recovered P1 forever, so the last
+	// iteration delivers strictly fewer comms than fault-free (the
+	// paper's "even if this faulty processor comes back to life, the
+	// other healthy processors will never be able to detect that").
+	lastFree := free.Iterations[2]
+	last := res.Iterations[2]
+	if last.Delivered >= lastFree.Delivered {
+		t.Errorf("option 2: delivered %d comms in iteration 3, want fewer than fault-free %d",
+			last.Delivered, lastFree.Delivered)
+	}
+}
+
+func TestDetectionNeverBreaksMaskingOnRandomProblems(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p, err := gen.Generate(gen.Params{N: 15, CCR: 1, Procs: 4, Npf: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for proc := 0; proc < 4; proc++ {
+			sim, err := Run(res.Schedule, Scenario{
+				Iterations: 2,
+				Failures:   []Failure{Permanent(arch.ProcID(proc), 0)},
+				Detection:  DetectionExpected,
+			})
+			if err != nil {
+				t.Fatalf("seed %d proc %d: %v", seed, proc, err)
+			}
+			if !sim.AllOutputsOK() {
+				t.Errorf("seed %d: detection broke masking for crash of P%d", seed, proc+1)
+			}
+		}
+	}
+}
+
+func TestMakespanMonotoneUnderGrowingOutage(t *testing.T) {
+	s := paperSchedule(t)
+	prev := 0.0
+	for _, until := range []float64{1, 2, 4, 8} {
+		res, err := Run(s, Scenario{Failures: []Failure{Intermittent(0, 0.5, until)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := res.Iterations[0].Makespan
+		if mk < prev-1e-9 {
+			t.Errorf("outage until %g shrank makespan: %g < %g", until, mk, prev)
+		}
+		if !res.Iterations[0].OutputsOK {
+			t.Errorf("outage until %g lost outputs", until)
+		}
+		prev = mk
+	}
+	// An outage longer than the whole schedule behaves like a crash.
+	crash, err := CrashAtZero(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(s, Scenario{Failures: []Failure{Intermittent(0, 0, math.Inf(1))}})
+	if err == nil {
+		if long.Iterations[0].Makespan != crash.Iterations[0].Makespan {
+			t.Errorf("infinite outage %g != crash %g",
+				long.Iterations[0].Makespan, crash.Iterations[0].Makespan)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/model"
+)
+
+// TestQuickFaultFreeSimMatchesSchedule: on random problems, executing the
+// schedule without failures reproduces the scheduler's recorded times
+// exactly — the discrete-event semantics and the list-scheduling placement
+// rules are two implementations of the same timing model.
+func TestQuickFaultFreeSimMatchesSchedule(t *testing.T) {
+	f := func(seed int64, nRaw, ccrRaw uint8) bool {
+		p, err := gen.Generate(gen.Params{
+			N:             int(nRaw%25) + 2,
+			CCR:           0.2 + float64(ccrRaw%60)/10,
+			Procs:         4,
+			Npf:           1,
+			Seed:          seed,
+			Heterogeneity: 0.25,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := core.Run(p, core.Options{})
+		if err != nil {
+			return false
+		}
+		s := res.Schedule
+		simRes, err := Run(s, Scenario{})
+		if err != nil {
+			t.Logf("sim(seed=%d): %v", seed, err)
+			return false
+		}
+		ir := simRes.Iterations[0]
+		if ir.Dead != 0 || !ir.OutputsOK {
+			return false
+		}
+		for task := 0; task < s.Tasks().NumTasks(); task++ {
+			for _, r := range s.Replicas(model.TaskID(task)) {
+				start, end, ok := ir.ReplicaWindow(r.Task, r.Index)
+				if !ok || math.Abs(start-r.Start) > 1e-9 || math.Abs(end-r.End) > 1e-9 {
+					t.Logf("seed=%d: replica %d#%d executed [%g,%g], recorded [%g,%g]",
+						seed, r.Task, r.Index, start, end, r.Start, r.End)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeadlockFreedom probes the paper's deadlock-freedom claim: under
+// arbitrary (even excessive) failure sets, the executor always resolves
+// every item — nothing ever stalls with work both pending and eligible.
+func TestQuickDeadlockFreedom(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mask uint8, at float64) bool {
+		p, err := gen.Generate(gen.Params{
+			N: int(nRaw%20) + 2, CCR: 1.5, Procs: 4, Npf: 1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := core.Run(p, core.Options{})
+		if err != nil {
+			return false
+		}
+		when := math.Abs(at)
+		if math.IsNaN(when) || math.IsInf(when, 0) {
+			when = 0
+		}
+		when = math.Mod(when, res.Schedule.Length()+1)
+		var failures []Failure
+		for proc := 0; proc < 4; proc++ {
+			if mask&(1<<proc) != 0 {
+				failures = append(failures, Permanent(arch.ProcID(proc), when))
+			}
+		}
+		_, err = Run(res.Schedule, Scenario{Failures: failures, Iterations: 2})
+		if err != nil {
+			t.Logf("seed=%d mask=%b at=%g: %v", seed, mask, when, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

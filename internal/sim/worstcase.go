@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/sched"
+)
+
+// CrashAtZero simulates one iteration with processor p failed from the
+// start, the configuration of the paper's Figure 8.
+func CrashAtZero(s *sched.Schedule, p arch.ProcID) (*Result, error) {
+	return Run(s, Scenario{Failures: []Failure{Permanent(p, 0)}})
+}
+
+// CrashReport is the outcome of a worst-case single-failure sweep.
+type CrashReport struct {
+	// Proc is the crashed processor.
+	Proc arch.ProcID
+	// WorstAt is the crash instant that maximises the makespan.
+	WorstAt float64
+	// WorstMakespan is the resulting makespan.
+	WorstMakespan float64
+	// AtZeroMakespan is the makespan when the processor fails at time 0
+	// (the figure the paper reports).
+	AtZeroMakespan float64
+	// Masked reports whether every probed crash instant still produced all
+	// outputs (failure masking held).
+	Masked bool
+}
+
+// crashEps separates a probe instant from the event boundary it targets.
+const crashEps = 1e-6
+
+// SingleFailureSweep probes, for every processor, the crash instants that
+// can change the outcome: time zero and just before/after each completion
+// of the processor's replicas and outgoing comms in the fault-free timing.
+// It returns one report per processor. The schedule must tolerate one
+// failure (Npf >= 1) for Masked to hold.
+func SingleFailureSweep(s *sched.Schedule) ([]CrashReport, error) {
+	nP := s.Problem().Arc.NumProcs()
+	reports := make([]CrashReport, 0, nP)
+	for p := 0; p < nP; p++ {
+		proc := arch.ProcID(p)
+		times := crashProbes(s, proc)
+		report := CrashReport{Proc: proc, Masked: true, WorstAt: -1}
+		for _, at := range times {
+			res, err := Run(s, Scenario{Failures: []Failure{Permanent(proc, at)}})
+			if err != nil {
+				return nil, err
+			}
+			mk := res.Iterations[0].Makespan
+			if mk > report.WorstMakespan {
+				report.WorstMakespan = mk
+				report.WorstAt = at
+			}
+			if at == 0 {
+				report.AtZeroMakespan = mk
+			}
+			if !res.Iterations[0].OutputsOK {
+				report.Masked = false
+			}
+		}
+		reports = append(reports, report)
+	}
+	return reports, nil
+}
+
+// crashProbes returns the candidate crash instants for a processor.
+func crashProbes(s *sched.Schedule, p arch.ProcID) []float64 {
+	probes := []float64{0}
+	add := func(t float64) {
+		if t > 0 {
+			probes = append(probes, t)
+		}
+	}
+	for _, r := range s.ProcSeq(p) {
+		add(r.End - crashEps)
+		add(r.End + crashEps)
+	}
+	for m := 0; m < s.Problem().Arc.NumMedia(); m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
+			if c.From == p {
+				add(c.End - crashEps)
+				add(c.End + crashEps)
+			}
+		}
+	}
+	return probes
+}
+
+// WorstSingleFailureMakespan returns the largest makespan over every
+// processor and probed crash instant, with the fault-free makespan as the
+// floor. This is the bound to compare against Rtc when one failure must be
+// tolerated (the paper checks Rtc "both in the presence and in the absence
+// of failures").
+func WorstSingleFailureMakespan(s *sched.Schedule) (float64, error) {
+	worst := s.Length()
+	reports, err := SingleFailureSweep(s)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range reports {
+		worst = math.Max(worst, r.WorstMakespan)
+	}
+	return worst, nil
+}

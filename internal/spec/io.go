@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// problemJSON is the on-disk shape of a Problem. Times are encoded as JSON
+// numbers; forbidden (∞) entries are the string "inf", which standard JSON
+// cannot express as a number.
+type problemJSON struct {
+	Alg  *model.Graph       `json:"algorithm"`
+	Arc  *arch.Architecture `json:"architecture"`
+	Exec [][]jsonTime       `json:"exec"` // [op][proc]
+	Comm [][]jsonTime       `json:"comm"` // [edge][medium]
+	Rtc  rtcJSON            `json:"rtc"`
+	Npf  int                `json:"npf"`
+}
+
+type rtcJSON struct {
+	Deadline    jsonTime            `json:"deadline,omitempty"`
+	OpDeadlines map[string]jsonTime `json:"op_deadlines,omitempty"`
+}
+
+// jsonTime marshals +Inf as the string "inf".
+type jsonTime float64
+
+// MarshalJSON encodes the duration, mapping +Inf to "inf".
+func (t jsonTime) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(t), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(t))
+}
+
+// UnmarshalJSON decodes either a number or the string "inf".
+func (t *jsonTime) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s == "inf" {
+			*t = jsonTime(math.Inf(1))
+			return nil
+		}
+		return fmt.Errorf("spec: bad time string %q (only \"inf\" is allowed)", s)
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("spec: bad time: %w", err)
+	}
+	*t = jsonTime(f)
+	return nil
+}
+
+// MarshalJSON encodes the whole problem.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	doc := problemJSON{Alg: p.Alg, Arc: p.Arc, Npf: p.Npf}
+	doc.Exec = make([][]jsonTime, p.Alg.NumOps())
+	for op := range doc.Exec {
+		row := make([]jsonTime, p.Arc.NumProcs())
+		for proc := range row {
+			row[proc] = jsonTime(p.Exec.Time(model.OpID(op), arch.ProcID(proc)))
+		}
+		doc.Exec[op] = row
+	}
+	doc.Comm = make([][]jsonTime, p.Alg.NumEdges())
+	for e := range doc.Comm {
+		row := make([]jsonTime, p.Arc.NumMedia())
+		for m := range row {
+			row[m] = jsonTime(p.Comm.Time(model.EdgeID(e), arch.MediumID(m)))
+		}
+		doc.Comm[e] = row
+	}
+	doc.Rtc.Deadline = jsonTime(p.Rtc.Deadline)
+	if len(p.Rtc.OpDeadlines) > 0 {
+		doc.Rtc.OpDeadlines = make(map[string]jsonTime, len(p.Rtc.OpDeadlines))
+		for op, d := range p.Rtc.OpDeadlines {
+			doc.Rtc.OpDeadlines[p.Alg.Op(op).Name] = jsonTime(d)
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a problem written by MarshalJSON into an empty
+// receiver.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	if p.Alg != nil {
+		return fmt.Errorf("spec: unmarshal into non-empty problem")
+	}
+	var doc struct {
+		Alg  json.RawMessage `json:"algorithm"`
+		Arc  json.RawMessage `json:"architecture"`
+		Exec [][]jsonTime    `json:"exec"`
+		Comm [][]jsonTime    `json:"comm"`
+		Rtc  rtcJSON         `json:"rtc"`
+		Npf  int             `json:"npf"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("spec: decode problem: %w", err)
+	}
+	g := model.NewGraph()
+	if err := json.Unmarshal(doc.Alg, g); err != nil {
+		return err
+	}
+	a := arch.New()
+	if err := json.Unmarshal(doc.Arc, a); err != nil {
+		return err
+	}
+	p.Alg, p.Arc, p.Npf = g, a, doc.Npf
+	p.Exec = NewExecTable(g, a)
+	if len(doc.Exec) != g.NumOps() {
+		return fmt.Errorf("%w: exec rows %d, ops %d", ErrShape, len(doc.Exec), g.NumOps())
+	}
+	for op, row := range doc.Exec {
+		if len(row) != a.NumProcs() {
+			return fmt.Errorf("%w: exec row %d has %d cols, procs %d", ErrShape, op, len(row), a.NumProcs())
+		}
+		for proc, v := range row {
+			if math.IsInf(float64(v), 1) {
+				continue
+			}
+			if err := p.Exec.Set(model.OpID(op), arch.ProcID(proc), float64(v)); err != nil {
+				return err
+			}
+		}
+	}
+	p.Comm = NewCommTable(g, a)
+	if len(doc.Comm) != g.NumEdges() {
+		return fmt.Errorf("%w: comm rows %d, edges %d", ErrShape, len(doc.Comm), g.NumEdges())
+	}
+	for e, row := range doc.Comm {
+		if len(row) != a.NumMedia() {
+			return fmt.Errorf("%w: comm row %d has %d cols, media %d", ErrShape, e, len(row), a.NumMedia())
+		}
+		for m, v := range row {
+			if math.IsInf(float64(v), 1) {
+				continue
+			}
+			if err := p.Comm.Set(model.EdgeID(e), arch.MediumID(m), float64(v)); err != nil {
+				return err
+			}
+		}
+	}
+	p.Rtc = Rtc{Deadline: float64(doc.Rtc.Deadline)}
+	for name, d := range doc.Rtc.OpDeadlines {
+		op, ok := g.OpByName(name)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownForRtc, name)
+		}
+		if p.Rtc.OpDeadlines == nil {
+			p.Rtc.OpDeadlines = make(map[model.OpID]float64)
+		}
+		p.Rtc.OpDeadlines[op.ID] = float64(d)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package spec
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ftbar/internal/model"
+)
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := tinyProblem(t)
+	op, _ := p.Alg.OpByName("a")
+	p.Exec.Forbid(op.ID, 1)
+	p.Npf = 0 // op a now runs on one processor only
+	p.Rtc = Rtc{Deadline: 12.5, OpDeadlines: map[model.OpID]float64{op.ID: 3}}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Problem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Alg.NumOps() != p.Alg.NumOps() || back.Arc.NumProcs() != p.Arc.NumProcs() {
+		t.Fatal("round trip lost graph or architecture")
+	}
+	if got := back.Exec.Time(op.ID, 1); !math.IsInf(got, 1) {
+		t.Errorf("forbidden entry = %g, want +Inf", got)
+	}
+	if got := back.Exec.Time(op.ID, 0); got != 1 {
+		t.Errorf("exec entry = %g, want 1", got)
+	}
+	if got := back.Comm.Time(0, 0); got != 0.5 {
+		t.Errorf("comm entry = %g, want 0.5", got)
+	}
+	if back.Rtc.Deadline != 12.5 {
+		t.Errorf("deadline = %g, want 12.5", back.Rtc.Deadline)
+	}
+	if got := back.Rtc.OpDeadlines[op.ID]; got != 3 {
+		t.Errorf("op deadline = %g, want 3", got)
+	}
+	if back.Npf != 0 {
+		t.Errorf("npf = %d, want 0", back.Npf)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped problem invalid: %v", err)
+	}
+}
+
+func TestProblemJSONEncodesInfAsString(t *testing.T) {
+	p := tinyProblem(t)
+	op, _ := p.Alg.OpByName("a")
+	p.Exec.Forbid(op.ID, 1)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"inf"`) {
+		t.Errorf("JSON does not contain \"inf\": %s", data)
+	}
+}
+
+func TestJsonTimeRejectsBadStrings(t *testing.T) {
+	var v jsonTime
+	if err := json.Unmarshal([]byte(`"soon"`), &v); err == nil {
+		t.Error("bad time string accepted")
+	}
+	if err := json.Unmarshal([]byte(`[]`), &v); err == nil {
+		t.Error("array time accepted")
+	}
+	if err := json.Unmarshal([]byte(`"inf"`), &v); err != nil || !math.IsInf(float64(v), 1) {
+		t.Errorf(`"inf" = %g, err %v`, float64(v), err)
+	}
+}
+
+func TestProblemUnmarshalShapeChecks(t *testing.T) {
+	p := tinyProblem(t)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Drop one exec row.
+	broken := strings.Replace(string(data), `"exec":[[1,1],[1,1]]`, `"exec":[[1,1]]`, 1)
+	if broken == string(data) {
+		t.Fatalf("fixture drift: exec rows not found in %s", data)
+	}
+	var back Problem
+	if err := json.Unmarshal([]byte(broken), &back); err == nil {
+		t.Error("short exec table accepted")
+	}
+}
+
+func TestProblemUnmarshalRejectsNonEmpty(t *testing.T) {
+	p := tinyProblem(t)
+	data, _ := json.Marshal(p)
+	if err := json.Unmarshal(data, p); err == nil {
+		t.Error("unmarshal into non-empty problem accepted")
+	}
+}

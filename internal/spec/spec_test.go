@@ -1,0 +1,261 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// tinyProblem builds a 2-op chain on 2 fully connected processors with unit
+// times.
+func tinyProblem(t *testing.T) *Problem {
+	t.Helper()
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	g.MustAddEdge(a, b)
+	ar := arch.FullyConnected(2)
+	exec, err := NewUniformExecTable(g, ar, 1)
+	if err != nil {
+		t.Fatalf("NewUniformExecTable: %v", err)
+	}
+	comm, err := NewUniformCommTable(g, ar, 0.5)
+	if err != nil {
+		t.Fatalf("NewUniformCommTable: %v", err)
+	}
+	return &Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: 1}
+}
+
+func TestExecTableSetGet(t *testing.T) {
+	g := model.NewGraph()
+	op := g.MustAddOp("x", model.Comp)
+	a := arch.FullyConnected(2)
+	e := NewExecTable(g, a)
+	if e.Allowed(op, 0) {
+		t.Error("fresh table allows placement, want Forbidden")
+	}
+	if err := e.Set(op, 0, 2.5); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if got := e.Time(op, 0); got != 2.5 {
+		t.Errorf("Time = %g, want 2.5", got)
+	}
+	if err := e.Forbid(op, 0); err != nil {
+		t.Fatalf("Forbid: %v", err)
+	}
+	if e.Allowed(op, 0) {
+		t.Error("Forbid did not forbid")
+	}
+}
+
+func TestExecTableRejectsBadValues(t *testing.T) {
+	g := model.NewGraph()
+	op := g.MustAddOp("x", model.Comp)
+	a := arch.FullyConnected(2)
+	e := NewExecTable(g, a)
+	if err := e.Set(op, 0, -1); !errors.Is(err, ErrBadTime) {
+		t.Errorf("negative time error = %v, want ErrBadTime", err)
+	}
+	if err := e.Set(op, 0, math.NaN()); !errors.Is(err, ErrBadTime) {
+		t.Errorf("NaN time error = %v, want ErrBadTime", err)
+	}
+	if err := e.Set(op, 7, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("out-of-range proc error = %v, want ErrShape", err)
+	}
+	if err := e.Set(model.OpID(9), 0, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("out-of-range op error = %v, want ErrShape", err)
+	}
+}
+
+func TestExecTableMeanAndAllowedProcs(t *testing.T) {
+	g := model.NewGraph()
+	op := g.MustAddOp("x", model.Comp)
+	a := arch.FullyConnected(3)
+	e := NewExecTable(g, a)
+	e.MustSet(op, 0, 2)
+	e.MustSet(op, 2, 4)
+	if got := e.MeanTime(op); got != 3 {
+		t.Errorf("MeanTime = %g, want 3", got)
+	}
+	procs := e.AllowedProcs(op)
+	if len(procs) != 2 || procs[0] != 0 || procs[1] != 2 {
+		t.Errorf("AllowedProcs = %v, want [0 2]", procs)
+	}
+	g2 := model.NewGraph()
+	op2 := g2.MustAddOp("y", model.Comp)
+	e2 := NewExecTable(g2, a)
+	if got := e2.MeanTime(op2); !math.IsInf(got, 1) {
+		t.Errorf("MeanTime with no allowed proc = %g, want +Inf", got)
+	}
+}
+
+func TestCommTableMean(t *testing.T) {
+	g := model.NewGraph()
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	e := g.MustAddEdge(a, b)
+	ar := arch.FullyConnected(3)
+	c := NewCommTable(g, ar)
+	if got := c.MeanTime(e); got != 0 {
+		t.Errorf("MeanTime with no media = %g, want 0 (local only)", got)
+	}
+	c.MustSet(e, 0, 1)
+	c.MustSet(e, 1, 3)
+	if got := c.MeanTime(e); got != 2 {
+		t.Errorf("MeanTime = %g, want 2", got)
+	}
+	if !c.Allowed(e, 0) || c.Allowed(e, 2) {
+		t.Error("Allowed flags wrong after sets")
+	}
+}
+
+func TestUniformTablesRejectBadValues(t *testing.T) {
+	g := model.NewGraph()
+	g.MustAddOp("x", model.Comp)
+	a := arch.FullyConnected(2)
+	if _, err := NewUniformExecTable(g, a, -1); !errors.Is(err, ErrBadTime) {
+		t.Errorf("uniform exec error = %v, want ErrBadTime", err)
+	}
+	if _, err := NewUniformCommTable(g, a, math.NaN()); !errors.Is(err, ErrBadTime) {
+		t.Errorf("uniform comm error = %v, want ErrBadTime", err)
+	}
+}
+
+func TestProblemValidateAcceptsTiny(t *testing.T) {
+	p := tinyProblem(t)
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+	tg, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if tg.NumTasks() != 2 {
+		t.Errorf("NumTasks = %d, want 2", tg.NumTasks())
+	}
+	// Compile memoises.
+	tg2, err := p.Compile()
+	if err != nil || tg2 != tg {
+		t.Errorf("Compile not memoised: %p vs %p, err=%v", tg, tg2, err)
+	}
+}
+
+func TestProblemValidateRejectsNegativeNpf(t *testing.T) {
+	p := tinyProblem(t)
+	p.Npf = -1
+	if err := p.Validate(); !errors.Is(err, ErrNegativeNpf) {
+		t.Errorf("Validate() = %v, want ErrNegativeNpf", err)
+	}
+}
+
+func TestProblemValidateRejectsTooFewProcs(t *testing.T) {
+	p := tinyProblem(t)
+	p.Npf = 2 // needs 3 replicas on 2 processors
+	if err := p.Validate(); !errors.Is(err, ErrTooFewprocs) {
+		t.Errorf("Validate() = %v, want ErrTooFewprocs", err)
+	}
+}
+
+func TestProblemValidateRejectsUnplaceableOp(t *testing.T) {
+	p := tinyProblem(t)
+	op, _ := p.Alg.OpByName("a")
+	p.Exec.Forbid(op.ID, 0)
+	p.Exec.Forbid(op.ID, 1)
+	if err := p.Validate(); !errors.Is(err, ErrOpUnplaceable) {
+		t.Errorf("Validate() = %v, want ErrOpUnplaceable", err)
+	}
+}
+
+func TestProblemValidateRejectsUntravellableEdge(t *testing.T) {
+	p := tinyProblem(t)
+	// Forbid the only medium for the only edge: placements on distinct
+	// processors become unreachable.
+	p.Comm = NewCommTable(p.Alg, p.Arc)
+	if err := p.Validate(); !errors.Is(err, ErrEdgeUntravel) {
+		t.Errorf("Validate() = %v, want ErrEdgeUntravel", err)
+	}
+}
+
+func TestProblemValidateRejectsShapeMismatch(t *testing.T) {
+	p := tinyProblem(t)
+	other := arch.FullyConnected(3)
+	p.Exec = NewExecTable(p.Alg, other)
+	if err := p.Validate(); !errors.Is(err, ErrShape) {
+		t.Errorf("Validate() = %v, want ErrShape", err)
+	}
+}
+
+func TestProblemValidateRejectsNil(t *testing.T) {
+	p := &Problem{}
+	if err := p.Validate(); !errors.Is(err, ErrShape) {
+		t.Errorf("Validate() = %v, want ErrShape", err)
+	}
+}
+
+func TestRtcValidate(t *testing.T) {
+	p := tinyProblem(t)
+	p.Rtc = Rtc{Deadline: 10}
+	if err := p.Validate(); err != nil {
+		t.Errorf("deadline 10: %v", err)
+	}
+	p.Rtc = Rtc{Deadline: -2}
+	if err := p.Validate(); !errors.Is(err, ErrBadDeadline) {
+		t.Errorf("negative deadline error = %v, want ErrBadDeadline", err)
+	}
+	op, _ := p.Alg.OpByName("a")
+	p.Rtc = Rtc{OpDeadlines: map[model.OpID]float64{op.ID: 0}}
+	if err := p.Validate(); !errors.Is(err, ErrBadDeadline) {
+		t.Errorf("zero op deadline error = %v, want ErrBadDeadline", err)
+	}
+	p.Rtc = Rtc{OpDeadlines: map[model.OpID]float64{model.OpID(99): 1}}
+	if err := p.Validate(); !errors.Is(err, ErrUnknownForRtc) {
+		t.Errorf("unknown op deadline error = %v, want ErrUnknownForRtc", err)
+	}
+}
+
+func TestRtcUnconstrained(t *testing.T) {
+	if !(Rtc{}).Unconstrained() {
+		t.Error("zero Rtc should be unconstrained")
+	}
+	if (Rtc{Deadline: 5}).Unconstrained() {
+		t.Error("deadline 5 should constrain")
+	}
+	if !(Rtc{Deadline: math.Inf(1)}).Unconstrained() {
+		t.Error("+Inf deadline should be unconstrained")
+	}
+}
+
+func TestProblemCloneIsDeep(t *testing.T) {
+	p := tinyProblem(t)
+	p.Rtc = Rtc{Deadline: 9, OpDeadlines: map[model.OpID]float64{0: 5}}
+	c := p.Clone()
+	op, _ := c.Alg.OpByName("a")
+	c.Exec.MustSet(op.ID, 0, 42)
+	c.Rtc.OpDeadlines[0] = 1
+	if p.Exec.Time(op.ID, 0) == 42 {
+		t.Error("clone shares exec table")
+	}
+	if p.Rtc.OpDeadlines[0] == 1 {
+		t.Error("clone shares Rtc map")
+	}
+}
+
+func TestHomogenizeAverages(t *testing.T) {
+	p := tinyProblem(t)
+	op, _ := p.Alg.OpByName("a")
+	p.Exec.MustSet(op.ID, 0, 1)
+	p.Exec.MustSet(op.ID, 1, 3)
+	h := p.Homogenize()
+	for proc := 0; proc < 2; proc++ {
+		if got := h.Exec.Time(op.ID, arch.ProcID(proc)); got != 2 {
+			t.Errorf("homogenized exec on P%d = %g, want 2", proc+1, got)
+		}
+	}
+	// Original untouched.
+	if p.Exec.Time(op.ID, 0) != 1 {
+		t.Error("Homogenize mutated the original")
+	}
+}
