@@ -6,6 +6,8 @@
 //	ftbench -experiment fig9             # overhead vs N (Figure 9)
 //	ftbench -experiment fig10            # overhead vs CCR (Figure 10)
 //	ftbench -experiment npf              # overhead vs Npf (Sect. 7)
+//	ftbench -experiment scaling          # engine-vs-engine wall clock
+//	ftbench -experiment scaling -json    # machine-readable (BENCH_*.json)
 //	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
 //	ftbench -experiment fig10 -csv       # CSV series for plotting
 package main
@@ -28,10 +30,11 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +77,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Figure 10: overhead vs CCR (N=%d, P=%d, Npf=1, %d graphs/point)\n",
 			cfg.N, cfg.Procs, cfg.Graphs)
 		return bench.RenderPoints(out, "CCR", pts)
+	case "scaling":
+		cfg := bench.DefaultScaling()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		rep, err := bench.Scaling(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderScalingJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Scaling: incremental vs reference engine (CCR=%g, %d graphs/cell)\n",
+			cfg.CCR, cfg.Graphs)
+		return bench.RenderScaling(out, rep)
 	case "npf":
 		cfg := bench.DefaultNpf()
 		cfg.Seed = *seed

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,38 @@ func TestRunNpfSmall(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Npf sweep") {
 		t.Errorf("missing header: %s", out.String())
+	}
+}
+
+func TestRunScalingSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "scaling", "-graphs", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Scaling", "speedup", "identical"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunScalingJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "scaling", "-graphs", "1", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			Tasks   int     `json:"tasks"`
+			Speedup float64 `json:"speedup"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Experiment != "scaling" || len(rep.Cells) == 0 {
+		t.Errorf("unexpected report: %+v", rep)
 	}
 }
 

@@ -38,11 +38,28 @@
 //	res, err := ftbar.Run(p, ftbar.Options{})
 //	// res.Schedule masks any single processor crash.
 //
+// # Scheduling engines
+//
+// Run schedules with one of two engines selected by Options.Engine. The
+// default EngineIncremental maintains an indegree ready queue, caches
+// schedule pressures per (task, processor) under revision-stamp
+// invalidation, previews cold pairs on a bounded worker pool, and undoes
+// speculative duplications with in-place checkpoints; EngineReference is
+// the straightforward implementation that redoes every step from
+// scratch. Both produce bit-identical schedules — a property enforced by
+// differential tests — so the choice is purely a performance one:
+//
+//	res, _ := ftbar.Run(p, ftbar.Options{})                          // fast engine
+//	ref, _ := ftbar.Run(p, ftbar.Options{Engine: ftbar.EngineReference})
+//
+// The engine-vs-engine scaling grid runs with
+// `ftbench -experiment scaling [-json]`.
+//
 // The packages under internal implement the substrates: the algorithm and
 // architecture models, the time tables, the schedule structure, the FTBAR
 // and HBP heuristics, the random workload generator of the paper's
 // Section 6.1, a discrete-event executor with failure injection, a
 // goroutine-based distributed executive, and the benchmark harness that
 // regenerates every table and figure of the paper's evaluation (see
-// DESIGN.md and EXPERIMENTS.md).
+// DESIGN.md; the experiment index is DESIGN.md Section 3).
 package ftbar

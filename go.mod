@@ -1,0 +1,3 @@
+module ftbar
+
+go 1.24

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+)
+
+// ScalingConfig parameterises the engine-vs-engine scaling experiment: a
+// (tasks × processors × Npf) grid on which the reference and incremental
+// engines schedule the same generated problems, wall-clock timed. The
+// grid gives future PRs a perf trajectory (BENCH_*.json) and pins the
+// exactness claim: every cell checks the decision logs stayed identical.
+type ScalingConfig struct {
+	Tasks  []int   `json:"tasks"`
+	Procs  []int   `json:"procs"`
+	Npfs   []int   `json:"npfs"`
+	CCR    float64 `json:"ccr"`
+	Graphs int     `json:"graphs"`
+	Seed   int64   `json:"seed"`
+}
+
+// DefaultScaling returns the standard grid, topping out at the
+// 100-task / 6-processor / Npf=1 cell the roadmap tracks.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		Tasks:  []int{25, 50, 100},
+		Procs:  []int{4, 6},
+		Npfs:   []int{0, 1},
+		CCR:    1,
+		Graphs: 3,
+		Seed:   2003,
+	}
+}
+
+// ScalingCell is one measured grid point, aggregated over Graphs problems.
+type ScalingCell struct {
+	Tasks         int     `json:"tasks"`
+	Procs         int     `json:"procs"`
+	Npf           int     `json:"npf"`
+	Graphs        int     `json:"graphs"`
+	ReferenceNs   int64   `json:"reference_ns"`
+	IncrementalNs int64   `json:"incremental_ns"`
+	Speedup       float64 `json:"speedup"`
+	// Identical reports that both engines produced the same decision log
+	// and schedule length on every problem of the cell.
+	Identical  bool    `json:"identical"`
+	MeanLength float64 `json:"mean_length"`
+}
+
+// ScalingReport is the machine-readable outcome of the experiment.
+type ScalingReport struct {
+	Experiment string        `json:"experiment"`
+	Config     ScalingConfig `json:"config"`
+	Cells      []ScalingCell `json:"cells"`
+}
+
+// stepsIdentical compares two decision logs exactly.
+func stepsIdentical(a, b []core.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Task != b[i].Task || a[i].Urgency != b[i].Urgency || len(a[i].Procs) != len(b[i].Procs) {
+			return false
+		}
+		for j := range a[i].Procs {
+			if a[i].Procs[j] != b[i].Procs[j] || a[i].Sigmas[j] != b[i].Sigmas[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Scaling runs the grid. Each problem is scheduled once per engine; the
+// cell accumulates wall-clock time per engine and verifies the runs
+// agreed.
+func Scaling(cfg ScalingConfig) (*ScalingReport, error) {
+	if len(cfg.Tasks) == 0 || len(cfg.Procs) == 0 || len(cfg.Npfs) == 0 || cfg.Graphs < 1 {
+		return nil, fmt.Errorf("%w: scaling %+v", ErrBadConfig, cfg)
+	}
+	rep := &ScalingReport{Experiment: "scaling", Config: cfg}
+	for _, n := range cfg.Tasks {
+		for _, procs := range cfg.Procs {
+			for _, npf := range cfg.Npfs {
+				if npf >= procs {
+					continue
+				}
+				cell := ScalingCell{Tasks: n, Procs: procs, Npf: npf, Graphs: cfg.Graphs, Identical: true}
+				for g := 0; g < cfg.Graphs; g++ {
+					seed := cfg.Seed*1_000_183 + int64(n)*4001 + int64(procs)*211 + int64(npf)*47 + int64(g+1)
+					problem, err := gen.Generate(gen.Params{
+						N: n, CCR: cfg.CCR, Procs: procs, Npf: npf, Seed: seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					start := time.Now()
+					ref, err := core.Run(problem, core.Options{Engine: core.EngineReference})
+					cell.ReferenceNs += time.Since(start).Nanoseconds()
+					if err != nil {
+						return nil, fmt.Errorf("reference engine (N=%d P=%d Npf=%d): %w", n, procs, npf, err)
+					}
+					start = time.Now()
+					inc, err := core.Run(problem, core.Options{Engine: core.EngineIncremental})
+					cell.IncrementalNs += time.Since(start).Nanoseconds()
+					if err != nil {
+						return nil, fmt.Errorf("incremental engine (N=%d P=%d Npf=%d): %w", n, procs, npf, err)
+					}
+					if !stepsIdentical(ref.Steps, inc.Steps) ||
+						ref.Schedule.Length() != inc.Schedule.Length() {
+						cell.Identical = false
+					}
+					cell.MeanLength += inc.Schedule.Length()
+				}
+				cell.MeanLength /= float64(cfg.Graphs)
+				if cell.IncrementalNs > 0 {
+					cell.Speedup = float64(cell.ReferenceNs) / float64(cell.IncrementalNs)
+				}
+				rep.Cells = append(rep.Cells, cell)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RenderScaling writes the report as a fixed-width text table.
+func RenderScaling(w io.Writer, rep *ScalingReport) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s %4s | %12s %12s %8s | %9s %6s\n",
+		"tasks", "procs", "Npf", "ref ms", "incr ms", "speedup", "identical", "graphs")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&b, "%6d %6d %4d | %12.2f %12.2f %7.2fx | %9v %6d\n",
+			c.Tasks, c.Procs, c.Npf,
+			float64(c.ReferenceNs)/1e6, float64(c.IncrementalNs)/1e6,
+			c.Speedup, c.Identical, c.Graphs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderScalingJSON writes the report as indented JSON, the format the
+// BENCH_*.json trajectory files track across PRs.
+func RenderScalingJSON(w io.Writer, rep *ScalingReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

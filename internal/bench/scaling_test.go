@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Tasks:  []int{10, 20},
+		Procs:  []int{3},
+		Npfs:   []int{0, 1, 2},
+		CCR:    1,
+		Graphs: 2,
+		Seed:   7,
+	}
+}
+
+func TestScalingGrid(t *testing.T) {
+	rep, err := Scaling(smallScalingConfig())
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	if got, want := len(rep.Cells), 2*1*3; got != want {
+		t.Fatalf("cells = %d, want %d", got, want)
+	}
+	for _, c := range rep.Cells {
+		if !c.Identical {
+			t.Errorf("cell N=%d P=%d Npf=%d: engines disagreed", c.Tasks, c.Procs, c.Npf)
+		}
+		if c.ReferenceNs <= 0 || c.IncrementalNs <= 0 {
+			t.Errorf("cell N=%d P=%d Npf=%d: missing timings %d/%d",
+				c.Tasks, c.Procs, c.Npf, c.ReferenceNs, c.IncrementalNs)
+		}
+		if c.MeanLength <= 0 {
+			t.Errorf("cell N=%d P=%d Npf=%d: mean length %g", c.Tasks, c.Procs, c.Npf, c.MeanLength)
+		}
+	}
+}
+
+func TestScalingSkipsNpfGEProcs(t *testing.T) {
+	cfg := smallScalingConfig()
+	cfg.Procs = []int{2}
+	rep, err := Scaling(cfg)
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	for _, c := range rep.Cells {
+		if c.Npf >= c.Procs {
+			t.Errorf("cell with Npf %d >= Procs %d not skipped", c.Npf, c.Procs)
+		}
+	}
+}
+
+func TestScalingBadConfig(t *testing.T) {
+	if _, err := Scaling(ScalingConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRenderScalingJSONRoundTrips(t *testing.T) {
+	rep, err := Scaling(smallScalingConfig())
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	var out strings.Builder
+	if err := RenderScalingJSON(&out, rep); err != nil {
+		t.Fatalf("RenderScalingJSON: %v", err)
+	}
+	var back ScalingReport
+	if err := json.Unmarshal([]byte(out.String()), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if back.Experiment != "scaling" || len(back.Cells) != len(rep.Cells) {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestRenderScalingTable(t *testing.T) {
+	rep, err := Scaling(smallScalingConfig())
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	var out strings.Builder
+	if err := RenderScaling(&out, rep); err != nil {
+		t.Fatalf("RenderScaling: %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Errorf("table missing header: %s", out.String())
+	}
+}

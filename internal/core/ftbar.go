@@ -34,6 +34,25 @@ var (
 	ErrInternal          = errors.New("core: internal scheduling inconsistency")
 )
 
+// Engine selects the scheduling engine implementation. Both engines run
+// the same heuristic and produce bit-identical decision logs and
+// schedules; they differ only in how much work each step redoes.
+type Engine int
+
+const (
+	// EngineIncremental is the default: candidates come from an
+	// indegree-counter ready queue, schedule pressures are cached per
+	// (task, processor) and invalidated by the schedule's revision
+	// counters, and cold previews fan out across a bounded worker pool
+	// (DESIGN.md Section 8).
+	EngineIncremental Engine = iota
+	// EngineReference is the seed implementation: a full candidate rescan
+	// and uncached pressure previews at every step. It is kept as the
+	// oracle of the differential tests and the baseline of the scaling
+	// benchmark.
+	EngineReference
+)
+
 // Options tunes the heuristic. The zero value is the paper's FTBAR.
 type Options struct {
 	// NoDuplication disables Minimize-start-time (the Ahmad-Kwok
@@ -44,6 +63,14 @@ type Options struct {
 	// paper's calibration excludes them (see the package comment); this
 	// knob exists for the ablation benchmarks.
 	TailsWithComms bool
+	// Engine selects the scheduling engine; the incremental engine is the
+	// default and produces identical results to the reference engine.
+	Engine Engine
+	// PreviewWorkers bounds the worker pool the incremental engine uses
+	// for cold pressure previews. 0 picks GOMAXPROCS capped at 8; 1
+	// disables parallelism. Ignored by the reference engine. The result
+	// does not depend on the worker count.
+	PreviewWorkers int
 }
 
 // Step records one scheduling decision for inspection and tests.
@@ -86,11 +113,17 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 		tails: Tails(p, tg, opts.TailsWithComms),
 		done:  make([]bool, tg.NumTasks()),
 	}
+	if opts.Engine == EngineIncremental {
+		sch.rq = newReadyQueue(tg)
+		sch.cache = newSigmaCache(sch, opts.PreviewWorkers)
+	}
 	if err := sch.run(); err != nil {
 		return nil, err
 	}
-	// placeMinimized rolls back speculative duplications by swapping in a
-	// clone, so the scheduler's current schedule is the authoritative one.
+	// placeMinimized may roll back speculative duplications by swapping
+	// in a clone (reference engine) or in place (incremental engine);
+	// either way the scheduler's current schedule is the authoritative
+	// one.
 	res := &Result{
 		Schedule:      sch.s,
 		Steps:         sch.steps,
@@ -152,7 +185,21 @@ func Sigma(s *sched.Schedule, tails []float64, t model.TaskID, p arch.ProcID) fl
 	return pl.SWorst + exec + tails[t]
 }
 
-// scheduler carries the mutable state of one run.
+// sigma returns the schedule pressure of (t, p): the cached value when the
+// incremental engine holds a valid entry, a fresh computation otherwise.
+func (sch *scheduler) sigma(t model.TaskID, p arch.ProcID) float64 {
+	if sch.cache != nil {
+		if sig, ok := sch.cache.get(t, p); ok {
+			return sig
+		}
+	}
+	return Sigma(sch.s, sch.tails, t, p)
+}
+
+// scheduler carries the mutable state of one run. rq and cache are set for
+// the incremental engine and nil for the reference engine; every other
+// piece of the heuristic is shared, which is what makes the two engines'
+// decision logs bit-identical.
 type scheduler struct {
 	s     *sched.Schedule
 	tg    *model.TaskGraph
@@ -161,14 +208,27 @@ type scheduler struct {
 	tails []float64
 	done  []bool
 	steps []Step
+	rq    *readyQueue
+	cache *sigmaCache
+	// checkpoints is the reusable buffer stack of the incremental
+	// engine's in-place speculation undo.
+	checkpoints []*sched.Checkpoint
 }
 
 func (sch *scheduler) run() error {
 	remaining := sch.tg.NumTasks()
 	for remaining > 0 {
-		cands := sch.candidates()
+		var cands []model.TaskID
+		if sch.rq != nil {
+			cands = sch.rq.candidates()
+		} else {
+			cands = sch.candidates()
+		}
 		if len(cands) == 0 {
 			return fmt.Errorf("%w: %d tasks unschedulable", ErrInternal, remaining)
+		}
+		if sch.cache != nil {
+			sch.cache.prepare(cands)
 		}
 		best, procs, sigmas, err := sch.selectCandidate(cands)
 		if err != nil {
@@ -186,6 +246,9 @@ func (sch *scheduler) run() error {
 		}
 		sch.done[best] = true
 		remaining--
+		if sch.rq != nil {
+			sch.rq.commit(best)
+		}
 		sch.steps = append(sch.steps, Step{
 			Task: best, Procs: procs, Sigmas: sigmas, Urgency: sigmas[0],
 		})
@@ -264,7 +327,7 @@ func (sch *scheduler) bestProcs(t model.TaskID) ([]arch.ProcID, []float64, error
 	}
 	var all []cand
 	for p := 0; p < sch.p.Arc.NumProcs(); p++ {
-		sig := Sigma(sch.s, sch.tails, t, arch.ProcID(p))
+		sig := sch.sigma(t, arch.ProcID(p))
 		if !math.IsInf(sig, 1) {
 			all = append(all, cand{arch.ProcID(p), sig})
 		}
@@ -305,7 +368,7 @@ func (sch *scheduler) memWriteProcs(t model.TaskID) ([]arch.ProcID, []float64, e
 		sigmas := make([]float64, len(reads))
 		for i, r := range reads {
 			procs[i] = r.Proc
-			sigmas[i] = Sigma(sch.s, sch.tails, t, r.Proc)
+			sigmas[i] = sch.sigma(t, r.Proc)
 			if math.IsInf(sigmas[i], 1) {
 				return nil, nil, fmt.Errorf("%w: mem %q write forbidden on %q",
 					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(r.Proc).Name)

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// This file implements the incremental scheduling engine (DESIGN.md
+// Section 8): the ready queue that replaces the per-step candidate rescan,
+// and the revision-epoch pressure cache that replaces the per-step
+// recomputation of every candidate × processor preview. Both are exact:
+// the engine's decision log is bit-identical to the reference engine's.
+
+// readyQueue maintains the candidate set O_cand incrementally. A task is
+// ready when all its distinct predecessors are done, plus — for a mem's
+// write half — when its read half is done (the pinning rule of DESIGN.md
+// Section 4). The ready list is kept in ascending task id order so the
+// selection loop visits candidates exactly like the reference rescan.
+type readyQueue struct {
+	// indeg[t] counts the undone gating tasks of t: its distinct
+	// predecessors, plus the read half for a mem write not already
+	// connected to it by an edge.
+	indeg []int
+	// succs[t] lists the distinct successors of t; gated[t] adds the
+	// write half when t is a mem read not feeding it by an edge.
+	succs [][]model.TaskID
+	gated []model.TaskID // write half gated by read t, or -1
+	ready []model.TaskID // ascending id
+}
+
+func newReadyQueue(tg *model.TaskGraph) *readyQueue {
+	n := tg.NumTasks()
+	rq := &readyQueue{
+		indeg: make([]int, n),
+		succs: make([][]model.TaskID, n),
+		gated: make([]model.TaskID, n),
+	}
+	for t := 0; t < n; t++ {
+		rq.indeg[t] = len(tg.Preds(model.TaskID(t)))
+		rq.succs[t] = tg.Succs(model.TaskID(t))
+		rq.gated[t] = -1
+	}
+	for _, mp := range tg.MemPairs() {
+		edgeGated := false
+		for _, pred := range tg.Preds(mp.Write) {
+			if pred == mp.Read {
+				edgeGated = true
+				break
+			}
+		}
+		if !edgeGated {
+			rq.indeg[mp.Write]++
+			rq.gated[mp.Read] = mp.Write
+		}
+	}
+	for t := 0; t < n; t++ {
+		if rq.indeg[t] == 0 {
+			rq.ready = append(rq.ready, model.TaskID(t))
+		}
+	}
+	return rq
+}
+
+// candidates returns the current ready set in ascending id order. The
+// slice aliases the queue's storage and is valid until the next commit.
+func (rq *readyQueue) candidates() []model.TaskID { return rq.ready }
+
+// commit removes t from the ready set and releases the tasks it was
+// gating.
+func (rq *readyQueue) commit(t model.TaskID) {
+	for i, r := range rq.ready {
+		if r == t {
+			rq.ready = append(rq.ready[:i], rq.ready[i+1:]...)
+			break
+		}
+	}
+	for _, succ := range rq.succs[t] {
+		rq.release(succ)
+	}
+	if w := rq.gated[t]; w >= 0 {
+		rq.release(w)
+	}
+}
+
+// release decrements the gate counter of t and inserts it into the sorted
+// ready list when it reaches zero.
+func (rq *readyQueue) release(t model.TaskID) {
+	rq.indeg[t]--
+	if rq.indeg[t] != 0 {
+		return
+	}
+	lo, hi := 0, len(rq.ready)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rq.ready[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	rq.ready = append(rq.ready, 0)
+	copy(rq.ready[lo+1:], rq.ready[lo:])
+	rq.ready[lo] = t
+}
+
+// sigmaEntry caches one schedule pressure σ(t, p) together with the
+// revision stamps of the schedule state it was computed against. The
+// entry stays valid while every recorded dependency is unchanged:
+//
+//   - the stamp of p's timeline (procEnd and duplicate checks);
+//   - the replica-set stamps of t and of each distinct predecessor
+//     (replicas are append-only and never re-time);
+//   - the stamp of every medium whose busy-end the preview consulted —
+//     chosen or merely considered — which covers contention on direct
+//     media and on multi-hop routes.
+//
+// Under those conditions a recomputation would read exactly the same
+// schedule state, so reusing the cached σ is exact, not approximate.
+// Stamps are globally unique across a clone family (sched.Schedule
+// draws them from a counter shared with its clones), so entries survive
+// Minimize-start-time's clone-and-swap undo: state a discarded branch
+// stamped can never revalidate, and state the undo restored still
+// carries its original stamps.
+type sigmaEntry struct {
+	used bool
+	// checked marks the prepare() step that last validated or computed
+	// the entry, so get() can skip re-walking the dependency lists for
+	// entries prepare already vetted this step.
+	checked  uint64
+	sigma    float64
+	procRev  uint64
+	selfRev  uint64
+	predRevs []uint64
+	media    []arch.MediumID
+	mediaRev []uint64
+}
+
+// sigmaCache is the (task × processor) pressure cache of the incremental
+// engine.
+type sigmaCache struct {
+	sch     *scheduler
+	nProcs  int
+	preds   [][]model.TaskID // distinct predecessors, static
+	entries []sigmaEntry     // index t*nProcs + p
+	workers int
+	step    uint64  // prepare() invocation counter
+	cold    []int32 // entry indices needing recomputation this step
+}
+
+func newSigmaCache(sch *scheduler, workers int) *sigmaCache {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := sch.tg.NumTasks()
+	nProcs := sch.p.Arc.NumProcs()
+	c := &sigmaCache{
+		sch:     sch,
+		nProcs:  nProcs,
+		preds:   make([][]model.TaskID, n),
+		entries: make([]sigmaEntry, n*nProcs),
+		workers: workers,
+	}
+	for t := 0; t < n; t++ {
+		c.preds[t] = sch.tg.Preds(model.TaskID(t))
+	}
+	return c
+}
+
+// prepare validates the cache against the current schedule and recomputes
+// every stale (candidate, processor) pressure, fanning the cold previews
+// across the worker pool. Previews only read the schedule (each holds its
+// own scratch and overlay), so the parallel fill is safe, and each worker
+// writes a disjoint set of entries, so the outcome is deterministic.
+func (c *sigmaCache) prepare(cands []model.TaskID) {
+	c.step++
+	c.cold = c.cold[:0]
+	for _, t := range cands {
+		if c.sch.tg.Task(t).Role == model.MemWrite {
+			continue // pinned placement, priced outside the cache
+		}
+		base := int(t) * c.nProcs
+		for p := 0; p < c.nProcs; p++ {
+			if c.valid(t, arch.ProcID(p)) {
+				c.entries[base+p].checked = c.step
+			} else {
+				c.cold = append(c.cold, int32(base+p))
+			}
+		}
+	}
+	if len(c.cold) == 0 {
+		return
+	}
+	// Fanning out pays only when there is real work to split: below the
+	// threshold the goroutine hand-off costs more than the previews.
+	if c.workers > 1 && len(c.cold) >= 16*c.workers {
+		var next int64
+		var wg sync.WaitGroup
+		workers := c.workers
+		if workers > len(c.cold) {
+			workers = len(c.cold)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&next, 1) - 1
+					if i >= int64(len(c.cold)) {
+						return
+					}
+					c.compute(int(c.cold[i]))
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, idx := range c.cold {
+			c.compute(int(idx))
+		}
+	}
+}
+
+// valid reports whether the cached entry for (t, p) still reflects the
+// current schedule state.
+func (c *sigmaCache) valid(t model.TaskID, p arch.ProcID) bool {
+	e := &c.entries[int(t)*c.nProcs+int(p)]
+	if !e.used {
+		return false
+	}
+	s := c.sch.s
+	if e.procRev != s.ProcRev(p) || e.selfRev != s.TaskRev(t) {
+		return false
+	}
+	for i, pred := range c.preds[t] {
+		if e.predRevs[i] != s.TaskRev(pred) {
+			return false
+		}
+	}
+	for i, m := range e.media {
+		if e.mediaRev[i] != s.MediumRev(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// compute fills entry idx with a fresh preview and its dependency record.
+func (c *sigmaCache) compute(idx int) {
+	t := model.TaskID(idx / c.nProcs)
+	p := arch.ProcID(idx % c.nProcs)
+	s := c.sch.s
+	e := &c.entries[idx]
+	pl, media, err := s.PreviewTouched(t, p, e.media[:0])
+	e.media = media
+	e.mediaRev = e.mediaRev[:0]
+	for _, m := range media {
+		e.mediaRev = append(e.mediaRev, s.MediumRev(m))
+	}
+	if err != nil {
+		e.sigma = math.Inf(1)
+	} else {
+		exec := c.sch.p.Exec.Time(c.sch.tg.Task(t).Op, p)
+		e.sigma = pl.SWorst + exec + c.sch.tails[t]
+	}
+	e.procRev = s.ProcRev(p)
+	e.selfRev = s.TaskRev(t)
+	e.predRevs = e.predRevs[:0]
+	for _, pred := range c.preds[t] {
+		e.predRevs = append(e.predRevs, s.TaskRev(pred))
+	}
+	e.used = true
+	e.checked = c.step
+}
+
+// get returns the cached pressure of (t, p) when the entry is valid.
+// Entries prepare() vetted this step — nothing commits between prepare
+// and selection — answer without re-walking their dependency lists;
+// anything else (mem-write pricing) takes the full validity check.
+func (c *sigmaCache) get(t model.TaskID, p arch.ProcID) (float64, bool) {
+	e := &c.entries[int(t)*c.nProcs+int(p)]
+	if e.checked != c.step && !c.valid(t, p) {
+		return 0, false
+	}
+	return e.sigma, true
+}

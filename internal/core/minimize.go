@@ -15,8 +15,12 @@ import (
 // undone wholesale (step Ï) and the replica is finally scheduled at its
 // S_best (step Ð).
 //
-// Undo is realised by cloning the schedule before each speculative
-// duplication and swapping the clone back on regression.
+// The undo has two implementations with identical semantics. The
+// reference engine keeps the seed mechanism: clone the schedule before
+// each speculative duplication and swap the clone back on regression. The
+// incremental engine takes an in-place checkpoint and rolls back instead,
+// which copies no replicas or comms and leaves the schedule object — and
+// therefore the stamp-keyed pressure cache — intact.
 func (sch *scheduler) placeMinimized(t model.TaskID, p arch.ProcID) error {
 	pl, details, err := sch.s.PreviewDetail(t, p)
 	if err != nil {
@@ -28,23 +32,61 @@ func (sch *scheduler) placeMinimized(t model.TaskID, p arch.ProcID) error {
 		if !ok {
 			break
 		}
-		snapshot := sch.s.Clone()
-		if err := sch.placeMinimized(lip, p); err != nil {
-			// The duplication itself is impossible; keep the snapshot
-			// untouched and stop improving.
-			sch.s = snapshot
-			break
+		improved, newDetails := sch.tryDuplication(t, p, lip, sWorst)
+		if math.IsInf(improved, 1) {
+			break // step Ï: the duplication was undone
 		}
-		newPl, newDetails, err := sch.s.PreviewDetail(t, p)
-		if err != nil || newPl.SWorst >= sWorst-timeEps {
-			sch.s = snapshot // step Ï: undo all replications of Í
-			break
-		}
-		sWorst = newPl.SWorst // step Ñ: improved; look for the new LIP
+		sWorst = improved // step Ñ: improved; look for the new LIP
 		details = newDetails
 	}
 	_, err = sch.s.PlaceReplica(t, p) // step Ð: schedule at S_best
 	return err
+}
+
+// tryDuplication speculatively duplicates lip onto p and keeps the work
+// only when it strictly reduces S_worst(t, p). It returns the improved
+// S_worst and arrival details, or +Inf after undoing a non-improving (or
+// impossible) duplication.
+func (sch *scheduler) tryDuplication(t model.TaskID, p arch.ProcID, lip model.TaskID,
+	sWorst float64) (float64, []sched.EdgeArrival) {
+
+	var undo func()
+	if sch.cache != nil {
+		cp := sch.getCheckpoint()
+		defer sch.putCheckpoint(cp)
+		sch.s.Checkpoint(cp)
+		undo = func() { sch.s.Rollback(cp) }
+	} else {
+		snapshot := sch.s.Clone()
+		undo = func() { sch.s = snapshot }
+	}
+	if err := sch.placeMinimized(lip, p); err != nil {
+		// The duplication itself is impossible; undo any partial work
+		// and stop improving.
+		undo()
+		return math.Inf(1), nil
+	}
+	newPl, newDetails, err := sch.s.PreviewDetail(t, p)
+	if err != nil || newPl.SWorst >= sWorst-timeEps {
+		undo() // step Ï: undo all replications of Í
+		return math.Inf(1), nil
+	}
+	return newPl.SWorst, newDetails
+}
+
+// getCheckpoint pops a reusable checkpoint buffer; speculation nests, so
+// the buffers form a stack.
+func (sch *scheduler) getCheckpoint() *sched.Checkpoint {
+	if n := len(sch.checkpoints); n > 0 {
+		cp := sch.checkpoints[n-1]
+		sch.checkpoints = sch.checkpoints[:n-1]
+		return cp
+	}
+	return new(sched.Checkpoint)
+}
+
+func (sch *scheduler) putCheckpoint(cp *sched.Checkpoint) {
+	sch.checkpoints = append(sch.checkpoints, cp)
 }
 
 const timeEps = 1e-9

@@ -19,6 +19,34 @@ import (
 // ErrBadParams reports invalid generation parameters.
 var ErrBadParams = errors.New("gen: invalid parameters")
 
+// Topology selects the architecture shape of a generated problem.
+type Topology int
+
+// Topologies. The zero value is the paper's fully connected layout; the
+// others exercise shared-bus contention and multi-hop routing.
+const (
+	TopoFull Topology = iota
+	TopoBus
+	TopoRing
+	TopoStar
+)
+
+// String returns the topology's short name.
+func (t Topology) String() string {
+	switch t {
+	case TopoFull:
+		return "full"
+	case TopoBus:
+		return "bus"
+	case TopoRing:
+		return "ring"
+	case TopoStar:
+		return "star"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
 // Params configures one random problem.
 type Params struct {
 	// N is the number of operations (paper: 10..80).
@@ -26,8 +54,11 @@ type Params struct {
 	// CCR is the communication-to-computation ratio: average communication
 	// time divided by average computation time (paper: 0.1..10).
 	CCR float64
-	// Procs is the number of fully connected processors (paper: 4).
+	// Procs is the number of processors (paper: 4).
 	Procs int
+	// Topology selects the architecture shape; the default TopoFull is
+	// the paper's fully connected layout.
+	Topology Topology
 	// Npf is the failure count of the generated problem.
 	Npf int
 	// Seed drives all randomness.
@@ -71,8 +102,24 @@ func (p Params) validate() error {
 	case p.AvgComp < 0 || p.Jitter < 0 || p.Jitter >= 1 || p.Heterogeneity < 0 || p.Heterogeneity >= 1:
 		return fmt.Errorf("%w: AvgComp=%g Jitter=%g Heterogeneity=%g",
 			ErrBadParams, p.AvgComp, p.Jitter, p.Heterogeneity)
+	case p.Topology < TopoFull || p.Topology > TopoStar:
+		return fmt.Errorf("%w: Topology=%d", ErrBadParams, p.Topology)
 	}
 	return nil
+}
+
+// architecture builds the topology selected by the params.
+func (p Params) architecture() *arch.Architecture {
+	switch p.Topology {
+	case TopoBus:
+		return arch.Bus(p.Procs)
+	case TopoRing:
+		return arch.Ring(p.Procs)
+	case TopoStar:
+		return arch.Star(p.Procs)
+	default:
+		return arch.FullyConnected(p.Procs)
+	}
 }
 
 // Generate builds one random problem. The same Params always produce the
@@ -87,7 +134,7 @@ func Generate(params Params) (*spec.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := arch.FullyConnected(params.Procs)
+	a := params.architecture()
 	exec := spec.NewExecTable(g, a)
 	uniform := func(mean float64) float64 {
 		return mean * (1 - params.Jitter + 2*params.Jitter*rng.Float64())

@@ -175,3 +175,40 @@ func TestGenerateEdgesOnlyForward(t *testing.T) {
 		t.Error("no sources in a DAG")
 	}
 }
+
+func TestGenerateTopologies(t *testing.T) {
+	wantMedia := map[Topology]int{
+		TopoFull: 6, // 4 procs: one link per pair
+		TopoBus:  1,
+		TopoRing: 4,
+		TopoStar: 3,
+	}
+	for topo, media := range wantMedia {
+		p, err := Generate(Params{N: 15, CCR: 1, Procs: 4, Npf: 1, Topology: topo, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if got := p.Arc.NumMedia(); got != media {
+			t.Errorf("%v: %d media, want %d", topo, got, media)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: problem invalid: %v", topo, err)
+		}
+	}
+}
+
+func TestGenerateRejectsBadTopology(t *testing.T) {
+	if _, err := Generate(Params{N: 5, CCR: 1, Procs: 3, Topology: Topology(9), Seed: 1}); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		TopoFull: "full", TopoBus: "bus", TopoRing: "ring", TopoStar: "star",
+	} {
+		if got := topo.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(topo), got, want)
+		}
+	}
+}

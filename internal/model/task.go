@@ -191,6 +191,11 @@ func (tg *TaskGraph) In(t TaskID) []TaskEdgeID {
 	return out
 }
 
+// InView returns the ids of the dependencies entering t without copying.
+// The returned slice aliases internal storage; callers must not mutate it.
+// Scheduling hot paths use it to preview placements allocation-free.
+func (tg *TaskGraph) InView(t TaskID) []TaskEdgeID { return tg.ins[t] }
+
 // Out returns the ids of the dependencies leaving t.
 func (tg *TaskGraph) Out(t TaskID) []TaskEdgeID {
 	out := make([]TaskEdgeID, len(tg.outs[t]))

@@ -1,0 +1,144 @@
+package sched
+
+// Allocation regression guards for the planning hot path: Preview must not
+// allocate in steady state (the scratch pool, epoch overlays and the
+// partial selection of earliestReplicasInto replace the per-call maps and
+// copy+sorts of the seed implementation).
+
+import (
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/gen"
+	"ftbar/internal/model"
+)
+
+// previewFixture builds a mid-construction schedule with a non-trivial
+// candidate: every predecessor of the probed task is placed, remote
+// deliveries are required, and media already carry contention.
+func previewFixture(tb testing.TB) (*Schedule, model.TaskID, arch.ProcID) {
+	tb.Helper()
+	p, err := gen.Generate(gen.Params{N: 40, CCR: 2, Procs: 4, Npf: 1, Seed: 11})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := NewSchedule(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tg := s.Tasks()
+	topo := tg.Topo()
+	// Place the first two thirds of the tasks on alternating processor
+	// pairs, then probe the next task in topological order.
+	placed := 2 * len(topo) / 3
+	for i := 0; i < placed; i++ {
+		t := topo[i]
+		for k := 0; k <= p.Npf; k++ {
+			proc := arch.ProcID((i + k) % p.Arc.NumProcs())
+			if _, err := s.PlaceReplica(t, proc); err != nil {
+				tb.Fatalf("place %d on %d: %v", t, proc, err)
+			}
+		}
+	}
+	probe := topo[placed]
+	dst := arch.ProcID((placed + 3) % p.Arc.NumProcs())
+	if _, err := s.Preview(probe, dst); err != nil {
+		tb.Fatalf("fixture preview: %v", err)
+	}
+	return s, probe, dst
+}
+
+func TestPreviewDoesNotAllocate(t *testing.T) {
+	s, probe, dst := previewFixture(t)
+	// Warm the scratch pool and the route caches.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Preview(probe, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := s.Preview(probe, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state is zero; one alloc of slack tolerates a sync.Pool
+	// refill after a GC cycle.
+	if avg > 1 {
+		t.Errorf("Preview allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestPreviewTouchedDoesNotAllocate(t *testing.T) {
+	s, probe, dst := previewFixture(t)
+	media := make([]arch.MediumID, 0, s.Problem().Arc.NumMedia())
+	for i := 0; i < 10; i++ {
+		var err error
+		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		var err error
+		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("PreviewTouched allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestEarliestReplicasIntoSelection(t *testing.T) {
+	reps := []*Replica{
+		{Index: 0, End: 5},
+		{Index: 1, End: 2},
+		{Index: 2, End: 2},
+		{Index: 3, End: 8},
+		{Index: 4, End: 1},
+	}
+	var scratch []*Replica
+	scratch = earliestReplicasInto(scratch, reps, 3)
+	want := []int{4, 1, 2} // by (End, Index): 1, 2#1, 2#2
+	if len(scratch) != len(want) {
+		t.Fatalf("got %d replicas, want %d", len(scratch), len(want))
+	}
+	for i, r := range scratch {
+		if r.Index != want[i] {
+			t.Errorf("selection[%d] = replica %d, want %d", i, r.Index, want[i])
+		}
+	}
+	// n larger than the set: all replicas, still sorted.
+	scratch = earliestReplicasInto(scratch, reps, 10)
+	if len(scratch) != len(reps) {
+		t.Fatalf("got %d replicas, want %d", len(scratch), len(reps))
+	}
+	for i := 1; i < len(scratch); i++ {
+		if replicaEarlier(scratch[i], scratch[i-1]) {
+			t.Errorf("selection out of order at %d", i)
+		}
+	}
+}
+
+func BenchmarkPreview(b *testing.B) {
+	s, probe, dst := previewFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Preview(probe, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreviewTouched(b *testing.B) {
+	s, probe, dst := previewFixture(b)
+	media := make([]arch.MediumID, 0, s.Problem().Arc.NumMedia())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sched
+
+// Checkpoint captures the commit state of a schedule so speculative work
+// can be undone in place. Every mutation a Schedule performs is an append
+// (replicas, processor sequences, medium sequences) plus updates to small
+// per-processor / per-medium / per-task arrays, so a checkpoint is just
+// the sequence lengths and copies of those arrays — no replica or comm is
+// deep-copied. Rolling back truncates the sequences and restores the
+// arrays, which is orders of magnitude cheaper than the Clone-and-swap
+// undo and allocation-free once the buffers exist.
+//
+// The revision stamp counter is deliberately NOT part of the checkpoint:
+// stamps keep increasing across a rollback, so schedule state committed
+// and then undone can never be mistaken for live state by a stamp-keyed
+// cache (DESIGN.md Section 8).
+//
+// Checkpoints nest like a stack: taking a checkpoint, mutating, and
+// rolling back restores exactly the state at the take, including across
+// nested take/rollback cycles in between. The zero value is ready to use
+// and buffers are reused across takes.
+type Checkpoint struct {
+	repLen    []int
+	procLen   []int
+	medLen    []int
+	procEnd   []float64
+	mediumEnd []float64
+	procRev   []uint64
+	mediumRev []uint64
+	taskRev   []uint64
+}
+
+// Checkpoint records the current commit state into cp, reusing its
+// buffers.
+func (s *Schedule) Checkpoint(cp *Checkpoint) {
+	cp.repLen = cp.repLen[:0]
+	for _, reps := range s.replicas {
+		cp.repLen = append(cp.repLen, len(reps))
+	}
+	cp.procLen = cp.procLen[:0]
+	for _, seq := range s.procSeq {
+		cp.procLen = append(cp.procLen, len(seq))
+	}
+	cp.medLen = cp.medLen[:0]
+	for _, seq := range s.mediumSeq {
+		cp.medLen = append(cp.medLen, len(seq))
+	}
+	cp.procEnd = append(cp.procEnd[:0], s.procEnd...)
+	cp.mediumEnd = append(cp.mediumEnd[:0], s.mediumEnd...)
+	cp.procRev = append(cp.procRev[:0], s.procRev...)
+	cp.mediumRev = append(cp.mediumRev[:0], s.mediumRev...)
+	cp.taskRev = append(cp.taskRev[:0], s.taskRev...)
+}
+
+// Rollback restores the schedule to the state cp recorded. cp must have
+// been taken from this schedule, and everything committed since is
+// discarded. The stamp counter is not rewound.
+func (s *Schedule) Rollback(cp *Checkpoint) {
+	for t := range s.replicas {
+		s.replicas[t] = s.replicas[t][:cp.repLen[t]]
+	}
+	for p := range s.procSeq {
+		s.procSeq[p] = s.procSeq[p][:cp.procLen[p]]
+	}
+	for m := range s.mediumSeq {
+		s.mediumSeq[m] = s.mediumSeq[m][:cp.medLen[m]]
+	}
+	copy(s.procEnd, cp.procEnd)
+	copy(s.mediumEnd, cp.mediumEnd)
+	copy(s.procRev, cp.procRev)
+	copy(s.mediumRev, cp.mediumRev)
+	copy(s.taskRev, cp.taskRev)
+}

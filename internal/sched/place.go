@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/model"
@@ -42,32 +42,107 @@ type EdgeArrival struct {
 	Worst float64
 }
 
+// planScratch carries the reusable buffers of one plan call, so previews
+// allocate nothing in steady state. Buffers are pooled on the Schedule and
+// hold no schedule state between calls, which keeps concurrent previews
+// safe (each call owns one scratch for its duration).
+type planScratch struct {
+	// overlay holds tentative medium busy-ends so the hops of one
+	// placement contend with each other deterministically. Epoch-marking
+	// replaces map clearing: a slot is live only when its epoch matches.
+	overlayVal   []float64
+	overlayEpoch []uint64
+	// touchMark dedups the touched-media record the same way.
+	touchMark []uint64
+	epoch     uint64
+	// touched lists every medium whose busy-end this plan consulted —
+	// chosen or merely considered — in first-touch order. Incremental
+	// engines persist it as the preview's medium dependency set.
+	touched []arch.MediumID
+	senders []*Replica
+	plans   []plannedComm
+	details []EdgeArrival
+}
+
+// newScratchPool returns a pool of planScratch buffers for an architecture
+// with nMedia media.
+func newScratchPool(nMedia int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &planScratch{
+			overlayVal:   make([]float64, nMedia),
+			overlayEpoch: make([]uint64, nMedia),
+			touchMark:    make([]uint64, nMedia),
+		}
+	}}
+}
+
+// begin resets the scratch for a new plan call.
+func (sc *planScratch) begin() {
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+	sc.plans = sc.plans[:0]
+	sc.details = sc.details[:0]
+}
+
+// touch records that medium m's busy-end was consulted.
+func (sc *planScratch) touch(m arch.MediumID) {
+	if sc.touchMark[m] != sc.epoch {
+		sc.touchMark[m] = sc.epoch
+		sc.touched = append(sc.touched, m)
+	}
+}
+
+// mEnd returns the tentative busy-end of medium m: the overlay value when
+// one of this plan's earlier hops claimed the medium, the committed
+// busy-end otherwise. Every consultation is recorded in touched.
+func (sc *planScratch) mEnd(s *Schedule, m arch.MediumID) float64 {
+	sc.touch(m)
+	if sc.overlayEpoch[m] == sc.epoch {
+		return sc.overlayVal[m]
+	}
+	return s.mediumEnd[m]
+}
+
+// setOverlay claims medium m until end for the current plan.
+func (sc *planScratch) setOverlay(m arch.MediumID, end float64) {
+	sc.touch(m)
+	sc.overlayEpoch[m] = sc.epoch
+	sc.overlayVal[m] = end
+}
+
+func (s *Schedule) getScratch() *planScratch {
+	sc := s.scratch.Get().(*planScratch)
+	sc.begin()
+	return sc
+}
+
+func (s *Schedule) putScratch(sc *planScratch) { s.scratch.Put(sc) }
+
 // plan computes the placement of one replica of task t on processor p
 // against the current schedule state, planning (without committing) every
-// communication it implies. The overlay carries tentative medium busy-ends
-// so the hops of one placement contend with each other deterministically.
-func (s *Schedule) plan(t model.TaskID, p arch.ProcID) (Placement, []plannedComm, []EdgeArrival, error) {
+// communication it implies into sc.plans. When needDetails is set the
+// per-edge arrival breakdown is collected into sc.details. plan reads the
+// schedule but never mutates it, so distinct scratches may plan
+// concurrently.
+func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDetails bool) (Placement, error) {
 	task := s.tasks.Task(t)
 	exec := s.problem.Exec.Time(task.Op, p)
 	if math.IsInf(exec, 1) {
-		return Placement{}, nil, nil, fmt.Errorf("%w: %q on %q",
+		return Placement{}, fmt.Errorf("%w: %q on %q",
 			ErrForbiddenPlacement, task.Name, s.problem.Arc.Proc(p).Name)
 	}
 	if s.ReplicaOn(t, p) != nil {
-		return Placement{}, nil, nil, fmt.Errorf("%w: %q on %q",
+		return Placement{}, fmt.Errorf("%w: %q on %q",
 			ErrDuplicateReplica, task.Name, s.problem.Arc.Proc(p).Name)
 	}
-	overlay := make(map[arch.MediumID]float64)
 	dstIndex := len(s.replicas[t])
-	var plans []plannedComm
-	var details []EdgeArrival
 	arriveBest := 0.0
 	arriveWorst := 0.0
-	for _, eid := range s.tasks.In(t) {
+	for _, eid := range s.tasks.InView(t) {
 		edge := s.tasks.Edge(eid)
 		srcReps := s.replicas[edge.Src]
 		if len(srcReps) == 0 {
-			return Placement{}, nil, nil, fmt.Errorf("%w: %q needs %q",
+			return Placement{}, fmt.Errorf("%w: %q needs %q",
 				ErrPredUnscheduled, task.Name, s.tasks.Task(edge.Src).Name)
 		}
 		if local := s.ReplicaOn(edge.Src, p); local != nil {
@@ -76,63 +151,60 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID) (Placement, []plannedComm
 			// cost; no comm is replicated at all.
 			arriveBest = math.Max(arriveBest, local.End)
 			arriveWorst = math.Max(arriveWorst, local.End)
-			details = append(details, EdgeArrival{
-				Edge: eid, Src: edge.Src, Local: true, Best: local.End, Worst: local.End,
-			})
+			if needDetails {
+				sc.details = append(sc.details, EdgeArrival{
+					Edge: eid, Src: edge.Src, Local: true, Best: local.End, Worst: local.End,
+				})
+			}
 			continue
 		}
 		// Paper Figure 3(c): replicate the comm from the Npf+1
 		// earliest-finishing predecessor replicas over parallel media.
-		senders := earliestReplicas(srcReps, s.npf+1)
+		sc.senders = earliestReplicasInto(sc.senders, srcReps, s.npf+1)
 		edgeBest, edgeWorst := math.Inf(1), 0.0
-		for _, sender := range senders {
-			arrival, hops, err := s.planDelivery(edge, sender, p, dstIndex, overlay)
+		for _, sender := range sc.senders {
+			arrival, err := s.planDelivery(edge, sender, p, dstIndex, sc)
 			if err != nil {
-				return Placement{}, nil, nil, err
+				return Placement{}, err
 			}
-			plans = append(plans, hops...)
 			edgeBest = math.Min(edgeBest, arrival)
 			edgeWorst = math.Max(edgeWorst, arrival)
 		}
-		details = append(details, EdgeArrival{
-			Edge: eid, Src: edge.Src, Best: edgeBest, Worst: edgeWorst,
-		})
+		if needDetails {
+			sc.details = append(sc.details, EdgeArrival{
+				Edge: eid, Src: edge.Src, Best: edgeBest, Worst: edgeWorst,
+			})
+		}
 		arriveBest = math.Max(arriveBest, edgeBest)
 		arriveWorst = math.Max(arriveWorst, edgeWorst)
 	}
 	free := s.procEnd[p]
 	sBest := math.Max(free, arriveBest)
 	sWorst := math.Max(free, arriveWorst)
-	pl := Placement{Task: t, Proc: p, SBest: sBest, SWorst: sWorst, End: sBest + exec}
-	return pl, plans, details, nil
+	return Placement{Task: t, Proc: p, SBest: sBest, SWorst: sWorst, End: sBest + exec}, nil
 }
 
 // planDelivery plans the comm hops carrying edge's value from the sender
-// replica to processor dst and returns the arrival time. Direct media are
-// chosen greedily for earliest arrival under current contention; processors
-// sharing no medium use the precomputed store-and-forward route.
+// replica to processor dst (appended to sc.plans) and returns the arrival
+// time. Direct media are chosen greedily for earliest arrival under current
+// contention; processors sharing no medium use the precomputed
+// store-and-forward route.
 func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.ProcID,
-	dstIndex int, overlay map[arch.MediumID]float64) (float64, []plannedComm, error) {
+	dstIndex int, sc *planScratch) (float64, error) {
 
-	mEnd := func(m arch.MediumID) float64 {
-		if v, ok := overlay[m]; ok {
-			return v
-		}
-		return s.mediumEnd[m]
-	}
-	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) plannedComm {
+	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) {
 		end := start + dur
-		overlay[m] = end
-		return plannedComm{comm: Comm{
+		sc.setOverlay(m, end)
+		sc.plans = append(sc.plans, plannedComm{comm: Comm{
 			Edge: edge.ID, Orig: edge.Orig,
 			SrcIndex: sender.Index, DstIndex: dstIndex,
 			Hop: hop, LastHop: last,
 			Medium: m, From: from, To: to,
 			Start: start, End: end,
-		}}
+		}})
 	}
 
-	if direct := s.problem.Arc.MediaBetween(sender.Proc, dst); len(direct) > 0 {
+	if direct := s.directMedia[int(sender.Proc)*len(s.procEnd)+int(dst)]; len(direct) > 0 {
 		bestM := arch.MediumID(-1)
 		bestArrive := math.Inf(1)
 		bestStart := 0.0
@@ -141,89 +213,130 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 			if math.IsInf(dur, 1) {
 				continue
 			}
-			start := math.Max(sender.End, mEnd(m))
+			start := math.Max(sender.End, sc.mEnd(s, m))
 			if arrive := start + dur; arrive < bestArrive {
 				bestM, bestArrive, bestStart = m, arrive, start
 			}
 		}
 		if bestM >= 0 {
-			pc := newComm(bestM, sender.Proc, dst, 0, true,
-				bestStart, bestArrive-bestStart)
-			return bestArrive, []plannedComm{pc}, nil
+			newComm(bestM, sender.Proc, dst, 0, true, bestStart, bestArrive-bestStart)
+			return bestArrive, nil
 		}
 		// All direct media forbid this edge; fall through to routing.
 	}
 	route, err := s.routeFor(edge.Orig, sender.Proc, dst)
 	if err != nil {
-		return 0, nil, fmt.Errorf("%w: %s from %q to %q",
+		return 0, fmt.Errorf("%w: %s from %q to %q",
 			ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
 			s.problem.Arc.Proc(sender.Proc).Name, s.problem.Arc.Proc(dst).Name)
 	}
-	var plans []plannedComm
 	avail := sender.End
 	for i, hop := range route {
 		dur := s.problem.Comm.Time(edge.Orig, hop.Medium)
 		if math.IsInf(dur, 1) {
-			return 0, nil, fmt.Errorf("%w: %s forbidden on %q",
+			return 0, fmt.Errorf("%w: %s forbidden on %q",
 				ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
 				s.problem.Arc.Medium(hop.Medium).Name)
 		}
-		start := math.Max(avail, mEnd(hop.Medium))
-		pc := newComm(hop.Medium, hop.From, hop.To, i, i == len(route)-1, start, dur)
-		plans = append(plans, pc)
-		avail = pc.comm.End
+		start := math.Max(avail, sc.mEnd(s, hop.Medium))
+		newComm(hop.Medium, hop.From, hop.To, i, i == len(route)-1, start, dur)
+		avail = start + dur
 	}
-	return avail, plans, nil
+	return avail, nil
 }
 
-// earliestReplicas returns up to n replicas ordered by (End, Index): the
-// paper indexes the sending replicas k = 1..Npf+1, and the earliest
-// finishers minimise both S_best and S_worst.
-func earliestReplicas(reps []*Replica, n int) []*Replica {
-	sorted := append([]*Replica(nil), reps...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].End != sorted[j].End {
-			return sorted[i].End < sorted[j].End
-		}
-		return sorted[i].Index < sorted[j].Index
-	})
-	if len(sorted) > n {
-		sorted = sorted[:n]
+// replicaEarlier orders replicas by (End, Index): the paper indexes the
+// sending replicas k = 1..Npf+1, and the earliest finishers minimise both
+// S_best and S_worst.
+func replicaEarlier(a, b *Replica) bool {
+	if a.End != b.End {
+		return a.End < b.End
 	}
-	return sorted
+	return a.Index < b.Index
+}
+
+// earliestReplicasInto writes the up-to-n earliest replicas of reps into
+// dst (reused, returned re-sliced) in (End, Index) order. The partial
+// selection keeps the hot path allocation-free: n is Npf+1, a small
+// constant, so the insertion cost is O(len(reps) · n).
+func earliestReplicasInto(dst []*Replica, reps []*Replica, n int) []*Replica {
+	dst = dst[:0]
+	for _, r := range reps {
+		if len(dst) < n {
+			dst = append(dst, r)
+		} else if replicaEarlier(r, dst[n-1]) {
+			dst[n-1] = r
+		} else {
+			continue
+		}
+		for i := len(dst) - 1; i > 0 && replicaEarlier(dst[i], dst[i-1]); i-- {
+			dst[i], dst[i-1] = dst[i-1], dst[i]
+		}
+	}
+	return dst
 }
 
 // Preview computes the placement of one replica of t on p without mutating
 // the schedule. Heuristics use it to evaluate the schedule pressure of every
-// candidate pair.
+// candidate pair. Preview is safe to call concurrently.
 func (s *Schedule) Preview(t model.TaskID, p arch.ProcID) (Placement, error) {
-	pl, _, _, err := s.plan(t, p)
+	sc := s.getScratch()
+	pl, err := s.plan(t, p, sc, false)
+	s.putScratch(sc)
 	return pl, err
+}
+
+// PreviewTouched is Preview plus the preview's medium dependency set: every
+// medium whose busy-end the planning consulted, appended to media (which
+// may be nil) and returned. A cached preview of (t, p) stays valid while
+// ProcRev(p), the replica counts of t and its predecessors, and the
+// MediumRev of every returned medium are unchanged (DESIGN.md Section 8).
+// On error the appended set covers the media consulted before the failure,
+// and the same dependencies determine that the error itself recurs.
+func (s *Schedule) PreviewTouched(t model.TaskID, p arch.ProcID, media []arch.MediumID) (Placement, []arch.MediumID, error) {
+	sc := s.getScratch()
+	pl, err := s.plan(t, p, sc, false)
+	media = append(media, sc.touched...)
+	s.putScratch(sc)
+	return pl, media, err
 }
 
 // PreviewDetail is Preview plus the per-edge arrival breakdown, which
 // Minimize-start-time needs to locate the Latest Immediate Predecessor.
 func (s *Schedule) PreviewDetail(t model.TaskID, p arch.ProcID) (Placement, []EdgeArrival, error) {
-	pl, _, details, err := s.plan(t, p)
+	sc := s.getScratch()
+	pl, err := s.plan(t, p, sc, true)
+	var details []EdgeArrival
+	if err == nil {
+		details = append(details, sc.details...)
+	}
+	s.putScratch(sc)
 	return pl, details, err
 }
 
 // PlaceReplica commits one replica of t on p: the implied comms are
 // serialised on their media and the replica is appended to the processor at
 // its S_best start (paper micro-step "Schedule o to p at S_best(o,p)").
+// Committing bumps the processor's revision and the revision of every
+// medium that received a comm.
 func (s *Schedule) PlaceReplica(t model.TaskID, p arch.ProcID) (*Replica, error) {
-	pl, plans, _, err := s.plan(t, p)
+	sc := s.getScratch()
+	pl, err := s.plan(t, p, sc, false)
 	if err != nil {
+		s.putScratch(sc)
 		return nil, err
 	}
-	for _, pc := range plans {
-		c := pc.comm
+	for i := range sc.plans {
+		c := sc.plans[i].comm
 		s.appendComm(&c)
 	}
+	s.putScratch(sc)
 	r := &Replica{Task: t, Index: len(s.replicas[t]), Proc: p, Start: pl.SBest, End: pl.End}
 	s.replicas[t] = append(s.replicas[t], r)
 	s.procSeq[p] = append(s.procSeq[p], r)
 	s.procEnd[p] = r.End
+	s.procRev[p] = s.nextStamp()
+	s.taskRev[t] = s.nextStamp()
 	return r, nil
 }
 
@@ -232,4 +345,5 @@ func (s *Schedule) appendComm(c *Comm) {
 	if c.End > s.mediumEnd[c.Medium] {
 		s.mediumEnd[c.Medium] = c.End
 	}
+	s.mediumRev[c.Medium] = s.nextStamp()
 }

@@ -4,9 +4,13 @@
 // timing, structural validation, and Gantt rendering.
 //
 // A Schedule doubles as the list-scheduling builder: heuristics grow it with
-// PlaceReplica, preview placements with Preview (no mutation), and roll back
-// speculative work by Clone-and-swap, which is how FTBAR's
-// Minimize-start-time undo (paper micro-step ⑦) is realised.
+// PlaceReplica, preview placements with Preview (no mutation, safe
+// concurrently, allocation-free in steady state), and roll back speculative
+// work either by Clone-and-swap or by the cheaper in-place
+// Checkpoint/Rollback, which is how FTBAR's Minimize-start-time undo (paper
+// micro-step ⑦) is realised. Revision stamps (ProcRev, MediumRev, TaskRev)
+// let incremental heuristics reuse previews across steps (DESIGN.md
+// Section 8).
 package sched
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/model"
@@ -66,15 +71,37 @@ type Schedule struct {
 	tasks   *model.TaskGraph
 	// edgeRoutes caches one weighted routing table per data-dependency,
 	// consulted only when no direct medium carries the dependency. The
-	// cache is deterministic and append-only, so clones share it.
+	// cache is deterministic and append-only, so clones share it; routeMu
+	// (also shared) makes the lazy fills safe under concurrent previews.
 	edgeRoutes map[model.EdgeID]*arch.RouteTable
+	routeMu    *sync.Mutex
 	npf        int
+
+	// directMedia[p*nProcs+q] lists the media directly connecting p and q,
+	// precomputed so the planning hot path never allocates. Immutable and
+	// shared across clones.
+	directMedia [][]arch.MediumID
+
+	// scratch pools planScratch buffers across Preview/PlaceReplica calls
+	// (shared across clones: buffers carry no schedule state).
+	scratch *sync.Pool
 
 	replicas  [][]*Replica // per task, in placement order
 	procSeq   [][]*Replica // per processor, in placement order
 	mediumSeq [][]*Comm    // per medium, in placement order
 	procEnd   []float64
 	mediumEnd []float64
+
+	// procRev[p], mediumRev[m] and taskRev[t] are revision stamps, set on
+	// every commit from stampCounter, which is shared across a clone
+	// family and strictly increases. A stamp value is therefore never
+	// reused — not even by a clone swapped in to undo speculative work —
+	// so caches keyed on stamps are immune to clone-and-swap ABA
+	// (DESIGN.md Section 8).
+	procRev      []uint64
+	mediumRev    []uint64
+	taskRev      []uint64
+	stampCounter *uint64
 }
 
 // NewSchedule returns an empty schedule for the problem. It validates the
@@ -84,31 +111,57 @@ func NewSchedule(p *spec.Problem) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	nProcs, nMedia := p.Arc.NumProcs(), p.Arc.NumMedia()
+	direct := make([][]arch.MediumID, nProcs*nProcs)
+	for a := 0; a < nProcs; a++ {
+		for b := 0; b < nProcs; b++ {
+			direct[a*nProcs+b] = p.Arc.MediaBetween(arch.ProcID(a), arch.ProcID(b))
+		}
+	}
 	return &Schedule{
-		problem:    p,
-		tasks:      tasks,
-		edgeRoutes: make(map[model.EdgeID]*arch.RouteTable),
-		npf:        p.Npf,
-		replicas:   make([][]*Replica, tasks.NumTasks()),
-		procSeq:    make([][]*Replica, p.Arc.NumProcs()),
-		mediumSeq:  make([][]*Comm, p.Arc.NumMedia()),
-		procEnd:    make([]float64, p.Arc.NumProcs()),
-		mediumEnd:  make([]float64, p.Arc.NumMedia()),
+		problem:      p,
+		tasks:        tasks,
+		edgeRoutes:   make(map[model.EdgeID]*arch.RouteTable),
+		routeMu:      new(sync.Mutex),
+		npf:          p.Npf,
+		directMedia:  direct,
+		scratch:      newScratchPool(nMedia),
+		replicas:     make([][]*Replica, tasks.NumTasks()),
+		procSeq:      make([][]*Replica, nProcs),
+		mediumSeq:    make([][]*Comm, nMedia),
+		procEnd:      make([]float64, nProcs),
+		mediumEnd:    make([]float64, nMedia),
+		procRev:      make([]uint64, nProcs),
+		mediumRev:    make([]uint64, nMedia),
+		taskRev:      make([]uint64, tasks.NumTasks()),
+		stampCounter: new(uint64),
 	}, nil
 }
 
+// nextStamp returns a fresh revision stamp, unique across the clone
+// family. Stamps are only taken while committing, never while previewing,
+// so concurrent previews do not contend on the counter.
+func (s *Schedule) nextStamp() uint64 {
+	*s.stampCounter++
+	return *s.stampCounter
+}
+
 // routeFor returns the weighted route of edge from processor p to q,
-// computing and caching the edge's routing table on first use.
+// computing and caching the edge's routing table on first use. Safe for
+// concurrent previews: the lazy fill is guarded by the shared routeMu.
 func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, error) {
+	s.routeMu.Lock()
 	rt, ok := s.edgeRoutes[edge]
 	if !ok {
 		var err error
 		rt, err = s.problem.EdgeRoutes(edge)
 		if err != nil {
+			s.routeMu.Unlock()
 			return nil, err
 		}
 		s.edgeRoutes[edge] = rt
 	}
+	s.routeMu.Unlock()
 	return rt.Route(p, q)
 }
 
@@ -148,6 +201,24 @@ func (s *Schedule) ProcEnd(p arch.ProcID) float64 { return s.procEnd[p] }
 
 // MediumEnd returns the end of the last comm placed on m (0 when idle).
 func (s *Schedule) MediumEnd(m arch.MediumID) float64 { return s.mediumEnd[m] }
+
+// ProcRev returns the revision stamp of processor p's timeline, updated
+// whenever a replica is committed on p. A preview of a placement on p
+// stays valid while ProcRev(p) is unchanged (and its other dependencies
+// hold, see DESIGN.md Section 8). Stamps are unique across a clone
+// family: an equal stamp guarantees an identical timeline even after
+// clone-and-swap undo.
+func (s *Schedule) ProcRev(p arch.ProcID) uint64 { return s.procRev[p] }
+
+// MediumRev returns the revision stamp of medium m's timeline, updated
+// whenever a comm is committed on m.
+func (s *Schedule) MediumRev(m arch.MediumID) uint64 { return s.mediumRev[m] }
+
+// TaskRev returns the revision stamp of task t's replica set, updated
+// whenever t gains a replica. Replicas never re-time or disappear (short
+// of swapping the whole schedule, which the stamps also cover), so an
+// equal stamp guarantees an identical replica set.
+func (s *Schedule) TaskRev(t model.TaskID) uint64 { return s.taskRev[t] }
 
 // NumComms returns the total number of scheduled comms (hops count
 // individually).
@@ -223,29 +294,36 @@ func (s *Schedule) MeetsRtc() (bool, error) {
 // (FTBAR duplicates predecessors tentatively and must undo on regression).
 func (s *Schedule) Clone() *Schedule {
 	c := &Schedule{
-		problem:    s.problem,
-		tasks:      s.tasks,
-		edgeRoutes: s.edgeRoutes,
-		npf:        s.npf,
-		replicas:   make([][]*Replica, len(s.replicas)),
-		procSeq:    make([][]*Replica, len(s.procSeq)),
-		mediumSeq:  make([][]*Comm, len(s.mediumSeq)),
-		procEnd:    append([]float64(nil), s.procEnd...),
-		mediumEnd:  append([]float64(nil), s.mediumEnd...),
+		problem:      s.problem,
+		tasks:        s.tasks,
+		edgeRoutes:   s.edgeRoutes,
+		routeMu:      s.routeMu,
+		npf:          s.npf,
+		directMedia:  s.directMedia,
+		scratch:      s.scratch,
+		replicas:     make([][]*Replica, len(s.replicas)),
+		procSeq:      make([][]*Replica, len(s.procSeq)),
+		mediumSeq:    make([][]*Comm, len(s.mediumSeq)),
+		procEnd:      append([]float64(nil), s.procEnd...),
+		mediumEnd:    append([]float64(nil), s.mediumEnd...),
+		procRev:      append([]uint64(nil), s.procRev...),
+		mediumRev:    append([]uint64(nil), s.mediumRev...),
+		taskRev:      append([]uint64(nil), s.taskRev...),
+		stampCounter: s.stampCounter,
 	}
-	remap := make(map[*Replica]*Replica)
 	for t, reps := range s.replicas {
 		c.replicas[t] = make([]*Replica, len(reps))
 		for i, r := range reps {
 			cp := *r
 			c.replicas[t][i] = &cp
-			remap[r] = &cp
 		}
 	}
+	// Replica indices are dense per task, so the processor sequences remap
+	// through (Task, Index) instead of a pointer map.
 	for p, seq := range s.procSeq {
 		c.procSeq[p] = make([]*Replica, len(seq))
 		for i, r := range seq {
-			c.procSeq[p][i] = remap[r]
+			c.procSeq[p][i] = c.replicas[r.Task][r.Index]
 		}
 	}
 	for m, seq := range s.mediumSeq {
