@@ -12,6 +12,7 @@ import (
 	"ftbar/internal/paperex"
 	"ftbar/internal/reliab"
 	"ftbar/internal/sched"
+	"ftbar/internal/service"
 	"ftbar/internal/sim"
 	"ftbar/internal/spec"
 )
@@ -137,6 +138,34 @@ type (
 type (
 	// GenParams configures the random problem generator.
 	GenParams = gen.Params
+	// Topology selects the generated architecture shape.
+	Topology = gen.Topology
+)
+
+// Generated architecture shapes.
+const (
+	TopoFull = gen.TopoFull
+	TopoBus  = gen.TopoBus
+	TopoRing = gen.TopoRing
+	TopoStar = gen.TopoStar
+)
+
+// Scheduling service (DESIGN.md Section 9).
+type (
+	// Service is the concurrent scheduling service: a bounded worker
+	// pool behind a bounded queue, with a content-addressed schedule
+	// cache and an HTTP/JSON surface (cmd/ftserved).
+	Service = service.Service
+	// ServiceConfig sizes the service's pool, queue and cache.
+	ServiceConfig = service.Config
+	// ServiceStats is the observable state of a running service.
+	ServiceStats = service.Stats
+	// ScheduleRequest asks the service for one schedule.
+	ScheduleRequest = service.ScheduleRequest
+	// ScheduleReply is a response plus its cache provenance.
+	ScheduleReply = service.ScheduleReply
+	// ScheduleDoc is the exported JSON document shape of a Schedule.
+	ScheduleDoc = sched.Doc
 )
 
 // NewGraph returns an empty algorithm graph.
@@ -244,6 +273,14 @@ func Execute(s *Schedule, cfg RunConfig) (*ExecResult, error) { return exec.Run(
 
 // Generate builds a random problem with the paper's Section 6.1 recipe.
 func Generate(p GenParams) (*Problem, error) { return gen.Generate(p) }
+
+// ParseTopology maps "full", "bus", "ring" or "star" to its Topology.
+func ParseTopology(s string) (Topology, error) { return gen.ParseTopology(s) }
+
+// NewService starts a concurrent scheduling service; release its workers
+// with Close. Service.Handler returns the HTTP surface cmd/ftserved
+// serves.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // PaperExample returns the paper's worked example: the Figure 2 graphs,
 // the Tables 1-2 time tables, Rtc = 16 and Npf = 1.

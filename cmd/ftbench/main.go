@@ -5,9 +5,11 @@
 //	ftbench -experiment example          # Sect. 4.4 + Fig. 8 table
 //	ftbench -experiment fig9             # overhead vs N (Figure 9)
 //	ftbench -experiment fig10            # overhead vs CCR (Figure 10)
+//	ftbench -experiment fig9 -topology bus   # the sweep on a shared bus
 //	ftbench -experiment npf              # overhead vs Npf (Sect. 7)
 //	ftbench -experiment scaling          # engine-vs-engine wall clock
-//	ftbench -experiment scaling -json    # machine-readable (BENCH_*.json)
+//	ftbench -experiment service          # scheduling-service load test
+//	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
 //	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
 //	ftbench -experiment fig10 -csv       # CSV series for plotting
 package main
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"ftbar/internal/bench"
+	"ftbar/internal/gen"
 )
 
 func main() {
@@ -30,12 +33,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
-	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service)")
+	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := gen.ParseTopology(*topology)
+	if err != nil {
 		return err
 	}
 	switch *experiment {
@@ -48,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	case "fig9":
 		cfg := bench.DefaultFig9()
 		cfg.Seed = *seed
+		cfg.Topology = topo
 		if *graphs > 0 {
 			cfg.Graphs = *graphs
 		}
@@ -58,12 +67,13 @@ func run(args []string, out io.Writer) error {
 		if *csv {
 			return bench.RenderPointsCSV(out, "N", pts)
 		}
-		fmt.Fprintf(out, "Figure 9: overhead vs N (CCR=%g, P=%d, Npf=1, %d graphs/point)\n",
-			cfg.CCR, cfg.Procs, cfg.Graphs)
+		fmt.Fprintf(out, "Figure 9: overhead vs N (CCR=%g, P=%d, Npf=1, topology=%s, %d graphs/point)\n",
+			cfg.CCR, cfg.Procs, cfg.Topology, cfg.Graphs)
 		return bench.RenderPoints(out, "N", pts)
 	case "fig10":
 		cfg := bench.DefaultFig10()
 		cfg.Seed = *seed
+		cfg.Topology = topo
 		if *graphs > 0 {
 			cfg.Graphs = *graphs
 		}
@@ -74,8 +84,8 @@ func run(args []string, out io.Writer) error {
 		if *csv {
 			return bench.RenderPointsCSV(out, "CCR", pts)
 		}
-		fmt.Fprintf(out, "Figure 10: overhead vs CCR (N=%d, P=%d, Npf=1, %d graphs/point)\n",
-			cfg.N, cfg.Procs, cfg.Graphs)
+		fmt.Fprintf(out, "Figure 10: overhead vs CCR (N=%d, P=%d, Npf=1, topology=%s, %d graphs/point)\n",
+			cfg.N, cfg.Procs, cfg.Topology, cfg.Graphs)
 		return bench.RenderPoints(out, "CCR", pts)
 	case "scaling":
 		cfg := bench.DefaultScaling()
@@ -93,6 +103,19 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Scaling: incremental vs reference engine (CCR=%g, %d graphs/cell)\n",
 			cfg.CCR, cfg.Graphs)
 		return bench.RenderScaling(out, rep)
+	case "service":
+		cfg := bench.DefaultService()
+		cfg.Seed = *seed
+		rep, err := bench.Service(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderServiceJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Service: %d clients, %d requests/cell, %d distinct problems in the repeated workload\n",
+			cfg.Clients, cfg.Requests, cfg.Distinct)
+		return bench.RenderService(out, rep)
 	case "npf":
 		cfg := bench.DefaultNpf()
 		cfg.Seed = *seed

@@ -88,4 +88,79 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "fig42"}, &out); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+	if err := run([]string{"-experiment", "fig9", "-topology", "torus"}, &out); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunFig9Topology(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig9", "-graphs", "2", "-topology", "bus"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "topology=bus") {
+		t.Errorf("missing topology in header: %s", out.String())
+	}
+}
+
+// TestRunServiceJSON pins the acceptance criterion: the service
+// experiment emits the BENCH_service.json trajectory with worker scaling
+// cells and a >90% hit rate on the repeated workload, whose
+// scheduler-runs counter proves cached responses bypassed the engine.
+func TestRunServiceJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "service", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Config     struct {
+			Requests int `json:"requests"`
+			Distinct int `json:"distinct"`
+		} `json:"config"`
+		Cells []struct {
+			Workers       int     `json:"workers"`
+			Workload      string  `json:"workload"`
+			Throughput    float64 `json:"throughput_rps"`
+			HitRate       float64 `json:"hit_rate"`
+			SchedulerRuns uint64  `json:"scheduler_runs"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Experiment != "service" || len(rep.Cells) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	workers := map[int]bool{}
+	for _, c := range rep.Cells {
+		workers[c.Workers] = true
+		if c.Throughput <= 0 {
+			t.Errorf("cell %+v has no throughput", c)
+		}
+		if c.Workload == "repeated" {
+			if c.HitRate <= 0.9 {
+				t.Errorf("repeated workload hit rate %g, want > 0.9", c.HitRate)
+			}
+			if c.SchedulerRuns != uint64(rep.Config.Distinct) {
+				t.Errorf("repeated workload ran the scheduler %d times for %d distinct problems",
+					c.SchedulerRuns, rep.Config.Distinct)
+			}
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("report does not vary the worker count: %+v", rep.Cells)
+	}
+}
+
+func TestRunServiceTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "service"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Service:", "hit rate", "repeated", "unique"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
 }

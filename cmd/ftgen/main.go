@@ -1,9 +1,12 @@
-// Command ftgen emits a random scheduling problem as JSON, using the
-// paper's Section 6.1 recipe. The output feeds cmd/ftbar and cmd/ftsim.
+// Command ftgen emits a scheduling problem as JSON, either random (the
+// paper's Section 6.1 recipe) or the paper's worked example. The output
+// feeds cmd/ftbar, cmd/ftsim and the ftserved service.
 //
 // Usage:
 //
 //	ftgen -n 50 -ccr 5 -procs 4 -npf 1 -seed 7 > problem.json
+//	ftgen -topology ring -n 30 > ring.json
+//	ftgen -paper > example.json
 package main
 
 import (
@@ -27,18 +30,28 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftgen", flag.ContinueOnError)
 	n := fs.Int("n", 30, "number of operations")
 	ccr := fs.Float64("ccr", 1, "communication-to-computation ratio")
-	procs := fs.Int("procs", 4, "number of fully connected processors")
+	procs := fs.Int("procs", 4, "number of processors")
+	topology := fs.String("topology", "full", "architecture shape: full | bus | ring | star")
 	npf := fs.Int("npf", 1, "tolerated processor failures")
 	seed := fs.Int64("seed", 1, "random seed")
 	het := fs.Float64("heterogeneity", 0, "per-processor time spread in [0,1)")
+	paper := fs.Bool("paper", false, "emit the paper's worked example instead of a random problem")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := ftbar.Generate(ftbar.GenParams{
-		N: *n, CCR: *ccr, Procs: *procs, Npf: *npf, Seed: *seed, Heterogeneity: *het,
-	})
-	if err != nil {
-		return err
+	p := ftbar.PaperExample()
+	if !*paper {
+		topo, err := ftbar.ParseTopology(*topology)
+		if err != nil {
+			return err
+		}
+		p, err = ftbar.Generate(ftbar.GenParams{
+			N: *n, CCR: *ccr, Procs: *procs, Topology: topo,
+			Npf: *npf, Seed: *seed, Heterogeneity: *het,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {

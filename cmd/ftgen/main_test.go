@@ -41,4 +41,36 @@ func TestRunRejectsBadParams(t *testing.T) {
 	if err := run([]string{"-npf", "9", "-procs", "3"}, &out); err == nil {
 		t.Error("Npf >= procs accepted")
 	}
+	if err := run([]string{"-topology", "torus"}, &out); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunEmitsPaperExample(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-paper"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Npf != 1 || p.Rtc.Deadline != 16 || p.Arc.NumProcs() != 3 {
+		t.Errorf("not the worked example: npf=%d rtc=%g procs=%d",
+			p.Npf, p.Rtc.Deadline, p.Arc.NumProcs())
+	}
+}
+
+func TestRunTopology(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topology", "bus", "-n", "8", "-procs", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Arc.NumMedia() != 1 {
+		t.Errorf("bus architecture has %d media, want 1", p.Arc.NumMedia())
+	}
 }

@@ -1,0 +1,97 @@
+// Command ftserved is the long-running FTBAR scheduling service: an
+// HTTP/JSON server that schedules problems on a bounded worker pool and
+// serves repeated requests from a content-addressed cache.
+//
+// Usage:
+//
+//	ftserved                          # listen on :8080, GOMAXPROCS workers
+//	ftserved -addr 127.0.0.1:9000     # explicit address
+//	ftserved -workers 4 -queue 64     # pool and backlog bounds
+//	ftserved -cache 4096              # schedule cache entries (-1 disables)
+//
+// Endpoints:
+//
+//	POST /v1/schedule  {"problem": ..., "options": ..., "include": ...}
+//	POST /v1/batch     {"requests": [...]}
+//	POST /v1/sweep     {"problem": ..., "npfs": [0, 1, 2]}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Try it with the paper's worked example:
+//
+//	printf '{"problem": %s}' "$(go run ./cmd/ftgen -paper)" |
+//	    curl -sf -X POST --data @- http://localhost:8080/v1/schedule
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"ftbar/internal/service"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stderr, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "ftserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until stop fires, then shuts down gracefully.
+// The listener's resolved address is sent on announced when non-nil (the
+// tests listen on :0).
+func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ftserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "request queue bound (0 = 4x workers)")
+	cacheSize := fs.Int("cache", 0, "schedule cache entries (0 = 1024, negative disables)")
+	gogc := fs.Int("gogc", 400, "garbage collector target percent (0 keeps the runtime default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Scheduling keeps a tiny live heap; at the default GOGC=100 the
+	// collector fires every few milliseconds and serialises the worker
+	// pool, so the service trades memory headroom for throughput. An
+	// explicit GOGC environment wins.
+	if *gogc > 0 && os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(*gogc)
+	}
+	svc := service.New(service.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(logw, "ftserved: listening on %s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), st.Workers, st.QueueCapacity, st.CacheCapacity)
+	if announced != nil {
+		announced <- ln.Addr()
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	fmt.Fprintf(logw, "ftserved: shutting down\n")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"ftbar"
+)
+
+// TestServeScheduleShutdown boots the real server on an ephemeral port,
+// schedules the paper example over HTTP, reads the stats, and shuts down.
+func TestServeScheduleShutdown(t *testing.T) {
+	announced := make(chan net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var logs strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &logs, announced, stop)
+	}()
+	addr := <-announced
+	base := fmt.Sprintf("http://%s", addr)
+
+	body, err := json.Marshal(map[string]any{"problem": ftbar.PaperExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule status %d", resp.StatusCode)
+	}
+	var reply struct {
+		Length   float64 `json:"length"`
+		MeetsRtc bool    `json:"meets_rtc"`
+		Schedule struct {
+			Replicas []json.RawMessage `json:"replicas"`
+		} `json:"schedule"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.MeetsRtc || len(reply.Schedule.Replicas) == 0 {
+		t.Errorf("implausible reply: %+v", reply)
+	}
+
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if stats.StatusCode != http.StatusOK {
+		t.Errorf("stats status %d", stats.StatusCode)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"listening on", "shutting down"} {
+		if !strings.Contains(logs.String(), want) {
+			t.Errorf("log missing %q: %s", want, logs.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, os.Stderr, nil, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

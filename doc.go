@@ -55,11 +55,32 @@
 // The engine-vs-engine scaling grid runs with
 // `ftbench -experiment scaling [-json]`.
 //
+// # Scheduling service
+//
+// NewService wraps the engine in a concurrent scheduling service: a
+// bounded worker pool behind a bounded request queue (backpressure:
+// overflowing submissions are rejected, HTTP 429), with a
+// content-addressed LRU cache keyed on a canonical hash of
+// (problem, options) so repeated and coalesced requests are served from
+// memory without running the scheduler. Service.Handler exposes the
+// HTTP/JSON surface — schedule, batch, Npf-sweep, stats and health
+// endpoints — that the long-running cmd/ftserved binary serves:
+//
+//	svc := ftbar.NewService(ftbar.ServiceConfig{})
+//	defer svc.Close()
+//	reply, _ := svc.Schedule(ctx, &ftbar.ScheduleRequest{Problem: p})
+//	// reply.Cached reports whether the scheduler actually ran.
+//
+// The service load experiment runs with `ftbench -experiment service
+// [-json]` (the BENCH_service.json trajectory); the architecture is
+// DESIGN.md Section 9.
+//
 // The packages under internal implement the substrates: the algorithm and
 // architecture models, the time tables, the schedule structure, the FTBAR
 // and HBP heuristics, the random workload generator of the paper's
 // Section 6.1, a discrete-event executor with failure injection, a
-// goroutine-based distributed executive, and the benchmark harness that
-// regenerates every table and figure of the paper's evaluation (see
-// DESIGN.md; the experiment index is DESIGN.md Section 3).
+// goroutine-based distributed executive, the scheduling service layer,
+// and the benchmark harness that regenerates every table and figure of
+// the paper's evaluation (see DESIGN.md; the experiment index is
+// DESIGN.md Section 3).
 package ftbar

@@ -170,6 +170,14 @@ func (a *Architecture) Medium(id MediumID) Medium {
 	return m
 }
 
+// Connected reports whether medium id directly binds both p and q,
+// without copying the medium (the hot-path alternative to
+// Medium(id).Connects).
+func (a *Architecture) Connected(id MediumID, p, q ProcID) bool {
+	m := a.media[id]
+	return m.Connects(p) && m.Connects(q)
+}
+
 // ProcByName returns the processor named name.
 func (a *Architecture) ProcByName(name string) (Processor, bool) {
 	id, ok := a.byName[name]

@@ -12,13 +12,16 @@ import (
 
 // Fig9Config parameterises the Figure 9 sweep: overhead versus the number
 // of operations at fixed CCR. The paper uses N = 10..80 step 10, CCR = 5,
-// P = 4, Npf = 1 and 60 graphs per point.
+// P = 4, Npf = 1 and 60 graphs per point on a fully connected
+// architecture; Topology re-runs the same sweep over the bus, ring and
+// star shapes.
 type Fig9Config struct {
-	Ns     []int
-	CCR    float64
-	Procs  int
-	Graphs int
-	Seed   int64
+	Ns       []int
+	CCR      float64
+	Procs    int
+	Graphs   int
+	Seed     int64
+	Topology gen.Topology
 }
 
 // DefaultFig9 returns the paper's configuration.
@@ -43,7 +46,8 @@ func Fig9(cfg Fig9Config) ([]Point, error) {
 		pt, err := sweepPoint(float64(n), cfg.Graphs, func(seed int64) gen.Params {
 			return gen.Params{
 				N: n, CCR: cfg.CCR, Procs: cfg.Procs, Npf: 1,
-				Seed: cfg.Seed*1_000_003 + int64(n)*1009 + seed,
+				Topology: cfg.Topology,
+				Seed:     cfg.Seed*1_000_003 + int64(n)*1009 + seed,
 			}
 		})
 		if err != nil {
@@ -56,13 +60,15 @@ func Fig9(cfg Fig9Config) ([]Point, error) {
 
 // Fig10Config parameterises the Figure 10 sweep: overhead versus CCR at
 // fixed N. The paper uses CCR in {0.1, 0.5, 1, 2, 5, 10}, N = 50, P = 4,
-// Npf = 1.
+// Npf = 1 on a fully connected architecture; Topology re-runs the sweep
+// over the bus, ring and star shapes.
 type Fig10Config struct {
-	CCRs   []float64
-	N      int
-	Procs  int
-	Graphs int
-	Seed   int64
+	CCRs     []float64
+	N        int
+	Procs    int
+	Graphs   int
+	Seed     int64
+	Topology gen.Topology
 }
 
 // DefaultFig10 returns the paper's configuration.
@@ -87,7 +93,8 @@ func Fig10(cfg Fig10Config) ([]Point, error) {
 		pt, err := sweepPoint(ccr, cfg.Graphs, func(seed int64) gen.Params {
 			return gen.Params{
 				N: cfg.N, CCR: ccr, Procs: cfg.Procs, Npf: 1,
-				Seed: cfg.Seed*1_000_033 + int64(ccr*1000)*977 + seed,
+				Topology: cfg.Topology,
+				Seed:     cfg.Seed*1_000_033 + int64(ccr*1000)*977 + seed,
 			}
 		})
 		if err != nil {

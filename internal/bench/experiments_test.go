@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"ftbar/internal/gen"
+)
+
+// TestFig9Topologies smoke-tests the paper sweep on every architecture
+// shape: the open roadmap item was extending Figures 9/10 beyond the
+// fully connected layout.
+func TestFig9Topologies(t *testing.T) {
+	for _, topo := range gen.Topologies() {
+		topo := topo
+		t.Run(topo.String(), func(t *testing.T) {
+			pts, err := Fig9(Fig9Config{
+				Ns: []int{10}, CCR: 2, Procs: 4, Graphs: 2, Seed: 2003, Topology: topo,
+			})
+			if err != nil {
+				t.Fatalf("Fig9 on %s: %v", topo, err)
+			}
+			if len(pts) != 1 || pts[0].Graphs != 2 {
+				t.Fatalf("unexpected points: %+v", pts)
+			}
+			if pts[0].FTBAR < 0 || pts[0].FTBAR > 100 {
+				t.Errorf("implausible overhead %g on %s", pts[0].FTBAR, topo)
+			}
+			// Full connectivity guarantees masking (the paper's setting);
+			// sparse topologies may have routing cut vertices but must
+			// still mask some crashes.
+			if topo == gen.TopoFull && pts[0].FTBARMasked != 1 {
+				t.Errorf("fully connected masking fraction %g, want 1", pts[0].FTBARMasked)
+			}
+			if pts[0].FTBARMasked <= 0 {
+				t.Errorf("no masked crashes at all on %s", topo)
+			}
+		})
+	}
+}
+
+func TestFig10Topologies(t *testing.T) {
+	for _, topo := range gen.Topologies() {
+		topo := topo
+		t.Run(topo.String(), func(t *testing.T) {
+			pts, err := Fig10(Fig10Config{
+				CCRs: []float64{1}, N: 10, Procs: 4, Graphs: 2, Seed: 2003, Topology: topo,
+			})
+			if err != nil {
+				t.Fatalf("Fig10 on %s: %v", topo, err)
+			}
+			if len(pts) != 1 {
+				t.Fatalf("unexpected points: %+v", pts)
+			}
+		})
+	}
+}

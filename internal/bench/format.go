@@ -10,12 +10,14 @@ import (
 // swept parameter ("N" or "CCR").
 func RenderPoints(w io.Writer, xName string, points []Point) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%8s | %14s %14s | %16s %16s | %6s\n",
-		xName, "FTBAR ovh%", "HBP ovh%", "FTBAR fail ovh%", "HBP fail ovh%", "graphs")
-	b.WriteString(strings.Repeat("-", 88) + "\n")
+	fmt.Fprintf(&b, "%8s | %14s %14s | %16s %16s | %8s %8s | %6s\n",
+		xName, "FTBAR ovh%", "HBP ovh%", "FTBAR fail ovh%", "HBP fail ovh%",
+		"FT mask", "HBP mask", "graphs")
+	b.WriteString(strings.Repeat("-", 108) + "\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%8.3g | %14.2f %14.2f | %16.2f %16.2f | %6d\n",
-			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.Graphs)
+		fmt.Fprintf(&b, "%8.3g | %14.2f %14.2f | %16.2f %16.2f | %7.0f%% %7.0f%% | %6d\n",
+			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure,
+			p.FTBARMasked*100, p.HBPMasked*100, p.Graphs)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -24,11 +26,11 @@ func RenderPoints(w io.Writer, xName string, points []Point) error {
 // RenderPointsCSV writes a sweep as CSV with a header row.
 func RenderPointsCSV(w io.Writer, xName string, points []Point) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s,ftbar_overhead,hbp_overhead,ftbar_fail_overhead,hbp_fail_overhead,graphs\n",
+	fmt.Fprintf(&b, "%s,ftbar_overhead,hbp_overhead,ftbar_fail_overhead,hbp_fail_overhead,ftbar_masked,hbp_masked,graphs\n",
 		strings.ToLower(xName))
 	for _, p := range points {
-		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%d\n",
-			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.Graphs)
+		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
+			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.FTBARMasked, p.HBPMasked, p.Graphs)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

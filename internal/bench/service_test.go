@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServiceExperiment pins the acceptance criteria of the service load
+// harness: the repeated workload must exceed a 90% cache hit rate, and
+// the scheduler-runs counter must prove cached responses bypassed the
+// engine entirely.
+func TestServiceExperiment(t *testing.T) {
+	cfg := ServiceConfig{
+		Workers:  []int{1, 2},
+		Clients:  4,
+		Requests: 48,
+		Distinct: 4,
+		Tasks:    12,
+		Procs:    4,
+		Npf:      1,
+		CCR:      1,
+		Seed:     2003,
+	}
+	rep, err := Service(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "service" || len(rep.Cells) != 4 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	for _, c := range rep.Cells {
+		if c.Throughput <= 0 || c.P50Ms < 0 || c.P99Ms < c.P50Ms {
+			t.Errorf("implausible cell %+v", c)
+		}
+		switch c.Workload {
+		case "unique":
+			if c.SchedulerRuns != uint64(cfg.Requests) {
+				t.Errorf("unique workload ran the scheduler %d times, want %d",
+					c.SchedulerRuns, cfg.Requests)
+			}
+		case "repeated":
+			if c.HitRate <= 0.9 {
+				t.Errorf("repeated workload hit rate %g, want > 0.9", c.HitRate)
+			}
+			if c.SchedulerRuns != uint64(cfg.Distinct) {
+				t.Errorf("repeated workload ran the scheduler %d times for %d distinct problems",
+					c.SchedulerRuns, cfg.Distinct)
+			}
+		default:
+			t.Errorf("unknown workload %q", c.Workload)
+		}
+	}
+
+	var text strings.Builder
+	if err := RenderService(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "hit rate") {
+		t.Errorf("table missing header: %s", text.String())
+	}
+	var buf strings.Builder
+	if err := RenderServiceJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ServiceReport
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) {
+		t.Errorf("JSON round trip lost cells")
+	}
+}
+
+func TestServiceBadConfig(t *testing.T) {
+	if _, err := Service(ServiceConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultService()
+	cfg.Distinct = cfg.Requests + 1
+	if _, err := Service(cfg); err == nil {
+		t.Error("distinct > requests accepted")
+	}
+}

@@ -213,6 +213,20 @@ type scheduler struct {
 	// checkpoints is the reusable buffer stack of the incremental
 	// engine's in-place speculation undo.
 	checkpoints []*sched.Checkpoint
+	// evalBuf, procsBuf and sigmasBuf are scratch for candidate
+	// evaluation, the per-step hot path: bestProcs results only live
+	// until the next call (selectCandidate copies the winner's into the
+	// decision log). Two buffer pairs alternate so the best candidate's
+	// result survives while the next candidate is evaluated.
+	evalBuf   []procSigma
+	procsBuf  [2][]arch.ProcID
+	sigmasBuf [2][]float64
+}
+
+// procSigma is one (processor, pressure) evaluation.
+type procSigma struct {
+	proc  arch.ProcID
+	sigma float64
 }
 
 func (sch *scheduler) run() error {
@@ -290,71 +304,76 @@ func (sch *scheduler) candidates() []model.TaskID {
 // selectCandidate performs micro-steps À and Á: for every candidate keep
 // the Npf+1 processors of minimum pressure, then pick the candidate whose
 // best pressure is maximal (most urgent). Ties break towards the smaller
-// task id; candidate order makes this deterministic.
+// task id; candidate order makes this deterministic. The winner's
+// processors and pressures are copied out of the scratch buffers for the
+// decision log.
 func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, error) {
 	bestTask := model.TaskID(-1)
 	bestUrgency := math.Inf(-1)
 	var bestProcs []arch.ProcID
 	var bestSigmas []float64
+	cur := 0
 	for _, t := range cands {
-		procs, sigmas, err := sch.bestProcs(t)
+		procs, sigmas, err := sch.bestProcs(t, sch.procsBuf[cur][:0], sch.sigmasBuf[cur][:0])
 		if err != nil {
 			return -1, nil, nil, err
 		}
+		sch.procsBuf[cur], sch.sigmasBuf[cur] = procs, sigmas
 		if sigmas[0] > bestUrgency {
 			bestTask, bestUrgency = t, sigmas[0]
 			bestProcs, bestSigmas = procs, sigmas
+			cur = 1 - cur // shield the winner's buffers from the next evaluation
 		}
 	}
 	if bestTask < 0 {
 		return -1, nil, nil, fmt.Errorf("%w: no selectable candidate", ErrInternal)
 	}
-	return bestTask, bestProcs, bestSigmas, nil
+	return bestTask, append([]arch.ProcID(nil), bestProcs...), append([]float64(nil), bestSigmas...), nil
 }
 
-// bestProcs returns the target processors for a task in ascending pressure
-// order. Ordinary tasks get the Npf+1 cheapest processors; mem write halves
-// are pinned to their read half's processors, index-aligned, so the
-// register state stays local across iterations.
-func (sch *scheduler) bestProcs(t model.TaskID) ([]arch.ProcID, []float64, error) {
+// bestProcs appends the target processors for a task into the provided
+// buffers, in ascending pressure order, returning slices that stay valid
+// until the buffers are reused. Ordinary tasks get the Npf+1 cheapest
+// processors; mem write halves are pinned to their read half's
+// processors, index-aligned, so the register state stays local across
+// iterations.
+func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, error) {
 	task := sch.tg.Task(t)
 	if task.Role == model.MemWrite {
-		return sch.memWriteProcs(t)
+		return sch.memWriteProcs(t, procs, sigmas)
 	}
-	type cand struct {
-		proc  arch.ProcID
-		sigma float64
-	}
-	var all []cand
+	all := sch.evalBuf[:0]
 	for p := 0; p < sch.p.Arc.NumProcs(); p++ {
 		sig := sch.sigma(t, arch.ProcID(p))
 		if !math.IsInf(sig, 1) {
-			all = append(all, cand{arch.ProcID(p), sig})
+			all = append(all, procSigma{arch.ProcID(p), sig})
 		}
 	}
+	sch.evalBuf = all
 	need := sch.p.Npf + 1
 	if len(all) < need {
 		return nil, nil, fmt.Errorf("%w: task %q has %d usable processors, need %d",
 			ErrNoProcessorChoice, task.Name, len(all), need)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].sigma != all[j].sigma {
-			return all[i].sigma < all[j].sigma
+	// Insertion sort on (sigma, proc): a total order, so the result is
+	// the one the previous sort.Slice produced, without its allocations
+	// (the processor count keeps the quadratic cost trivial).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].sigma < all[j-1].sigma ||
+			(all[j].sigma == all[j-1].sigma && all[j].proc < all[j-1].proc)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
 		}
-		return all[i].proc < all[j].proc
-	})
-	procs := make([]arch.ProcID, need)
-	sigmas := make([]float64, need)
+	}
 	for i := 0; i < need; i++ {
-		procs[i] = all[i].proc
-		sigmas[i] = all[i].sigma
+		procs = append(procs, all[i].proc)
+		sigmas = append(sigmas, all[i].sigma)
 	}
 	return procs, sigmas, nil
 }
 
 // memWriteProcs pins a mem's write half to the processors hosting its read
-// half, in replica-index order.
-func (sch *scheduler) memWriteProcs(t model.TaskID) ([]arch.ProcID, []float64, error) {
+// half, in replica-index order, appending into the provided buffers.
+func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, error) {
 	task := sch.tg.Task(t)
 	for _, mp := range sch.tg.MemPairs() {
 		if mp.Write != t {
@@ -364,21 +383,19 @@ func (sch *scheduler) memWriteProcs(t model.TaskID) ([]arch.ProcID, []float64, e
 		if len(reads) == 0 {
 			return nil, nil, fmt.Errorf("%w: mem %q write before read", ErrInternal, task.Name)
 		}
-		procs := make([]arch.ProcID, len(reads))
-		sigmas := make([]float64, len(reads))
-		for i, r := range reads {
-			procs[i] = r.Proc
-			sigmas[i] = sch.sigma(t, r.Proc)
-			if math.IsInf(sigmas[i], 1) {
+		for _, r := range reads {
+			sig := sch.sigma(t, r.Proc)
+			if math.IsInf(sig, 1) {
 				return nil, nil, fmt.Errorf("%w: mem %q write forbidden on %q",
 					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(r.Proc).Name)
 			}
+			procs = append(procs, r.Proc)
+			sigmas = append(sigmas, sig)
 		}
 		// Selection needs ascending sigma first; placement order must stay
 		// index-aligned with the read half, so only the urgency is sorted.
-		sorted := append([]float64(nil), sigmas...)
-		sort.Float64s(sorted)
-		return procs, sorted, nil
+		sort.Float64s(sigmas)
+		return procs, sigmas, nil
 	}
 	return nil, nil, fmt.Errorf("%w: %q is not a mem write", ErrInternal, task.Name)
 }

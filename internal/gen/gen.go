@@ -31,6 +31,28 @@ const (
 	TopoStar
 )
 
+// ParseTopology maps a short name ("full", "bus", "ring", "star") back to
+// its Topology, the inverse of String.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "", "full":
+		return TopoFull, nil
+	case "bus":
+		return TopoBus, nil
+	case "ring":
+		return TopoRing, nil
+	case "star":
+		return TopoStar, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown topology %q", ErrBadParams, s)
+	}
+}
+
+// Topologies lists every generated architecture shape, in id order.
+func Topologies() []Topology {
+	return []Topology{TopoFull, TopoBus, TopoRing, TopoStar}
+}
+
 // String returns the topology's short name.
 func (t Topology) String() string {
 	switch t {

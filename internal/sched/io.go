@@ -7,17 +7,19 @@ import (
 	"ftbar/internal/model"
 )
 
-// scheduleJSON is the export shape of a schedule: enough to replay or
-// inspect it outside the library. It is write-only; schedules are rebuilt by
-// re-running the heuristic on the problem.
-type scheduleJSON struct {
-	Npf      int           `json:"npf"`
-	Length   float64       `json:"length"`
-	Replicas []replicaJSON `json:"replicas"`
-	Comms    []commJSON    `json:"comms"`
+// Doc is the export shape of a schedule: enough to replay or inspect it
+// outside the library, with symbolic names instead of numeric ids. It
+// round-trips through JSON as a plain document; live Schedules are rebuilt
+// by re-running the heuristic on the problem.
+type Doc struct {
+	Npf      int          `json:"npf"`
+	Length   float64      `json:"length"`
+	Replicas []ReplicaDoc `json:"replicas"`
+	Comms    []CommDoc    `json:"comms"`
 }
 
-type replicaJSON struct {
+// ReplicaDoc is one exported replica placement.
+type ReplicaDoc struct {
 	Task  string  `json:"task"`
 	Index int     `json:"index"`
 	Proc  string  `json:"proc"`
@@ -25,7 +27,8 @@ type replicaJSON struct {
 	End   float64 `json:"end"`
 }
 
-type commJSON struct {
+// CommDoc is one exported scheduled transmission (one hop).
+type CommDoc struct {
 	Edge     string  `json:"edge"`
 	SrcIndex int     `json:"src_index"`
 	DstIndex int     `json:"dst_index"`
@@ -37,12 +40,12 @@ type commJSON struct {
 	End      float64 `json:"end"`
 }
 
-// MarshalJSON exports the schedule with symbolic names.
-func (s *Schedule) MarshalJSON() ([]byte, error) {
-	doc := scheduleJSON{Npf: s.npf, Length: s.Length()}
+// Doc exports the schedule as its JSON document.
+func (s *Schedule) Doc() Doc {
+	doc := Doc{Npf: s.npf, Length: s.Length()}
 	for t := 0; t < s.tasks.NumTasks(); t++ {
 		for _, r := range s.replicas[t] {
-			doc.Replicas = append(doc.Replicas, replicaJSON{
+			doc.Replicas = append(doc.Replicas, ReplicaDoc{
 				Task:  s.tasks.Task(model.TaskID(t)).Name,
 				Index: r.Index,
 				Proc:  s.problem.Arc.Proc(r.Proc).Name,
@@ -53,7 +56,7 @@ func (s *Schedule) MarshalJSON() ([]byte, error) {
 	}
 	for m := 0; m < s.problem.Arc.NumMedia(); m++ {
 		for _, c := range s.mediumSeq[m] {
-			doc.Comms = append(doc.Comms, commJSON{
+			doc.Comms = append(doc.Comms, CommDoc{
 				Edge:     s.problem.Alg.EdgeName(c.Orig),
 				SrcIndex: c.SrcIndex,
 				DstIndex: c.DstIndex,
@@ -66,5 +69,10 @@ func (s *Schedule) MarshalJSON() ([]byte, error) {
 			})
 		}
 	}
-	return json.Marshal(doc)
+	return doc
+}
+
+// MarshalJSON exports the schedule with symbolic names.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Doc())
 }

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/paperex"
+)
+
+// TestScheduleJSONRoundTrip pins the export contract: the schedule document
+// survives marshal → unmarshal → marshal byte-identically.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	p := paperex.Problem()
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of placements suffice: the codec, not the heuristic, is
+	// under test.
+	src := s.Tasks().Sources()[0]
+	for proc := 0; proc < 2; proc++ {
+		if _, err := s.PlaceReplica(src, arch.ProcID(proc)); err != nil {
+			t.Fatalf("place source on proc %d: %v", proc, err)
+		}
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", data, again)
+	}
+	if doc.Npf != p.Npf {
+		t.Errorf("npf = %d, want %d", doc.Npf, p.Npf)
+	}
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"ftbar/internal/spec"
+)
+
+// fanOut runs fn(0..n-1) on a bounded set of goroutines: enough to keep
+// the pool and queue saturated, never one per element, so an arbitrarily
+// large composite request cannot multiply goroutines past the service's
+// sizing.
+func (s *Service) fanOut(n int, fn func(int)) {
+	width := s.cfg.Workers + s.cfg.QueueSize
+	if width > n {
+		width = n
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for g := 0; g < width; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Batch fans the requests across the worker pool and waits for all of
+// them. Batch elements use blocking submission: the bounded queue still
+// limits the in-flight backlog, elements beyond it wait for free slots
+// instead of failing the whole batch. Per-element failures land in the
+// item's Error field.
+func (s *Service) Batch(ctx context.Context, req *BatchRequest) *BatchResponse {
+	out := &BatchResponse{Responses: make([]BatchItem, len(req.Requests))}
+	s.fanOut(len(req.Requests), func(i int) {
+		reply, err := s.Schedule(ctx, &req.Requests[i])
+		if err != nil {
+			out.Responses[i].Error = err.Error()
+			return
+		}
+		out.Responses[i].ScheduleResponse = reply.ScheduleResponse
+		out.Responses[i].Cached = reply.Cached
+	})
+	return out
+}
+
+// Sweep schedules the problem once per requested Npf, fanned across the
+// pool. Every variant goes through the content-addressed cache, so a
+// sweep re-run after an exploratory change only recomputes the variants
+// the change invalidated.
+func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	if req.Problem == nil {
+		return nil, fmt.Errorf("%w: missing problem", ErrBadRequest)
+	}
+	if len(req.Npfs) == 0 {
+		return nil, fmt.Errorf("%w: empty npfs", ErrBadRequest)
+	}
+	out := &SweepResponse{Variants: make([]SweepVariant, len(req.Npfs))}
+	s.fanOut(len(req.Npfs), func(i int) {
+		npf := req.Npfs[i]
+		out.Variants[i].Npf = npf
+		if npf < 0 {
+			out.Variants[i].Error = spec.ErrNegativeNpf.Error()
+			return
+		}
+		variant := req.Problem.Clone()
+		variant.Npf = npf
+		reply, err := s.Schedule(ctx, &ScheduleRequest{
+			Problem: variant, Options: req.Options, Include: req.Include,
+		})
+		if err != nil {
+			out.Variants[i].Error = err.Error()
+			return
+		}
+		out.Variants[i].ScheduleResponse = reply.ScheduleResponse
+		out.Variants[i].Cached = reply.Cached
+	})
+	// The paper's overhead formula against the sweep's own Npf = 0 run.
+	var base float64
+	hasBase := false
+	for i := range out.Variants {
+		if out.Variants[i].Npf == 0 && out.Variants[i].ScheduleResponse != nil {
+			base, hasBase = out.Variants[i].Length, true
+			break
+		}
+	}
+	if hasBase {
+		for i := range out.Variants {
+			if v := &out.Variants[i]; v.ScheduleResponse != nil && v.Length > 0 {
+				v.Overhead = (v.Length - base) / v.Length * 100
+			}
+		}
+	}
+	return out, nil
+}
+
+// Handler returns the HTTP surface of the service:
+//
+//	POST /v1/schedule  one problem            -> ScheduleReply
+//	POST /v1/batch     many problems          -> BatchResponse
+//	POST /v1/sweep     one problem, many Npfs -> SweepResponse
+//	GET  /v1/stats     counters and latencies -> Stats
+//	GET  /healthz      liveness               -> "ok"
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req ScheduleRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		reply, err := s.TrySchedule(r.Context(), &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, reply)
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req BatchRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Batch(r.Context(), &req))
+	})
+	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req SweepRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := s.Sweep(r.Context(), &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// maxBodyBytes bounds request bodies; problems are a few KB, so 64 MiB
+// leaves room for very large batches without letting one request buffer
+// arbitrary memory.
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, fmt.Sprintf("bad request: %v", err), status)
+		return false
+	}
+	return true
+}
+
+// writeError maps service errors to HTTP statuses: 429 for backpressure,
+// 400 for bad requests, 503 for a closed service, 422 for scheduling
+// failures on a well-formed problem.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusRequestTimeout
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,344 @@
+// Package service is the concurrent scheduling layer on top of the FTBAR
+// engine: a long-running service that accepts scheduling problems over
+// HTTP/JSON (or in-process), runs them on a bounded worker pool, and
+// reuses work between identical requests through a content-addressed LRU
+// cache (DESIGN.md Section 9).
+//
+// The shape of the serving problem is the one the paper implies: a design
+// under exploration re-runs the scheduler for every Npf, topology and
+// time-table variant, and many of those runs are exact repeats. The
+// service turns the repeats into cache hits — a cached response never
+// touches the scheduler, which the stats endpoint's scheduler_runs
+// counter makes observable — and fans the genuinely new work across
+// GOMAXPROCS workers behind a bounded queue that rejects (HTTP 429) when
+// the backlog is full.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftbar/internal/core"
+	"ftbar/internal/sched"
+	"ftbar/internal/sim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds the scheduling worker pool; 0 picks GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the request queue; values <= 0 pick 4×Workers.
+	// When the queue is full, non-blocking submissions are rejected with
+	// ErrOverloaded (HTTP 429).
+	QueueSize int
+	// CacheSize bounds the content-addressed schedule cache, in entries;
+	// 0 picks 1024, negative disables caching (in-flight coalescing
+	// remains).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// job is one admitted scheduling computation.
+type job struct {
+	req *ScheduleRequest
+	e   *entry
+}
+
+// Service is a concurrent scheduling service. Create one with New and
+// release its workers with Close.
+type Service struct {
+	cfg   Config
+	cache *cache
+	queue chan *job
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+
+	requests      atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	schedulerRuns atomic.Uint64
+	rejected      atomic.Uint64
+	errors        atomic.Uint64
+
+	lat *latencyRecorder
+
+	// computeHook, when set, runs inside each worker computation before
+	// the scheduler; tests use it to hold workers and fill the queue
+	// deterministically.
+	computeHook func()
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueSize),
+		lat:   newLatencyRecorder(4096),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close rejects further submissions, drains the queued jobs and stops the
+// workers.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		resp, err := s.compute(j.req)
+		if err != nil {
+			s.errors.Add(1)
+		}
+		s.cache.complete(j.e, resp, err)
+	}
+}
+
+// compute runs the scheduler and builds the cacheable response.
+func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
+	if s.computeHook != nil {
+		s.computeHook()
+	}
+	opts, err := req.Options.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	s.schedulerRuns.Add(1)
+	res, err := core.Run(req.Problem, opts)
+	if err != nil {
+		return nil, err
+	}
+	data, err := res.Schedule.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	resp := &ScheduleResponse{
+		Length:        res.Schedule.Length(),
+		MeetsRtc:      res.MeetsRtc,
+		RtcViolation:  res.RtcViolation,
+		Steps:         len(res.Steps),
+		ExtraReplicas: res.ExtraReplicas,
+		Schedule:      data,
+	}
+	if req.Include.Gantt {
+		var b strings.Builder
+		if err := res.Schedule.Render(&b, sched.GanttOptions{Bars: true}); err != nil {
+			return nil, err
+		}
+		resp.Gantt = b.String()
+	}
+	if req.Include.Stats {
+		st := res.Schedule.Stats()
+		resp.Stats = &st
+	}
+	if req.Include.Sweep {
+		reports, err := sim.SingleFailureSweep(res.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		resp.Sweep = reports
+	}
+	return resp, nil
+}
+
+// Schedule submits a request and waits for its result, blocking while the
+// queue is full (the in-process and batch path). The context bounds the
+// wait.
+func (s *Service) Schedule(ctx context.Context, req *ScheduleRequest) (*ScheduleReply, error) {
+	return s.do(ctx, req, true)
+}
+
+// TrySchedule is Schedule with backpressure: a full queue rejects
+// immediately with ErrOverloaded instead of waiting (the HTTP admission
+// path, mapped to 429).
+func (s *Service) TrySchedule(ctx context.Context, req *ScheduleRequest) (*ScheduleReply, error) {
+	return s.do(ctx, req, false)
+}
+
+func (s *Service) do(ctx context.Context, req *ScheduleRequest, wait bool) (*ScheduleReply, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	stop := s.lat.start()
+	for {
+		e, owner := s.cache.acquire(key)
+		if owner {
+			s.cacheMisses.Add(1)
+			if err := s.submit(ctx, &job{req: req, e: e}, wait); err != nil {
+				s.cache.abandon(e, err)
+				if err == ErrOverloaded {
+					s.rejected.Add(1)
+				}
+				return nil, err
+			}
+		}
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if !owner && e.abandoned {
+			// The owner's admission failed (its queue slot, context or
+			// shutdown — not ours); contend for the key again under this
+			// request's own admission mode.
+			continue
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		if !owner {
+			s.cacheHits.Add(1)
+		}
+		stop()
+		return &ScheduleReply{ScheduleResponse: e.resp, Cached: !owner}, nil
+	}
+}
+
+// submit enqueues an admitted job. The RLock pairs with Close's Lock so a
+// send never races the channel close.
+func (s *Service) submit(ctx context.Context, j *job, wait bool) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if wait {
+		select {
+		case s.queue <- j:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// Stats is the observable state of the service, the body of GET /v1/stats.
+type Stats struct {
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	Requests      uint64  `json:"requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	HitRate       float64 `json:"hit_rate"`
+	SchedulerRuns uint64  `json:"scheduler_runs"`
+	Rejected      uint64  `json:"rejected"`
+	Errors        uint64  `json:"errors"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+}
+
+// Stats snapshots the counters. The latency percentiles cover the last
+// 4096 successful requests, end to end (queue wait included).
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		CacheEntries:  s.cache.len(),
+		CacheCapacity: s.cfg.CacheSize,
+		Requests:      s.requests.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		SchedulerRuns: s.schedulerRuns.Load(),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.errors.Load(),
+	}
+	if st.Requests > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(st.Requests)
+	}
+	st.LatencyP50Ms, st.LatencyP90Ms, st.LatencyP99Ms = s.lat.percentiles()
+	return st
+}
+
+// latencyRecorder keeps a bounded ring of request latencies in
+// milliseconds.
+type latencyRecorder struct {
+	mu   sync.Mutex
+	ring []float64
+	n    int // total recorded
+}
+
+func newLatencyRecorder(size int) *latencyRecorder {
+	return &latencyRecorder{ring: make([]float64, 0, size)}
+}
+
+// start returns a stop func that records the elapsed time when called.
+func (l *latencyRecorder) start() func() {
+	t0 := time.Now()
+	return func() {
+		l.record(float64(time.Since(t0).Nanoseconds()) / 1e6)
+	}
+}
+
+func (l *latencyRecorder) record(ms float64) {
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ms)
+	} else {
+		l.ring[l.n%cap(l.ring)] = ms
+	}
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentiles returns p50, p90 and p99 over the retained window.
+func (l *latencyRecorder) percentiles() (p50, p90, p99 float64) {
+	l.mu.Lock()
+	samples := append([]float64(nil), l.ring...)
+	l.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(samples)
+	at := func(q float64) float64 {
+		i := int(q*float64(len(samples)-1) + 0.5)
+		return samples[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// resultJSON is the wire shape of a simulated execution. Failure windows
+// encode +Inf (permanent failures) as the string "inf" via spec.JSONTime;
+// the per-iteration replica states and op completions are included so a
+// report round-trips losslessly.
+type resultJSON struct {
+	Scenario   scenarioJSON    `json:"scenario"`
+	Iterations []iterationJSON `json:"iterations"`
+}
+
+type scenarioJSON struct {
+	Failures       []failureJSON       `json:"failures,omitempty"`
+	MediumFailures []mediumFailureJSON `json:"medium_failures,omitempty"`
+	Detection      string              `json:"detection"`
+	Iterations     int                 `json:"iterations,omitempty"`
+}
+
+type failureJSON struct {
+	Proc  int           `json:"proc"`
+	At    float64       `json:"at"`
+	Until spec.JSONTime `json:"until"`
+}
+
+type mediumFailureJSON struct {
+	Medium int           `json:"medium"`
+	At     float64       `json:"at"`
+	Until  spec.JSONTime `json:"until"`
+}
+
+type iterationJSON struct {
+	Index         int                    `json:"index"`
+	Makespan      float64                `json:"makespan"`
+	OutputsOK     bool                   `json:"outputs_ok"`
+	Done          int                    `json:"done"`
+	Dead          int                    `json:"dead"`
+	Delivered     int                    `json:"delivered"`
+	Skipped       int                    `json:"skipped"`
+	OpCompletions map[model.OpID]float64 `json:"op_completions,omitempty"`
+	Replicas      []replicaStateJSON     `json:"replicas,omitempty"`
+}
+
+type replicaStateJSON struct {
+	Task  model.TaskID `json:"task"`
+	Index int          `json:"index"`
+	Done  bool         `json:"done"`
+	Start float64      `json:"start,omitempty"`
+	End   float64      `json:"end,omitempty"`
+}
+
+func detectionName(m DetectionMode) string {
+	if m == DetectionExpected {
+		return "expected"
+	}
+	return "none"
+}
+
+func parseDetection(s string) (DetectionMode, error) {
+	switch s {
+	case "", "none":
+		return DetectionNone, nil
+	case "expected":
+		return DetectionExpected, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown detection mode %q", s)
+	}
+}
+
+// MarshalJSON encodes the whole report, scenario included.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	doc := resultJSON{Scenario: scenarioJSON{
+		Detection:  detectionName(r.Scenario.Detection),
+		Iterations: r.Scenario.Iterations,
+	}}
+	for _, f := range r.Scenario.Failures {
+		doc.Scenario.Failures = append(doc.Scenario.Failures, failureJSON{
+			Proc: int(f.Proc), At: f.At, Until: spec.JSONTime(f.Until),
+		})
+	}
+	for _, f := range r.Scenario.MediumFailures {
+		doc.Scenario.MediumFailures = append(doc.Scenario.MediumFailures, mediumFailureJSON{
+			Medium: int(f.Medium), At: f.At, Until: spec.JSONTime(f.Until),
+		})
+	}
+	for i := range r.Iterations {
+		ir := &r.Iterations[i]
+		ij := iterationJSON{
+			Index: ir.Index, Makespan: ir.Makespan, OutputsOK: ir.OutputsOK,
+			Done: ir.Done, Dead: ir.Dead, Delivered: ir.Delivered, Skipped: ir.Skipped,
+		}
+		if len(ir.opDone) > 0 {
+			ij.OpCompletions = ir.opDone
+		}
+		for key, st := range ir.repl {
+			rs := replicaStateJSON{Task: key.task, Index: key.index, Done: st.status == stDone}
+			if rs.Done {
+				rs.Start, rs.End = st.start, st.end
+			}
+			ij.Replicas = append(ij.Replicas, rs)
+		}
+		// Map iteration order is random; sort for a deterministic document.
+		sort.Slice(ij.Replicas, func(a, b int) bool {
+			if ij.Replicas[a].Task != ij.Replicas[b].Task {
+				return ij.Replicas[a].Task < ij.Replicas[b].Task
+			}
+			return ij.Replicas[a].Index < ij.Replicas[b].Index
+		})
+		doc.Iterations = append(doc.Iterations, ij)
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a report written by MarshalJSON.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var doc resultJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("sim: decode result: %w", err)
+	}
+	mode, err := parseDetection(doc.Scenario.Detection)
+	if err != nil {
+		return err
+	}
+	r.Scenario = Scenario{Detection: mode, Iterations: doc.Scenario.Iterations}
+	for _, f := range doc.Scenario.Failures {
+		r.Scenario.Failures = append(r.Scenario.Failures, Failure{
+			Proc: arch.ProcID(f.Proc), At: f.At, Until: float64(f.Until),
+		})
+	}
+	for _, f := range doc.Scenario.MediumFailures {
+		r.Scenario.MediumFailures = append(r.Scenario.MediumFailures, MediumFailure{
+			Medium: arch.MediumID(f.Medium), At: f.At, Until: float64(f.Until),
+		})
+	}
+	r.Iterations = nil
+	for _, ij := range doc.Iterations {
+		ir := IterationResult{
+			Index: ij.Index, Makespan: ij.Makespan, OutputsOK: ij.OutputsOK,
+			Done: ij.Done, Dead: ij.Dead, Delivered: ij.Delivered, Skipped: ij.Skipped,
+			opDone: make(map[model.OpID]float64, len(ij.OpCompletions)),
+			repl:   make(map[replKey]replicaState, len(ij.Replicas)),
+		}
+		for op, t := range ij.OpCompletions {
+			ir.opDone[op] = t
+		}
+		for _, rs := range ij.Replicas {
+			st := replicaState{status: stDead}
+			if rs.Done {
+				st = replicaState{status: stDone, start: rs.Start, end: rs.End}
+			}
+			ir.repl[replKey{rs.Task, rs.Index}] = st
+		}
+		r.Iterations = append(r.Iterations, ir)
+	}
+	return nil
+}

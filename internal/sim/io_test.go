@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ftbar/internal/core"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+)
+
+// TestResultJSONRoundTrip pins the service contract: a simulated execution
+// report survives marshal → unmarshal → marshal byte-identically, and the
+// decoded report answers the same queries as the original.
+func TestResultJSONRoundTrip(t *testing.T) {
+	res, err := core.Run(paperex.Problem(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Run(res.Schedule, Scenario{
+		Failures:   []Failure{Permanent(1, 0), Intermittent(2, 3, 5)},
+		Detection:  DetectionExpected,
+		Iterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", data, again)
+	}
+	if back.Makespan() != orig.Makespan() || back.AllOutputsOK() != orig.AllOutputsOK() {
+		t.Errorf("summary drifted: makespan %g vs %g, ok %v vs %v",
+			back.Makespan(), orig.Makespan(), back.AllOutputsOK(), orig.AllOutputsOK())
+	}
+	for it := range orig.Iterations {
+		for op := 0; op < paperex.Problem().Alg.NumOps(); op++ {
+			a := orig.Iterations[it].OpCompletion(model.OpID(op))
+			b := back.Iterations[it].OpCompletion(model.OpID(op))
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Errorf("iteration %d op %d completion %g vs %g", it, op, a, b)
+			}
+		}
+	}
+}
+
+// TestResultJSONPermanentFailure checks the +Inf window encodes as "inf".
+func TestResultJSONPermanentFailure(t *testing.T) {
+	res, err := core.Run(paperex.Problem(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CrashAtZero(res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"until":"inf"`)) {
+		t.Errorf("permanent failure window not encoded as \"inf\": %s", data)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.Scenario.Failures[0].Until, 1) {
+		t.Errorf("until decoded as %g, want +Inf", back.Scenario.Failures[0].Until)
+	}
+}
+
+func TestResultJSONBadDetection(t *testing.T) {
+	var r Result
+	if err := json.Unmarshal([]byte(`{"scenario":{"detection":"psychic"}}`), &r); err == nil {
+		t.Error("unknown detection mode accepted")
+	}
+}

@@ -2,6 +2,9 @@ package sim
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/sched"
@@ -36,28 +39,111 @@ const crashEps = 1e-6
 // can change the outcome: time zero and just before/after each completion
 // of the processor's replicas and outgoing comms in the fault-free timing.
 // It returns one report per processor. The schedule must tolerate one
-// failure (Npf >= 1) for Masked to hold.
+// failure (Npf >= 1) for Masked to hold. Scenarios run concurrently on a
+// worker pool sized to GOMAXPROCS; the reports do not depend on the worker
+// count.
 func SingleFailureSweep(s *sched.Schedule) ([]CrashReport, error) {
+	return SingleFailureSweepWorkers(s, 0)
+}
+
+// probeOutcome is the simulated makespan and masking verdict of one
+// (processor, crash instant) scenario.
+type probeOutcome struct {
+	makespan float64
+	masked   bool
+}
+
+// SingleFailureSweepWorkers is SingleFailureSweep with an explicit worker
+// bound: 0 picks GOMAXPROCS, 1 runs serially. Each (processor, crash
+// instant) scenario is an independent simulation, so the sweep saturates
+// the pool; the reduction happens in probe order, making the reports
+// bit-identical for every worker count.
+func SingleFailureSweepWorkers(s *sched.Schedule, workers int) ([]CrashReport, error) {
 	nP := s.Problem().Arc.NumProcs()
+	probes := make([][]float64, nP)
+	outcomes := make([][]probeOutcome, nP)
+	type job struct{ proc, idx int }
+	var jobs []job
+	for p := 0; p < nP; p++ {
+		probes[p] = crashProbes(s, arch.ProcID(p))
+		outcomes[p] = make([]probeOutcome, len(probes[p]))
+		for i := range probes[p] {
+			jobs = append(jobs, job{p, i})
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	runJob := func(j job) {
+		res, err := Run(s, Scenario{Failures: []Failure{Permanent(arch.ProcID(j.proc), probes[j.proc][j.idx])}})
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		outcomes[j.proc][j.idx] = probeOutcome{
+			makespan: res.Iterations[0].Makespan,
+			masked:   res.Iterations[0].OutputsOK,
+		}
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if failed() {
+				break
+			}
+			runJob(j)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(jobs) || failed() {
+						return
+					}
+					runJob(jobs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
 	reports := make([]CrashReport, 0, nP)
 	for p := 0; p < nP; p++ {
-		proc := arch.ProcID(p)
-		times := crashProbes(s, proc)
-		report := CrashReport{Proc: proc, Masked: true, WorstAt: -1}
-		for _, at := range times {
-			res, err := Run(s, Scenario{Failures: []Failure{Permanent(proc, at)}})
-			if err != nil {
-				return nil, err
-			}
-			mk := res.Iterations[0].Makespan
-			if mk > report.WorstMakespan {
-				report.WorstMakespan = mk
+		report := CrashReport{Proc: arch.ProcID(p), Masked: true, WorstAt: -1}
+		for i, at := range probes[p] {
+			o := outcomes[p][i]
+			if o.makespan > report.WorstMakespan {
+				report.WorstMakespan = o.makespan
 				report.WorstAt = at
 			}
 			if at == 0 {
-				report.AtZeroMakespan = mk
+				report.AtZeroMakespan = o.makespan
 			}
-			if !res.Iterations[0].OutputsOK {
+			if !o.masked {
 				report.Masked = false
 			}
 		}

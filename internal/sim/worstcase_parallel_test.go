@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/sched"
+)
+
+func sweepSchedule(tb testing.TB, n, procs int, seed int64) *sched.Schedule {
+	tb.Helper()
+	p, err := gen.Generate(gen.Params{N: n, CCR: 1, Procs: procs, Npf: 1, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.Schedule
+}
+
+// TestSingleFailureSweepWorkerInvariance pins that the parallel sweep is a
+// pure speedup: every worker count produces the serial reports, field for
+// field.
+func TestSingleFailureSweepWorkerInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		s := sweepSchedule(t, 25, 4, seed)
+		serial, err := SingleFailureSweepWorkers(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			got, err := SingleFailureSweepWorkers(s, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Errorf("seed %d workers=%d: reports diverge\nserial:   %+v\nparallel: %+v",
+					seed, workers, serial, got)
+			}
+		}
+	}
+}
+
+// BenchmarkSingleFailureSweep compares the serial sweep with the bounded
+// pool, the "saturate all cores across graphs" direction of the roadmap.
+func BenchmarkSingleFailureSweep(b *testing.B) {
+	s := sweepSchedule(b, 40, 4, 2003)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers2", 2},
+		{"workers4", 4},
+		{"gomaxprocs", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SingleFailureSweepWorkers(s, bench.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

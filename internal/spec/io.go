@@ -15,22 +15,25 @@ import (
 type problemJSON struct {
 	Alg  *model.Graph       `json:"algorithm"`
 	Arc  *arch.Architecture `json:"architecture"`
-	Exec [][]jsonTime       `json:"exec"` // [op][proc]
-	Comm [][]jsonTime       `json:"comm"` // [edge][medium]
+	Exec [][]JSONTime       `json:"exec"` // [op][proc]
+	Comm [][]JSONTime       `json:"comm"` // [edge][medium]
 	Rtc  rtcJSON            `json:"rtc"`
 	Npf  int                `json:"npf"`
 }
 
 type rtcJSON struct {
-	Deadline    jsonTime            `json:"deadline,omitempty"`
-	OpDeadlines map[string]jsonTime `json:"op_deadlines,omitempty"`
+	Deadline    JSONTime            `json:"deadline,omitempty"`
+	OpDeadlines map[string]JSONTime `json:"op_deadlines,omitempty"`
 }
 
-// jsonTime marshals +Inf as the string "inf".
-type jsonTime float64
+// JSONTime is a duration or instant that marshals +Inf as the string
+// "inf", which standard JSON cannot express as a number. The problem
+// tables, the failure scenarios and the service wire types all encode
+// their times with it.
+type JSONTime float64
 
 // MarshalJSON encodes the duration, mapping +Inf to "inf".
-func (t jsonTime) MarshalJSON() ([]byte, error) {
+func (t JSONTime) MarshalJSON() ([]byte, error) {
 	if math.IsInf(float64(t), 1) {
 		return []byte(`"inf"`), nil
 	}
@@ -38,11 +41,11 @@ func (t jsonTime) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes either a number or the string "inf".
-func (t *jsonTime) UnmarshalJSON(data []byte) error {
+func (t *JSONTime) UnmarshalJSON(data []byte) error {
 	var s string
 	if err := json.Unmarshal(data, &s); err == nil {
 		if s == "inf" {
-			*t = jsonTime(math.Inf(1))
+			*t = JSONTime(math.Inf(1))
 			return nil
 		}
 		return fmt.Errorf("spec: bad time string %q (only \"inf\" is allowed)", s)
@@ -51,34 +54,34 @@ func (t *jsonTime) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return fmt.Errorf("spec: bad time: %w", err)
 	}
-	*t = jsonTime(f)
+	*t = JSONTime(f)
 	return nil
 }
 
 // MarshalJSON encodes the whole problem.
 func (p *Problem) MarshalJSON() ([]byte, error) {
 	doc := problemJSON{Alg: p.Alg, Arc: p.Arc, Npf: p.Npf}
-	doc.Exec = make([][]jsonTime, p.Alg.NumOps())
+	doc.Exec = make([][]JSONTime, p.Alg.NumOps())
 	for op := range doc.Exec {
-		row := make([]jsonTime, p.Arc.NumProcs())
+		row := make([]JSONTime, p.Arc.NumProcs())
 		for proc := range row {
-			row[proc] = jsonTime(p.Exec.Time(model.OpID(op), arch.ProcID(proc)))
+			row[proc] = JSONTime(p.Exec.Time(model.OpID(op), arch.ProcID(proc)))
 		}
 		doc.Exec[op] = row
 	}
-	doc.Comm = make([][]jsonTime, p.Alg.NumEdges())
+	doc.Comm = make([][]JSONTime, p.Alg.NumEdges())
 	for e := range doc.Comm {
-		row := make([]jsonTime, p.Arc.NumMedia())
+		row := make([]JSONTime, p.Arc.NumMedia())
 		for m := range row {
-			row[m] = jsonTime(p.Comm.Time(model.EdgeID(e), arch.MediumID(m)))
+			row[m] = JSONTime(p.Comm.Time(model.EdgeID(e), arch.MediumID(m)))
 		}
 		doc.Comm[e] = row
 	}
-	doc.Rtc.Deadline = jsonTime(p.Rtc.Deadline)
+	doc.Rtc.Deadline = JSONTime(p.Rtc.Deadline)
 	if len(p.Rtc.OpDeadlines) > 0 {
-		doc.Rtc.OpDeadlines = make(map[string]jsonTime, len(p.Rtc.OpDeadlines))
+		doc.Rtc.OpDeadlines = make(map[string]JSONTime, len(p.Rtc.OpDeadlines))
 		for op, d := range p.Rtc.OpDeadlines {
-			doc.Rtc.OpDeadlines[p.Alg.Op(op).Name] = jsonTime(d)
+			doc.Rtc.OpDeadlines[p.Alg.Op(op).Name] = JSONTime(d)
 		}
 	}
 	return json.Marshal(doc)
@@ -93,8 +96,8 @@ func (p *Problem) UnmarshalJSON(data []byte) error {
 	var doc struct {
 		Alg  json.RawMessage `json:"algorithm"`
 		Arc  json.RawMessage `json:"architecture"`
-		Exec [][]jsonTime    `json:"exec"`
-		Comm [][]jsonTime    `json:"comm"`
+		Exec [][]JSONTime    `json:"exec"`
+		Comm [][]JSONTime    `json:"comm"`
 		Rtc  rtcJSON         `json:"rtc"`
 		Npf  int             `json:"npf"`
 	}

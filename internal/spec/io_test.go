@@ -64,7 +64,7 @@ func TestProblemJSONEncodesInfAsString(t *testing.T) {
 }
 
 func TestJsonTimeRejectsBadStrings(t *testing.T) {
-	var v jsonTime
+	var v JSONTime
 	if err := json.Unmarshal([]byte(`"soon"`), &v); err == nil {
 		t.Error("bad time string accepted")
 	}

@@ -352,16 +352,29 @@ func (p *Problem) Validate() error {
 // it, or a multi-hop route exists over media that all allow it (routing is
 // weighted by the dependency's own communication times, so a single
 // forbidden link does not cut processors apart when a detour exists).
+// Pairs with a direct allowed medium skip the routing table entirely, so
+// fully connected architectures — the paper's setting, and the service's
+// common case — validate without a single Dijkstra run.
 func (p *Problem) validateEdgeReachability() error {
-	for _, e := range p.Alg.Edges() {
-		rt, err := p.EdgeRoutes(e.ID)
-		if err != nil {
-			return err
+	allowed := make([][]arch.ProcID, p.Alg.NumOps())
+	procsOf := func(op model.OpID) []arch.ProcID {
+		if allowed[op] == nil {
+			allowed[op] = p.Exec.AllowedProcs(op)
 		}
-		for _, sp := range p.Exec.AllowedProcs(e.Src) {
-			for _, dp := range p.Exec.AllowedProcs(e.Dst) {
-				if sp == dp {
+		return allowed[op]
+	}
+	for _, e := range p.Alg.Edges() {
+		var rt *arch.RouteTable // built on the first pair with no direct medium
+		for _, sp := range procsOf(e.Src) {
+			for _, dp := range procsOf(e.Dst) {
+				if sp == dp || p.edgeDirect(e.ID, sp, dp) {
 					continue
+				}
+				if rt == nil {
+					var err error
+					if rt, err = p.EdgeRoutes(e.ID); err != nil {
+						return err
+					}
 				}
 				if _, err := rt.Route(sp, dp); err != nil {
 					return fmt.Errorf("%w: %s from %q to %q",
@@ -372,6 +385,18 @@ func (p *Problem) validateEdgeReachability() error {
 		}
 	}
 	return nil
+}
+
+// edgeDirect reports whether some medium directly connecting sp and dp
+// allows the dependency.
+func (p *Problem) edgeDirect(e model.EdgeID, sp, dp arch.ProcID) bool {
+	for m := 0; m < p.Arc.NumMedia(); m++ {
+		mid := arch.MediumID(m)
+		if p.Comm.Allowed(e, mid) && p.Arc.Connected(mid, sp, dp) {
+			return true
+		}
+	}
+	return false
 }
 
 // EdgeRoutes returns the routing table of one data-dependency: shortest
