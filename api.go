@@ -51,8 +51,11 @@ type (
 
 // Problem specification (paper Section 3.4).
 type (
-	// Problem bundles Alg, Arc, Exe/Dis, Rtc and Npf.
+	// Problem bundles Alg, Arc, Exe/Dis, Rtc and the fault budget.
 	Problem = spec.Problem
+	// FaultModel is the unified fault budget: Npf processor failures plus
+	// Nmf medium failures to mask (DESIGN.md Section 10).
+	FaultModel = spec.FaultModel
 	// ExecTable holds execution times; Forbidden entries are the
 	// distribution constraints Dis.
 	ExecTable = spec.ExecTable
@@ -110,6 +113,10 @@ type (
 	SimResult = sim.Result
 	// CrashReport summarises a worst-case single-failure sweep.
 	CrashReport = sim.CrashReport
+	// LinkReport summarises a worst-case single-link-failure sweep.
+	LinkReport = sim.LinkReport
+	// CombinedReport is one (processor, medium) crash-at-zero outcome.
+	CombinedReport = sim.CombinedReport
 	// ReliabilityModel holds per-processor failure probabilities.
 	ReliabilityModel = reliab.Model
 	// ReliabilityReport is the exact reliability evaluation of a schedule.
@@ -144,10 +151,11 @@ type (
 
 // Generated architecture shapes.
 const (
-	TopoFull = gen.TopoFull
-	TopoBus  = gen.TopoBus
-	TopoRing = gen.TopoRing
-	TopoStar = gen.TopoStar
+	TopoFull    = gen.TopoFull
+	TopoBus     = gen.TopoBus
+	TopoRing    = gen.TopoRing
+	TopoStar    = gen.TopoStar
+	TopoDualBus = gen.TopoDualBus
 )
 
 // Scheduling service (DESIGN.md Section 9).
@@ -180,6 +188,10 @@ func FullyConnected(n int) *Architecture { return arch.FullyConnected(n) }
 
 // BusArchitecture builds n processors sharing one multi-point bus.
 func BusArchitecture(n int) *Architecture { return arch.Bus(n) }
+
+// DualBusArchitecture builds n processors sharing two redundant buses,
+// the smallest layout on which a bus failure can be masked (Nmf = 1).
+func DualBusArchitecture(n int) *Architecture { return arch.DualBus(n) }
 
 // Ring builds n processors linked in a cycle.
 func Ring(n int) *Architecture { return arch.Ring(n) }
@@ -265,6 +277,19 @@ func SingleFailureSweep(s *Schedule) ([]CrashReport, error) { return sim.SingleF
 // WorstSingleFailureMakespan bounds the makespan under any single crash.
 func WorstSingleFailureMakespan(s *Schedule) (float64, error) {
 	return sim.WorstSingleFailureMakespan(s)
+}
+
+// SingleLinkFailureSweep probes every medium crash instant that can
+// change the outcome and reports the worst makespans; schedules built
+// with Nmf >= 1 that pass Validate mask every report.
+func SingleLinkFailureSweep(s *Schedule) ([]LinkReport, error) {
+	return sim.SingleLinkFailureSweep(s)
+}
+
+// CombinedFailureSweep simulates every (processor, medium) pair failed
+// from time 0, the cross product of the unified fault budget.
+func CombinedFailureSweep(s *Schedule) ([]CombinedReport, error) {
+	return sim.CombinedFailureSweep(s)
 }
 
 // Execute runs the schedule's distributed programs on goroutine processors

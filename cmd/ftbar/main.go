@@ -32,6 +32,7 @@ func run(args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "path to a problem JSON (see cmd/ftgen)")
 	example := fs.Bool("example", false, "use the paper's worked example")
 	npf := fs.Int("npf", -1, "override the problem's Npf (-1 keeps it)")
+	nmf := fs.Int("nmf", -1, "override the problem's Nmf, the tolerated medium failures (-1 keeps it)")
 	basic := fs.Bool("basic", false, "disable predecessor duplication (SynDEx-style basic heuristic)")
 	asJSON := fs.Bool("json", false, "print the schedule as JSON")
 	bars := fs.Bool("bars", false, "render proportional Gantt bars")
@@ -45,9 +46,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	fm := p.FaultModel()
 	if *npf >= 0 {
-		p.Npf = *npf
+		fm.Npf = *npf
 	}
+	if *nmf >= 0 {
+		fm.Nmf = *nmf
+	}
+	p.SetFaults(fm)
 	if *dot {
 		return p.Alg.WriteDOT(out, "algorithm")
 	}

@@ -9,6 +9,7 @@
 //	ftbench -experiment npf              # overhead vs Npf (Sect. 7)
 //	ftbench -experiment scaling          # engine-vs-engine wall clock
 //	ftbench -experiment service          # scheduling-service load test
+//	ftbench -experiment faults           # Npf+Nmf masking across topologies
 //	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
 //	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
 //	ftbench -experiment fig10 -csv       # CSV series for plotting
@@ -33,12 +34,13 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service | faults")
+	nmf := fs.Int("nmf", -1, "override the faults experiment's Nmf budgets (-1 keeps the default grid)")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service)")
-	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star")
+	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star | dualbus")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +118,32 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Service: %d clients, %d requests/cell, %d distinct problems in the repeated workload\n",
 			cfg.Clients, cfg.Requests, cfg.Distinct)
 		return bench.RenderService(out, rep)
+	case "faults":
+		cfg := bench.DefaultFaults()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		if *nmf >= 0 {
+			// Clamp to each budget's Npf (like the service sweep): there
+			// are only Npf+1 copies to spread over media.
+			for i := range cfg.Budgets {
+				cfg.Budgets[i].Nmf = *nmf
+				if cfg.Budgets[i].Nmf > cfg.Budgets[i].Npf {
+					cfg.Budgets[i].Nmf = cfg.Budgets[i].Npf
+				}
+			}
+		}
+		rep, err := bench.Faults(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderFaultsJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Faults: unified Npf+Nmf budget across topologies (N=%d, CCR=%g, P=%d, %d graphs/cell)\n",
+			cfg.N, cfg.CCR, cfg.Procs, cfg.Graphs)
+		return bench.RenderFaults(out, rep)
 	case "npf":
 		cfg := bench.DefaultNpf()
 		cfg.Seed = *seed

@@ -164,3 +164,39 @@ func TestRunServiceTable(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFaultsSmall smoke-tests the faults experiment end to end,
+// table and JSON.
+func TestRunFaultsSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "faults", "-graphs", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"topology", "dualbus", "full"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("faults table missing %q: %s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "faults", "-graphs", "2", "-json"}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			LinkMasked float64 `json:"link_masked"`
+			Validated  int     `json:"validated"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	if rep.Experiment != "faults" || len(rep.Cells) == 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	for _, c := range rep.Cells {
+		if c.Validated > 0 && c.LinkMasked != 1 {
+			t.Errorf("validated cell masks %.0f%% of link crashes", c.LinkMasked*100)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	ftgen -n 50 -ccr 5 -procs 4 -npf 1 -seed 7 > problem.json
 //	ftgen -topology ring -n 30 > ring.json
+//	ftgen -npf 1 -nmf 1 -topology dualbus > linkft.json
 //	ftgen -paper > example.json
 package main
 
@@ -31,8 +32,9 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 30, "number of operations")
 	ccr := fs.Float64("ccr", 1, "communication-to-computation ratio")
 	procs := fs.Int("procs", 4, "number of processors")
-	topology := fs.String("topology", "full", "architecture shape: full | bus | ring | star")
+	topology := fs.String("topology", "full", "architecture shape: full | bus | ring | star | dualbus")
 	npf := fs.Int("npf", 1, "tolerated processor failures")
+	nmf := fs.Int("nmf", 0, "tolerated medium (link/bus) failures; must not exceed npf")
 	seed := fs.Int64("seed", 1, "random seed")
 	het := fs.Float64("heterogeneity", 0, "per-processor time spread in [0,1)")
 	paper := fs.Bool("paper", false, "emit the paper's worked example instead of a random problem")
@@ -47,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		}
 		p, err = ftbar.Generate(ftbar.GenParams{
 			N: *n, CCR: *ccr, Procs: *procs, Topology: topo,
-			Npf: *npf, Seed: *seed, Heterogeneity: *het,
+			Npf: *npf, Nmf: *nmf, Seed: *seed, Heterogeneity: *het,
 		})
 		if err != nil {
 			return err

@@ -74,3 +74,22 @@ func TestRunTopology(t *testing.T) {
 		t.Errorf("bus architecture has %d media, want 1", p.Arc.NumMedia())
 	}
 }
+
+// TestRunNmf pins the -nmf flag: the emitted document carries the
+// unified fault budget and loads back with it.
+func TestRunNmf(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "8", "-procs", "4", "-npf", "1", "-nmf", "1", "-topology", "dualbus"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output not a loadable problem: %v", err)
+	}
+	if got := p.FaultModel(); got != (ftbar.FaultModel{Npf: 1, Nmf: 1}) {
+		t.Errorf("emitted budget %+v", got)
+	}
+	if err := run([]string{"-npf", "0", "-nmf", "1"}, &out); err == nil {
+		t.Error("nmf > npf accepted")
+	}
+}

@@ -8,6 +8,7 @@
 //	ftserved -addr 127.0.0.1:9000     # explicit address
 //	ftserved -workers 4 -queue 64     # pool and backlog bounds
 //	ftserved -cache 4096              # schedule cache entries (-1 disables)
+//	ftserved -cache-file cache.json   # persist the cache across restarts
 //
 // Endpoints:
 //
@@ -57,6 +58,7 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	workers := fs.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "request queue bound (0 = 4x workers)")
 	cacheSize := fs.Int("cache", 0, "schedule cache entries (0 = 1024, negative disables)")
+	cacheFile := fs.String("cache-file", "", "persist the schedule cache to this file across restarts")
 	gogc := fs.Int("gogc", 400, "garbage collector target percent (0 keeps the runtime default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +72,26 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	}
 	svc := service.New(service.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})
 	defer svc.Close()
+	if *cacheFile != "" {
+		// The cache is an optimization, never a startup dependency: a
+		// corrupt or version-mismatched snapshot starts cold (and is
+		// overwritten on the next clean shutdown) instead of wedging a
+		// supervised restart loop.
+		if n, err := svc.LoadCacheFile(*cacheFile); err != nil {
+			fmt.Fprintf(logw, "ftserved: ignoring cache file: %v\n", err)
+		} else {
+			fmt.Fprintf(logw, "ftserved: restored %d cached schedules from %s\n", n, *cacheFile)
+		}
+		// Snapshot on graceful shutdown, after the HTTP server has
+		// drained, so the warm set survives the restart.
+		defer func() {
+			if n, err := svc.SaveCacheFile(*cacheFile); err != nil {
+				fmt.Fprintf(logw, "ftserved: save cache file: %v\n", err)
+			} else {
+				fmt.Fprintf(logw, "ftserved: saved %d cached schedules to %s\n", n, *cacheFile)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

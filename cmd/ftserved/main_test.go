@@ -77,3 +77,106 @@ func TestBadFlags(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestCacheFileRestart boots the server with -cache-file, schedules the
+// paper example, shuts down (snapshotting the cache), boots a second
+// server on the same file and checks the same request is served from the
+// restored cache without a scheduler run.
+func TestCacheFileRestart(t *testing.T) {
+	cacheFile := t.TempDir() + "/cache.json"
+	body, err := json.Marshal(map[string]any{"problem": ftbar.PaperExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func() (string, chan os.Signal, chan error, *strings.Builder) {
+		announced := make(chan net.Addr, 1)
+		stop := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		var logs strings.Builder
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-cache-file", cacheFile},
+				&logs, announced, stop)
+		}()
+		addr := <-announced
+		return fmt.Sprintf("http://%s", addr), stop, done, &logs
+	}
+	post := func(base string) (cached bool) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule status %d", resp.StatusCode)
+		}
+		var reply struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Cached
+	}
+
+	base, stop, done, _ := boot()
+	if post(base) {
+		t.Error("first request on a cold cache reported cached")
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	base, stop, done, logs := boot()
+	if !post(base) {
+		t.Error("request after restart not served from the persisted cache")
+	}
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		SchedulerRuns uint64 `json:"scheduler_runs"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if st.SchedulerRuns != 0 {
+		t.Errorf("restarted server ran the scheduler %d times", st.SchedulerRuns)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(logs.String(), "restored 1 cached schedules") {
+		t.Errorf("log missing restore line: %s", logs.String())
+	}
+}
+
+// TestCorruptCacheFileStartsCold pins that a bad snapshot never wedges
+// startup: the server logs, starts with a cold cache, and overwrites the
+// file on shutdown.
+func TestCorruptCacheFileStartsCold(t *testing.T) {
+	cacheFile := t.TempDir() + "/cache.json"
+	if err := os.WriteFile(cacheFile, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	announced := make(chan net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var logs strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-cache-file", cacheFile}, &logs, announced, stop)
+	}()
+	<-announced
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("corrupt cache file failed startup: %v", err)
+	}
+	if !strings.Contains(logs.String(), "ignoring cache file") {
+		t.Errorf("log missing cold-start warning: %s", logs.String())
+	}
+}

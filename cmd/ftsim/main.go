@@ -8,7 +8,9 @@
 //	ftsim -example -fail P1@2.5 -fail P2@9    # two crashes
 //	ftsim -example -fail P1@1:4               # intermittent failure [1,4)
 //	ftsim -example -iterations 3 -detect      # detection option 2
+//	ftsim -example -nmf 1 -linksweep          # link-failure budget + sweep
 //	ftsim -spec problem.json -fail P3@0
+//	ftsim -example -faillink L1.2@0           # lose a link at time 0
 package main
 
 import (
@@ -47,6 +49,8 @@ func run(args []string, out io.Writer) error {
 	iterations := fs.Int("iterations", 1, "iterations of the data-flow graph")
 	detect := fs.Bool("detect", false, "enable failure detection (paper Section 5, option 2)")
 	sweep := fs.Bool("sweep", false, "probe the worst crash instant of every processor")
+	linkSweep := fs.Bool("linksweep", false, "probe the worst crash instant of every medium")
+	nmf := fs.Int("nmf", -1, "override the problem's Nmf, the tolerated medium failures (-1 keeps it)")
 	reliability := fs.Float64("reliability", 0, "per-processor failure probability; evaluates schedule reliability")
 	var fails failureFlags
 	fs.Var(&fails, "fail", "failure spec Pk@t (permanent) or Pk@t1:t2 (intermittent); repeatable")
@@ -59,11 +63,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *nmf >= 0 {
+		fm := p.FaultModel()
+		fm.Nmf = *nmf
+		p.SetFaults(fm)
+	}
 	res, err := ftbar.Run(p, ftbar.Options{})
 	if err != nil {
 		return err
 	}
 	s := res.Schedule
+	if err := s.Validate(); err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "fault-free schedule length: %.4g\n", s.Length())
 	if *reliability > 0 {
 		rep, err := ftbar.Reliability(s, ftbar.UniformReliabilityModel(p.Arc.NumProcs(), *reliability))
@@ -89,6 +101,17 @@ func run(args []string, out io.Writer) error {
 		for _, r := range reports {
 			fmt.Fprintf(out, "%s: crash at 0 -> %.4g, worst crash (t=%.4g) -> %.4g, masked: %v\n",
 				p.Arc.Proc(r.Proc).Name, r.AtZeroMakespan, r.WorstAt, r.WorstMakespan, r.Masked)
+		}
+		return nil
+	}
+	if *linkSweep {
+		reports, err := ftbar.SingleLinkFailureSweep(s)
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			fmt.Fprintf(out, "%s: link crash at 0 -> %.4g, worst crash (t=%.4g) -> %.4g, masked: %v\n",
+				p.Arc.Medium(r.Medium).Name, r.AtZeroMakespan, r.WorstAt, r.WorstMakespan, r.Masked)
 		}
 		return nil
 	}

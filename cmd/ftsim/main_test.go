@@ -127,3 +127,22 @@ func TestParseLinkFailure(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLinkSweep exercises the -nmf override with -linksweep: the
+// paper example under the Npf=1, Nmf=1 budget must mask every probed
+// link crash (the faults-smoke CI job greps for exactly this).
+func TestRunLinkSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-nmf", "1", "-linksweep"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"L1.2:", "L1.3:", "L2.3:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("link sweep output missing %q: %s", want, s)
+		}
+	}
+	if strings.Contains(s, "masked: false") {
+		t.Errorf("link sweep reports an unmasked crash: %s", s)
+	}
+}

@@ -55,6 +55,30 @@
 // The engine-vs-engine scaling grid runs with
 // `ftbench -experiment scaling [-json]`.
 //
+// # Unified fault model: processor and link failures
+//
+// The fault budget generalises to FaultModel{Npf, Nmf}: beyond the Npf
+// processor crashes, the schedule masks Nmf fail-silent medium (link or
+// bus) failures. The spec validator requires Nmf+1 disjoint routes
+// towards every receiver, the planner spreads the Npf+1 copies of each
+// dependency over media not already carrying one, and Schedule.Validate
+// rejects any schedule whose deliveries share a single point of failure
+// (DESIGN.md Section 10). SingleLinkFailureSweep and
+// CombinedFailureSweep verify the masking empirically; the
+// masked-fraction-versus-topology grid runs with
+// `ftbench -experiment faults [-json]` (the BENCH_faults.json
+// trajectory):
+//
+//	p.SetFaults(ftbar.FaultModel{Npf: 1, Nmf: 1})
+//	res, _ := ftbar.Run(p, ftbar.Options{})
+//	// res.Schedule masks any single processor crash AND any single
+//	// link crash (res.Schedule.Validate() confirms the guarantee).
+//
+// Problem.Npf remains as a deprecation shim for processor-only budgets;
+// cmd flags (-nmf on ftgen, ftbar, ftsim) and the service wire types
+// carry the unified budget, and legacy npf-only JSON documents keep
+// loading unchanged.
+//
 // # Scheduling service
 //
 // NewService wraps the engine in a concurrent scheduling service: a

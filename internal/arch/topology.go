@@ -38,6 +38,24 @@ func Bus(n int) *Architecture {
 	return a
 }
 
+// DualBus builds n processors sharing two redundant multi-point buses
+// named "BUSA" and "BUSB": the smallest architecture on which a single
+// bus failure can be tolerated, provided the scheduler spreads the
+// replicated comms over both buses (the media diversity of the unified
+// fault model, DESIGN.md Section 10).
+func DualBus(n int) *Architecture {
+	a := New()
+	eps := make([]ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		eps = append(eps, a.MustAddProcessor(fmt.Sprintf("P%d", i)))
+	}
+	if n >= 2 {
+		a.MustAddMedium("BUSA", eps...)
+		a.MustAddMedium("BUSB", eps...)
+	}
+	return a
+}
+
 // Ring builds n processors with point-to-point links closing a cycle:
 // P1-P2, ..., P(n-1)-Pn, Pn-P1.
 func Ring(n int) *Architecture {

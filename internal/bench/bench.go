@@ -58,8 +58,8 @@ type Comparison struct {
 // Compare runs the three schedulers on the problem (Npf must be 1, HBP's
 // requirement) and simulates the crash of every processor.
 func Compare(p *spec.Problem) (*Comparison, error) {
-	if p.Npf != 1 {
-		return nil, fmt.Errorf("%w: comparison needs Npf = 1, got %d", ErrBadConfig, p.Npf)
+	if p.FaultModel().Npf != 1 {
+		return nil, fmt.Errorf("%w: comparison needs Npf = 1, got %d", ErrBadConfig, p.FaultModel().Npf)
 	}
 	ftbar, err := core.Run(p, core.Options{})
 	if err != nil {
@@ -129,11 +129,26 @@ type Point struct {
 	// architecture both fractions are 1.
 	FTBARMasked float64
 	HBPMasked   float64
+	// FTBARUnmaskedMean/Max and HBPUnmaskedMean/Max aggregate the failure
+	// overheads of the UNMASKED (graph, processor) crashes — scenarios
+	// where a routing cut vertex died and some output was lost, so the
+	// re-timed makespan describes a degraded run. On sparse topologies
+	// they show how expensive the unmaskable crashes are next to the
+	// masked fraction; on the fully connected layout there are none and
+	// all four are 0.
+	FTBARUnmaskedMean float64
+	FTBARUnmaskedMax  float64
+	HBPUnmaskedMean   float64
+	HBPUnmaskedMax    float64
 }
 
 // aggregate averages comparisons into a Point. Failure overheads follow
 // the paper's aggregation — per-processor average over the graphs, then
-// the maximum over the processors — restricted to masked crashes.
+// the maximum over the processors — restricted to masked crashes; the
+// unmasked crashes aggregate separately into a plain mean and max over
+// all (graph, processor) scenarios (topology-aware failure-overhead
+// aggregation: sparse topologies are characterised by how often masking
+// fails AND how the degraded runs re-time when it does).
 func aggregate(x float64, comps []*Comparison) Point {
 	pt := Point{X: x, Graphs: len(comps)}
 	if len(comps) == 0 {
@@ -145,6 +160,12 @@ func aggregate(x float64, comps []*Comparison) Point {
 	ftCount := make([]int, nP)
 	hbpCount := make([]int, nP)
 	ftMasked, hbpMasked := 0, 0
+	ftUnSum, hbpUnSum := 0.0, 0.0
+	ftUn, hbpUn := 0, 0
+	// Unmasked overheads can be negative (a degraded run that lost
+	// outputs may re-time shorter than the baseline), so the maxima
+	// start at -Inf and are only published when something was unmasked.
+	ftUnMax, hbpUnMax := math.Inf(-1), math.Inf(-1)
 	for _, c := range comps {
 		pt.FTBAR += c.FTBAROverhead
 		pt.HBP += c.HBPOverhead
@@ -153,11 +174,19 @@ func aggregate(x float64, comps []*Comparison) Point {
 				ftFail[p] += c.FTBARFail[p]
 				ftCount[p]++
 				ftMasked++
+			} else {
+				ftUnSum += c.FTBARFail[p]
+				ftUn++
+				ftUnMax = math.Max(ftUnMax, c.FTBARFail[p])
 			}
 			if c.HBPMasked[p] {
 				hbpFail[p] += c.HBPFail[p]
 				hbpCount[p]++
 				hbpMasked++
+			} else {
+				hbpUnSum += c.HBPFail[p]
+				hbpUn++
+				hbpUnMax = math.Max(hbpUnMax, c.HBPFail[p])
 			}
 		}
 	}
@@ -174,6 +203,14 @@ func aggregate(x float64, comps []*Comparison) Point {
 	}
 	pt.FTBARMasked = float64(ftMasked) / (n * float64(nP))
 	pt.HBPMasked = float64(hbpMasked) / (n * float64(nP))
+	if ftUn > 0 {
+		pt.FTBARUnmaskedMean = ftUnSum / float64(ftUn)
+		pt.FTBARUnmaskedMax = ftUnMax
+	}
+	if hbpUn > 0 {
+		pt.HBPUnmaskedMean = hbpUnSum / float64(hbpUn)
+		pt.HBPUnmaskedMax = hbpUnMax
+	}
 	return pt
 }
 

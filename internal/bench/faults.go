@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/sim"
+	"ftbar/internal/spec"
+)
+
+// This file implements the `faults` experiment: the unified fault model
+// (DESIGN.md Section 10) measured across topologies. For every (topology,
+// budget) cell it generates random problems, schedules them under the
+// combined Npf+Nmf budget, validates the media-diversity guarantee, and
+// sweeps single-processor, single-link and combined (processor, link)
+// crash scenarios. The cell reports how many problems each validation
+// stage rejected, the masked fraction of every sweep over the validated
+// schedules, and the re-timed overhead of masked link failures — the
+// masked-fraction-versus-topology trajectory BENCH_faults.json records.
+
+// FaultsConfig parameterises the faults experiment.
+type FaultsConfig struct {
+	// Topologies lists the architecture shapes to measure.
+	Topologies []string `json:"topologies"`
+	// Budgets lists the fault budgets to measure per topology.
+	Budgets []spec.FaultModel `json:"budgets"`
+	// N, CCR, Procs and Graphs shape the generated problems.
+	N      int     `json:"n"`
+	CCR    float64 `json:"ccr"`
+	Procs  int     `json:"procs"`
+	Graphs int     `json:"graphs"`
+	Seed   int64   `json:"seed"`
+}
+
+// DefaultFaults returns the standard grid: every generated topology under
+// the smallest link-tolerant budget (Npf=1, Nmf=1) and the combined
+// budget (Npf=2, Nmf=1) whose cross scenarios must all mask.
+func DefaultFaults() FaultsConfig {
+	return FaultsConfig{
+		Topologies: []string{"full", "dualbus", "ring", "star", "bus"},
+		Budgets:    []spec.FaultModel{{Npf: 1, Nmf: 1}, {Npf: 2, Nmf: 1}},
+		N:          20,
+		CCR:        1,
+		Procs:      4,
+		Graphs:     10,
+		Seed:       2003,
+	}
+}
+
+// FaultsCell is one measured (topology, budget) point.
+type FaultsCell struct {
+	Topology string `json:"topology"`
+	Npf      int    `json:"npf"`
+	Nmf      int    `json:"nmf"`
+	Graphs   int    `json:"graphs"`
+	// SpecRejected counts problems the spec validator refused up front
+	// (not enough media diversity on the architecture); SchedRejected
+	// counts produced schedules the diversity validator refused (the
+	// heuristic could not spread the copies over disjoint media, e.g.
+	// overlapping multi-hop routes). Validated schedules carry the
+	// guarantee.
+	SpecRejected  int `json:"spec_rejected"`
+	SchedRejected int `json:"sched_rejected"`
+	Validated     int `json:"validated"`
+	// LinkMasked, ProcMasked and CombinedMasked are the masked fractions
+	// of the single-link, single-processor and combined (processor, link)
+	// sweeps over the validated schedules. LinkMasked must be 1 for every
+	// validated schedule; CombinedMasked must be 1 when npf+nmf <= Npf
+	// for every pair, i.e. when Npf >= Nmf+1.
+	LinkMasked     float64 `json:"link_masked"`
+	ProcMasked     float64 `json:"proc_masked"`
+	CombinedMasked float64 `json:"combined_masked"`
+	// LinkOverheadMean and LinkOverheadMax aggregate the re-timed
+	// overhead of masked link crashes: (worst - faultfree) / worst * 100.
+	LinkOverheadMean float64 `json:"link_overhead_mean"`
+	LinkOverheadMax  float64 `json:"link_overhead_max"`
+}
+
+// FaultsReport is the machine-readable outcome, a BENCH_*.json trajectory
+// like the scaling and service experiments'.
+type FaultsReport struct {
+	Experiment string       `json:"experiment"`
+	Config     FaultsConfig `json:"config"`
+	Cells      []FaultsCell `json:"cells"`
+}
+
+// Faults runs the experiment.
+func Faults(cfg FaultsConfig) (*FaultsReport, error) {
+	if len(cfg.Topologies) == 0 || len(cfg.Budgets) == 0 || cfg.Graphs < 1 {
+		return nil, fmt.Errorf("%w: faults %+v", ErrBadConfig, cfg)
+	}
+	rep := &FaultsReport{Experiment: "faults", Config: cfg}
+	for _, name := range cfg.Topologies {
+		topo, err := gen.ParseTopology(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, budget := range cfg.Budgets {
+			cell, err := faultsCell(cfg, topo, budget)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// faultsCell measures one (topology, budget) point.
+func faultsCell(cfg FaultsConfig, topo gen.Topology, budget spec.FaultModel) (FaultsCell, error) {
+	cell := FaultsCell{Topology: topo.String(), Npf: budget.Npf, Nmf: budget.Nmf}
+	linkScen, linkMasked := 0, 0
+	procScen, procMasked := 0, 0
+	combScen, combMasked := 0, 0
+	ovhSum, ovhN := 0.0, 0
+	for g := 0; g < cfg.Graphs; g++ {
+		seed := cfg.Seed*1_000_099 + int64(topo)*100_003 +
+			int64(budget.Npf)*10_007 + int64(budget.Nmf)*1009 + int64(g+1)
+		problem, err := gen.Generate(gen.Params{
+			N: cfg.N, CCR: cfg.CCR, Procs: cfg.Procs, Topology: topo,
+			Npf: budget.Npf, Nmf: budget.Nmf, Seed: seed,
+		})
+		if err != nil {
+			return cell, err
+		}
+		cell.Graphs++
+		res, err := core.Run(problem, core.Options{})
+		if err != nil {
+			// The spec validator refused the (architecture, budget) pair.
+			if errors.Is(err, spec.ErrMediaDiversity) || errors.Is(err, spec.ErrTooFewprocs) {
+				cell.SpecRejected++
+				continue
+			}
+			return cell, fmt.Errorf("faults %s %s seed %d: %w", topo, budget, seed, err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			cell.SchedRejected++
+			continue
+		}
+		cell.Validated++
+		length := res.Schedule.Length()
+		links, err := sim.SingleLinkFailureSweep(res.Schedule)
+		if err != nil {
+			return cell, err
+		}
+		for _, r := range links {
+			linkScen++
+			if r.Masked {
+				linkMasked++
+				ovh := Overhead(math.Max(r.WorstMakespan, length), length)
+				ovhSum += ovh
+				ovhN++
+				cell.LinkOverheadMax = math.Max(cell.LinkOverheadMax, ovh)
+			}
+		}
+		procs, err := sim.SingleFailureSweep(res.Schedule)
+		if err != nil {
+			return cell, err
+		}
+		for _, r := range procs {
+			procScen++
+			if r.Masked {
+				procMasked++
+			}
+		}
+		combined, err := sim.CombinedFailureSweep(res.Schedule)
+		if err != nil {
+			return cell, err
+		}
+		for _, r := range combined {
+			combScen++
+			if r.Masked {
+				combMasked++
+			}
+		}
+	}
+	if linkScen > 0 {
+		cell.LinkMasked = float64(linkMasked) / float64(linkScen)
+	}
+	if procScen > 0 {
+		cell.ProcMasked = float64(procMasked) / float64(procScen)
+	}
+	if combScen > 0 {
+		cell.CombinedMasked = float64(combMasked) / float64(combScen)
+	}
+	if ovhN > 0 {
+		cell.LinkOverheadMean = ovhSum / float64(ovhN)
+	}
+	return cell, nil
+}
+
+// RenderFaults writes the report as a fixed-width text table.
+func RenderFaults(w io.Writer, rep *FaultsReport) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s | %3s %3s | %6s %5s %5s %5s | %6s %6s %6s | %16s\n",
+		"topology", "Npf", "Nmf", "graphs", "specX", "schdX", "valid",
+		"link", "proc", "comb", "link ovh mn/mx%")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&b, "%8s | %3d %3d | %6d %5d %5d %5d | %5.0f%% %5.0f%% %5.0f%% | %7.2f /%7.2f\n",
+			c.Topology, c.Npf, c.Nmf, c.Graphs, c.SpecRejected, c.SchedRejected, c.Validated,
+			c.LinkMasked*100, c.ProcMasked*100, c.CombinedMasked*100,
+			c.LinkOverheadMean, c.LinkOverheadMax)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFaultsJSON writes the report as indented JSON (the BENCH_faults
+// trajectory format).
+func RenderFaultsJSON(w io.Writer, rep *FaultsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

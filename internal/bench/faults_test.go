@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ftbar/internal/spec"
+)
+
+// TestFaultsExperiment runs a reduced grid and pins the acceptance
+// property of the unified fault model: every validated schedule masks
+// 100% of single-link failures, the fully connected cells validate every
+// graph, and the single-bus cells never validate a remote schedule.
+func TestFaultsExperiment(t *testing.T) {
+	cfg := FaultsConfig{
+		Topologies: []string{"full", "dualbus", "bus"},
+		Budgets:    []spec.FaultModel{{Npf: 1, Nmf: 1}},
+		N:          12,
+		CCR:        1,
+		Procs:      4,
+		Graphs:     3,
+		Seed:       2003,
+	}
+	rep, err := Faults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Validated > 0 && c.LinkMasked != 1 {
+			t.Errorf("%s: validated schedules mask %.0f%% of link failures, want 100%%",
+				c.Topology, c.LinkMasked*100)
+		}
+		if c.Validated > 0 && c.ProcMasked != 1 {
+			t.Errorf("%s: validated schedules mask %.0f%% of processor failures, want 100%%",
+				c.Topology, c.ProcMasked*100)
+		}
+		switch c.Topology {
+		case "full", "dualbus":
+			if c.Validated != c.Graphs {
+				t.Errorf("%s: %d of %d graphs validated", c.Topology, c.Validated, c.Graphs)
+			}
+		}
+		if c.SpecRejected+c.SchedRejected+c.Validated != c.Graphs {
+			t.Errorf("%s: cell does not account for every graph: %+v", c.Topology, c)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := RenderFaults(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dualbus") {
+		t.Errorf("table lacks dualbus row:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RenderFaultsJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back FaultsReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON report does not round-trip: %v", err)
+	}
+	if back.Experiment != "faults" || len(back.Cells) != len(rep.Cells) {
+		t.Errorf("round-tripped report differs: %+v", back)
+	}
+}
+
+// TestFaultsBadConfig pins configuration validation.
+func TestFaultsBadConfig(t *testing.T) {
+	if _, err := Faults(FaultsConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Faults(FaultsConfig{Topologies: []string{"warp"},
+		Budgets: []spec.FaultModel{{Npf: 1}}, Graphs: 1, N: 5, CCR: 1, Procs: 3}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+// TestAggregateUnmaskedOverheads pins the topology-aware aggregation: a
+// synthetic comparison set with one unmasked crash feeds the unmasked
+// mean/max columns and leaves the masked failure overheads untouched.
+func TestAggregateUnmaskedOverheads(t *testing.T) {
+	comps := []*Comparison{
+		{
+			FTBAROverhead: 10, HBPOverhead: 20,
+			FTBARFail:   []float64{30, 50},
+			HBPFail:     []float64{40, 80},
+			FTBARMasked: []bool{true, false},
+			HBPMasked:   []bool{true, true},
+		},
+		{
+			FTBAROverhead: 20, HBPOverhead: 40,
+			FTBARFail:   []float64{34, 70},
+			HBPFail:     []float64{44, 90},
+			FTBARMasked: []bool{true, false},
+			HBPMasked:   []bool{false, true},
+		},
+	}
+	pt := aggregate(1, comps)
+	if pt.FTBARMasked != 0.5 || pt.HBPMasked != 0.75 {
+		t.Errorf("masked fractions %g / %g, want 0.5 / 0.75", pt.FTBARMasked, pt.HBPMasked)
+	}
+	if pt.FTBARUnmaskedMean != 60 || pt.FTBARUnmaskedMax != 70 {
+		t.Errorf("FTBAR unmasked mean/max %g/%g, want 60/70", pt.FTBARUnmaskedMean, pt.FTBARUnmaskedMax)
+	}
+	if pt.HBPUnmaskedMean != 44 || pt.HBPUnmaskedMax != 44 {
+		t.Errorf("HBP unmasked mean/max %g/%g, want 44/44", pt.HBPUnmaskedMean, pt.HBPUnmaskedMax)
+	}
+	// Masked failure overhead: FTBAR proc 0 averages (30+34)/2 = 32 and
+	// proc 1 never masks, so the per-processor maximum is 32.
+	if pt.FTBARFailure != 32 {
+		t.Errorf("FTBAR failure overhead %g, want 32", pt.FTBARFailure)
+	}
+}

@@ -7,17 +7,39 @@ import (
 )
 
 // RenderPoints writes a sweep as a fixed-width text table. xName labels the
-// swept parameter ("N" or "CCR").
+// swept parameter ("N" or "CCR"). The unmasked columns (mean/max overhead
+// of crashes whose outputs were lost) appear only when some crash in the
+// sweep was unmasked, so the fully connected tables keep the paper's shape.
 func RenderPoints(w io.Writer, xName string, points []Point) error {
+	unmasked := false
+	for _, p := range points {
+		if p.FTBARMasked < 1 || p.HBPMasked < 1 {
+			unmasked = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%8s | %14s %14s | %16s %16s | %8s %8s | %6s\n",
+	fmt.Fprintf(&b, "%8s | %14s %14s | %16s %16s | %8s %8s | %6s",
 		xName, "FTBAR ovh%", "HBP ovh%", "FTBAR fail ovh%", "HBP fail ovh%",
 		"FT mask", "HBP mask", "graphs")
-	b.WriteString(strings.Repeat("-", 108) + "\n")
+	if unmasked {
+		fmt.Fprintf(&b, " | %22s %22s", "FT unmask mean/max%", "HBP unmask mean/max%")
+	}
+	b.WriteString("\n")
+	width := 108
+	if unmasked {
+		width += 51
+	}
+	b.WriteString(strings.Repeat("-", width) + "\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%8.3g | %14.2f %14.2f | %16.2f %16.2f | %7.0f%% %7.0f%% | %6d\n",
+		fmt.Fprintf(&b, "%8.3g | %14.2f %14.2f | %16.2f %16.2f | %7.0f%% %7.0f%% | %6d",
 			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure,
 			p.FTBARMasked*100, p.HBPMasked*100, p.Graphs)
+		if unmasked {
+			fmt.Fprintf(&b, " | %10.2f /%10.2f %10.2f /%10.2f",
+				p.FTBARUnmaskedMean, p.FTBARUnmaskedMax, p.HBPUnmaskedMean, p.HBPUnmaskedMax)
+		}
+		b.WriteString("\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -26,11 +48,12 @@ func RenderPoints(w io.Writer, xName string, points []Point) error {
 // RenderPointsCSV writes a sweep as CSV with a header row.
 func RenderPointsCSV(w io.Writer, xName string, points []Point) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s,ftbar_overhead,hbp_overhead,ftbar_fail_overhead,hbp_fail_overhead,ftbar_masked,hbp_masked,graphs\n",
+	fmt.Fprintf(&b, "%s,ftbar_overhead,hbp_overhead,ftbar_fail_overhead,hbp_fail_overhead,ftbar_masked,hbp_masked,ftbar_unmasked_mean,ftbar_unmasked_max,hbp_unmasked_mean,hbp_unmasked_max,graphs\n",
 		strings.ToLower(xName))
 	for _, p := range points {
-		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
-			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.FTBARMasked, p.HBPMasked, p.Graphs)
+		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
+			p.X, p.FTBAR, p.HBP, p.FTBARFailure, p.HBPFailure, p.FTBARMasked, p.HBPMasked,
+			p.FTBARUnmaskedMean, p.FTBARUnmaskedMax, p.HBPUnmaskedMean, p.HBPUnmaskedMax, p.Graphs)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/gen"
+	"ftbar/internal/model"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sched"
+	"ftbar/internal/sim"
+	"ftbar/internal/spec"
+)
+
+// TestDifferentialFaultModel extends the engine-differential property to
+// the unified fault budget: with Nmf >= 1 the planner's replica-aware
+// media selection is active, and both engines must still produce
+// bit-identical decision logs.
+func TestDifferentialFaultModel(t *testing.T) {
+	for _, topo := range []gen.Topology{gen.TopoFull, gen.TopoDualBus, gen.TopoRing} {
+		for npf := 1; npf <= 2; npf++ {
+			for seed := int64(1); seed <= 3; seed++ {
+				p, err := gen.Generate(gen.Params{
+					N: 12 + int(seed)*5, CCR: 1.5, Procs: 4, Topology: topo,
+					Npf: npf, Nmf: 1, Seed: 4200*int64(topo) + 70*int64(npf) + seed,
+				})
+				if err != nil {
+					t.Fatalf("generate %s npf=%d seed=%d: %v", topo, npf, seed, err)
+				}
+				t.Run(topo.String(), func(t *testing.T) {
+					assertEnginesAgree(t, p, Options{})
+				})
+			}
+		}
+	}
+}
+
+// TestPaperExampleWithLinkBudget pins the flagship configuration of the
+// faults-smoke CI job: the paper's worked example under Nmf = 1
+// schedules, validates (media diversity included) and masks every
+// single-link failure.
+func TestPaperExampleWithLinkBudget(t *testing.T) {
+	p := paperex.Problem()
+	fm := p.FaultModel()
+	fm.Nmf = 1
+	p.SetFaults(fm)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	reports, err := sim.SingleLinkFailureSweep(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Masked {
+			t.Errorf("link %d not masked", r.Medium)
+		}
+	}
+}
+
+// TestCacheAwareSelectionSkips proves the cache-aware screen actually
+// fires on a non-trivial problem — candidates with still-valid cached
+// pressures below the running winner are skipped without previews — while
+// the decision log stays bit-identical to the reference engine's (the
+// skip-safety argument of selectCandidate).
+func TestCacheAwareSelectionSkips(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 60, CCR: 2, Procs: 5, Npf: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(p, Options{Engine: EngineReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Run(p, Options{Engine: EngineIncremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSteps(t, ref.Steps, inc.Steps)
+	if ref.SkippedCandidates != 0 {
+		t.Errorf("reference engine reports %d skips", ref.SkippedCandidates)
+	}
+	if inc.SkippedCandidates == 0 {
+		t.Errorf("cache-aware selection never skipped a candidate")
+	}
+}
+
+// TestSigmaCacheMediumRevInvalidation pins the medium-revision
+// invalidation path: a cached pressure whose preview consulted a medium
+// goes stale the moment a comm commits on that medium, while entries
+// that never touched it survive. A shared bus makes the dependency set
+// obvious: every remote preview touches BUS, local ones touch nothing.
+func TestSigmaCacheMediumRevInvalidation(t *testing.T) {
+	g := model.NewGraph()
+	src := g.MustAddOp("src", model.Comp)
+	a := g.MustAddOp("a", model.Comp)
+	b := g.MustAddOp("b", model.Comp)
+	g.MustAddEdge(src, a)
+	g.MustAddEdge(src, b)
+	ar := arch.Bus(3)
+	exec, err := spec.NewUniformExecTable(g, ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := spec.NewUniformCommTable(g, ar, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &spec.Problem{Alg: g, Arc: ar, Exec: exec, Comm: comm}
+	s, err := sched.NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := s.Tasks()
+	sch := &scheduler{
+		s: s, tg: tg, p: p, fm: p.FaultModel(),
+		tails: Tails(p, tg, false),
+		done:  make([]bool, tg.NumTasks()),
+	}
+	c := newSigmaCache(sch, 1)
+	srcT, aT, bT := tg.TaskOf(src), tg.TaskOf(a), tg.TaskOf(b)
+	if _, err := s.PlaceReplica(srcT, 0); err != nil {
+		t.Fatal(err)
+	}
+	sch.done[srcT] = true
+
+	cands := []model.TaskID{aT, bT}
+	c.prepare(cands)
+	c.ensure(aT)
+	c.ensure(bT)
+	for _, tid := range cands {
+		for proc := 0; proc < 3; proc++ {
+			if !c.valid(tid, arch.ProcID(proc)) {
+				t.Fatalf("entry (%d, %d) not valid after ensure", tid, proc)
+			}
+		}
+	}
+	// Committing a on P2 sends src->a over the bus: MediumRev(BUS) bumps
+	// and every cached entry whose preview consulted the bus — b's remote
+	// placements — must invalidate. b's local placement on P1 (next to
+	// src, no media touched) must survive, as the invalidation is keyed
+	// on exactly the consulted media, not on any commit.
+	if _, err := s.PlaceReplica(aT, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.valid(bT, 1) || c.valid(bT, 2) {
+		t.Errorf("remote entries of b survived a bus commit")
+	}
+	if !c.valid(bT, 0) {
+		t.Errorf("local entry of b invalidated without cause")
+	}
+}

@@ -94,6 +94,11 @@ type Result struct {
 	// ExtraReplicas counts replicas beyond the mandatory Npf+1, i.e. the
 	// predecessor duplications Minimize-start-time kept.
 	ExtraReplicas int
+	// SkippedCandidates counts candidate evaluations the incremental
+	// engine's cache-aware screen proved could not win and therefore
+	// never previewed (0 for the reference engine). Skips never change
+	// the decision log; they only avoid work.
+	SkippedCandidates int
 }
 
 // Run schedules the problem with FTBAR and returns the fault-tolerant
@@ -109,6 +114,7 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 		s:     s,
 		tg:    tg,
 		p:     p,
+		fm:    p.FaultModel(),
 		opts:  opts,
 		tails: Tails(p, tg, opts.TailsWithComms),
 		done:  make([]bool, tg.NumTasks()),
@@ -129,6 +135,9 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 		Steps:         sch.steps,
 		ExtraReplicas: sch.extraReplicas(),
 	}
+	if sch.cache != nil {
+		res.SkippedCandidates = int(sch.cache.skipped)
+	}
 	ok, rtcErr := sch.s.MeetsRtc()
 	res.MeetsRtc = ok
 	if rtcErr != nil {
@@ -138,20 +147,21 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 }
 
 // Basic runs the paper's non-fault-tolerant baseline (Section 4.4): the
-// SynDEx-style pressure heuristic, i.e. FTBAR downgraded to Npf = 0 with
-// predecessor duplication disabled. The input problem is not modified.
+// SynDEx-style pressure heuristic, i.e. FTBAR downgraded to a zero fault
+// budget with predecessor duplication disabled. The input problem is not
+// modified.
 func Basic(p *spec.Problem) (*Result, error) {
 	q := p.Clone()
-	q.Npf = 0
+	q.SetFaults(spec.FaultModel{})
 	return Run(q, Options{NoDuplication: true})
 }
 
-// NonFT runs FTBAR with Npf = 0, the baseline the performance evaluation
-// divides by (Section 6.2: "the non FTSL is produced by FTBAR with
-// Npf = 0"). The input problem is not modified.
+// NonFT runs FTBAR with a zero fault budget, the baseline the performance
+// evaluation divides by (Section 6.2: "the non FTSL is produced by FTBAR
+// with Npf = 0"). The input problem is not modified.
 func NonFT(p *spec.Problem) (*Result, error) {
 	q := p.Clone()
-	q.Npf = 0
+	q.SetFaults(spec.FaultModel{})
 	return Run(q, Options{})
 }
 
@@ -204,6 +214,7 @@ type scheduler struct {
 	s     *sched.Schedule
 	tg    *model.TaskGraph
 	p     *spec.Problem
+	fm    spec.FaultModel
 	opts  Options
 	tails []float64
 	done  []bool
@@ -307,6 +318,14 @@ func (sch *scheduler) candidates() []model.TaskID {
 // task id; candidate order makes this deterministic. The winner's
 // processors and pressures are copied out of the scratch buffers for the
 // decision log.
+//
+// With the incremental engine, a candidate whose still-valid cached
+// pressures already prove it cannot beat the running winner is skipped
+// before its stale previews are recomputed (cache-aware selection). The
+// skip is exact — the candidate's selection key can only be at or below a
+// valid cached pressure, and the strict > comparison would have rejected
+// it anyway — so the decision log stays bit-identical to the reference
+// engine's.
 func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, error) {
 	bestTask := model.TaskID(-1)
 	bestUrgency := math.Inf(-1)
@@ -314,6 +333,12 @@ func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arc
 	var bestSigmas []float64
 	cur := 0
 	for _, t := range cands {
+		if sch.cache != nil && sch.tg.Task(t).Role != model.MemWrite {
+			if sch.cache.screen(t, sch.fm.Replicas(), bestUrgency) {
+				continue
+			}
+			sch.cache.ensure(t)
+		}
 		procs, sigmas, err := sch.bestProcs(t, sch.procsBuf[cur][:0], sch.sigmasBuf[cur][:0])
 		if err != nil {
 			return -1, nil, nil, err
@@ -350,7 +375,7 @@ func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []fl
 		}
 	}
 	sch.evalBuf = all
-	need := sch.p.Npf + 1
+	need := sch.fm.Replicas()
 	if len(all) < need {
 		return nil, nil, fmt.Errorf("%w: task %q has %d usable processors, need %d",
 			ErrNoProcessorChoice, task.Name, len(all), need)
@@ -404,8 +429,8 @@ func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas 
 func (sch *scheduler) extraReplicas() int {
 	extra := 0
 	for t := 0; t < sch.tg.NumTasks(); t++ {
-		if n := len(sch.s.Replicas(model.TaskID(t))); n > sch.p.Npf+1 {
-			extra += n - (sch.p.Npf + 1)
+		if n := len(sch.s.Replicas(model.TaskID(t))); n > sch.fm.Replicas() {
+			extra += n - sch.fm.Replicas()
 		}
 	}
 	return extra

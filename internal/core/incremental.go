@@ -148,8 +148,23 @@ type sigmaCache struct {
 	preds   [][]model.TaskID // distinct predecessors, static
 	entries []sigmaEntry     // index t*nProcs + p
 	workers int
-	step    uint64  // prepare() invocation counter
-	cold    []int32 // entry indices needing recomputation this step
+	step    uint64 // prepare() invocation counter
+	// cold lists the entry indices needing recomputation this step,
+	// task-major (candidates ascending, processors ascending); coldRanges
+	// maps each candidate to its slice of cold, so ensure() can compute
+	// one candidate's stale previews on demand — and skip them entirely
+	// for candidates the selection screen rules out.
+	cold       []int32
+	coldRanges []coldRange
+	// skipped counts candidate evaluations the cache-aware screen
+	// avoided: their cold previews were never computed.
+	skipped uint64
+}
+
+// coldRange is the span of cold entries belonging to one candidate.
+type coldRange struct {
+	task   model.TaskID
+	lo, hi int32
 }
 
 func newSigmaCache(sch *scheduler, workers int) *sigmaCache {
@@ -177,19 +192,22 @@ func newSigmaCache(sch *scheduler, workers int) *sigmaCache {
 	return c
 }
 
-// prepare validates the cache against the current schedule and recomputes
-// every stale (candidate, processor) pressure, fanning the cold previews
-// across the worker pool. Previews only read the schedule (each holds its
-// own scratch and overlay), so the parallel fill is safe, and each worker
-// writes a disjoint set of entries, so the outcome is deterministic.
+// prepare validates the cache against the current schedule: still-valid
+// entries are vetted for this step, stale (candidate, processor) pairs are
+// recorded as cold per candidate. Cold previews are NOT recomputed here —
+// ensure() fills one candidate's range when the selection loop actually
+// needs it, which lets the cache-aware screen skip doomed candidates
+// without paying for their previews at all.
 func (c *sigmaCache) prepare(cands []model.TaskID) {
 	c.step++
 	c.cold = c.cold[:0]
+	c.coldRanges = c.coldRanges[:0]
 	for _, t := range cands {
 		if c.sch.tg.Task(t).Role == model.MemWrite {
 			continue // pinned placement, priced outside the cache
 		}
 		base := int(t) * c.nProcs
+		lo := int32(len(c.cold))
 		for p := 0; p < c.nProcs; p++ {
 			if c.valid(t, arch.ProcID(p)) {
 				c.entries[base+p].checked = c.step
@@ -197,18 +215,75 @@ func (c *sigmaCache) prepare(cands []model.TaskID) {
 				c.cold = append(c.cold, int32(base+p))
 			}
 		}
+		if hi := int32(len(c.cold)); hi > lo {
+			c.coldRanges = append(c.coldRanges, coldRange{task: t, lo: lo, hi: hi})
+		}
 	}
-	if len(c.cold) == 0 {
+}
+
+// screen reports whether candidate t provably cannot win the current
+// selection (ROADMAP "cache-aware selection"): the selection key is the
+// candidate's minimum pressure and it must be strictly larger than
+// bestUrgency to displace the running winner, so any still-valid cached
+// pressure at or below bestUrgency caps the minimum and dooms the
+// candidate. The skip must also be safe against the error path — bestProcs
+// fails when fewer than need processors are usable — so t is only skipped
+// when its valid entries alone prove at least need placements are
+// possible. Both facts come from entries prepare() vetted this step; no
+// preview is computed.
+func (c *sigmaCache) screen(t model.TaskID, need int, bestUrgency float64) bool {
+	base := int(t) * c.nProcs
+	finite := 0
+	min := math.Inf(1)
+	for p := 0; p < c.nProcs; p++ {
+		e := &c.entries[base+p]
+		if e.checked != c.step || math.IsInf(e.sigma, 1) {
+			continue
+		}
+		finite++
+		if e.sigma < min {
+			min = e.sigma
+		}
+	}
+	if finite < need || min > bestUrgency {
+		return false
+	}
+	c.skipped++
+	return true
+}
+
+// ensure recomputes candidate t's cold previews, fanning them across the
+// worker pool when the range is large enough to pay for the hand-off. A
+// candidate's range is capped at nProcs, so the fan-out engages only on
+// wide architectures (>= 16 processors); on the paper-sized ones the
+// previews run serially, which the scaling grid shows is a net win next
+// to the screen's skipped previews (the old whole-step batch rarely
+// crossed its 16*workers threshold either). Previews only read the
+// schedule (each holds its own scratch and overlay), so the parallel
+// fill is safe, and each worker writes a disjoint set of entries, so
+// the outcome is deterministic.
+func (c *sigmaCache) ensure(t model.TaskID) {
+	var cold []int32
+	for i := range c.coldRanges {
+		if c.coldRanges[i].task == t {
+			r := &c.coldRanges[i]
+			cold = c.cold[r.lo:r.hi]
+			// A candidate is ensured at most once per step, but Minimize
+			// re-previews through the schedule, not the cache; collapsing
+			// the range keeps a repeated ensure harmless.
+			r.lo = r.hi
+			break
+		}
+	}
+	if len(cold) == 0 {
 		return
 	}
-	// Fanning out pays only when there is real work to split: below the
-	// threshold the goroutine hand-off costs more than the previews.
-	if c.workers > 1 && len(c.cold) >= 16*c.workers {
+	if c.workers > 1 && len(cold) >= 16 {
 		var next int64
 		var wg sync.WaitGroup
 		workers := c.workers
-		if workers > len(c.cold) {
-			workers = len(c.cold)
+		if workers > len(cold) {
+			workers = len(cold)
 		}
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -216,16 +291,16 @@ func (c *sigmaCache) prepare(cands []model.TaskID) {
 				defer wg.Done()
 				for {
 					i := atomic.AddInt64(&next, 1) - 1
-					if i >= int64(len(c.cold)) {
+					if i >= int64(len(cold)) {
 						return
 					}
-					c.compute(int(c.cold[i]))
+					c.compute(int(cold[i]))
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
-		for _, idx := range c.cold {
+		for _, idx := range cold {
 			c.compute(int(idx))
 		}
 	}

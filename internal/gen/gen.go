@@ -23,16 +23,18 @@ var ErrBadParams = errors.New("gen: invalid parameters")
 type Topology int
 
 // Topologies. The zero value is the paper's fully connected layout; the
-// others exercise shared-bus contention and multi-hop routing.
+// others exercise shared-bus contention, multi-hop routing, and (dual
+// bus) redundant media for the link-failure budget.
 const (
 	TopoFull Topology = iota
 	TopoBus
 	TopoRing
 	TopoStar
+	TopoDualBus
 )
 
-// ParseTopology maps a short name ("full", "bus", "ring", "star") back to
-// its Topology, the inverse of String.
+// ParseTopology maps a short name ("full", "bus", "ring", "star",
+// "dualbus") back to its Topology, the inverse of String.
 func ParseTopology(s string) (Topology, error) {
 	switch s {
 	case "", "full":
@@ -43,6 +45,8 @@ func ParseTopology(s string) (Topology, error) {
 		return TopoRing, nil
 	case "star":
 		return TopoStar, nil
+	case "dualbus":
+		return TopoDualBus, nil
 	default:
 		return 0, fmt.Errorf("%w: unknown topology %q", ErrBadParams, s)
 	}
@@ -50,7 +54,7 @@ func ParseTopology(s string) (Topology, error) {
 
 // Topologies lists every generated architecture shape, in id order.
 func Topologies() []Topology {
-	return []Topology{TopoFull, TopoBus, TopoRing, TopoStar}
+	return []Topology{TopoFull, TopoBus, TopoRing, TopoStar, TopoDualBus}
 }
 
 // String returns the topology's short name.
@@ -64,6 +68,8 @@ func (t Topology) String() string {
 		return "ring"
 	case TopoStar:
 		return "star"
+	case TopoDualBus:
+		return "dualbus"
 	default:
 		return fmt.Sprintf("Topology(%d)", int(t))
 	}
@@ -81,8 +87,11 @@ type Params struct {
 	// Topology selects the architecture shape; the default TopoFull is
 	// the paper's fully connected layout.
 	Topology Topology
-	// Npf is the failure count of the generated problem.
+	// Npf is the processor-failure count of the generated problem.
 	Npf int
+	// Nmf is the medium-failure count of the generated problem (the
+	// unified fault model's link budget; must not exceed Npf).
+	Nmf int
 	// Seed drives all randomness.
 	Seed int64
 	// AvgComp is the mean computation time; 0 defaults to 1.
@@ -121,10 +130,12 @@ func (p Params) validate() error {
 		return fmt.Errorf("%w: Procs = %d", ErrBadParams, p.Procs)
 	case p.Npf < 0 || p.Npf >= p.Procs:
 		return fmt.Errorf("%w: Npf = %d with %d processors", ErrBadParams, p.Npf, p.Procs)
+	case p.Nmf < 0 || p.Nmf > p.Npf:
+		return fmt.Errorf("%w: Nmf = %d with Npf = %d", ErrBadParams, p.Nmf, p.Npf)
 	case p.AvgComp < 0 || p.Jitter < 0 || p.Jitter >= 1 || p.Heterogeneity < 0 || p.Heterogeneity >= 1:
 		return fmt.Errorf("%w: AvgComp=%g Jitter=%g Heterogeneity=%g",
 			ErrBadParams, p.AvgComp, p.Jitter, p.Heterogeneity)
-	case p.Topology < TopoFull || p.Topology > TopoStar:
+	case p.Topology < TopoFull || p.Topology > TopoDualBus:
 		return fmt.Errorf("%w: Topology=%d", ErrBadParams, p.Topology)
 	}
 	return nil
@@ -139,6 +150,8 @@ func (p Params) architecture() *arch.Architecture {
 		return arch.Ring(p.Procs)
 	case TopoStar:
 		return arch.Star(p.Procs)
+	case TopoDualBus:
+		return arch.DualBus(p.Procs)
 	default:
 		return arch.FullyConnected(p.Procs)
 	}
@@ -183,7 +196,9 @@ func Generate(params Params) (*spec.Problem, error) {
 			comm.MustSet(model.EdgeID(e), arch.MediumID(m), d)
 		}
 	}
-	return &spec.Problem{Alg: g, Arc: a, Exec: exec, Comm: comm, Npf: params.Npf}, nil
+	p := &spec.Problem{Alg: g, Arc: a, Exec: exec, Comm: comm}
+	p.SetFaults(spec.FaultModel{Npf: params.Npf, Nmf: params.Nmf})
+	return p, nil
 }
 
 // generateGraph builds the layered DAG: a random number of levels, a random

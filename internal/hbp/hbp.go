@@ -45,8 +45,8 @@ type Result struct {
 
 // Run schedules the problem with HBP. The problem must have Npf = 1.
 func Run(p *spec.Problem) (*Result, error) {
-	if p.Npf != 1 {
-		return nil, fmt.Errorf("%w: got %d", ErrNpfUnsupported, p.Npf)
+	if p.FaultModel().Npf != 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrNpfUnsupported, p.FaultModel().Npf)
 	}
 	s, err := sched.NewSchedule(p)
 	if err != nil {

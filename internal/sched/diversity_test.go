@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// busChainProblem builds src -> dst on the architecture with uniform times
+// and the given budget.
+func busChainProblem(t *testing.T, a *arch.Architecture, fm spec.FaultModel) *spec.Problem {
+	t.Helper()
+	g := model.NewGraph()
+	src := g.MustAddOp("src", model.Comp)
+	dst := g.MustAddOp("dst", model.Comp)
+	g.MustAddEdge(src, dst)
+	exec, err := spec.NewUniformExecTable(g, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := spec.NewUniformCommTable(g, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &spec.Problem{Alg: g, Arc: a, Exec: exec, Comm: comm}
+	p.SetFaults(fm)
+	return p
+}
+
+// TestDiversitySpreadsOverDualBus pins the replica-aware media selection:
+// on two redundant buses with Nmf = 1, the two copies of a remote
+// dependency must travel distinct buses even when earliest-arrival alone
+// would pick the same one (here both copies are ready at the same instant
+// and both buses are idle, so the seed's tie-break lands on BUSA twice).
+func TestDiversitySpreadsOverDualBus(t *testing.T) {
+	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two src replicas on P1 and P2, one dst replica on P3: both copies
+	// become available at t=1, both buses are free.
+	if _, err := s.PlaceReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	media := make(map[arch.MediumID]int)
+	for m := 0; m < p.Arc.NumMedia(); m++ {
+		for range s.MediumSeq(arch.MediumID(m)) {
+			media[arch.MediumID(m)]++
+		}
+	}
+	if len(media) != 2 || media[0] != 1 || media[1] != 1 {
+		t.Fatalf("copies not spread over both buses: %v", media)
+	}
+	// The second dst replica completes the schedule; the diversity rule
+	// must accept it.
+	if _, err := s.PlaceReplica(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("diverse dual-bus schedule invalid: %v", err)
+	}
+}
+
+// TestDiversityTiesStayOnOneBusWithoutBudget pins the Nmf = 0 behaviour
+// unchanged: the same placements without a medium budget put both
+// tie-broken copies on BUSA, and validation (with no diversity rule)
+// still accepts.
+func TestDiversityTiesStayOnOneBusWithoutBudget(t *testing.T) {
+	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 0}, {0, 1}, {1, 2}, {1, 3}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.MediumSeq(0)); n == 0 {
+		t.Errorf("seed tie-break no longer lands on BUSA (%d comms)", n)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Nmf=0 schedule invalid: %v", err)
+	}
+}
+
+// TestValidateDiversityRejectsSharedMedium pins the diversity rule
+// itself: a schedule whose copies share one bus under an Nmf = 1 budget
+// must be rejected. The shared bus is forced by forbidding BUSB for the
+// dependency, which the spec validator tolerates (co-location could
+// still honour the budget) but this placement does not.
+func TestValidateDiversityRejectsSharedMedium(t *testing.T) {
+	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	if err := p.Comm.Forbid(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 0}, {0, 1}, {1, 2}, {1, 3}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "media-disjoint") {
+		t.Errorf("shared-medium schedule: got %v, want media-disjoint rejection", err)
+	}
+}

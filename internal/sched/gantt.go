@@ -37,7 +37,11 @@ func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
 		scale = 100 / maxf(length, 1)
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule length %.4g (Npf=%d)\n", s.Length(), s.npf)
+	if s.faults.Nmf > 0 {
+		fmt.Fprintf(&b, "schedule length %.4g (%s)\n", s.Length(), s.faults)
+	} else {
+		fmt.Fprintf(&b, "schedule length %.4g (Npf=%d)\n", s.Length(), s.faults.Npf)
+	}
 	for p := 0; p < s.problem.Arc.NumProcs(); p++ {
 		proc := s.problem.Arc.Proc(arch.ProcID(p))
 		fmt.Fprintf(&b, "-- processor %s\n", proc.Name)

@@ -13,6 +13,7 @@ import (
 // by re-running the heuristic on the problem.
 type Doc struct {
 	Npf      int          `json:"npf"`
+	Nmf      int          `json:"nmf,omitempty"`
 	Length   float64      `json:"length"`
 	Replicas []ReplicaDoc `json:"replicas"`
 	Comms    []CommDoc    `json:"comms"`
@@ -42,7 +43,7 @@ type CommDoc struct {
 
 // Doc exports the schedule as its JSON document.
 func (s *Schedule) Doc() Doc {
-	doc := Doc{Npf: s.npf, Length: s.Length()}
+	doc := Doc{Npf: s.faults.Npf, Nmf: s.faults.Nmf, Length: s.Length()}
 	for t := 0; t < s.tasks.NumTasks(); t++ {
 		for _, r := range s.replicas[t] {
 			doc.Replicas = append(doc.Replicas, ReplicaDoc{

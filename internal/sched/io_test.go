@@ -7,6 +7,7 @@ import (
 
 	"ftbar/internal/arch"
 	"ftbar/internal/paperex"
+	"ftbar/internal/spec"
 )
 
 // TestScheduleJSONRoundTrip pins the export contract: the schedule document
@@ -42,5 +43,40 @@ func TestScheduleJSONRoundTrip(t *testing.T) {
 	}
 	if doc.Npf != p.Npf {
 		t.Errorf("npf = %d, want %d", doc.Npf, p.Npf)
+	}
+}
+
+// TestScheduleDocCarriesNmf pins the unified fault budget on the export
+// document: Nmf round-trips when set and stays absent (legacy shape) at
+// zero.
+func TestScheduleDocCarriesNmf(t *testing.T) {
+	p := paperex.Problem()
+	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Npf != 1 || doc.Nmf != 1 {
+		t.Errorf("doc budget Npf=%d Nmf=%d, want 1/1", doc.Npf, doc.Nmf)
+	}
+
+	legacy, err := NewSchedule(paperex.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyData, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(legacyData, []byte(`"nmf"`)) {
+		t.Errorf("Nmf=0 document carries an nmf field: %s", legacyData)
 	}
 }

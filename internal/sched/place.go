@@ -55,6 +55,14 @@ type planScratch struct {
 	// touchMark dedups the touched-media record the same way.
 	touchMark []uint64
 	epoch     uint64
+	// usedMark records, per medium, the media already carrying a copy of
+	// the in-edge currently being planned (epoch-marked per edge by
+	// usedEpoch). Replica-aware media selection consults it when the fault
+	// budget includes medium failures: later senders of the same
+	// dependency prefer media no earlier copy travels on, so the Npf+1
+	// copies spread over distinct failure domains (DESIGN.md Section 10).
+	usedMark  []uint64
+	usedEpoch uint64
 	// touched lists every medium whose busy-end this plan consulted —
 	// chosen or merely considered — in first-touch order. Incremental
 	// engines persist it as the preview's medium dependency set.
@@ -72,6 +80,7 @@ func newScratchPool(nMedia int) *sync.Pool {
 			overlayVal:   make([]float64, nMedia),
 			overlayEpoch: make([]uint64, nMedia),
 			touchMark:    make([]uint64, nMedia),
+			usedMark:     make([]uint64, nMedia),
 		}
 	}}
 }
@@ -109,6 +118,17 @@ func (sc *planScratch) setOverlay(m arch.MediumID, end float64) {
 	sc.overlayEpoch[m] = sc.epoch
 	sc.overlayVal[m] = end
 }
+
+// beginEdge starts the used-media record of a fresh in-edge: diversity is
+// required among the copies of one dependency, not across dependencies.
+func (sc *planScratch) beginEdge() { sc.usedEpoch++ }
+
+// markUsed records that a copy of the current edge travels on medium m.
+func (sc *planScratch) markUsed(m arch.MediumID) { sc.usedMark[m] = sc.usedEpoch }
+
+// isUsed reports whether an earlier copy of the current edge already
+// travels on medium m.
+func (sc *planScratch) isUsed(m arch.MediumID) bool { return sc.usedMark[m] == sc.usedEpoch }
 
 func (s *Schedule) getScratch() *planScratch {
 	sc := s.scratch.Get().(*planScratch)
@@ -160,7 +180,8 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 		}
 		// Paper Figure 3(c): replicate the comm from the Npf+1
 		// earliest-finishing predecessor replicas over parallel media.
-		sc.senders = earliestReplicasInto(sc.senders, srcReps, s.npf+1)
+		sc.beginEdge()
+		sc.senders = earliestReplicasInto(sc.senders, srcReps, s.faults.Npf+1)
 		edgeBest, edgeWorst := math.Inf(1), 0.0
 		for _, sender := range sc.senders {
 			arrival, err := s.planDelivery(edge, sender, p, dstIndex, sc)
@@ -188,13 +209,20 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 // replica to processor dst (appended to sc.plans) and returns the arrival
 // time. Direct media are chosen greedily for earliest arrival under current
 // contention; processors sharing no medium use the precomputed
-// store-and-forward route.
+// store-and-forward route. When the fault budget includes medium failures
+// (Nmf > 0) the direct choice is replica-aware: media already carrying an
+// earlier copy of the same dependency are avoided whenever an unused
+// allowed medium exists, so the replicated copies spread over distinct
+// failure domains (the diversity sched.Validate then enforces).
 func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.ProcID,
 	dstIndex int, sc *planScratch) (float64, error) {
 
 	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) {
 		end := start + dur
 		sc.setOverlay(m, end)
+		if s.faults.Nmf > 0 {
+			sc.markUsed(m)
+		}
 		sc.plans = append(sc.plans, plannedComm{comm: Comm{
 			Edge: edge.ID, Orig: edge.Orig,
 			SrcIndex: sender.Index, DstIndex: dstIndex,
@@ -208,15 +236,27 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 		bestM := arch.MediumID(-1)
 		bestArrive := math.Inf(1)
 		bestStart := 0.0
+		// Fresh media are preferred strictly over used ones when the
+		// budget asks for media diversity; within each class the earliest
+		// arrival wins. With Nmf = 0 every medium is "fresh" and the
+		// selection is exactly the seed's earliest-arrival rule.
+		bestFresh := false
 		for _, m := range direct {
 			dur := s.problem.Comm.Time(edge.Orig, m)
 			if math.IsInf(dur, 1) {
 				continue
 			}
+			fresh := s.faults.Nmf == 0 || !sc.isUsed(m)
 			start := math.Max(sender.End, sc.mEnd(s, m))
-			if arrive := start + dur; arrive < bestArrive {
-				bestM, bestArrive, bestStart = m, arrive, start
+			arrive := start + dur
+			if fresh != bestFresh {
+				if !fresh {
+					continue
+				}
+			} else if arrive >= bestArrive {
+				continue
 			}
+			bestM, bestArrive, bestStart, bestFresh = m, arrive, start, fresh
 		}
 		if bestM >= 0 {
 			newComm(bestM, sender.Proc, dst, 0, true, bestStart, bestArrive-bestStart)

@@ -75,7 +75,7 @@ type Schedule struct {
 	// (also shared) makes the lazy fills safe under concurrent previews.
 	edgeRoutes map[model.EdgeID]*arch.RouteTable
 	routeMu    *sync.Mutex
-	npf        int
+	faults     spec.FaultModel
 
 	// directMedia[p*nProcs+q] lists the media directly connecting p and q,
 	// precomputed so the planning hot path never allocates. Immutable and
@@ -123,7 +123,7 @@ func NewSchedule(p *spec.Problem) (*Schedule, error) {
 		tasks:        tasks,
 		edgeRoutes:   make(map[model.EdgeID]*arch.RouteTable),
 		routeMu:      new(sync.Mutex),
-		npf:          p.Npf,
+		faults:       p.FaultModel(),
 		directMedia:  direct,
 		scratch:      newScratchPool(nMedia),
 		replicas:     make([][]*Replica, tasks.NumTasks()),
@@ -171,8 +171,14 @@ func (s *Schedule) Problem() *spec.Problem { return s.problem }
 // Tasks returns the compiled task graph.
 func (s *Schedule) Tasks() *model.TaskGraph { return s.tasks }
 
-// Npf returns the failure count the schedule was built for.
-func (s *Schedule) Npf() int { return s.npf }
+// Faults returns the fault budget the schedule was built for.
+func (s *Schedule) Faults() spec.FaultModel { return s.faults }
+
+// Npf returns the processor-failure count the schedule was built for.
+func (s *Schedule) Npf() int { return s.faults.Npf }
+
+// Nmf returns the medium-failure count the schedule was built for.
+func (s *Schedule) Nmf() int { return s.faults.Nmf }
 
 // Replicas returns the replicas of a task in placement order. The returned
 // slice aliases internal storage; callers must not mutate it.
@@ -298,7 +304,7 @@ func (s *Schedule) Clone() *Schedule {
 		tasks:        s.tasks,
 		edgeRoutes:   s.edgeRoutes,
 		routeMu:      s.routeMu,
-		npf:          s.npf,
+		faults:       s.faults,
 		directMedia:  s.directMedia,
 		scratch:      s.scratch,
 		replicas:     make([][]*Replica, len(s.replicas)),
@@ -340,7 +346,7 @@ func (s *Schedule) Clone() *Schedule {
 // at least Npf+1 replicas.
 func (s *Schedule) Scheduled() bool {
 	for _, reps := range s.replicas {
-		if len(reps) < s.npf+1 {
+		if len(reps) < s.faults.Npf+1 {
 			return false
 		}
 	}

@@ -45,7 +45,7 @@ func (s *Schedule) Stats() Stats {
 	}
 	for t, reps := range s.replicas {
 		st.Replicas += len(reps)
-		if extra := len(reps) - (s.npf + 1); extra > 0 {
+		if extra := len(reps) - (s.faults.Npf + 1); extra > 0 {
 			st.ExtraReplicas += extra
 		}
 		for _, r := range reps {

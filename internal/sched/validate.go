@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/model"
@@ -25,7 +26,12 @@ const timeEps = 1e-9
 //   - every replica's inputs are covered: each in-edge is served either by
 //     a co-located predecessor replica or by at least Npf+1 incoming
 //     replicated comms, and the replica starts only after its earliest
-//     complete input set.
+//     complete input set;
+//   - when the fault budget includes medium failures (Nmf > 0), the
+//     replicated deliveries of every (replica, in-edge) include at least
+//     Nmf+1 chains over pairwise-disjoint media sets, so no Nmf medium
+//     crashes form a single point of failure for any input (DESIGN.md
+//     Section 10).
 func (s *Schedule) Validate() error {
 	if err := s.validateReplicas(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -42,6 +48,9 @@ func (s *Schedule) Validate() error {
 	if err := s.validateCoverage(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
+	if err := s.validateDiversity(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
 	return nil
 }
 
@@ -49,8 +58,8 @@ func (s *Schedule) validateReplicas() error {
 	for t := 0; t < s.tasks.NumTasks(); t++ {
 		task := s.tasks.Task(model.TaskID(t))
 		reps := s.replicas[t]
-		if len(reps) < s.npf+1 {
-			return fmt.Errorf("task %q has %d replicas, need %d", task.Name, len(reps), s.npf+1)
+		if len(reps) < s.faults.Npf+1 {
+			return fmt.Errorf("task %q has %d replicas, need %d", task.Name, len(reps), s.faults.Npf+1)
 		}
 		seen := make(map[int]bool)
 		for i, r := range reps {
@@ -243,7 +252,7 @@ func (s *Schedule) validateCoverage() error {
 					}
 					continue
 				}
-				want := s.npf + 1
+				want := s.faults.Npf + 1
 				if have := len(s.replicas[edge.Src]); have < want {
 					want = have
 				}
@@ -260,6 +269,86 @@ func (s *Schedule) validateCoverage() error {
 						s.tasks.Task(tid).Name, r.Index, r.Start, s.problem.Alg.EdgeName(edge.Orig), first)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// validateDiversity enforces the media-diversity guarantee of the unified
+// fault model: for every replica and every in-edge served by comms, the
+// replicated delivery chains must contain at least Nmf+1 whose media sets
+// are pairwise disjoint. Then any nmf ≤ Nmf medium crashes disable at most
+// nmf of those chains and at least one copy still arrives — the link
+// analogue of the Npf+1 replica rule. Chains are selected greedily from
+// the smallest media set up; the greedy packing is a sound under-count
+// (a schedule it accepts always has the disjoint chains), so acceptance
+// here is a guarantee, never an approximation. Locally-served edges are
+// exempt: intra-processor data never touches a medium. With Nmf = 0 the
+// check is void.
+func (s *Schedule) validateDiversity() error {
+	if s.faults.Nmf == 0 {
+		return nil
+	}
+	need := s.faults.Nmf + 1
+	// chains[dst][dstIndex][edge][srcIndex] collects the media of every
+	// delivery chain, one entry per hop.
+	type chainKey struct {
+		dst      model.TaskID
+		dstIndex int
+		edge     model.TaskEdgeID
+		srcIndex int
+	}
+	chains := make(map[chainKey][]arch.MediumID)
+	for _, seq := range s.mediumSeq {
+		for _, c := range seq {
+			k := chainKey{s.tasks.Edge(c.Edge).Dst, c.DstIndex, c.Edge, c.SrcIndex}
+			chains[k] = append(chains[k], c.Medium)
+		}
+	}
+	type deliveryKey struct {
+		dst      model.TaskID
+		dstIndex int
+		edge     model.TaskEdgeID
+	}
+	deliveries := make(map[deliveryKey][][]arch.MediumID)
+	for k, media := range chains {
+		dk := deliveryKey{k.dst, k.dstIndex, k.edge}
+		deliveries[dk] = append(deliveries[dk], media)
+	}
+	for dk, sets := range deliveries {
+		// Total order — length, then lexicographic media ids — so the
+		// greedy packing (and therefore the accept/reject verdict) is
+		// deterministic; the sets arrive in map-iteration order.
+		sort.Slice(sets, func(i, j int) bool {
+			a, b := sets[i], sets[j]
+			if len(a) != len(b) {
+				return len(a) < len(b)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+		taken := make(map[arch.MediumID]bool)
+		disjoint := 0
+	pack:
+		for _, set := range sets {
+			for _, m := range set {
+				if taken[m] {
+					continue pack
+				}
+			}
+			for _, m := range set {
+				taken[m] = true
+			}
+			disjoint++
+		}
+		if disjoint < need {
+			return fmt.Errorf("replica %q#%d: edge %s has %d media-disjoint deliveries, Nmf+1 = %d",
+				s.tasks.Task(dk.dst).Name, dk.dstIndex,
+				s.problem.Alg.EdgeName(s.tasks.Edge(dk.edge).Orig), disjoint, need)
 		}
 	}
 	return nil

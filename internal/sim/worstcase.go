@@ -2,9 +2,6 @@ package sim
 
 import (
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/sched"
@@ -62,73 +59,29 @@ func SingleFailureSweepWorkers(s *sched.Schedule, workers int) ([]CrashReport, e
 	nP := s.Problem().Arc.NumProcs()
 	probes := make([][]float64, nP)
 	outcomes := make([][]probeOutcome, nP)
-	type job struct{ proc, idx int }
-	var jobs []job
+	var jobs []probeJob
 	for p := 0; p < nP; p++ {
 		probes[p] = crashProbes(s, arch.ProcID(p))
 		outcomes[p] = make([]probeOutcome, len(probes[p]))
 		for i := range probes[p] {
-			jobs = append(jobs, job{p, i})
+			jobs = append(jobs, probeJob{unit: p, idx: i})
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return firstErr != nil
-	}
-	runJob := func(j job) {
-		res, err := Run(s, Scenario{Failures: []Failure{Permanent(arch.ProcID(j.proc), probes[j.proc][j.idx])}})
+	err := runProbePool(workers, jobs, func(j probeJob) error {
+		res, err := Run(s, Scenario{Failures: []Failure{
+			Permanent(arch.ProcID(j.unit), probes[j.unit][j.idx]),
+		}})
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
+			return err
 		}
-		outcomes[j.proc][j.idx] = probeOutcome{
+		outcomes[j.unit][j.idx] = probeOutcome{
 			makespan: res.Iterations[0].Makespan,
 			masked:   res.Iterations[0].OutputsOK,
 		}
-	}
-	if workers <= 1 {
-		for _, j := range jobs {
-			if failed() {
-				break
-			}
-			runJob(j)
-		}
-	} else {
-		var next int64 = -1
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(jobs) || failed() {
-						return
-					}
-					runJob(jobs[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	reports := make([]CrashReport, 0, nP)

@@ -1,0 +1,185 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+)
+
+// diamondProblem builds a two-op chain on the given architecture with
+// uniform times, the minimal fixture for fault-model validation.
+func diamondProblem(t *testing.T, a *arch.Architecture, fm FaultModel) *Problem {
+	t.Helper()
+	g := model.NewGraph()
+	src := g.MustAddOp("src", model.Comp)
+	dst := g.MustAddOp("dst", model.Comp)
+	g.MustAddEdge(src, dst)
+	exec, err := NewUniformExecTable(g, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := NewUniformCommTable(g, a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{Alg: g, Arc: a, Exec: exec, Comm: comm}
+	p.SetFaults(fm)
+	return p
+}
+
+func TestFaultModelValidate(t *testing.T) {
+	cases := []struct {
+		fm   FaultModel
+		want error
+	}{
+		{FaultModel{}, nil},
+		{FaultModel{Npf: 2}, nil},
+		{FaultModel{Npf: 1, Nmf: 1}, nil},
+		{FaultModel{Npf: -1}, ErrNegativeNpf},
+		{FaultModel{Npf: 1, Nmf: -1}, ErrNegativeNmf},
+		{FaultModel{Npf: 0, Nmf: 1}, ErrFaultBudget},
+		{FaultModel{Npf: 1, Nmf: 2}, ErrFaultBudget},
+	}
+	for _, tc := range cases {
+		err := tc.fm.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.fm, err, tc.want)
+		}
+	}
+}
+
+func TestFaultModelShim(t *testing.T) {
+	// Legacy field alone resolves through the shim.
+	p := &Problem{Npf: 2}
+	if got := p.FaultModel(); got != (FaultModel{Npf: 2}) {
+		t.Errorf("legacy shim resolved %v", got)
+	}
+	// SetFaults normalises processor-only budgets to the legacy field, so
+	// pre-FaultModel code that mutates Npf directly still wins.
+	p.SetFaults(FaultModel{Npf: 1})
+	if !p.Faults.IsZero() || p.Npf != 1 {
+		t.Errorf("SetFaults(Npf-only) stored Faults=%v Npf=%d", p.Faults, p.Npf)
+	}
+	p.Npf = 3
+	if got := p.FaultModel(); got != (FaultModel{Npf: 3}) {
+		t.Errorf("legacy mutation resolved %v", got)
+	}
+	// With a medium budget, Faults is authoritative and Npf mirrors it.
+	p.SetFaults(FaultModel{Npf: 2, Nmf: 1})
+	if got := p.FaultModel(); got != (FaultModel{Npf: 2, Nmf: 1}) {
+		t.Errorf("unified budget resolved %v", got)
+	}
+	if p.Npf != 2 {
+		t.Errorf("legacy mirror Npf = %d, want 2", p.Npf)
+	}
+}
+
+func TestValidateMediaDiversity(t *testing.T) {
+	// A single shared bus passes the necessary condition only through the
+	// co-location route (every source may sit next to every receiver);
+	// whether a schedule actually honours the budget is sched.Validate's
+	// call. Forbidding the source on one receiver removes that escape and
+	// the lone bus is a single point of failure.
+	if err := diamondProblem(t, arch.Bus(3), FaultModel{Npf: 1, Nmf: 1}).Validate(); err != nil {
+		t.Errorf("uniform bus: %v", err)
+	}
+	busP := diamondProblem(t, arch.Bus(3), FaultModel{Npf: 1, Nmf: 1})
+	busSrc, _ := busP.Alg.OpByName("src")
+	if err := busP.Exec.Forbid(busSrc.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := busP.Validate(); !errors.Is(err, ErrMediaDiversity) {
+		t.Errorf("constrained bus: got %v, want ErrMediaDiversity", err)
+	}
+	// Two redundant buses do.
+	if err := diamondProblem(t, arch.DualBus(3), FaultModel{Npf: 1, Nmf: 1}).Validate(); err != nil {
+		t.Errorf("dual bus: %v", err)
+	}
+	// Fully connected: every receiver has n-1 incident links plus the
+	// co-location route.
+	if err := diamondProblem(t, arch.FullyConnected(3), FaultModel{Npf: 1, Nmf: 1}).Validate(); err != nil {
+		t.Errorf("fully connected: %v", err)
+	}
+	// A star spoke has one incident link; co-location keeps Nmf = 1
+	// feasible in principle, so spec validation accepts and the schedule
+	// validator decides.
+	if err := diamondProblem(t, arch.Star(3), FaultModel{Npf: 1, Nmf: 1}).Validate(); err != nil {
+		t.Errorf("star: %v", err)
+	}
+	// Forbidding the source next to a spoke removes the co-location
+	// route and the spoke funnels through its single link.
+	p := diamondProblem(t, arch.Star(3), FaultModel{Npf: 1, Nmf: 1})
+	src, _ := p.Alg.OpByName("src")
+	if err := p.Exec.Forbid(src.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrMediaDiversity) {
+		t.Errorf("constrained star: got %v, want ErrMediaDiversity", err)
+	}
+}
+
+func TestProblemJSONFaultsRoundTrip(t *testing.T) {
+	p := diamondProblem(t, arch.DualBus(3), FaultModel{Npf: 1, Nmf: 1})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"faults"`) {
+		t.Fatalf("document lacks faults object: %s", data)
+	}
+	var q Problem
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FaultModel(); got != (FaultModel{Npf: 1, Nmf: 1}) {
+		t.Errorf("round-tripped budget %v", got)
+	}
+	if q.Npf != 1 {
+		t.Errorf("legacy mirror Npf = %d, want 1", q.Npf)
+	}
+	// Re-marshalling is canonical: byte-identical documents.
+	again, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-marshal differs:\n%s\n%s", data, again)
+	}
+}
+
+func TestProblemJSONNmfZeroStaysLegacy(t *testing.T) {
+	// Processor-only budgets must keep the pre-FaultModel document shape
+	// (and therefore the service's content-addressed cache keys).
+	p := diamondProblem(t, arch.FullyConnected(3), FaultModel{Npf: 1})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"faults"`) {
+		t.Fatalf("Nmf=0 document contains faults object: %s", data)
+	}
+}
+
+func TestProblemJSONLegacyNpfOnly(t *testing.T) {
+	// A document written before the unified fault model carries only the
+	// npf number; decoding resolves it through the shim.
+	p := diamondProblem(t, arch.FullyConnected(3), FaultModel{Npf: 1})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Problem
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FaultModel(); got != (FaultModel{Npf: 1}) {
+		t.Errorf("legacy document resolved %v", got)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("legacy document invalid: %v", err)
+	}
+}

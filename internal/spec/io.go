@@ -19,6 +19,12 @@ type problemJSON struct {
 	Comm [][]JSONTime       `json:"comm"` // [edge][medium]
 	Rtc  rtcJSON            `json:"rtc"`
 	Npf  int                `json:"npf"`
+	// Faults carries the unified fault budget. It is emitted only when
+	// Nmf is non-zero, so documents written for processor-only budgets —
+	// and the service cache keys derived from them — stay byte-identical
+	// to the pre-FaultModel encoding; Npf always mirrors the effective
+	// processor budget for legacy readers.
+	Faults *FaultModel `json:"faults,omitempty"`
 }
 
 type rtcJSON struct {
@@ -58,9 +64,15 @@ func (t *JSONTime) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// MarshalJSON encodes the whole problem.
+// MarshalJSON encodes the whole problem. The effective fault budget is
+// written as the legacy "npf" number, plus a "faults" object when the
+// budget includes medium failures (Nmf > 0).
 func (p *Problem) MarshalJSON() ([]byte, error) {
-	doc := problemJSON{Alg: p.Alg, Arc: p.Arc, Npf: p.Npf}
+	fm := p.FaultModel()
+	doc := problemJSON{Alg: p.Alg, Arc: p.Arc, Npf: fm.Npf}
+	if fm.Nmf != 0 {
+		doc.Faults = &fm
+	}
 	doc.Exec = make([][]JSONTime, p.Alg.NumOps())
 	for op := range doc.Exec {
 		row := make([]JSONTime, p.Arc.NumProcs())
@@ -94,12 +106,13 @@ func (p *Problem) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("spec: unmarshal into non-empty problem")
 	}
 	var doc struct {
-		Alg  json.RawMessage `json:"algorithm"`
-		Arc  json.RawMessage `json:"architecture"`
-		Exec [][]JSONTime    `json:"exec"`
-		Comm [][]JSONTime    `json:"comm"`
-		Rtc  rtcJSON         `json:"rtc"`
-		Npf  int             `json:"npf"`
+		Alg    json.RawMessage `json:"algorithm"`
+		Arc    json.RawMessage `json:"architecture"`
+		Exec   [][]JSONTime    `json:"exec"`
+		Comm   [][]JSONTime    `json:"comm"`
+		Rtc    rtcJSON         `json:"rtc"`
+		Npf    int             `json:"npf"`
+		Faults *FaultModel     `json:"faults"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("spec: decode problem: %w", err)
@@ -112,7 +125,14 @@ func (p *Problem) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(doc.Arc, a); err != nil {
 		return err
 	}
-	p.Alg, p.Arc, p.Npf = g, a, doc.Npf
+	p.Alg, p.Arc = g, a
+	// A "faults" object wins; legacy npf-only documents resolve through
+	// the deprecation shim either way.
+	if doc.Faults != nil {
+		p.SetFaults(*doc.Faults)
+	} else {
+		p.SetFaults(FaultModel{Npf: doc.Npf})
+	}
 	p.Exec = NewExecTable(g, a)
 	if len(doc.Exec) != g.NumOps() {
 		return fmt.Errorf("%w: exec rows %d, ops %d", ErrShape, len(doc.Exec), g.NumOps())

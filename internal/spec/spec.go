@@ -1,8 +1,9 @@
 // Package spec bundles the inputs of the scheduling problem (paper
 // Section 3.4): the execution-time table Exe for operations (whose ∞ entries
 // encode the distribution constraints Dis), the communication-time table for
-// data-dependencies on media, the real-time constraints Rtc, and the number
-// Npf of fail-silent processor failures to tolerate.
+// data-dependencies on media, the real-time constraints Rtc, and the unified
+// fault budget FaultModel — Npf fail-silent processor failures plus Nmf
+// fail-silent medium failures to tolerate (DESIGN.md Section 10).
 package spec
 
 import (
@@ -196,6 +197,15 @@ func (c *CommTable) MustSet(edge model.EdgeID, m arch.MediumID, d float64) {
 	}
 }
 
+// Forbid marks edge as not transmittable on medium m.
+func (c *CommTable) Forbid(edge model.EdgeID, m arch.MediumID) error {
+	if err := c.check(edge, m); err != nil {
+		return err
+	}
+	c.t[int(edge)*c.nMedia+int(m)] = Forbidden
+	return nil
+}
+
 // Time returns the transmission time of edge on medium m.
 func (c *CommTable) Time(edge model.EdgeID, m arch.MediumID) float64 {
 	return c.t[int(edge)*c.nMedia+int(m)]
@@ -270,16 +280,49 @@ func (r Rtc) Validate(g *model.Graph) error {
 }
 
 // Problem is the complete input of the distribution heuristic: Alg, Arc,
-// Exe (with Dis folded in as ∞ entries), Rtc and Npf.
+// Exe (with Dis folded in as ∞ entries), Rtc and the fault budget.
 type Problem struct {
 	Alg  *model.Graph
 	Arc  *arch.Architecture
 	Exec *ExecTable
 	Comm *CommTable
 	Rtc  Rtc
-	Npf  int
+	// Faults is the unified fault budget: Npf processor failures plus Nmf
+	// medium failures (DESIGN.md Section 10).
+	Faults FaultModel
+	// Npf is the legacy processor-only fault budget.
+	//
+	// Deprecated: set Faults instead. Npf is consulted only when Faults is
+	// entirely zero, so documents and callers predating the unified fault
+	// model keep working unchanged.
+	Npf int
 
 	tasks *model.TaskGraph // compiled lazily by Compile
+}
+
+// FaultModel resolves the effective fault budget: Faults when set, the
+// legacy Npf field otherwise (the deprecation shim). A problem whose
+// budget is processor-only is canonically represented through the legacy
+// field (SetFaults normalises to it), so pre-FaultModel code that mutates
+// Npf directly keeps working; once a medium budget is set, change the
+// budget through SetFaults, not by assigning Npf.
+func (p *Problem) FaultModel() FaultModel {
+	if p.Faults.IsZero() {
+		return FaultModel{Npf: p.Npf}
+	}
+	return p.Faults
+}
+
+// SetFaults sets the unified fault budget, keeping the deprecated Npf
+// field mirrored for legacy readers. Processor-only budgets are stored in
+// the legacy field alone, the canonical form FaultModel() resolves.
+func (p *Problem) SetFaults(f FaultModel) {
+	p.Npf = f.Npf
+	if f.Nmf != 0 {
+		p.Faults = f
+	} else {
+		p.Faults = FaultModel{}
+	}
 }
 
 // Compile validates the problem and returns its task graph, memoising the
@@ -303,9 +346,13 @@ func (p *Problem) Compile() (*model.TaskGraph, error) {
 //
 //   - graph and architecture validate on their own;
 //   - table shapes match the graph and architecture;
-//   - Npf ≥ 0 and every operation has at least Npf+1 allowed processors
-//     (otherwise the required replication level is unreachable — the
-//     paper's "add more hardware" case);
+//   - the fault budget is well-formed (Npf ≥ 0, Nmf ≥ 0, Nmf ≤ Npf) and
+//     every operation has at least Npf+1 allowed processors (otherwise the
+//     required replication level is unreachable — the paper's "add more
+//     hardware" case);
+//   - when Nmf > 0, every data-dependency reaches each of its receivers
+//     over at least Nmf+1 distinct allowed media (the media analogue of
+//     the processor check, DESIGN.md Section 10);
 //   - every data-dependency can travel between every pair of allowed
 //     placements of its endpoints, either by co-location or along a route
 //     whose media all allow the dependency;
@@ -328,18 +375,22 @@ func (p *Problem) Validate() error {
 		return fmt.Errorf("%w: comm table is %dx%d, graph/arch are %d/%d",
 			ErrShape, p.Comm.nEdges, p.Comm.nMedia, p.Alg.NumEdges(), p.Arc.NumMedia())
 	}
-	if p.Npf < 0 {
-		return fmt.Errorf("%w: %d", ErrNegativeNpf, p.Npf)
+	fm := p.FaultModel()
+	if err := fm.Validate(); err != nil {
+		return err
 	}
 	for _, op := range p.Alg.Ops() {
 		allowed := p.Exec.AllowedProcs(op.ID)
 		if len(allowed) == 0 {
 			return fmt.Errorf("%w: %q", ErrOpUnplaceable, op.Name)
 		}
-		if len(allowed) < p.Npf+1 {
+		if len(allowed) < fm.Replicas() {
 			return fmt.Errorf("%w: %q runs on %d processors, Npf+1 = %d",
-				ErrTooFewprocs, op.Name, len(allowed), p.Npf+1)
+				ErrTooFewprocs, op.Name, len(allowed), fm.Replicas())
 		}
+	}
+	if err := p.validateMediaDiversity(fm); err != nil {
+		return err
 	}
 	if err := p.validateEdgeReachability(); err != nil {
 		return err
@@ -413,12 +464,13 @@ func (p *Problem) EdgeRoutes(e model.EdgeID) (*arch.RouteTable, error) {
 // graph, which is recompiled on demand).
 func (p *Problem) Clone() *Problem {
 	return &Problem{
-		Alg:  p.Alg.Clone(),
-		Arc:  p.Arc.Clone(),
-		Exec: p.Exec.Clone(),
-		Comm: p.Comm.Clone(),
-		Rtc:  cloneRtc(p.Rtc),
-		Npf:  p.Npf,
+		Alg:    p.Alg.Clone(),
+		Arc:    p.Arc.Clone(),
+		Exec:   p.Exec.Clone(),
+		Comm:   p.Comm.Clone(),
+		Rtc:    cloneRtc(p.Rtc),
+		Faults: p.Faults,
+		Npf:    p.Npf,
 	}
 }
 
