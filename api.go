@@ -1,6 +1,7 @@
 package ftbar
 
 import (
+	"fmt"
 	"io"
 
 	"ftbar/internal/arch"
@@ -310,6 +311,19 @@ func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 // PaperExample returns the paper's worked example: the Figure 2 graphs,
 // the Tables 1-2 time tables, Rtc = 16 and Npf = 1.
 func PaperExample() *Problem { return paperex.Problem() }
+
+// PaperExampleOn re-hosts the paper's worked example on another topology:
+// Table 1 times on the first three processors, row means beyond, and each
+// dependency's point-to-point time on every medium. At least three
+// processors are required. It backs the ring-smoke CI configuration: the
+// example on a 4-ring with Npf = 1, Nmf = 1 validates and masks every
+// link crash.
+func PaperExampleOn(topology Topology, procs int) (*Problem, error) {
+	if procs < 3 {
+		return nil, fmt.Errorf("paper example needs at least 3 processors, got %d", procs)
+	}
+	return paperex.ProblemOn(topology.Architecture(procs)), nil
+}
 
 // RenderGantt writes a textual Gantt chart of the schedule (the analogue
 // of the paper's Figures 5-8).

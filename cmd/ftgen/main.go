@@ -8,6 +8,7 @@
 //	ftgen -topology ring -n 30 > ring.json
 //	ftgen -npf 1 -nmf 1 -topology dualbus > linkft.json
 //	ftgen -paper > example.json
+//	ftgen -paper -topology ring -procs 4 -nmf 1 > ringex.json
 package main
 
 import (
@@ -37,16 +38,47 @@ func run(args []string, out io.Writer) error {
 	nmf := fs.Int("nmf", 0, "tolerated medium (link/bus) failures; must not exceed npf")
 	seed := fs.Int64("seed", 1, "random seed")
 	het := fs.Float64("heterogeneity", 0, "per-processor time spread in [0,1)")
-	paper := fs.Bool("paper", false, "emit the paper's worked example instead of a random problem")
+	paper := fs.Bool("paper", false, "emit the paper's worked example instead of a random problem; composes with -topology/-procs/-npf/-nmf")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := ftbar.PaperExample()
-	if !*paper {
-		topo, err := ftbar.ParseTopology(*topology)
+	topo, err := ftbar.ParseTopology(*topology)
+	if err != nil {
+		return err
+	}
+	procsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "procs" {
+			procsSet = true
+		}
+	})
+	fm := ftbar.FaultModel{Npf: *npf, Nmf: *nmf}
+	if *paper {
+		// The generator path validates its own params; the paper paths
+		// must refuse an infeasible budget the same way instead of
+		// emitting a spec every consumer will reject.
+		if err := fm.Validate(); err != nil {
+			return err
+		}
+	}
+	var p *ftbar.Problem
+	switch {
+	case *paper && topo == ftbar.TopoFull && (!procsSet || *procs == 3):
+		// The original Figure 2 configuration — also for an explicit
+		// -procs 3, which must not drift into the re-host's simplified
+		// comm table. -npf/-nmf still apply so `ftgen -paper -nmf 1`
+		// emits the link-tolerant variant.
+		p = ftbar.PaperExample()
+		p.SetFaults(fm)
+	case *paper:
+		// Re-host the worked example on the requested topology and
+		// processor count (the ring-smoke CI configuration).
+		p, err = ftbar.PaperExampleOn(topo, *procs)
 		if err != nil {
 			return err
 		}
+		p.SetFaults(fm)
+	default:
 		p, err = ftbar.Generate(ftbar.GenParams{
 			N: *n, CCR: *ccr, Procs: *procs, Topology: topo,
 			Npf: *npf, Nmf: *nmf, Seed: *seed, Heterogeneity: *het,

@@ -75,6 +75,56 @@ func TestRunTopology(t *testing.T) {
 	}
 }
 
+// TestRunPaperOnRing pins the ring-smoke CI configuration: -paper
+// composes with -topology/-procs/-nmf and emits the worked example
+// re-hosted on a 4-ring under the link budget, which schedules and
+// validates thanks to the disjoint-fan planner.
+func TestRunPaperOnRing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-paper", "-topology", "ring", "-procs", "4", "-nmf", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Arc.NumProcs() != 4 || p.Arc.NumMedia() != 4 {
+		t.Errorf("not a 4-ring: procs=%d media=%d", p.Arc.NumProcs(), p.Arc.NumMedia())
+	}
+	if got := p.FaultModel(); got != (ftbar.FaultModel{Npf: 1, Nmf: 1}) {
+		t.Errorf("emitted budget %+v", got)
+	}
+	if p.Alg.NumOps() != 9 {
+		t.Errorf("not the paper graph: %d ops", p.Alg.NumOps())
+	}
+	res, err := ftbar.Run(&p, ftbar.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("ring-hosted example invalid: %v", err)
+	}
+	// Too few processors for the re-host is refused.
+	if err := run([]string{"-paper", "-topology", "ring", "-procs", "2"}, &out); err == nil {
+		t.Error("2-processor re-host accepted")
+	}
+	// An explicit -procs re-hosts even on the default full topology —
+	// the flag is never silently ignored — while the bare -paper (the
+	// -procs default notwithstanding) stays the canonical 3-processor
+	// example, which TestRunEmitsPaperExample pins.
+	out.Reset()
+	if err := run([]string{"-paper", "-procs", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var full ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &full); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if full.Arc.NumProcs() != 4 || full.Arc.NumMedia() != 6 {
+		t.Errorf("explicit -procs ignored: procs=%d media=%d", full.Arc.NumProcs(), full.Arc.NumMedia())
+	}
+}
+
 // TestRunNmf pins the -nmf flag: the emitted document carries the
 // unified fault budget and loads back with it.
 func TestRunNmf(t *testing.T) {

@@ -73,8 +73,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	s := res.Schedule
+	// A schedule that fails validation carries no masking guarantee, so
+	// sweeping it would report meaningless "masked" lines; exit non-zero
+	// with the first validation error instead (the faults-smoke CI greps
+	// the sweep output and must be able to tell "masked" from "never
+	// validated").
 	if err := s.Validate(); err != nil {
-		return err
+		return fmt.Errorf("schedule failed validation: %w", err)
 	}
 	fmt.Fprintf(out, "fault-free schedule length: %.4g\n", s.Length())
 	if *reliability > 0 {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -79,6 +82,56 @@ func TestRunNeedsSource(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{}, &out); err == nil {
 		t.Error("no source accepted")
+	}
+}
+
+// TestLinkSweepRejectsInvalidSchedule pins the exit contract of the
+// sweep modes: a schedule that fails Validate carries no masking
+// guarantee, so run must return an error naming the first validation
+// failure instead of printing meaningless "masked" lines and exiting 0 —
+// the faults-smoke CI job distinguishes "masked" from "never validated"
+// through exactly this.
+func TestLinkSweepRejectsInvalidSchedule(t *testing.T) {
+	p, err := ftbar.Generate(ftbar.GenParams{
+		N: 12, CCR: 1, Procs: 4, Topology: ftbar.TopoStar, Npf: 1, Nmf: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := filepath.Join(t.TempDir(), "star.json")
+	if err := os.WriteFile(spec, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{"-spec", spec, "-linksweep"}, &out)
+	if err == nil {
+		t.Fatalf("invalid schedule swept without error; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "schedule failed validation") ||
+		!strings.Contains(err.Error(), "media-disjoint") {
+		t.Errorf("error does not carry the first validation failure: %v", err)
+	}
+	if strings.Contains(out.String(), "masked") {
+		t.Errorf("sweep lines printed for an unvalidated schedule:\n%s", out.String())
+	}
+}
+
+// TestLinkSweepExample pins the positive path: the worked example under
+// Nmf = 1 validates and reports every link masked.
+func TestLinkSweepExample(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-nmf", "1", "-linksweep"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.Count(out.String(), "masked: true"); got != 3 {
+		t.Errorf("masked links = %d, want 3:\n%s", got, out.String())
+	}
+	if strings.Contains(out.String(), "masked: false") {
+		t.Errorf("unmasked link in the example sweep:\n%s", out.String())
 	}
 }
 

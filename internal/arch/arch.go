@@ -66,7 +66,16 @@ type Architecture struct {
 	byName map[string]ProcID
 	// mediaOf[p] lists the media processor p is bound to.
 	mediaOf [][]MediumID
+	// rev counts topology mutations (processors or media added). Caches of
+	// derived routing data key on it: an unchanged revision guarantees an
+	// unchanged graph, so cached routes stay exact.
+	rev uint64
 }
+
+// Revision returns the topology revision: a counter bumped by every
+// AddProcessor/AddMedium. Route caches (FanCache) use it to detect that
+// their precomputed routes went stale.
+func (a *Architecture) Revision() uint64 { return a.rev }
 
 // New returns an empty architecture.
 func New() *Architecture {
@@ -88,6 +97,7 @@ func (a *Architecture) AddProcessor(name string) (ProcID, error) {
 	a.procs = append(a.procs, Processor{ID: id, Name: name})
 	a.byName[name] = id
 	a.mediaOf = append(a.mediaOf, nil)
+	a.rev++
 	return id, nil
 }
 
@@ -129,6 +139,7 @@ func (a *Architecture) AddMedium(name string, endpoints ...ProcID) (MediumID, er
 	for _, p := range eps {
 		a.mediaOf[p] = append(a.mediaOf[p], id)
 	}
+	a.rev++
 	return id, nil
 }
 
@@ -287,5 +298,6 @@ func (a *Architecture) Clone() *Architecture {
 	for i, l := range a.mediaOf {
 		c.mediaOf[i] = append([]MediumID(nil), l...)
 	}
+	c.rev = a.rev
 	return c
 }

@@ -1,0 +1,329 @@
+package arch
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the disjoint-route search of the Nmf-aware delivery
+// planner (DESIGN.md Section 11). The copies of a replicated dependency
+// leave distinct sender processors and must reach the receiver over
+// pairwise media-disjoint chains, so the problem is not Suurballe's
+// single-pair variant but its multi-source generalisation: route one unit
+// from each sender towards the receiver such that no medium carries two
+// units. That is a unit-capacity min-cost flow on the bipartite
+// processor/medium graph — each medium is a capacity-1, cost-weight(m)
+// node; processors are uncapacitated relays — solved by successive
+// shortest augmentation (the Bhandari/Suurballe construction: later
+// augmentations may undo earlier media choices through residual arcs, so
+// a greedy first path can never paint the search into a corner the way
+// sequential shortest-path-with-removal does on rings).
+
+// flowArc is one directed arc of the disjoint-route flow network. Arcs are
+// stored in pairs: arc 2k is the forward arc, arc 2k+1 its residual
+// reverse (capacity 0, cost negated).
+type flowArc struct {
+	to   int
+	cap  int
+	cost float64
+	// medium is the traversed medium for the medium-internal arc, -1
+	// elsewhere.
+	medium MediumID
+}
+
+// fanNet is the flow network of one DisjointFan call.
+type fanNet struct {
+	arcs []flowArc
+	adj  [][]int32 // arc indices leaving each node, in insertion order
+}
+
+// addArc appends a forward arc and its residual reverse. Each node's
+// adjacency lists exactly the arcs leaving it in the residual graph: the
+// forward arc under from, the reverse under to.
+func (n *fanNet) addArc(from, to int, cap int, cost float64, m MediumID) {
+	n.adj[from] = append(n.adj[from], int32(len(n.arcs)))
+	n.arcs = append(n.arcs, flowArc{to: to, cap: cap, cost: cost, medium: m})
+	n.adj[to] = append(n.adj[to], int32(len(n.arcs)))
+	n.arcs = append(n.arcs, flowArc{to: from, cap: 0, cost: -cost, medium: m})
+}
+
+// DisjointFan routes one delivery from each source processor towards dst
+// such that the served routes are pairwise media-disjoint, maximising
+// first the number of sources served and then minimising the total
+// traversal weight. The result is aligned with srcs: out[i] is the route
+// for srcs[i], nil when srcs[i] was left unserved (the disjoint budget of
+// the topology is exhausted) or when srcs[i] == dst. Media with +Inf or
+// NaN weight are unusable. Sources must be pairwise distinct. The search
+// is deterministic: equal-cost ties break towards lower processor and
+// medium ids.
+func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(MediumID) float64) []Route {
+	out := make([]Route, len(srcs))
+	if len(srcs) == 0 {
+		return out
+	}
+	if weight == nil {
+		weight = func(MediumID) float64 { return 1 }
+	}
+	nP, nM := len(a.procs), len(a.media)
+	// Node ids: processors 0..nP-1, medium m in/out nP+2m / nP+2m+1,
+	// super-source nP+2nM.
+	src := nP + 2*nM
+	nodes := src + 1
+	net := &fanNet{adj: make([][]int32, nodes)}
+	// Sorted source order keeps the arc list — and with it every
+	// tie-break — independent of the caller's ordering.
+	sorted := append([]ProcID(nil), srcs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, sp := range sorted {
+		if sp != dst {
+			net.addArc(src, int(sp), 1, 0, -1)
+		}
+	}
+	for m := 0; m < nM; m++ {
+		w := weight(MediumID(m))
+		if math.IsInf(w, 1) || math.IsNaN(w) || w < 0 {
+			continue
+		}
+		in, outN := nP+2*m, nP+2*m+1
+		net.addArc(in, outN, 1, w, MediumID(m))
+		for _, p := range a.media[m].Endpoints {
+			net.addArc(int(p), in, 1, 0, -1)
+			net.addArc(outN, int(p), 1, 0, -1)
+		}
+	}
+	// Successive shortest augmenting paths (Bellman-Ford handles the
+	// negative residual costs without potentials; the network is tiny).
+	dist := make([]float64, nodes)
+	prevArc := make([]int32, nodes)
+	for served := 0; served < len(srcs); served++ {
+		if !net.shortestPath(src, int(dst), dist, prevArc) {
+			break
+		}
+		for v := int(dst); v != src; {
+			ai := prevArc[v]
+			net.arcs[ai].cap--
+			net.arcs[ai^1].cap++
+			v = net.arcs[ai^1].to
+		}
+	}
+	// Decompose the flow into one route per served source. Decomposition
+	// consumes arcs, and two routes crossing the same relay processor are
+	// paired by consumption order — so walking in canonical (ascending
+	// source id) order, not caller order, keeps each source's route
+	// independent of how the caller ordered the set. The walks' results
+	// are then realigned to the caller's ordering.
+	for _, sp := range sorted {
+		if sp == dst || !net.consumed(src, int(sp)) {
+			continue
+		}
+		route := net.walkRoute(a, int(sp), int(dst))
+		for i, osp := range srcs {
+			if osp == sp {
+				out[i] = route
+				break
+			}
+		}
+	}
+	return out
+}
+
+// shortestPath runs Bellman-Ford over the residual network from s to t,
+// filling dist and prevArc; it reports whether t is reachable. Relaxation
+// order follows arc insertion order and improves only on strictly smaller
+// distances, so the predecessor tree — and the augmenting path — is
+// deterministic.
+func (n *fanNet) shortestPath(s, t int, dist []float64, prevArc []int32) bool {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevArc[i] = -1
+	}
+	dist[s] = 0
+	for round := 0; round < len(dist); round++ {
+		changed := false
+		for u := 0; u < len(n.adj); u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			for _, ai := range n.adj[u] {
+				arc := &n.arcs[ai]
+				if arc.cap <= 0 {
+					continue
+				}
+				if nd := du + arc.cost; nd < dist[arc.to] {
+					dist[arc.to] = nd
+					prevArc[arc.to] = ai
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return prevArc[t] >= 0
+}
+
+// consumed reports whether the unit arc from -> to carries flow (forward
+// capacity exhausted, residual reverse positive).
+func (n *fanNet) consumed(from, to int) bool {
+	for _, ai := range n.adj[from] {
+		arc := &n.arcs[ai]
+		if ai%2 == 0 && arc.to == to && arc.cap == 0 && n.arcs[ai^1].cap > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// walkRoute follows the flow from processor node u to dst, consuming the
+// arcs it traverses and emitting one Hop per medium crossed.
+func (n *fanNet) walkRoute(a *Architecture, u, dst int) Route {
+	var route Route
+	for u != dst {
+		ai, ok := n.takeFlowArc(u)
+		if !ok {
+			return nil // broken decomposition; cannot happen on a valid flow
+		}
+		in := n.arcs[ai].to // medium-in node
+		mi, ok := n.takeFlowArc(in)
+		if !ok {
+			return nil
+		}
+		m := n.arcs[mi].medium
+		out := n.arcs[mi].to
+		po, ok := n.takeFlowArc(out)
+		if !ok {
+			return nil
+		}
+		v := n.arcs[po].to
+		route = append(route, Hop{Medium: m, From: ProcID(u), To: ProcID(v)})
+		if len(route) > len(n.arcs) {
+			return nil
+		}
+		u = v
+	}
+	return route
+}
+
+// takeFlowArc consumes and returns the first forward arc leaving u that
+// carries flow.
+func (n *fanNet) takeFlowArc(u int) (int32, bool) {
+	for _, ai := range n.adj[u] {
+		if ai%2 != 0 {
+			continue // residual reverse arcs never carry decomposed flow
+		}
+		arc := &n.arcs[ai]
+		if arc.cap == 0 && n.arcs[ai^1].cap > 0 {
+			n.arcs[ai].cap++
+			n.arcs[ai^1].cap--
+			return ai, true
+		}
+	}
+	return -1, false
+}
+
+// MaxDisjointRoutes returns how many pairwise media-disjoint routes reach
+// dst from distinct sources in srcs over the media accepted by usable (nil
+// accepts every medium). It is the feasibility count behind the spec-level
+// media-diversity validation: by Menger's theorem a count below Nmf+1
+// means some Nmf media form a cut between every source and the receiver,
+// so no schedule on this architecture can mask the budget.
+func (a *Architecture) MaxDisjointRoutes(srcs []ProcID, dst ProcID, usable func(MediumID) bool) int {
+	routes := a.DisjointFan(srcs, dst, func(m MediumID) float64 {
+		if usable == nil || usable(m) {
+			return 1
+		}
+		return math.Inf(1)
+	})
+	count := 0
+	for _, r := range routes {
+		if r != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// FanCache memoises DisjointFan results for one weight function over one
+// architecture, keyed on the (source-set, destination) pair. Entries are
+// invalidated wholesale when the architecture's topology Revision moves,
+// so a cache held across AddMedium calls never serves stale routes. The
+// cache is not safe for concurrent use; callers synchronise (the
+// scheduler guards it with the same mutex as its per-edge route tables).
+// Source sets are encoded as processor bitmasks, so caching engages only
+// on architectures of at most 64 processors; larger ones fall through to
+// a direct computation.
+type FanCache struct {
+	a      *Architecture
+	weight func(MediumID) float64
+	rev    uint64
+	fans   map[fanKey][]Route
+}
+
+type fanKey struct {
+	srcs uint64
+	dst  ProcID
+}
+
+// NewFanCache returns an empty cache over a and weight.
+func NewFanCache(a *Architecture, weight func(MediumID) float64) *FanCache {
+	return &FanCache{a: a, weight: weight, rev: a.Revision(), fans: make(map[fanKey][]Route)}
+}
+
+// Lookup returns the cached fan for (srcs, dst) without computing or
+// mutating anything, missing when the entry is absent, the topology
+// revision moved, or the architecture is too large for bitmask keys.
+// Being read-only, concurrent Lookups are safe under a reader lock while
+// Fan calls hold the writer side.
+func (c *FanCache) Lookup(srcs []ProcID, dst ProcID) ([]Route, bool) {
+	if c.a.NumProcs() > 64 || c.a.Revision() != c.rev {
+		return nil, false
+	}
+	key := fanKey{dst: dst}
+	for _, sp := range srcs {
+		key.srcs |= 1 << uint(sp)
+	}
+	routes, ok := c.fans[key]
+	return routes, ok
+}
+
+// Fan returns the disjoint fan for (srcs, dst), computing and caching it
+// on first use. The served routes are returned in canonical (ascending
+// source id) order, not aligned with srcs — look a source's route up with
+// RouteFrom, which keys on the first hop. The slice aliases cache storage
+// and must not be mutated; one cache entry serves every ordering of the
+// same source set, and lookups allocate nothing.
+func (c *FanCache) Fan(srcs []ProcID, dst ProcID) []Route {
+	if c.a.NumProcs() > 64 {
+		return c.a.DisjointFan(srcs, dst, c.weight)
+	}
+	if rev := c.a.Revision(); rev != c.rev {
+		c.rev = rev
+		c.fans = make(map[fanKey][]Route)
+	}
+	key := fanKey{dst: dst}
+	for _, sp := range srcs {
+		key.srcs |= 1 << uint(sp)
+	}
+	routes, ok := c.fans[key]
+	if !ok {
+		canon := append([]ProcID(nil), srcs...)
+		sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+		routes = c.a.DisjointFan(canon, dst, c.weight)
+		c.fans[key] = routes
+	}
+	return routes
+}
+
+// RouteFrom returns the route of fan that starts at processor sp, or nil
+// when sp was left unserved. Routes identify their source by their first
+// hop, so the lookup works on any DisjointFan/Fan result.
+func RouteFrom(fan []Route, sp ProcID) Route {
+	for _, r := range fan {
+		if len(r) > 0 && r[0].From == sp {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkRoute asserts r is a well-formed route from src to dst: hops are
+// contiguous, every hop's endpoints are on its medium, and no processor
+// repeats (routes are simple).
+func checkRoute(t *testing.T, a *Architecture, r Route, src, dst ProcID) {
+	t.Helper()
+	if len(r) == 0 {
+		t.Fatalf("empty route %v -> %v", src, dst)
+	}
+	if r[0].From != src {
+		t.Errorf("route starts at %v, want %v", r[0].From, src)
+	}
+	if r[len(r)-1].To != dst {
+		t.Errorf("route ends at %v, want %v", r[len(r)-1].To, dst)
+	}
+	seen := map[ProcID]bool{src: true}
+	for i, h := range r {
+		if i > 0 && h.From != r[i-1].To {
+			t.Errorf("hop %d discontinuous: %v after %v", i, h, r[i-1])
+		}
+		m := a.Medium(h.Medium)
+		if !m.Connects(h.From) || !m.Connects(h.To) || h.From == h.To {
+			t.Errorf("hop %d endpoints %v->%v not on medium %q", i, h.From, h.To, m.Name)
+		}
+		if seen[h.To] {
+			t.Errorf("route revisits processor %v: %v", h.To, r)
+		}
+		seen[h.To] = true
+	}
+}
+
+// checkPairwiseDisjoint asserts no medium appears in two served routes.
+func checkPairwiseDisjoint(t *testing.T, routes []Route) {
+	t.Helper()
+	used := map[MediumID]int{}
+	for i, r := range routes {
+		for _, h := range r {
+			if j, ok := used[h.Medium]; ok && j != i {
+				t.Errorf("medium %d shared by routes %d and %d: %v", h.Medium, j, i, routes)
+			}
+			used[h.Medium] = i
+		}
+	}
+}
+
+// TestDisjointFanRing pins the headline topology: on a ring every
+// (sender-pair, receiver) triple has exactly two media-disjoint routes,
+// and the fan finds both — including the Suurballe trap where the
+// cheapest first route would eat the link the second one needs.
+func TestDisjointFanRing(t *testing.T) {
+	a := Ring(4)
+	// Senders P2 (id 1) and P3 (id 2) towards P1 (id 0): P3's two
+	// detours both have length 2, and the one through P2 steals P2's only
+	// direct link L1.2. Sequential greedy routing dead-ends here; the
+	// flow-based fan must serve both.
+	routes := a.DisjointFan([]ProcID{1, 2}, 0, nil)
+	if routes[0] == nil || routes[1] == nil {
+		t.Fatalf("fan left a sender unserved: %v", routes)
+	}
+	checkRoute(t, a, routes[0], 1, 0)
+	checkRoute(t, a, routes[1], 2, 0)
+	checkPairwiseDisjoint(t, routes)
+
+	for n := 3; n <= 7; n++ {
+		a := Ring(n)
+		for dst := 0; dst < n; dst++ {
+			for s1 := 0; s1 < n; s1++ {
+				for s2 := s1 + 1; s2 < n; s2++ {
+					if s1 == dst || s2 == dst {
+						continue
+					}
+					srcs := []ProcID{ProcID(s1), ProcID(s2)}
+					routes := a.DisjointFan(srcs, ProcID(dst), nil)
+					for i, r := range routes {
+						if r == nil {
+							t.Fatalf("ring(%d) %v->%d: sender %v unserved", n, srcs, dst, srcs[i])
+						}
+						checkRoute(t, a, r, srcs[i], ProcID(dst))
+					}
+					checkPairwiseDisjoint(t, routes)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointFanStarAndBus pins the genuinely cut topologies: a star
+// spoke is reachable over its single link only, and a single bus can
+// carry one chain.
+func TestDisjointFanStarAndBus(t *testing.T) {
+	star := Star(4)
+	if got := star.MaxDisjointRoutes([]ProcID{1, 3}, 2, nil); got != 1 {
+		t.Errorf("star spoke disjoint routes = %d, want 1 (single link cut)", got)
+	}
+	bus := Bus(4)
+	if got := bus.MaxDisjointRoutes([]ProcID{0, 1}, 3, nil); got != 1 {
+		t.Errorf("bus disjoint routes = %d, want 1 (single medium)", got)
+	}
+	dual := DualBus(4)
+	if got := dual.MaxDisjointRoutes([]ProcID{0, 1}, 3, nil); got != 2 {
+		t.Errorf("dualbus disjoint routes = %d, want 2", got)
+	}
+	full := FullyConnected(5)
+	if got := full.MaxDisjointRoutes([]ProcID{0, 1, 2}, 4, nil); got != 3 {
+		t.Errorf("full disjoint routes = %d, want 3 (one direct link each)", got)
+	}
+}
+
+// TestDisjointFanUnusableMedia pins weight-based exclusion: media with
+// +Inf weight never appear in a served route.
+func TestDisjointFanUnusableMedia(t *testing.T) {
+	a := Ring(4)
+	forbidden := MediumID(0) // L1.2
+	routes := a.DisjointFan([]ProcID{1}, 0, func(m MediumID) float64 {
+		if m == forbidden {
+			return math.Inf(1)
+		}
+		return 1
+	})
+	if routes[0] == nil {
+		t.Fatal("detour around forbidden link not found")
+	}
+	checkRoute(t, a, routes[0], 1, 0)
+	for _, h := range routes[0] {
+		if h.Medium == forbidden {
+			t.Errorf("route uses forbidden medium: %v", routes[0])
+		}
+	}
+}
+
+// randomArch builds a seeded random connected architecture: a ring
+// backbone plus extra random links and an optional bus.
+func randomArch(rng *rand.Rand) *Architecture {
+	n := 3 + rng.Intn(6)
+	a := Ring(n)
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		p, q := rng.Intn(n), rng.Intn(n)
+		if p == q {
+			continue
+		}
+		name := "X" + string(rune('a'+i))
+		if _, err := a.AddMedium(name, ProcID(p), ProcID(q)); err != nil {
+			continue
+		}
+	}
+	if rng.Intn(2) == 0 {
+		eps := make([]ProcID, n)
+		for i := range eps {
+			eps[i] = ProcID(i)
+		}
+		a.MustAddMedium("XBUS", eps...)
+	}
+	return a
+}
+
+// TestDisjointFanProperties is the route-enumeration property test:
+// across seeded random architectures and sender sets the served routes
+// are well-formed, pairwise media-disjoint, deterministic across repeated
+// runs, and invariant (as a set) under sender-order permutation; the
+// served count never exceeds what Menger's bound allows and is maximal in
+// the single-sender case.
+func TestDisjointFanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := randomArch(rng)
+		n := a.NumProcs()
+		dst := ProcID(rng.Intn(n))
+		var srcs []ProcID
+		for p := 0; p < n; p++ {
+			if ProcID(p) != dst && rng.Intn(2) == 0 {
+				srcs = append(srcs, ProcID(p))
+			}
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		weight := func(m MediumID) float64 { return 1 + float64(m%3) }
+		routes := a.DisjointFan(srcs, dst, weight)
+		if len(routes) != len(srcs) {
+			t.Fatalf("trial %d: %d routes for %d sources", trial, len(routes), len(srcs))
+		}
+		served := 0
+		for i, r := range routes {
+			if r == nil {
+				continue
+			}
+			served++
+			checkRoute(t, a, r, srcs[i], dst)
+		}
+		checkPairwiseDisjoint(t, routes)
+		if served == 0 {
+			t.Errorf("trial %d: no source served on a connected architecture", trial)
+		}
+		// Deterministic across runs.
+		again := a.DisjointFan(srcs, dst, weight)
+		if !reflect.DeepEqual(routes, again) {
+			t.Fatalf("trial %d: fan not deterministic:\n%v\n%v", trial, routes, again)
+		}
+		// Order-invariant as a per-source assignment.
+		rev := make([]ProcID, len(srcs))
+		for i, sp := range srcs {
+			rev[len(srcs)-1-i] = sp
+		}
+		flipped := a.DisjointFan(rev, dst, weight)
+		for i, sp := range srcs {
+			if !reflect.DeepEqual(routes[i], RouteFrom(flipped, sp)) {
+				t.Fatalf("trial %d: route of %v depends on sender order", trial, sp)
+			}
+		}
+	}
+}
+
+// TestFanCache pins the cache contract: hits return the same routes
+// without recomputation, and a topology mutation (revision bump)
+// invalidates the whole cache so new media become routable.
+func TestFanCache(t *testing.T) {
+	a := Star(4)
+	c := NewFanCache(a, nil)
+	first := c.Fan([]ProcID{1, 3}, 2)
+	if got := len(serving(first)); got != 1 {
+		t.Fatalf("star fan served %d, want 1", got)
+	}
+	if again := c.Fan([]ProcID{3, 1}, 2); !reflect.DeepEqual(first, again) {
+		t.Errorf("cache miss on permuted source set")
+	}
+	// Adding a bypass link bumps the revision; the stale single-route fan
+	// must not survive.
+	a.MustAddMedium("L3.4", 2, 3)
+	after := c.Fan([]ProcID{1, 3}, 2)
+	if got := len(serving(after)); got != 2 {
+		t.Errorf("fan after topology change served %d, want 2 (revision invalidation)", got)
+	}
+}
+
+func serving(routes []Route) []Route {
+	var out []Route
+	for _, r := range routes {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

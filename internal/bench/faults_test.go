@@ -11,11 +11,12 @@ import (
 
 // TestFaultsExperiment runs a reduced grid and pins the acceptance
 // property of the unified fault model: every validated schedule masks
-// 100% of single-link failures, the fully connected cells validate every
-// graph, and the single-bus cells never validate a remote schedule.
+// 100% of single-link failures, the fully connected, dual-bus and —
+// since the disjoint-fan planner — ring cells validate every graph, and
+// the single-bus cells never validate a remote schedule.
 func TestFaultsExperiment(t *testing.T) {
 	cfg := FaultsConfig{
-		Topologies: []string{"full", "dualbus", "bus"},
+		Topologies: []string{"full", "dualbus", "ring", "bus"},
 		Budgets:    []spec.FaultModel{{Npf: 1, Nmf: 1}},
 		N:          12,
 		CCR:        1,
@@ -27,8 +28,8 @@ func TestFaultsExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cells) != 3 {
-		t.Fatalf("got %d cells, want 3", len(rep.Cells))
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
 	}
 	for _, c := range rep.Cells {
 		if c.Validated > 0 && c.LinkMasked != 1 {
@@ -40,13 +41,16 @@ func TestFaultsExperiment(t *testing.T) {
 				c.Topology, c.ProcMasked*100)
 		}
 		switch c.Topology {
-		case "full", "dualbus":
+		case "full", "dualbus", "ring":
 			if c.Validated != c.Graphs {
 				t.Errorf("%s: %d of %d graphs validated", c.Topology, c.Validated, c.Graphs)
 			}
 		}
 		if c.SpecRejected+c.SchedRejected+c.Validated != c.Graphs {
 			t.Errorf("%s: cell does not account for every graph: %+v", c.Topology, c)
+		}
+		if want := float64(c.Validated) / float64(c.Graphs); c.ValidatedRate != want {
+			t.Errorf("%s: validated_rate %g, want %g", c.Topology, c.ValidatedRate, want)
 		}
 	}
 

@@ -62,6 +62,45 @@ func TestPaperExampleWithLinkBudget(t *testing.T) {
 	}
 }
 
+// TestPaperExampleOnRingWithLinkBudget pins the flagship configuration of
+// the ring-smoke CI job and the disjoint-fan planner's headline result:
+// the paper's worked example re-hosted on a 4-ring under Npf = 1, Nmf = 1
+// schedules on both engines with bit-identical decision logs, passes the
+// media-diversity validation via multi-hop relay chains, and masks every
+// single-link crash.
+func TestPaperExampleOnRingWithLinkBudget(t *testing.T) {
+	p := paperex.ProblemOn(arch.Ring(4))
+	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
+	assertEnginesAgree(t, p, Options{})
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("ring schedule invalid: %v", err)
+	}
+	relays := 0
+	for m := 0; m < p.Arc.NumMedia(); m++ {
+		for _, c := range res.Schedule.MediumSeq(arch.MediumID(m)) {
+			if c.Hop > 0 {
+				relays++
+			}
+		}
+	}
+	if relays == 0 {
+		t.Error("ring schedule placed no relay hops")
+	}
+	reports, err := sim.SingleLinkFailureSweep(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Masked {
+			t.Errorf("ring link %d not masked", r.Medium)
+		}
+	}
+}
+
 // TestCacheAwareSelectionSkips proves the cache-aware screen actually
 // fires on a non-trivial problem — candidates with still-valid cached
 // pressures below the running winner are skipped without previews — while

@@ -141,20 +141,27 @@ func (p Params) validate() error {
 	return nil
 }
 
+// Architecture builds the topology's architecture graph with procs
+// processors, the shape Generate uses internally; callers re-hosting a
+// fixed problem (e.g. the paper example on a ring) use it directly.
+func (t Topology) Architecture(procs int) *arch.Architecture {
+	switch t {
+	case TopoBus:
+		return arch.Bus(procs)
+	case TopoRing:
+		return arch.Ring(procs)
+	case TopoStar:
+		return arch.Star(procs)
+	case TopoDualBus:
+		return arch.DualBus(procs)
+	default:
+		return arch.FullyConnected(procs)
+	}
+}
+
 // architecture builds the topology selected by the params.
 func (p Params) architecture() *arch.Architecture {
-	switch p.Topology {
-	case TopoBus:
-		return arch.Bus(p.Procs)
-	case TopoRing:
-		return arch.Ring(p.Procs)
-	case TopoStar:
-		return arch.Star(p.Procs)
-	case TopoDualBus:
-		return arch.DualBus(p.Procs)
-	default:
-		return arch.FullyConnected(p.Procs)
-	}
+	return p.Topology.Architecture(p.Procs)
 }
 
 // Generate builds one random problem. The same Params always produce the

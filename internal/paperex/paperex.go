@@ -60,26 +60,43 @@ func Architecture() *arch.Architecture {
 	return arch.FullyConnected(3)
 }
 
+// execTimes holds the Table 1 rows: P1, P2, P3. Inf marks the Dis
+// constraints (O cannot run on P2, I cannot run on P3).
+var execTimes = map[string][3]float64{
+	"I": {1, 1.3, spec.Forbidden},
+	"A": {2, 1.5, 1},
+	"B": {3, 1, 1.5},
+	"C": {2, 3, 1},
+	"D": {3, 1.7, 3},
+	"E": {1, 1.2, 2},
+	"F": {2, 2.5, 1},
+	"G": {1.4, 1, 1.5},
+	"O": {1.4, spec.Forbidden, 1.8},
+}
+
+// commTimes holds the Table 2 rows, per edge: L1.2, then L2.3 and L1.3
+// share a value.
+var commTimes = map[string][2]float64{ // {L1.2, L1.3/L2.3}
+	"I->A": {1.75, 1.25},
+	"A->B": {1, 0.5},
+	"A->C": {1, 0.5},
+	"A->D": {1.5, 1},
+	"A->E": {1, 0.5},
+	"B->F": {1, 0.5},
+	"C->F": {1.3, 0.8},
+	"D->G": {1.9, 1.4},
+	"E->G": {1.3, 0.8},
+	"F->G": {1, 0.5},
+	"G->O": {1.1, 0.6},
+}
+
 // Problem assembles the full example with the published tables, Rtc = 16
 // and Npf = 1.
 func Problem() *spec.Problem {
 	g := Graph()
 	a := Architecture()
 	exec := spec.NewExecTable(g, a)
-	// Table 1 rows: P1, P2, P3. Inf marks the Dis constraints
-	// (O cannot run on P2, I cannot run on P3).
-	times := map[string][3]float64{
-		"I": {1, 1.3, spec.Forbidden},
-		"A": {2, 1.5, 1},
-		"B": {3, 1, 1.5},
-		"C": {2, 3, 1},
-		"D": {3, 1.7, 3},
-		"E": {1, 1.2, 2},
-		"F": {2, 2.5, 1},
-		"G": {1.4, 1, 1.5},
-		"O": {1.4, spec.Forbidden, 1.8},
-	}
-	for name, row := range times {
+	for name, row := range execTimes {
 		op, _ := g.OpByName(name)
 		for proc, d := range row {
 			if d != spec.Forbidden {
@@ -88,21 +105,7 @@ func Problem() *spec.Problem {
 		}
 	}
 	comm := spec.NewCommTable(g, a)
-	// Table 2 rows, per edge: L1.2, then L2.3 and L1.3 share a value.
 	// Media ids from FullyConnected(3): 0=L1.2, 1=L1.3, 2=L2.3.
-	commTimes := map[string][2]float64{ // {L1.2, L1.3/L2.3}
-		"I->A": {1.75, 1.25},
-		"A->B": {1, 0.5},
-		"A->C": {1, 0.5},
-		"A->D": {1.5, 1},
-		"A->E": {1, 0.5},
-		"B->F": {1, 0.5},
-		"C->F": {1.3, 0.8},
-		"D->G": {1.9, 1.4},
-		"E->G": {1.3, 0.8},
-		"F->G": {1, 0.5},
-		"G->O": {1.1, 0.6},
-	}
 	for e := 0; e < g.NumEdges(); e++ {
 		id := model.EdgeID(e)
 		row, ok := commTimes[g.EdgeName(id)]
@@ -112,6 +115,57 @@ func Problem() *spec.Problem {
 		comm.MustSet(id, 0, row[0]) // L1.2
 		comm.MustSet(id, 1, row[1]) // L1.3
 		comm.MustSet(id, 2, row[1]) // L2.3
+	}
+	return &spec.Problem{
+		Alg:  g,
+		Arc:  a,
+		Exec: exec,
+		Comm: comm,
+		Rtc:  spec.Rtc{Deadline: Rtc},
+		Npf:  Npf,
+	}
+}
+
+// ProblemOn re-hosts the worked example on another architecture: the
+// Figure 2(a) algorithm graph with the Table 1 execution times (Dis
+// constraints included) on the first three processors, the mean of each
+// row on any further processor, and each dependency's Table 2
+// point-to-point time on every medium. It exists to pin the disjoint-fan
+// planner's headline result: the paper example on arch.Ring(4) with
+// Npf = 1, Nmf = 1 schedules, validates, and masks every single-link
+// crash (the ring-smoke CI job, DESIGN.md Section 11). The architecture
+// needs at least three processors; Rtc is kept at 16 but is advisory on
+// sparser layouts, where relaying stretches the schedule.
+func ProblemOn(a *arch.Architecture) *spec.Problem {
+	if a.NumProcs() < 3 {
+		panic("paperex: ProblemOn needs at least 3 processors")
+	}
+	g := Graph()
+	exec := spec.NewExecTable(g, a)
+	for name, row := range execTimes {
+		op, _ := g.OpByName(name)
+		mean, n := 0.0, 0
+		for proc, d := range row {
+			if d != spec.Forbidden {
+				exec.MustSet(op.ID, arch.ProcID(proc), d)
+				mean += d
+				n++
+			}
+		}
+		for proc := 3; proc < a.NumProcs(); proc++ {
+			exec.MustSet(op.ID, arch.ProcID(proc), mean/float64(n))
+		}
+	}
+	comm := spec.NewCommTable(g, a)
+	for e := 0; e < g.NumEdges(); e++ {
+		id := model.EdgeID(e)
+		row, ok := commTimes[g.EdgeName(id)]
+		if !ok {
+			panic("paperex: missing comm times for " + g.EdgeName(id))
+		}
+		for m := 0; m < a.NumMedia(); m++ {
+			comm.MustSet(id, arch.MediumID(m), row[1])
+		}
 	}
 	return &spec.Problem{
 		Alg:  g,

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// TestRingFanAvoidsSuurballeTrap pins the joint route assignment at
+// schedule level: on a 4-ring with senders on P2 and P3 towards P1, the
+// cheapest route for P3's copy runs through L2.3+L1.2 and would eat P2's
+// only direct link — the configuration where per-sender greedy routing
+// (the seed behaviour) dead-ends and rejected ~80% of generated ring
+// problems. The fan must deliver both copies over media-disjoint chains.
+func TestRingFanAvoidsSuurballeTrap(t *testing.T) {
+	p := busChainProblem(t, arch.Ring(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 1}, {0, 2}, {1, 0}, {1, 3}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("ring schedule with disjoint fan invalid: %v", err)
+	}
+	// At least one delivery must have relayed: P2/P3 are not both
+	// adjacent to both receivers.
+	relay := false
+	for m := 0; m < p.Arc.NumMedia(); m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
+			if c.Hop > 0 {
+				relay = true
+			}
+		}
+	}
+	if !relay {
+		t.Error("no relay hop scheduled on the ring")
+	}
+}
+
+// TestFanRoutesRecordedInPreviewDependencies pins the cache-invalidation
+// contract for relay chains: every medium of a fan route the preview
+// planned is in the PreviewTouched dependency set, so a σ-cache entry
+// goes stale when a comm commits on a relay-touched medium.
+func TestFanRoutesRecordedInPreviewDependencies(t *testing.T) {
+	p := busChainProblem(t, arch.Ring(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Preview dst on P1: the fan serves P2 via L1.2 and P3 via L3.4+L1.4.
+	_, media, err := s.PreviewTouched(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := map[arch.MediumID]bool{}
+	for _, m := range media {
+		touched[m] = true
+	}
+	for _, name := range []string{"L1.2", "L3.4", "L1.4"} {
+		m, ok := p.Arc.MediumByName(name)
+		if !ok {
+			t.Fatalf("missing medium %s", name)
+		}
+		if !touched[m.ID] {
+			t.Errorf("fan route medium %s missing from preview dependency set %v", name, media)
+		}
+	}
+}
+
+// TestMaxDisjointChainsExactBeatsGreedy pins the exact packing: the
+// smallest-first greedy pass picks {1,2} and blocks both {1,3} and {2,4},
+// under-counting the disjoint pair the exact search certifies.
+func TestMaxDisjointChainsExactBeatsGreedy(t *testing.T) {
+	sets := [][]arch.MediumID{{1, 2}, {1, 3}, {2, 4}}
+	if got := greedyDisjointChains(append([][]arch.MediumID{}, sets...)); got != 1 {
+		t.Fatalf("greedy packing = %d, want 1 (the motivating under-count)", got)
+	}
+	if got := maxDisjointChains(sets, 2); got != 2 {
+		t.Errorf("exact packing = %d, want 2", got)
+	}
+	// The cap short-circuits at need.
+	singles := [][]arch.MediumID{{1}, {2}, {3}, {4}}
+	if got := maxDisjointChains(singles, 2); got != 2 {
+		t.Errorf("capped packing = %d, want 2", got)
+	}
+}
+
+// TestRelayHopsInDocAndGantt pins the export surface of relay chains: the
+// non-final hop of a store-and-forward delivery is marked Relay in the
+// JSON document and annotated in the Gantt rendering.
+func TestRelayHopsInDocAndGantt(t *testing.T) {
+	s := newSched(t, starProblem(t))
+	if _, err := s.PlaceReplica(taskByName(t, s, "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(taskByName(t, s, "b"), 2); err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Doc()
+	if len(doc.Comms) != 2 {
+		t.Fatalf("doc has %d comms, want 2 hops", len(doc.Comms))
+	}
+	for _, c := range doc.Comms {
+		switch c.Hop {
+		case 0:
+			if !c.Relay {
+				t.Errorf("hop 0 not marked relay: %+v", c)
+			}
+		case 1:
+			if c.Relay {
+				t.Errorf("final hop marked relay: %+v", c)
+			}
+		}
+	}
+	out := s.String()
+	if !strings.Contains(out, "relay hop 1") || !strings.Contains(out, "final hop 2") {
+		t.Errorf("gantt missing relay annotations:\n%s", out)
+	}
+}
+
+// TestFanFallbackSharedLinkStillRejected pins the honest failure mode: on
+// a star the spoke's single link is a genuine cut, the fan cannot serve a
+// second disjoint chain, and validation must still reject the schedule —
+// routing around sparse topologies must never water the guarantee down.
+func TestFanFallbackSharedLinkStillRejected(t *testing.T) {
+	p := busChainProblem(t, arch.Star(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 1}, {0, 2}, {1, 3}, {1, 0}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
+		}
+	}
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "media-disjoint") {
+		t.Errorf("spoke-funnelled schedule: got %v, want media-disjoint rejection", err)
+	}
+}

@@ -63,9 +63,19 @@ func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
 			b.WriteByte('\n')
 		}
 		for _, c := range s.mediumSeq[m] {
-			fmt.Fprintf(&b, "   %8.3f .. %8.3f  %s %s=>%s (to #%d)\n",
+			// Multi-hop chains annotate their position: relay hops park the
+			// data on the intermediate processor's communication unit, the
+			// final hop delivers it to the receiving replica.
+			hop := ""
+			switch {
+			case !c.LastHop:
+				hop = fmt.Sprintf(", relay hop %d", c.Hop+1)
+			case c.Hop > 0:
+				hop = fmt.Sprintf(", final hop %d", c.Hop+1)
+			}
+			fmt.Fprintf(&b, "   %8.3f .. %8.3f  %s %s=>%s (to #%d%s)\n",
 				c.Start, c.End, s.problem.Alg.EdgeName(c.Orig),
-				s.problem.Arc.Proc(c.From).Name, s.problem.Arc.Proc(c.To).Name, c.DstIndex)
+				s.problem.Arc.Proc(c.From).Name, s.problem.Arc.Proc(c.To).Name, c.DstIndex, hop)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -30,15 +30,22 @@ type ReplicaDoc struct {
 
 // CommDoc is one exported scheduled transmission (one hop).
 type CommDoc struct {
-	Edge     string  `json:"edge"`
-	SrcIndex int     `json:"src_index"`
-	DstIndex int     `json:"dst_index"`
-	Hop      int     `json:"hop"`
-	Medium   string  `json:"medium"`
-	From     string  `json:"from"`
-	To       string  `json:"to"`
-	Start    float64 `json:"start"`
-	End      float64 `json:"end"`
+	Edge     string `json:"edge"`
+	SrcIndex int    `json:"src_index"`
+	DstIndex int    `json:"dst_index"`
+	Hop      int    `json:"hop"`
+	// Relay marks a non-final hop of a multi-hop store-and-forward chain:
+	// the data lands on To's communication unit and is forwarded by the
+	// next hop rather than consumed by a replica. Single-hop deliveries
+	// omit it, so documents without store-and-forward chains are
+	// byte-identical to the pre-relay encoding; multi-hop documents gain
+	// the field on their non-final hops.
+	Relay  bool    `json:"relay,omitempty"`
+	Medium string  `json:"medium"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
 }
 
 // Doc exports the schedule as its JSON document.
@@ -62,6 +69,7 @@ func (s *Schedule) Doc() Doc {
 				SrcIndex: c.SrcIndex,
 				DstIndex: c.DstIndex,
 				Hop:      c.Hop,
+				Relay:    !c.LastHop,
 				Medium:   s.problem.Arc.Medium(arch.MediumID(m)).Name,
 				From:     s.problem.Arc.Proc(c.From).Name,
 				To:       s.problem.Arc.Proc(c.To).Name,

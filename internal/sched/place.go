@@ -68,8 +68,11 @@ type planScratch struct {
 	// engines persist it as the preview's medium dependency set.
 	touched []arch.MediumID
 	senders []*Replica
-	plans   []plannedComm
-	details []EdgeArrival
+	// fanProcs collects the sender processors of the edge being planned,
+	// the key of the disjoint-fan lookup.
+	fanProcs []arch.ProcID
+	plans    []plannedComm
+	details  []EdgeArrival
 }
 
 // newScratchPool returns a pool of planScratch buffers for an architecture
@@ -182,9 +185,23 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 		// earliest-finishing predecessor replicas over parallel media.
 		sc.beginEdge()
 		sc.senders = earliestReplicasInto(sc.senders, srcReps, s.faults.Npf+1)
+		// Under a medium budget the copies must travel media-disjoint
+		// chains, and on sparse topologies per-sender greedy choices can
+		// paint later senders into a corner (the first copy's route eats
+		// the only link a later copy's detour needs). The fan solves the
+		// joint problem up front: one media-disjoint route per sender
+		// where the topology permits (DESIGN.md Section 11).
+		var fan []arch.Route
+		if s.faults.Nmf > 0 {
+			sc.fanProcs = sc.fanProcs[:0]
+			for _, sender := range sc.senders {
+				sc.fanProcs = append(sc.fanProcs, sender.Proc)
+			}
+			fan = s.fanFor(edge.Orig, sc.fanProcs, p)
+		}
 		edgeBest, edgeWorst := math.Inf(1), 0.0
 		for _, sender := range sc.senders {
-			arrival, err := s.planDelivery(edge, sender, p, dstIndex, sc)
+			arrival, err := s.planDelivery(edge, sender, p, dstIndex, arch.RouteFrom(fan, sender.Proc), sc)
 			if err != nil {
 				return Placement{}, err
 			}
@@ -207,15 +224,19 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 
 // planDelivery plans the comm hops carrying edge's value from the sender
 // replica to processor dst (appended to sc.plans) and returns the arrival
-// time. Direct media are chosen greedily for earliest arrival under current
-// contention; processors sharing no medium use the precomputed
-// store-and-forward route. When the fault budget includes medium failures
-// (Nmf > 0) the direct choice is replica-aware: media already carrying an
-// earlier copy of the same dependency are avoided whenever an unused
-// allowed medium exists, so the replicated copies spread over distinct
-// failure domains (the diversity sched.Validate then enforces).
+// time. With a medium budget (Nmf > 0) the caller passes the sender's
+// route from the edge's disjoint fan, and the delivery follows it exactly
+// — possibly store-and-forward through relay processors — so the copies
+// of the dependency travel pairwise media-disjoint chains by
+// construction. Senders the fan could not serve (route == nil, the
+// topology's disjoint budget is exhausted) and the whole Nmf = 0 case
+// take the legacy path: direct media chosen greedily for earliest arrival
+// under current contention — replica-aware when Nmf > 0, avoiding media
+// an earlier copy already travels whenever a fresh allowed medium exists
+// — and the precomputed shortest store-and-forward route when no direct
+// medium carries the dependency.
 func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.ProcID,
-	dstIndex int, sc *planScratch) (float64, error) {
+	dstIndex int, route arch.Route, sc *planScratch) (float64, error) {
 
 	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) {
 		end := start + dur
@@ -230,6 +251,29 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 			Medium: m, From: from, To: to,
 			Start: start, End: end,
 		}})
+	}
+
+	// followRoute plans the hops of a prescribed route in order, each
+	// contending on its medium's tentative busy-end, and returns the
+	// arrival time at the route's final processor.
+	followRoute := func(route arch.Route) (float64, error) {
+		avail := sender.End
+		for i, hop := range route {
+			dur := s.problem.Comm.Time(edge.Orig, hop.Medium)
+			if math.IsInf(dur, 1) {
+				return 0, fmt.Errorf("%w: %s forbidden on %q",
+					ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
+					s.problem.Arc.Medium(hop.Medium).Name)
+			}
+			start := math.Max(avail, sc.mEnd(s, hop.Medium))
+			newComm(hop.Medium, hop.From, hop.To, i, i == len(route)-1, start, dur)
+			avail = start + dur
+		}
+		return avail, nil
+	}
+
+	if route != nil {
+		return followRoute(route)
 	}
 
 	if direct := s.directMedia[int(sender.Proc)*len(s.procEnd)+int(dst)]; len(direct) > 0 {
@@ -264,25 +308,13 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 		}
 		// All direct media forbid this edge; fall through to routing.
 	}
-	route, err := s.routeFor(edge.Orig, sender.Proc, dst)
+	fallback, err := s.routeFor(edge.Orig, sender.Proc, dst)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %s from %q to %q",
 			ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
 			s.problem.Arc.Proc(sender.Proc).Name, s.problem.Arc.Proc(dst).Name)
 	}
-	avail := sender.End
-	for i, hop := range route {
-		dur := s.problem.Comm.Time(edge.Orig, hop.Medium)
-		if math.IsInf(dur, 1) {
-			return 0, fmt.Errorf("%w: %s forbidden on %q",
-				ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
-				s.problem.Arc.Medium(hop.Medium).Name)
-		}
-		start := math.Max(avail, sc.mEnd(s, hop.Medium))
-		newComm(hop.Medium, hop.From, hop.To, i, i == len(route)-1, start, dur)
-		avail = start + dur
-	}
-	return avail, nil
+	return followRoute(fallback)
 }
 
 // replicaEarlier orders replicas by (End, Index): the paper indexes the

@@ -74,8 +74,19 @@ type Schedule struct {
 	// cache is deterministic and append-only, so clones share it; routeMu
 	// (also shared) makes the lazy fills safe under concurrent previews.
 	edgeRoutes map[model.EdgeID]*arch.RouteTable
-	routeMu    *sync.Mutex
-	faults     spec.FaultModel
+	// edgeFans caches, per data-dependency, the media-disjoint delivery
+	// fans of the Nmf-aware planner (DESIGN.md Section 11), keyed inside
+	// each FanCache on the (sender-set, receiver) pair and on the
+	// architecture's topology revision. Shared across clones. Unlike
+	// routeFor — which locks only on the rare no-direct-media fallback —
+	// fanFor runs on every planned in-edge at Nmf > 0, so it is guarded
+	// by its own RWMutex: steady-state hits take the read side and the
+	// parallel preview workers never serialise on a cache that is
+	// already warm.
+	edgeFans map[model.EdgeID]*arch.FanCache
+	fanMu    *sync.RWMutex
+	routeMu  *sync.Mutex
+	faults   spec.FaultModel
 
 	// directMedia[p*nProcs+q] lists the media directly connecting p and q,
 	// precomputed so the planning hot path never allocates. Immutable and
@@ -122,6 +133,8 @@ func NewSchedule(p *spec.Problem) (*Schedule, error) {
 		problem:      p,
 		tasks:        tasks,
 		edgeRoutes:   make(map[model.EdgeID]*arch.RouteTable),
+		edgeFans:     make(map[model.EdgeID]*arch.FanCache),
+		fanMu:        new(sync.RWMutex),
 		routeMu:      new(sync.Mutex),
 		faults:       p.FaultModel(),
 		directMedia:  direct,
@@ -163,6 +176,41 @@ func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, er
 	}
 	s.routeMu.Unlock()
 	return rt.Route(p, q)
+}
+
+// fanFor returns the media-disjoint delivery fan of edge from the sender
+// processors srcs towards dst: up to len(srcs) pairwise media-disjoint
+// routes, one per served sender (DESIGN.md Section 11). Fans depend only
+// on the topology and the edge's communication times — never on the
+// schedule state — so the shared per-edge cache stays exact across clones
+// and concurrent previews. Warm lookups take fanMu's read side only; the
+// write side covers the lazy fills (and re-checks, since another preview
+// may have filled the entry between the two locks).
+func (s *Schedule) fanFor(edge model.EdgeID, srcs []arch.ProcID, dst arch.ProcID) []arch.Route {
+	s.fanMu.RLock()
+	fc := s.edgeFans[edge]
+	if fc != nil {
+		if fan, ok := fc.Lookup(srcs, dst); ok {
+			s.fanMu.RUnlock()
+			return fan
+		}
+	}
+	s.fanMu.RUnlock()
+	s.fanMu.Lock()
+	fc, ok := s.edgeFans[edge]
+	if !ok {
+		// The closure must not capture the Schedule: the cache is shared
+		// by the whole clone family and would otherwise pin whichever
+		// clone filled it — the comm table is immutable and shared.
+		e, comm := edge, s.problem.Comm
+		fc = arch.NewFanCache(s.problem.Arc, func(m arch.MediumID) float64 {
+			return comm.Time(e, m)
+		})
+		s.edgeFans[edge] = fc
+	}
+	fan := fc.Fan(srcs, dst)
+	s.fanMu.Unlock()
+	return fan
 }
 
 // Problem returns the scheduling problem.
@@ -303,6 +351,8 @@ func (s *Schedule) Clone() *Schedule {
 		problem:      s.problem,
 		tasks:        s.tasks,
 		edgeRoutes:   s.edgeRoutes,
+		edgeFans:     s.edgeFans,
+		fanMu:        s.fanMu,
 		routeMu:      s.routeMu,
 		faults:       s.faults,
 		directMedia:  s.directMedia,

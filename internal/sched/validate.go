@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"ftbar/internal/arch"
@@ -279,10 +280,11 @@ func (s *Schedule) validateCoverage() error {
 // replicated delivery chains must contain at least Nmf+1 whose media sets
 // are pairwise disjoint. Then any nmf ≤ Nmf medium crashes disable at most
 // nmf of those chains and at least one copy still arrives — the link
-// analogue of the Npf+1 replica rule. Chains are selected greedily from
-// the smallest media set up; the greedy packing is a sound under-count
-// (a schedule it accepts always has the disjoint chains), so acceptance
-// here is a guarantee, never an approximation. Locally-served edges are
+// analogue of the Npf+1 replica rule. The packing is exact for realistic
+// chain counts (see maxDisjointChains) and never over-counts, so
+// acceptance here is a guarantee, never an approximation — and the
+// multi-hop relay chains of the disjoint fan are packed as first-class
+// citizens, not penalised for their length. Locally-served edges are
 // exempt: intra-processor data never touches a medium. With Nmf = 0 the
 // check is void.
 func (s *Schedule) validateDiversity() error {
@@ -316,35 +318,7 @@ func (s *Schedule) validateDiversity() error {
 		deliveries[dk] = append(deliveries[dk], media)
 	}
 	for dk, sets := range deliveries {
-		// Total order — length, then lexicographic media ids — so the
-		// greedy packing (and therefore the accept/reject verdict) is
-		// deterministic; the sets arrive in map-iteration order.
-		sort.Slice(sets, func(i, j int) bool {
-			a, b := sets[i], sets[j]
-			if len(a) != len(b) {
-				return len(a) < len(b)
-			}
-			for k := range a {
-				if a[k] != b[k] {
-					return a[k] < b[k]
-				}
-			}
-			return false
-		})
-		taken := make(map[arch.MediumID]bool)
-		disjoint := 0
-	pack:
-		for _, set := range sets {
-			for _, m := range set {
-				if taken[m] {
-					continue pack
-				}
-			}
-			for _, m := range set {
-				taken[m] = true
-			}
-			disjoint++
-		}
+		disjoint := maxDisjointChains(sets, need)
 		if disjoint < need {
 			return fmt.Errorf("replica %q#%d: edge %s has %d media-disjoint deliveries, Nmf+1 = %d",
 				s.tasks.Task(dk.dst).Name, dk.dstIndex,
@@ -352,6 +326,94 @@ func (s *Schedule) validateDiversity() error {
 		}
 	}
 	return nil
+}
+
+// maxDisjointChains returns the size of the largest subset of pairwise
+// media-disjoint sets, capped at need (once need disjoint chains exist the
+// guarantee holds and the search stops). For up to 16 chains — a delivery
+// has one chain per sender replica, so real schedules sit far below that
+// — the packing is exact: a branch-and-bound maximum independent set over
+// the chain-overlap graph, which multi-hop relay chains need because the
+// seed's greedy smallest-first pass can pack a short overlapping chain
+// and miss the disjoint certificate. Beyond 16 chains the greedy pass is
+// kept as a sound (never over-counting) fallback. The count is invariant
+// under input order, so the verdict is deterministic.
+func maxDisjointChains(sets [][]arch.MediumID, need int) int {
+	if len(sets) > 16 {
+		return greedyDisjointChains(sets)
+	}
+	shared := func(a, b []arch.MediumID) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// compat[i] has bit j set when chains i and j can coexist.
+	compat := make([]uint32, len(sets))
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			if !shared(sets[i], sets[j]) {
+				compat[i] |= 1 << uint(j)
+				compat[j] |= 1 << uint(i)
+			}
+		}
+	}
+	best := 0
+	var rec func(cand uint32, size int)
+	rec = func(cand uint32, size int) {
+		if size > best {
+			best = size
+		}
+		for cand != 0 && best < need {
+			if size+bits.OnesCount32(cand) <= best {
+				return
+			}
+			i := bits.TrailingZeros32(cand)
+			cand &^= 1 << uint(i)
+			rec(cand&compat[i], size+1)
+		}
+	}
+	rec(uint32(1)<<uint(len(sets))-1, 0)
+	if best > need {
+		return need
+	}
+	return best
+}
+
+// greedyDisjointChains is the seed's deterministic greedy packing:
+// smallest media set first, lexicographic tie-break.
+func greedyDisjointChains(sets [][]arch.MediumID) int {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	taken := make(map[arch.MediumID]bool)
+	disjoint := 0
+pack:
+	for _, set := range sets {
+		for _, m := range set {
+			if taken[m] {
+				continue pack
+			}
+		}
+		for _, m := range set {
+			taken[m] = true
+		}
+		disjoint++
+	}
+	return disjoint
 }
 
 func (s *Schedule) replicaAt(t model.TaskID, index int) *Replica {

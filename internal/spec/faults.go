@@ -72,17 +72,25 @@ func (f FaultModel) String() string { return fmt.Sprintf("Npf=%d Nmf=%d", f.Npf,
 // validateMediaDiversity is the media analogue of the Npf+1 processor
 // check: when Nmf > 0, every data-dependency must be able to reach each of
 // its receivers over at least Nmf+1 routes with disjoint failure domains.
-// For every edge and every allowed destination processor dp, the routes
-// counted are the distinct media that directly connect dp to some allowed
-// source processor (and allow the edge), plus one intra-processor route
-// when the source may be co-located on dp — local data never touches a
-// medium, so co-location is a route no medium failure can cut. Fewer than
-// Nmf+1 such routes means every delivery towards dp funnels through a set
-// of media a budget-sized failure can wipe out, so no schedule on this
-// architecture can honour the budget (the paper's "add more hardware"
-// case, extended to media). This is a necessary condition on the inputs;
-// the sufficient, per-schedule guarantee is sched.Validate's diversity
-// rule over the comms actually placed.
+// For every edge and every allowed destination processor dp:
+//
+//   - if some allowed source processor is dp itself, the receiver is
+//     satisfiable by co-location — local data never touches a medium, so
+//     no medium budget can cut it — and dp needs no further routes;
+//   - otherwise the count is the maximum number of pairwise media-disjoint
+//     routes from distinct allowed source processors to dp over media
+//     that allow the edge (arch.MaxDisjointRoutes), which admits
+//     multi-hop store-and-forward detours — the seed's direct-media-only
+//     count falsely rejected sparse topologies like rings, where the two
+//     disjoint routes exist but one of them is a relay chain.
+//
+// Fewer than Nmf+1 such routes means (by Menger's theorem on the
+// processor/medium graph) some Nmf media form a cut between every source
+// and dp, so no schedule on this architecture can honour the budget (the
+// paper's "add more hardware" case, extended to media). This is a
+// necessary condition on the inputs; the sufficient, per-schedule
+// guarantee is sched.Validate's diversity rule over the comms actually
+// placed.
 func (p *Problem) validateMediaDiversity(fm FaultModel) error {
 	if fm.Nmf == 0 {
 		return nil
@@ -98,27 +106,34 @@ func (p *Problem) validateMediaDiversity(fm FaultModel) error {
 	seen := make([]bool, p.Arc.NumMedia())
 	for _, e := range p.Alg.Edges() {
 		srcs := procsOf(e.Src)
+		usable := func(m arch.MediumID) bool { return p.Comm.Allowed(e.ID, m) }
+	receivers:
 		for _, dp := range procsOf(e.Dst) {
+			// Fast path: distinct usable direct media already certify the
+			// budget without touching the flow search (the common case on
+			// direct-rich layouts).
 			for i := range seen {
 				seen[i] = false
 			}
 			routes := 0
 			for _, sp := range srcs {
 				if sp == dp {
-					routes++ // co-location: immune to medium failures
-					continue
+					continue receivers // co-location: immune to media
 				}
 				for _, m := range p.Arc.MediaBetween(sp, dp) {
-					if !seen[m] && p.Comm.Allowed(e.ID, m) {
+					if !seen[m] && usable(m) {
 						seen[m] = true
 						routes++
 					}
 				}
 			}
-			if routes < need {
+			if routes >= need {
+				continue
+			}
+			if flow := p.Arc.MaxDisjointRoutes(srcs, dp, usable); flow < need {
 				return fmt.Errorf("%w: %s towards %q has %d disjoint routes, Nmf+1 = %d",
 					ErrMediaDiversity, p.Alg.EdgeName(e.ID),
-					p.Arc.Proc(dp).Name, routes, need)
+					p.Arc.Proc(dp).Name, flow, need)
 			}
 		}
 	}

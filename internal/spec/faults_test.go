@@ -122,6 +122,51 @@ func TestValidateMediaDiversity(t *testing.T) {
 	}
 }
 
+// TestValidateMediaDiversityDisjointRoutes pins the multi-hop extension
+// of the necessary condition (DESIGN.md Section 11): a ring receiver with
+// a single direct link used to be falsely rejected although two
+// media-disjoint routes exist — one of them a store-and-forward detour.
+// The count is now the disjoint-route max-flow, so the ring passes; and
+// when forbidding the edge on a link genuinely cuts the second route, the
+// rejection must come back.
+func TestValidateMediaDiversityDisjointRoutes(t *testing.T) {
+	constrain := func(p *Problem) {
+		src, _ := p.Alg.OpByName("src")
+		dst, _ := p.Alg.OpByName("dst")
+		// src on P1/P2 only, dst on P3/P4 only: no co-location escape,
+		// and P2->P4 / P1->P3 have no direct medium on the 4-ring.
+		for _, proc := range []arch.ProcID{2, 3} {
+			if err := p.Exec.Forbid(src.ID, proc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, proc := range []arch.ProcID{0, 1} {
+			if err := p.Exec.Forbid(dst.ID, proc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := diamondProblem(t, arch.Ring(4), FaultModel{Npf: 1, Nmf: 1})
+	constrain(p)
+	if err := p.Validate(); err != nil {
+		t.Errorf("ring with multi-hop disjoint routes falsely rejected: %v", err)
+	}
+	// Forbid the dependency on L1.4: every delivery towards P4 now enters
+	// over L3.4 alone, a genuine single-medium cut.
+	p = diamondProblem(t, arch.Ring(4), FaultModel{Npf: 1, Nmf: 1})
+	constrain(p)
+	l14, ok := p.Arc.MediumByName("L1.4")
+	if !ok {
+		t.Fatal("missing L1.4")
+	}
+	if err := p.Comm.Forbid(0, l14.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrMediaDiversity) {
+		t.Errorf("cut ring: got %v, want ErrMediaDiversity", err)
+	}
+}
+
 func TestProblemJSONFaultsRoundTrip(t *testing.T) {
 	p := diamondProblem(t, arch.DualBus(3), FaultModel{Npf: 1, Nmf: 1})
 	data, err := json.Marshal(p)
