@@ -116,12 +116,24 @@ type (
 	CrashReport = sim.CrashReport
 	// LinkReport summarises a worst-case single-link-failure sweep.
 	LinkReport = sim.LinkReport
-	// CombinedReport is one (processor, medium) crash-at-zero outcome.
+	// CombinedReport is one (processor subset, medium) cell of the joint
+	// combined sweep, probed over every decisive crash instant.
 	CombinedReport = sim.CombinedReport
-	// ReliabilityModel holds per-processor failure probabilities.
+	// ReliabilityModel holds per-processor (and optionally per-medium)
+	// failure probabilities.
 	ReliabilityModel = reliab.Model
-	// ReliabilityReport is the exact reliability evaluation of a schedule.
+	// ReliabilityReport is the reliability evaluation of a schedule:
+	// exact subset enumeration or a seeded Monte-Carlo estimate with a
+	// confidence interval.
 	ReliabilityReport = reliab.Report
+	// ReliabilityOptions tunes the automatic exact/Monte-Carlo dispatch.
+	ReliabilityOptions = reliab.Options
+)
+
+// Reliability evaluation methods recorded in ReliabilityReport.Method.
+const (
+	ReliabilityExact      = reliab.MethodExact
+	ReliabilityMonteCarlo = reliab.MethodMonteCarlo
 )
 
 // Detection modes.
@@ -258,17 +270,33 @@ func IntermittentLinkFailure(m MediumID, from, to float64) MediumFailure {
 }
 
 // Reliability evaluates the probability that the schedule delivers every
-// output under independent per-processor failure probabilities, by exact
-// enumeration of crash subsets (the reliability extension the paper's
-// conclusion announces).
+// output under independent per-processor (and, when the model carries a
+// media arm, per-medium) failure probabilities, by exact enumeration of
+// crash subsets (the reliability extension the paper's conclusion
+// announces, extended over the joint processor+medium lattice).
 func Reliability(s *Schedule, m ReliabilityModel) (*ReliabilityReport, error) {
 	return reliab.Evaluate(s, m)
 }
 
+// JointReliability evaluates reliability with automatic method dispatch:
+// exact enumeration while processors plus modelled media fit the ~20-unit
+// bound, a seeded Monte-Carlo estimate with a 95% confidence interval
+// beyond it.
+func JointReliability(s *Schedule, m ReliabilityModel, opts ReliabilityOptions) (*ReliabilityReport, error) {
+	return reliab.EvaluateAuto(s, m, opts)
+}
+
 // UniformReliabilityModel gives every one of n processors failure
-// probability q.
+// probability q; media never fail.
 func UniformReliabilityModel(n int, q float64) ReliabilityModel {
 	return reliab.Uniform(n, q)
+}
+
+// UniformJointReliabilityModel gives every one of procs processors
+// failure probability qp and every one of media media failure
+// probability qm.
+func UniformJointReliabilityModel(procs, media int, qp, qm float64) ReliabilityModel {
+	return reliab.UniformJoint(procs, media, qp, qm)
 }
 
 // SingleFailureSweep probes every crash instant that can change the

@@ -8,6 +8,7 @@
 //	ftbar -example -npf 0 -basic    # the non-fault-tolerant baseline
 //	ftbar -example -json            # machine-readable schedule
 //	ftbar -example -bars            # proportional Gantt bars
+//	ftbar -example -nmf 1 -reliab 0.01  # joint proc+link reliability at q
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	bars := fs.Bool("bars", false, "render proportional Gantt bars")
 	steps := fs.Bool("steps", false, "print the heuristic's decision log (task, processors, pressures)")
 	stats := fs.Bool("stats", false, "print schedule statistics (utilisation, comm volume, critical ops)")
+	reliab := fs.Float64("reliab", 0, "evaluate joint reliability: every processor and medium fails with this probability per iteration")
 	dot := fs.Bool("dot", false, "emit the algorithm graph in Graphviz DOT format and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +94,22 @@ func run(args []string, out io.Writer) error {
 		}
 		for i, u := range st.MediumUtilisation {
 			fmt.Fprintf(out, "  %s utilisation %5.1f%%\n", p.Arc.Medium(ftbar.MediumID(i)).Name, u*100)
+		}
+	}
+	if *reliab > 0 {
+		model := ftbar.UniformJointReliabilityModel(
+			p.Arc.NumProcs(), p.Arc.NumMedia(), *reliab, *reliab)
+		rep, err := ftbar.JointReliability(res.Schedule, model, ftbar.ReliabilityOptions{})
+		if err != nil {
+			return err
+		}
+		if rep.Method == ftbar.ReliabilityMonteCarlo {
+			fmt.Fprintf(out, "joint reliability at q=%g (Monte-Carlo, %d samples): %.6f, 95%% CI [%.6f, %.6f]\n",
+				*reliab, rep.Samples, rep.Reliability, rep.CILow, rep.CIHigh)
+		} else {
+			fmt.Fprintf(out, "joint reliability at q=%g: %.6f (masks %d of %d crash subsets, guaranteed Npf %d, Nmf %d)\n",
+				*reliab, rep.Reliability, rep.MaskedSubsets, rep.TotalSubsets,
+				rep.GuaranteedNpf, rep.GuaranteedNmf)
 		}
 	}
 	if res.MeetsRtc {

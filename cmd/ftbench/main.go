@@ -10,6 +10,7 @@
 //	ftbench -experiment scaling          # engine-vs-engine wall clock
 //	ftbench -experiment service          # scheduling-service load test
 //	ftbench -experiment faults           # Npf+Nmf masking across topologies
+//	ftbench -experiment combined         # joint proc+link masking, reliability
 //	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
 //	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
 //	ftbench -experiment fig10 -csv       # CSV series for plotting
@@ -34,12 +35,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service | faults")
-	nmf := fs.Int("nmf", -1, "override the faults experiment's Nmf budgets (-1 keeps the default grid)")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service | faults | combined")
+	nmf := fs.Int("nmf", -1, "override the faults/combined experiments' Nmf budgets (-1 keeps the default grid)")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
-	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service, faults, combined)")
 	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star | dualbus")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +145,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Faults: unified Npf+Nmf budget across topologies (N=%d, CCR=%g, P=%d, %d graphs/cell)\n",
 			cfg.N, cfg.CCR, cfg.Procs, cfg.Graphs)
 		return bench.RenderFaults(out, rep)
+	case "combined":
+		cfg := bench.DefaultCombined()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		if *nmf >= 0 {
+			for i := range cfg.Budgets {
+				cfg.Budgets[i].Nmf = *nmf
+				if cfg.Budgets[i].Nmf > cfg.Budgets[i].Npf {
+					cfg.Budgets[i].Nmf = cfg.Budgets[i].Npf
+				}
+			}
+		}
+		rep, err := bench.Combined(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderCombinedJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Combined: joint Npf+Nmf masking, certificate and reliability at q=%g (N=%d, CCR=%g, P=%d, %d graphs/cell)\n",
+			cfg.Q, cfg.N, cfg.CCR, cfg.Procs, cfg.Graphs)
+		return bench.RenderCombined(out, rep)
 	case "npf":
 		cfg := bench.DefaultNpf()
 		cfg.Seed = *seed

@@ -9,6 +9,9 @@
 //	ftsim -example -fail P1@1:4               # intermittent failure [1,4)
 //	ftsim -example -iterations 3 -detect      # detection option 2
 //	ftsim -example -nmf 1 -linksweep          # link-failure budget + sweep
+//	ftsim -example -nmf 1 -combinedsweep      # joint (proc subset, link, instant) grid
+//	ftsim -example -reliability 0.01          # exact reliability, processor crashes
+//	ftsim -example -nmf 1 -reliability 0.01 -linkreliability 0.01  # joint lattice
 //	ftsim -spec problem.json -fail P3@0
 //	ftsim -example -faillink L1.2@0           # lose a link at time 0
 package main
@@ -50,8 +53,10 @@ func run(args []string, out io.Writer) error {
 	detect := fs.Bool("detect", false, "enable failure detection (paper Section 5, option 2)")
 	sweep := fs.Bool("sweep", false, "probe the worst crash instant of every processor")
 	linkSweep := fs.Bool("linksweep", false, "probe the worst crash instant of every medium")
+	combinedSweep := fs.Bool("combinedsweep", false, "probe the joint grid: processor subsets up to Npf x every medium x every decisive crash instant")
 	nmf := fs.Int("nmf", -1, "override the problem's Nmf, the tolerated medium failures (-1 keeps it)")
 	reliability := fs.Float64("reliability", 0, "per-processor failure probability; evaluates schedule reliability")
+	linkReliability := fs.Float64("linkreliability", 0, "per-medium failure probability; joins the reliability evaluation over the (proc, media) lattice")
 	var fails failureFlags
 	fs.Var(&fails, "fail", "failure spec Pk@t (permanent) or Pk@t1:t2 (intermittent); repeatable")
 	var linkFails failureFlags
@@ -82,19 +87,37 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("schedule failed validation: %w", err)
 	}
 	fmt.Fprintf(out, "fault-free schedule length: %.4g\n", s.Length())
-	if *reliability > 0 {
-		rep, err := ftbar.Reliability(s, ftbar.UniformReliabilityModel(p.Arc.NumProcs(), *reliability))
+	if *reliability > 0 || *linkReliability > 0 {
+		model := ftbar.UniformReliabilityModel(p.Arc.NumProcs(), *reliability)
+		if *linkReliability > 0 {
+			model = ftbar.UniformJointReliabilityModel(p.Arc.NumProcs(), p.Arc.NumMedia(),
+				*reliability, *linkReliability)
+		}
+		rep, err := ftbar.JointReliability(s, model, ftbar.ReliabilityOptions{})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "reliability at q=%g per processor: %.6f (masks %d of %d crash subsets, guaranteed Npf %d)\n",
-			*reliability, rep.Reliability, rep.MaskedSubsets, rep.TotalSubsets, rep.GuaranteedNpf)
+		if rep.Method == ftbar.ReliabilityMonteCarlo {
+			fmt.Fprintf(out, "reliability at qp=%g qm=%g (Monte-Carlo, %d samples): %.6f, 95%% CI [%.6f, %.6f]\n",
+				*reliability, *linkReliability, rep.Samples, rep.Reliability, rep.CILow, rep.CIHigh)
+			return nil
+		}
+		fmt.Fprintf(out, "reliability at qp=%g qm=%g: %.6f (masks %d of %d crash subsets, guaranteed Npf %d, Nmf %d)\n",
+			*reliability, *linkReliability, rep.Reliability,
+			rep.MaskedSubsets, rep.TotalSubsets, rep.GuaranteedNpf, rep.GuaranteedNmf)
 		for _, set := range rep.UnmaskedMinimal {
 			names := make([]string, 0, len(set))
 			for _, id := range set {
 				names = append(names, p.Arc.Proc(id).Name)
 			}
-			fmt.Fprintf(out, "  weakest point: {%s}\n", strings.Join(names, ", "))
+			fmt.Fprintf(out, "  weakest processors: {%s}\n", strings.Join(names, ", "))
+		}
+		for _, set := range rep.UnmaskedMinimalMedia {
+			names := make([]string, 0, len(set))
+			for _, id := range set {
+				names = append(names, p.Arc.Medium(id).Name)
+			}
+			fmt.Fprintf(out, "  weakest media: {%s}\n", strings.Join(names, ", "))
 		}
 		return nil
 	}
@@ -118,6 +141,33 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%s: link crash at 0 -> %.4g, worst crash (t=%.4g) -> %.4g, masked: %v\n",
 				p.Arc.Medium(r.Medium).Name, r.AtZeroMakespan, r.WorstAt, r.WorstMakespan, r.Masked)
 		}
+		return nil
+	}
+	if *combinedSweep {
+		if err := s.ValidateJoint(); err != nil {
+			fmt.Fprintf(out, "joint certificate: absent (%v)\n", err)
+		} else {
+			fmt.Fprintln(out, "joint certificate: every delivery survives any in-budget relay+medium crash")
+		}
+		reports, err := ftbar.CombinedFailureSweep(s)
+		if err != nil {
+			return err
+		}
+		masked := 0
+		for _, r := range reports {
+			names := make([]string, 0, len(r.Procs))
+			for _, id := range r.Procs {
+				names = append(names, p.Arc.Proc(id).Name)
+			}
+			if r.Masked {
+				masked++
+			}
+			fmt.Fprintf(out, "{%s}+%s: crash at 0 -> %.4g, worst crash (t=%.4g) -> %.4g, masked: %v\n",
+				strings.Join(names, ","), p.Arc.Medium(r.Medium).Name,
+				r.AtZeroMakespan, r.WorstAt, r.WorstMakespan, r.Masked)
+		}
+		fmt.Fprintf(out, "combined-masked fraction: %.3f (%d of %d scenarios)\n",
+			float64(masked)/float64(len(reports)), masked, len(reports))
 		return nil
 	}
 	sc := ftbar.Scenario{Iterations: *iterations}

@@ -140,7 +140,31 @@ func TestRunReliability(t *testing.T) {
 	if err := run([]string{"-example", "-reliability", "0.01"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	for _, want := range []string{"reliability at q=0.01", "guaranteed Npf 1", "weakest point"} {
+	for _, want := range []string{"reliability at qp=0.01 qm=0", "guaranteed Npf 1", "weakest processors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunJointReliability(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-nmf", "1", "-reliability", "0.01", "-linkreliability", "0.01"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"reliability at qp=0.01 qm=0.01", "guaranteed Npf 1", "weakest media"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunCombinedSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-nmf", "1", "-combinedsweep"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"joint certificate", "combined-masked fraction"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q: %s", want, out.String())
 		}

@@ -79,6 +79,39 @@
 // carry the unified budget, and legacy npf-only JSON documents keep
 // loading unchanged.
 //
+// # Combined processor+link masking and joint reliability
+//
+// Under a combined budget the planner additionally decorrelates chain
+// survival from replica survival (DESIGN.md Section 12): the disjoint
+// fan charges relay hops on processors hosting replicas of the
+// delivery's endpoint tasks, and the Npf+1 replica pick prefers
+// crash-separated processor sets — sets no single in-budget
+// (processor, medium) crash can wipe out or strand (on a ring:
+// non-adjacent pairs). Schedule.ValidateJoint certifies the result per
+// delivery: no crash of at most Npf processors plus Nmf media disables
+// every delivery chain (exact up to 16 chains, sound greedy beyond;
+// void at Nmf = 0). CombinedFailureSweep measures the full grid —
+// every processor subset up to Npf, every medium, every decisive crash
+// instant — with worker-invariant reports; the trajectory runs with
+// `ftbench -experiment combined [-json]` (BENCH_combined.json), whose
+// headline is the ring cell at {Npf=1, Nmf=1} masking the entire grid.
+// Options.LegacyPlanner reproduces the relay-blind planner as the
+// priced baseline; with Nmf = 0 the joint planner changes nothing.
+//
+// Reliability — the second extension the paper's conclusion announces —
+// is evaluated over the joint (processor, medium) crash lattice:
+//
+//	m := ftbar.UniformJointReliabilityModel(nProcs, nMedia, 0.01, 0.01)
+//	rep, _ := ftbar.JointReliability(res.Schedule, m, ftbar.ReliabilityOptions{})
+//	// rep.MaskedLattice[i][j] is the masked fraction with i processors
+//	// and j media down; rep.GuaranteedNpf/GuaranteedNmf the certified axes.
+//
+// Evaluation is exact (every crash subset simulated) while processors
+// plus modelled media fit ~20 units, and a seeded Monte-Carlo estimate
+// with a 95% confidence interval beyond (Report.Method says which;
+// ftbar -reliab, ftsim -reliability/-linkreliability/-combinedsweep
+// expose it on the command line).
+//
 // # Scheduling service
 //
 // NewService wraps the engine in a concurrent scheduling service: a

@@ -57,6 +57,21 @@ func (n *fanNet) addArc(from, to int, cap int, cost float64, m MediumID) {
 // is deterministic: equal-cost ties break towards lower processor and
 // medium ids.
 func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(MediumID) float64) []Route {
+	return a.DisjointFanRelay(srcs, dst, weight, nil)
+}
+
+// DisjointFanRelay is DisjointFan with relay-processor costs: every time a
+// route enters a medium from processor p it additionally pays relayCost(p),
+// so routes prefer relay hops on cheap processors (DESIGN.md Section 12
+// charges processors hosting replicas of the delivery's sender or receiver,
+// decorrelating chain survival from replica survival under a joint
+// processor+medium crash). Costs must be finite and non-negative. Every
+// served route pays its own source's charge exactly once, a constant per
+// served set, so relay costs steer only which relays a route threads —
+// never how many sources are served (serving count is the flow maximum,
+// which finite costs cannot reduce). A nil relayCost is free everywhere and
+// makes the search identical to DisjointFan, arc for arc.
+func (a *Architecture) DisjointFanRelay(srcs []ProcID, dst ProcID, weight func(MediumID) float64, relayCost func(ProcID) float64) []Route {
 	out := make([]Route, len(srcs))
 	if len(srcs) == 0 {
 		return out
@@ -87,7 +102,11 @@ func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(Medium
 		in, outN := nP+2*m, nP+2*m+1
 		net.addArc(in, outN, 1, w, MediumID(m))
 		for _, p := range a.media[m].Endpoints {
-			net.addArc(int(p), in, 1, 0, -1)
+			enter := 0.0
+			if relayCost != nil {
+				enter = relayCost(p)
+			}
+			net.addArc(int(p), in, 1, enter, -1)
 			net.addArc(outN, int(p), 1, 0, -1)
 		}
 	}
@@ -99,7 +118,15 @@ func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(Medium
 		if !net.shortestPath(src, int(dst), dist, prevArc) {
 			break
 		}
-		for v := int(dst); v != src; {
+		// The predecessor graph is a tree (relaxation improves only past
+		// the float tolerance, so rounding around a zero-cost residual
+		// cycle cannot close a predecessor loop); the step bound is a
+		// defensive fail-safe that surrenders the whole fan — callers
+		// treat nil routes as unserved — rather than corrupt the flow.
+		for v, steps := int(dst), 0; v != src; steps++ {
+			if steps > len(net.arcs) {
+				return make([]Route, len(srcs))
+			}
 			ai := prevArc[v]
 			net.arcs[ai].cap--
 			net.arcs[ai^1].cap++
@@ -127,11 +154,21 @@ func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(Medium
 	return out
 }
 
+// fanCostEps is the relative float tolerance of the shortest-path
+// relaxation. The residual network carries exact zero-cost cycles
+// (forward and reverse copies of the same arc costs cancel), but distance
+// values accumulate their terms in path order, so going around such a
+// cycle can appear to improve a distance by a few ulps — enough for
+// Bellman-Ford to close a cycle in the predecessor graph and hang the
+// augmentation walk. Improvements must therefore clear the tolerance;
+// genuine improvements in real inputs are far larger.
+const fanCostEps = 1e-9
+
 // shortestPath runs Bellman-Ford over the residual network from s to t,
 // filling dist and prevArc; it reports whether t is reachable. Relaxation
-// order follows arc insertion order and improves only on strictly smaller
-// distances, so the predecessor tree — and the augmenting path — is
-// deterministic.
+// order follows arc insertion order and improves only on distances
+// smaller beyond the float tolerance, so the predecessor tree — and the
+// augmenting path — is deterministic and acyclic.
 func (n *fanNet) shortestPath(s, t int, dist []float64, prevArc []int32) bool {
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -150,7 +187,8 @@ func (n *fanNet) shortestPath(s, t int, dist []float64, prevArc []int32) bool {
 				if arc.cap <= 0 {
 					continue
 				}
-				if nd := du + arc.cost; nd < dist[arc.to] {
+				nd := du + arc.cost
+				if nd < dist[arc.to]-fanCostEps*(1+math.Abs(nd)) {
 					dist[arc.to] = nd
 					prevArc[arc.to] = ai
 					changed = true
@@ -259,16 +297,40 @@ type FanCache struct {
 	weight func(MediumID) float64
 	rev    uint64
 	fans   map[fanKey][]Route
+	// penalty is the lazily-computed relay charge of FanAvoiding: one unit
+	// above the sum of every usable medium weight, so a single avoided
+	// relay outweighs any all-media detour while staying finite (an
+	// avoided relay is a preference, never a feasibility cut).
+	penalty float64
 }
 
 type fanKey struct {
-	srcs uint64
-	dst  ProcID
+	srcs  uint64
+	avoid uint64
+	dst   ProcID
 }
 
 // NewFanCache returns an empty cache over a and weight.
 func NewFanCache(a *Architecture, weight func(MediumID) float64) *FanCache {
 	return &FanCache{a: a, weight: weight, rev: a.Revision(), fans: make(map[fanKey][]Route)}
+}
+
+// relayPenalty returns (computing once) the relay charge for avoided
+// processors: strictly larger than the weight of any loop-free route.
+func (c *FanCache) relayPenalty() float64 {
+	if c.penalty == 0 {
+		c.penalty = 1
+		for m := 0; m < c.a.NumMedia(); m++ {
+			w := 1.0
+			if c.weight != nil {
+				w = c.weight(MediumID(m))
+			}
+			if !math.IsInf(w, 1) && !math.IsNaN(w) && w >= 0 {
+				c.penalty += w
+			}
+		}
+	}
+	return c.penalty
 }
 
 // Lookup returns the cached fan for (srcs, dst) without computing or
@@ -277,10 +339,16 @@ func NewFanCache(a *Architecture, weight func(MediumID) float64) *FanCache {
 // Being read-only, concurrent Lookups are safe under a reader lock while
 // Fan calls hold the writer side.
 func (c *FanCache) Lookup(srcs []ProcID, dst ProcID) ([]Route, bool) {
+	return c.LookupAvoiding(srcs, dst, 0)
+}
+
+// LookupAvoiding is Lookup keyed additionally on the avoided-processor
+// bitmask of FanAvoiding.
+func (c *FanCache) LookupAvoiding(srcs []ProcID, dst ProcID, avoid uint64) ([]Route, bool) {
 	if c.a.NumProcs() > 64 || c.a.Revision() != c.rev {
 		return nil, false
 	}
-	key := fanKey{dst: dst}
+	key := fanKey{avoid: avoid, dst: dst}
 	for _, sp := range srcs {
 		key.srcs |= 1 << uint(sp)
 	}
@@ -295,14 +363,31 @@ func (c *FanCache) Lookup(srcs []ProcID, dst ProcID) ([]Route, bool) {
 // and must not be mutated; one cache entry serves every ordering of the
 // same source set, and lookups allocate nothing.
 func (c *FanCache) Fan(srcs []ProcID, dst ProcID) []Route {
-	if c.a.NumProcs() > 64 {
-		return c.a.DisjointFan(srcs, dst, c.weight)
-	}
+	return c.FanAvoiding(srcs, dst, 0)
+}
+
+// FanAvoiding is Fan with relay avoidance: bit p of avoid marks processor
+// p as a dispreferred relay (it hosts a replica whose crash already
+// endangers the delivery), charged relayPenalty per avoided relay hop so
+// the fan threads clean processors whenever the topology offers any,
+// falling back to avoided relays rather than dropping a source. An avoid
+// mask of 0 is exactly Fan. Entries are cached per (source-set, avoid,
+// dst) triple.
+func (c *FanCache) FanAvoiding(srcs []ProcID, dst ProcID, avoid uint64) []Route {
 	if rev := c.a.Revision(); rev != c.rev {
 		c.rev = rev
 		c.fans = make(map[fanKey][]Route)
+		// The penalty is a function of the media set; recompute it after
+		// AddMedium so a newly added heavy medium cannot make a clean
+		// detour cost more than an avoided relay. Reset before the cost
+		// closure below captures it.
+		c.penalty = 0
 	}
-	key := fanKey{dst: dst}
+	relay := c.relayCostFor(avoid)
+	if c.a.NumProcs() > 64 {
+		return c.a.DisjointFanRelay(srcs, dst, c.weight, relay)
+	}
+	key := fanKey{avoid: avoid, dst: dst}
 	for _, sp := range srcs {
 		key.srcs |= 1 << uint(sp)
 	}
@@ -310,10 +395,25 @@ func (c *FanCache) Fan(srcs []ProcID, dst ProcID) []Route {
 	if !ok {
 		canon := append([]ProcID(nil), srcs...)
 		sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
-		routes = c.a.DisjointFan(canon, dst, c.weight)
+		routes = c.a.DisjointFanRelay(canon, dst, c.weight, relay)
 		c.fans[key] = routes
 	}
 	return routes
+}
+
+// relayCostFor builds the relay-cost function of an avoid mask (nil for
+// the empty mask, keeping the zero-avoid path arc-identical to Fan).
+func (c *FanCache) relayCostFor(avoid uint64) func(ProcID) float64 {
+	if avoid == 0 {
+		return nil
+	}
+	penalty := c.relayPenalty()
+	return func(p ProcID) float64 {
+		if p < 64 && avoid&(1<<uint(p)) != 0 {
+			return penalty
+		}
+		return 0
+	}
 }
 
 // RouteFrom returns the route of fan that starts at processor sp, or nil

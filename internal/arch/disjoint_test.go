@@ -250,3 +250,90 @@ func serving(routes []Route) []Route {
 	}
 	return out
 }
+
+// TestDisjointFanRelayNilIdentical pins the compatibility contract: a nil
+// relay-cost function must reproduce DisjointFan arc for arc.
+func TestDisjointFanRelayNilIdentical(t *testing.T) {
+	a := Ring(5)
+	srcs := []ProcID{1, 2, 3}
+	plain := a.DisjointFan(srcs, 0, nil)
+	relay := a.DisjointFanRelay(srcs, 0, nil, nil)
+	if !reflect.DeepEqual(plain, relay) {
+		t.Errorf("nil relay cost diverged:\nplain %v\nrelay %v", plain, relay)
+	}
+}
+
+// TestDisjointFanRelaySteersAwayFromChargedProc pins the steering: on a
+// 4-ring with one sender, two routes reach the receiver; charging the
+// relay of the cheap one makes the fan take the other way around.
+func TestDisjointFanRelaySteersAwayFromChargedProc(t *testing.T) {
+	a := Ring(4) // P0-P1-P2-P3-P0
+	// P2 -> P0: via P1 or via P3, both two hops.
+	free := a.DisjointFanRelay([]ProcID{2}, 0, nil, nil)
+	if len(free) != 1 || free[0] == nil {
+		t.Fatalf("unserved: %v", free)
+	}
+	through := func(routes []Route, p ProcID) bool {
+		for _, r := range routes {
+			for i, h := range r {
+				if i > 0 && h.From == p {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	relayP := ProcID(1)
+	if !through(free, relayP) {
+		relayP = 3
+	}
+	charged := a.DisjointFanRelay([]ProcID{2}, 0, nil, func(p ProcID) float64 {
+		if p == relayP {
+			return 100
+		}
+		return 0
+	})
+	if len(charged) != 1 || charged[0] == nil {
+		t.Fatalf("charged fan unserved: %v", charged)
+	}
+	if through(charged, relayP) {
+		t.Errorf("fan still relays through charged %d: %v", relayP, charged)
+	}
+}
+
+// TestDisjointFanRelayChargeNeverDropsSources pins that relay charges are
+// preferences, not cuts: charging every processor heavily must not reduce
+// the number of served sources.
+func TestDisjointFanRelayChargeNeverDropsSources(t *testing.T) {
+	a := Ring(6)
+	srcs := []ProcID{2, 4}
+	charged := a.DisjointFanRelay(srcs, 0, nil, func(ProcID) float64 { return 1e6 })
+	for i, r := range charged {
+		if r == nil {
+			t.Errorf("source %d dropped under uniform charges", srcs[i])
+		}
+	}
+}
+
+// TestFanCacheAvoidKeying pins that the avoid mask is part of the cache
+// key: the same (srcs, dst) with different masks returns different routes
+// when the mask matters, and LookupAvoiding only hits its own mask.
+func TestFanCacheAvoidKeying(t *testing.T) {
+	a := Ring(4)
+	fc := NewFanCache(a, nil)
+	srcs := []ProcID{2}
+	plain := fc.FanAvoiding(srcs, 0, 0)
+	if _, ok := fc.LookupAvoiding(srcs, 0, 1<<1); ok {
+		t.Error("lookup with a different avoid mask hit the zero-mask entry")
+	}
+	avoided := fc.FanAvoiding(srcs, 0, 1<<1) // disprefer P1 as relay
+	if reflect.DeepEqual(plain, avoided) {
+		t.Errorf("avoid mask had no effect on the 4-ring detour: %v", avoided)
+	}
+	if got, ok := fc.LookupAvoiding(srcs, 0, 1<<1); !ok || !reflect.DeepEqual(got, avoided) {
+		t.Error("avoid-keyed entry not served back")
+	}
+	if got, ok := fc.LookupAvoiding(srcs, 0, 0); !ok || !reflect.DeepEqual(got, plain) {
+		t.Error("zero-mask entry lost after avoid-keyed fill")
+	}
+}

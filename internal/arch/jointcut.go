@@ -1,0 +1,103 @@
+package arch
+
+// This file analyses the architecture for joint (processor + medium)
+// crash cuts: the topological facts behind the relay-aware replica
+// placement of DESIGN.md Section 12. A replica set masks a joint crash
+// only if some member is alive AND still connected to the rest of the
+// system — a surviving replica behind a cut can neither feed successors
+// nor deliver outputs. On sparse topologies one processor crash plus one
+// medium crash can isolate a processor (a ring neighbour loses its peer
+// link when the peer dies, so crashing its second link strands it),
+// which makes certain replica-processor pairs jointly fatal even though
+// each member alone satisfies the Npf budget.
+
+// PairCutVulnerable reports whether some single (processor, medium) crash
+// leaves no member of {x, y} both alive and connected to a processor
+// outside the pair. Such a pair is a joint single point of failure for
+// any task replicated exactly on it: one in-budget (Npf >= 1, Nmf >= 1)
+// joint crash kills one copy and strands the other. On a fully connected
+// layout or a dual bus no pair is vulnerable; on a ring exactly the
+// adjacent pairs are (crash one member and the other member's far link).
+// The placement heuristic uses this to prefer crash-separated replica
+// sets under a combined budget.
+func (a *Architecture) PairCutVulnerable(x, y ProcID) bool {
+	if x == y {
+		return true
+	}
+	nP, nM := len(a.procs), len(a.media)
+	if nP <= 2 {
+		return true // nobody outside the pair to stay connected to
+	}
+	for p := 0; p < nP; p++ {
+		for m := 0; m < nM; m++ {
+			if !a.pairSurvives(x, y, ProcID(p), MediumID(m)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pairSurvives reports whether, with processor p and medium m crashed,
+// some member of {x, y} is alive and reaches a processor outside the
+// pair over surviving media and processors.
+func (a *Architecture) pairSurvives(x, y, p ProcID, m MediumID) bool {
+	for _, z := range [2]ProcID{x, y} {
+		if z == p {
+			continue
+		}
+		if a.reachesOutside(z, x, y, p, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// reachesOutside runs a breadth-first search from z over the surviving
+// topology (processor p and medium m crashed) and reports whether any
+// processor outside {x, y, p} is reachable.
+func (a *Architecture) reachesOutside(z, x, y, p ProcID, m MediumID) bool {
+	seen := make([]bool, len(a.procs))
+	seen[z] = true
+	queue := []ProcID{z}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for mi := 0; mi < len(a.media); mi++ {
+			if MediumID(mi) == m || !a.media[mi].Connects(u) {
+				continue
+			}
+			for _, v := range a.media[mi].Endpoints {
+				if v == p || seen[v] {
+					continue
+				}
+				if v != x && v != y {
+					return true
+				}
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// PairCutMatrix returns the PairCutVulnerable verdict for every processor
+// pair, indexed [x][y]. The diagonal is true (a pair needs two distinct
+// processors). The matrix reflects the topology at call time; recompute
+// after AddMedium (Revision moves).
+func (a *Architecture) PairCutMatrix() [][]bool {
+	nP := len(a.procs)
+	out := make([][]bool, nP)
+	for x := 0; x < nP; x++ {
+		out[x] = make([]bool, nP)
+		out[x][x] = true
+	}
+	for x := 0; x < nP; x++ {
+		for y := x + 1; y < nP; y++ {
+			v := a.PairCutVulnerable(ProcID(x), ProcID(y))
+			out[x][y], out[y][x] = v, v
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package arch
+
+import "testing"
+
+// TestPairCutVulnerableRing pins the ring geometry the crash-separated
+// placement exploits: adjacent pairs are jointly vulnerable (crash one
+// member, cut the survivor's far link), non-adjacent pairs are not.
+func TestPairCutVulnerableRing(t *testing.T) {
+	a := Ring(4)
+	cases := []struct {
+		x, y ProcID
+		want bool
+	}{
+		{0, 1, true}, {1, 2, true}, {2, 3, true}, {0, 3, true},
+		{0, 2, false}, {1, 3, false},
+	}
+	for _, c := range cases {
+		if got := a.PairCutVulnerable(c.x, c.y); got != c.want {
+			t.Errorf("ring pair (%d,%d) vulnerable = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// TestPairCutVulnerableDenseLayouts pins the no-op cases: on a fully
+// connected layout and on a dual bus no pair is vulnerable, so the
+// placement bias never moves a replica there.
+func TestPairCutVulnerableDenseLayouts(t *testing.T) {
+	for name, a := range map[string]*Architecture{
+		"full":    FullyConnected(4),
+		"dualbus": DualBus(4),
+	} {
+		m := a.PairCutMatrix()
+		for x := range m {
+			for y := range m[x] {
+				if x != y && m[x][y] {
+					t.Errorf("%s pair (%d,%d) reported vulnerable", name, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestPairCutVulnerableStar pins the spoke funnel: every pair involving a
+// spoke dies with the hub (or with the spoke's only link), and the
+// diagonal is vulnerable by definition.
+func TestPairCutVulnerableStar(t *testing.T) {
+	a := Star(4) // P0 hub
+	if !a.PairCutVulnerable(1, 2) {
+		t.Error("spoke pair (1,2) should be vulnerable: crashing the hub strands both")
+	}
+	if !a.PairCutVulnerable(0, 1) {
+		t.Error("hub-spoke pair should be vulnerable: crash the hub, cut the spoke's link")
+	}
+	if !a.PairCutVulnerable(2, 2) {
+		t.Error("diagonal must be vulnerable")
+	}
+}

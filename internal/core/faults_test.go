@@ -63,11 +63,13 @@ func TestPaperExampleWithLinkBudget(t *testing.T) {
 }
 
 // TestPaperExampleOnRingWithLinkBudget pins the flagship configuration of
-// the ring-smoke CI job and the disjoint-fan planner's headline result:
-// the paper's worked example re-hosted on a 4-ring under Npf = 1, Nmf = 1
-// schedules on both engines with bit-identical decision logs, passes the
-// media-diversity validation via multi-hop relay chains, and masks every
-// single-link crash.
+// the ring-smoke CI job: the paper's worked example re-hosted on a 4-ring
+// under Npf = 1, Nmf = 1 schedules on both engines with bit-identical
+// decision logs, validates, and masks every single-link crash. Under the
+// joint planner (PR 5) the crash-separated placement puts replica pairs
+// on non-adjacent processors, every delivery chain is relay-free, and the
+// schedule carries the joint-survivability certificate; the relay-chain
+// route of PR 4 remains pinned below under Options.LegacyPlanner.
 func TestPaperExampleOnRingWithLinkBudget(t *testing.T) {
 	p := paperex.ProblemOn(arch.Ring(4))
 	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
@@ -76,8 +78,35 @@ func TestPaperExampleOnRingWithLinkBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := res.Schedule.ValidateJoint(); err != nil {
+		t.Fatalf("ring schedule missing the joint certificate: %v", err)
+	}
+	reports, err := sim.SingleLinkFailureSweep(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Masked {
+			t.Errorf("ring link %d not masked", r.Medium)
+		}
+	}
+}
+
+// TestPaperExampleOnRingLegacyPlanner pins PR 4's relay-chain behaviour
+// behind Options.LegacyPlanner: the relay-blind fan threads store-and-
+// forward chains through third-party processors, the schedule still
+// validates and masks every link, but the joint certificate is out of
+// reach — exactly the gap the relay-aware planner closes.
+func TestPaperExampleOnRingLegacyPlanner(t *testing.T) {
+	p := paperex.ProblemOn(arch.Ring(4))
+	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
+	assertEnginesAgree(t, p, Options{LegacyPlanner: true})
+	res, err := Run(p, Options{LegacyPlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := res.Schedule.Validate(); err != nil {
-		t.Fatalf("ring schedule invalid: %v", err)
+		t.Fatalf("legacy ring schedule invalid: %v", err)
 	}
 	relays := 0
 	for m := 0; m < p.Arc.NumMedia(); m++ {
@@ -88,7 +117,7 @@ func TestPaperExampleOnRingWithLinkBudget(t *testing.T) {
 		}
 	}
 	if relays == 0 {
-		t.Error("ring schedule placed no relay hops")
+		t.Error("legacy ring schedule placed no relay hops")
 	}
 	reports, err := sim.SingleLinkFailureSweep(res.Schedule)
 	if err != nil {
@@ -96,7 +125,7 @@ func TestPaperExampleOnRingWithLinkBudget(t *testing.T) {
 	}
 	for _, r := range reports {
 		if !r.Masked {
-			t.Errorf("ring link %d not masked", r.Medium)
+			t.Errorf("legacy ring link %d not masked", r.Medium)
 		}
 	}
 }
@@ -191,5 +220,78 @@ func TestSigmaCacheMediumRevInvalidation(t *testing.T) {
 	}
 	if !c.valid(bT, 0) {
 		t.Errorf("local entry of b invalidated without cause")
+	}
+}
+
+// TestJointPlannerVoidAtNmfZero pins the acceptance contract of the PR 5
+// joint planner: with Nmf = 0 neither the relay-aware fan costs nor the
+// crash-separated placement is consulted, so the default planner and the
+// LegacyPlanner baseline produce bit-identical decision logs on both
+// engines — Nmf = 0 schedules are the PR 4 schedules, bit for bit.
+func TestJointPlannerVoidAtNmfZero(t *testing.T) {
+	for _, topo := range []gen.Topology{gen.TopoFull, gen.TopoDualBus, gen.TopoRing, gen.TopoBus} {
+		for seed := int64(1); seed <= 3; seed++ {
+			p, err := gen.Generate(gen.Params{
+				N: 18, CCR: 1.2, Procs: 4, Topology: topo, Npf: 1, Seed: 900*int64(topo) + seed,
+			})
+			if err != nil {
+				t.Fatalf("generate %s seed %d: %v", topo, seed, err)
+			}
+			joint, jointErr := Run(p, Options{})
+			legacy, legacyErr := Run(p, Options{LegacyPlanner: true})
+			if (jointErr == nil) != (legacyErr == nil) {
+				t.Fatalf("%s seed %d: joint err=%v, legacy err=%v", topo, seed, jointErr, legacyErr)
+			}
+			if jointErr != nil {
+				continue
+			}
+			assertSameSteps(t, joint.Steps, legacy.Steps)
+			if got, want := joint.Schedule.Length(), legacy.Schedule.Length(); got != want {
+				t.Errorf("%s seed %d: joint length %g != legacy %g", topo, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestCrashSeparatedPlacementOnRing pins the placement half of the joint
+// planner: under {Npf=1, Nmf=1} on a 4-ring every task's replica pair
+// lands on non-adjacent processors (no PairCutVulnerable pair), which is
+// what lifts the combined-masked fraction to 1.0 in BENCH_combined.json.
+func TestCrashSeparatedPlacementOnRing(t *testing.T) {
+	ring := arch.Ring(4)
+	vuln := ring.PairCutMatrix()
+	p, err := gen.Generate(gen.Params{
+		N: 20, CCR: 1, Procs: 4, Topology: gen.TopoRing, Npf: 1, Nmf: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := res.Schedule.Tasks()
+	for ti := 0; ti < tg.NumTasks(); ti++ {
+		reps := res.Schedule.Replicas(model.TaskID(ti))
+		// Minimize-start-time may add extra replicas beyond the
+		// crash-separated mandatory set; extra copies only widen the
+		// masking, so the invariant is that SOME non-vulnerable pair
+		// exists, not that every pair is separated.
+		separated := false
+		for i := 0; i < len(reps) && !separated; i++ {
+			for j := i + 1; j < len(reps); j++ {
+				if !vuln[reps[i].Proc][reps[j].Proc] {
+					separated = true
+					break
+				}
+			}
+		}
+		if !separated {
+			t.Errorf("task %q has no crash-separated replica pair (procs %v)",
+				tg.Task(model.TaskID(ti)).Name, reps)
+		}
+	}
+	if err := res.Schedule.ValidateJoint(); err != nil {
+		t.Errorf("ring schedule missing the joint certificate: %v", err)
 	}
 }

@@ -71,14 +71,25 @@ type Options struct {
 	// disables parallelism. Ignored by the reference engine. The result
 	// does not depend on the worker count.
 	PreviewWorkers int
+	// LegacyPlanner disables the joint fault model's planner extensions
+	// (DESIGN.md Section 12) — the relay-processor-aware fan costs and
+	// the crash-separated replica placement — and reproduces the
+	// relay-blind behaviour of Section 11. The combined benchmark uses
+	// it as the baseline it prices the joint planner against; with
+	// Nmf = 0 it changes nothing (neither extension is consulted).
+	LegacyPlanner bool
 }
 
 // Step records one scheduling decision for inspection and tests.
 type Step struct {
-	Task    model.TaskID
-	Procs   []arch.ProcID // chosen processors, ascending pressure
-	Sigmas  []float64     // pressures of the chosen processors
-	Urgency float64       // best pressure, the selection key
+	Task model.TaskID
+	// Procs are the chosen processors in placement order: ascending
+	// pressure, except under a combined budget where slots beyond the
+	// first are crash-separated first and pressure-ordered second
+	// (DESIGN.md Section 12).
+	Procs   []arch.ProcID
+	Sigmas  []float64 // pressures of the chosen processors
+	Urgency float64   // best pressure, the selection key
 }
 
 // Result is the outcome of a scheduling run.
@@ -109,6 +120,9 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.LegacyPlanner {
+		s.SetRelayAware(false)
+	}
 	tg := s.Tasks()
 	sch := &scheduler{
 		s:     s,
@@ -118,6 +132,12 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 		opts:  opts,
 		tails: Tails(p, tg, opts.TailsWithComms),
 		done:  make([]bool, tg.NumTasks()),
+	}
+	if sch.fm.Nmf > 0 && !opts.LegacyPlanner {
+		// Crash-separated replica placement (DESIGN.md Section 12): under
+		// a combined budget, prefer replica sets no single in-budget
+		// (processor, medium) crash can wipe out or strand.
+		sch.vuln = p.Arc.PairCutMatrix()
 	}
 	if opts.Engine == EngineIncremental {
 		sch.rq = newReadyQueue(tg)
@@ -221,6 +241,10 @@ type scheduler struct {
 	steps []Step
 	rq    *readyQueue
 	cache *sigmaCache
+	// vuln is the PairCutMatrix of the architecture when the
+	// crash-separated placement bias is active (Nmf >= 1 and not
+	// LegacyPlanner), nil otherwise.
+	vuln [][]bool
 	// checkpoints is the reusable buffer stack of the incremental
 	// engine's in-place speculation undo.
 	checkpoints []*sched.Checkpoint
@@ -255,7 +279,7 @@ func (sch *scheduler) run() error {
 		if sch.cache != nil {
 			sch.cache.prepare(cands)
 		}
-		best, procs, sigmas, err := sch.selectCandidate(cands)
+		best, procs, sigmas, urgency, err := sch.selectCandidate(cands)
 		if err != nil {
 			return err
 		}
@@ -275,7 +299,7 @@ func (sch *scheduler) run() error {
 			sch.rq.commit(best)
 		}
 		sch.steps = append(sch.steps, Step{
-			Task: best, Procs: procs, Sigmas: sigmas, Urgency: sigmas[0],
+			Task: best, Procs: procs, Sigmas: sigmas, Urgency: urgency,
 		})
 	}
 	return nil
@@ -326,7 +350,7 @@ func (sch *scheduler) candidates() []model.TaskID {
 // valid cached pressure, and the strict > comparison would have rejected
 // it anyway — so the decision log stays bit-identical to the reference
 // engine's.
-func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, error) {
+func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, float64, error) {
 	bestTask := model.TaskID(-1)
 	bestUrgency := math.Inf(-1)
 	var bestProcs []arch.ProcID
@@ -339,30 +363,35 @@ func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arc
 			}
 			sch.cache.ensure(t)
 		}
-		procs, sigmas, err := sch.bestProcs(t, sch.procsBuf[cur][:0], sch.sigmasBuf[cur][:0])
+		procs, sigmas, urgency, err := sch.bestProcs(t, sch.procsBuf[cur][:0], sch.sigmasBuf[cur][:0])
 		if err != nil {
-			return -1, nil, nil, err
+			return -1, nil, nil, 0, err
 		}
 		sch.procsBuf[cur], sch.sigmasBuf[cur] = procs, sigmas
-		if sigmas[0] > bestUrgency {
-			bestTask, bestUrgency = t, sigmas[0]
+		if urgency > bestUrgency {
+			bestTask, bestUrgency = t, urgency
 			bestProcs, bestSigmas = procs, sigmas
 			cur = 1 - cur // shield the winner's buffers from the next evaluation
 		}
 	}
 	if bestTask < 0 {
-		return -1, nil, nil, fmt.Errorf("%w: no selectable candidate", ErrInternal)
+		return -1, nil, nil, 0, fmt.Errorf("%w: no selectable candidate", ErrInternal)
 	}
-	return bestTask, append([]arch.ProcID(nil), bestProcs...), append([]float64(nil), bestSigmas...), nil
+	return bestTask, append([]arch.ProcID(nil), bestProcs...), append([]float64(nil), bestSigmas...), bestUrgency, nil
 }
 
 // bestProcs appends the target processors for a task into the provided
 // buffers, in ascending pressure order, returning slices that stay valid
-// until the buffers are reused. Ordinary tasks get the Npf+1 cheapest
-// processors; mem write halves are pinned to their read half's
+// until the buffers are reused, plus the task's selection key (the
+// minimum pressure over every usable processor — which under the
+// crash-separated bias may belong to a processor the chosen set dropped,
+// so the key is returned explicitly rather than read off sigmas[0]; the
+// cache-aware screen depends on the key being that minimum). Ordinary
+// tasks get the Npf+1 cheapest processors, crash-separated under a
+// combined budget; mem write halves are pinned to their read half's
 // processors, index-aligned, so the register state stays local across
 // iterations.
-func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, error) {
+func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, float64, error) {
 	task := sch.tg.Task(t)
 	if task.Role == model.MemWrite {
 		return sch.memWriteProcs(t, procs, sigmas)
@@ -377,7 +406,7 @@ func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []fl
 	sch.evalBuf = all
 	need := sch.fm.Replicas()
 	if len(all) < need {
-		return nil, nil, fmt.Errorf("%w: task %q has %d usable processors, need %d",
+		return nil, nil, 0, fmt.Errorf("%w: task %q has %d usable processors, need %d",
 			ErrNoProcessorChoice, task.Name, len(all), need)
 	}
 	// Insertion sort on (sigma, proc): a total order, so the result is
@@ -389,16 +418,83 @@ func (sch *scheduler) bestProcs(t model.TaskID, procs []arch.ProcID, sigmas []fl
 			all[j], all[j-1] = all[j-1], all[j]
 		}
 	}
+	urgency := all[0].sigma
+	if sch.vuln != nil {
+		procs, sigmas = sch.survivableProcs(all, need, procs, sigmas)
+		return procs, sigmas, urgency, nil
+	}
 	for i := 0; i < need; i++ {
 		procs = append(procs, all[i].proc)
 		sigmas = append(sigmas, all[i].sigma)
 	}
-	return procs, sigmas, nil
+	return procs, sigmas, urgency, nil
+}
+
+// survivableProcs is the crash-separated variant of the Npf+1 pick under
+// a combined budget (DESIGN.md Section 12): among all replica sets of the
+// required size, take the one with the fewest PairCutVulnerable pairs,
+// breaking ties towards the (sigma, proc) order — the first combination
+// in that order is exactly the unbiased pick, so the bias only moves
+// replicas when it strictly buys survivability. On a ring this steers a
+// replica pair onto non-adjacent processors, which no single in-budget
+// (processor, medium) crash can jointly kill or strand — the placement
+// half of the joint masking the combined sweep measures — even when
+// distribution constraints forbid the pressure-optimal partner. The pick
+// is deterministic and shared by both engines, so decision logs stay
+// engine-identical; the selection key (the minimum pressure over all
+// usable processors) is unaffected, so candidate ordering and the
+// cache-aware screen reason about the same quantity as the unbiased
+// heuristic. With Nmf = 0 the bias is off and the pick is bit-identical
+// to the seed's.
+func (sch *scheduler) survivableProcs(all []procSigma, need int, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64) {
+	idx := make([]int, need)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := append([]int(nil), idx...)
+	bestPenalty := sch.setPenalty(all, idx)
+	for bestPenalty > 0 {
+		// Advance idx to the next combination in lexicographic order.
+		i := need - 1
+		for i >= 0 && idx[i] == len(all)-need+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < need; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+		if p := sch.setPenalty(all, idx); p < bestPenalty {
+			bestPenalty = p
+			copy(best, idx)
+		}
+	}
+	for _, i := range best {
+		procs = append(procs, all[i].proc)
+		sigmas = append(sigmas, all[i].sigma)
+	}
+	return procs, sigmas
+}
+
+// setPenalty counts the PairCutVulnerable pairs inside the replica set
+// indexed by idx.
+func (sch *scheduler) setPenalty(all []procSigma, idx []int) int {
+	penalty := 0
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if sch.vuln[all[idx[i]].proc][all[idx[j]].proc] {
+				penalty++
+			}
+		}
+	}
+	return penalty
 }
 
 // memWriteProcs pins a mem's write half to the processors hosting its read
 // half, in replica-index order, appending into the provided buffers.
-func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, error) {
+func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas []float64) ([]arch.ProcID, []float64, float64, error) {
 	task := sch.tg.Task(t)
 	for _, mp := range sch.tg.MemPairs() {
 		if mp.Write != t {
@@ -406,12 +502,12 @@ func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas 
 		}
 		reads := sch.s.Replicas(mp.Read)
 		if len(reads) == 0 {
-			return nil, nil, fmt.Errorf("%w: mem %q write before read", ErrInternal, task.Name)
+			return nil, nil, 0, fmt.Errorf("%w: mem %q write before read", ErrInternal, task.Name)
 		}
 		for _, r := range reads {
 			sig := sch.sigma(t, r.Proc)
 			if math.IsInf(sig, 1) {
-				return nil, nil, fmt.Errorf("%w: mem %q write forbidden on %q",
+				return nil, nil, 0, fmt.Errorf("%w: mem %q write forbidden on %q",
 					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(r.Proc).Name)
 			}
 			procs = append(procs, r.Proc)
@@ -420,9 +516,9 @@ func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas 
 		// Selection needs ascending sigma first; placement order must stay
 		// index-aligned with the read half, so only the urgency is sorted.
 		sort.Float64s(sigmas)
-		return procs, sigmas, nil
+		return procs, sigmas, sigmas[0], nil
 	}
-	return nil, nil, fmt.Errorf("%w: %q is not a mem write", ErrInternal, task.Name)
+	return nil, nil, 0, fmt.Errorf("%w: %q is not a mem write", ErrInternal, task.Name)
 }
 
 // extraReplicas counts replicas beyond Npf+1 over all tasks.

@@ -9,6 +9,7 @@ import (
 	"ftbar/internal/gen"
 	"ftbar/internal/paperex"
 	"ftbar/internal/sched"
+	"ftbar/internal/spec"
 )
 
 func paperSchedule(t *testing.T) *sched.Schedule {
@@ -143,6 +144,148 @@ func TestUniformModel(t *testing.T) {
 	for _, q := range m.PFail {
 		if q != 0.25 {
 			t.Errorf("q = %g", q)
+		}
+	}
+}
+
+// jointModel builds the paper example's joint model: 3 processors and 3
+// links, each with its own failure probability.
+func jointSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p := paperex.Problem()
+	p.SetFaults(spec.FaultModel{Npf: 1, Nmf: 1})
+	res, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	return res.Schedule
+}
+
+// TestJointEvaluationLattice pins the joint enumeration: media enter the
+// subset space, the lattice has both axes, and the pure-processor column
+// of the joint run matches the processor-only evaluation exactly (media
+// failing with probability 0 cannot change anything).
+func TestJointEvaluationLattice(t *testing.T) {
+	s := jointSchedule(t)
+	const q = 0.01
+	procOnly, err := Evaluate(s, Uniform(3, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := Evaluate(s, UniformJoint(3, 3, q, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.TotalSubsets != 1<<6 {
+		t.Errorf("TotalSubsets = %d, want 64", joint.TotalSubsets)
+	}
+	if math.Abs(joint.Reliability-procOnly.Reliability) > 1e-12 {
+		t.Errorf("joint reliability at qm=0 = %.12f, want proc-only %.12f",
+			joint.Reliability, procOnly.Reliability)
+	}
+	if joint.GuaranteedNpf != procOnly.GuaranteedNpf {
+		t.Errorf("GuaranteedNpf = %d, want %d", joint.GuaranteedNpf, procOnly.GuaranteedNpf)
+	}
+	if rows := len(joint.MaskedLattice); rows != 4 {
+		t.Fatalf("lattice rows = %d, want 4", rows)
+	}
+	if cols := len(joint.MaskedLattice[0]); cols != 4 {
+		t.Fatalf("lattice cols = %d, want 4", cols)
+	}
+	for i, row := range joint.MaskedLattice {
+		if got, want := row[0], procOnly.MaskedLattice[i][0]; got != want {
+			t.Errorf("lattice[%d][0] = %g, want proc-only %g", i, got, want)
+		}
+	}
+	if joint.MaskedLattice[0][0] != 1 {
+		t.Errorf("fault-free cell = %g, want 1", joint.MaskedLattice[0][0])
+	}
+}
+
+// TestJointGuaranteedNmf pins the media axis: the paper example under
+// Npf = 1, Nmf = 1 masks every single-link crash (the faults-smoke
+// property), so the exact joint evaluation must certify GuaranteedNmf
+// >= 1 and report no singleton minimal media subset.
+func TestJointGuaranteedNmf(t *testing.T) {
+	s := jointSchedule(t)
+	rep, err := Evaluate(s, UniformJoint(3, 3, 0.01, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GuaranteedNmf < 1 {
+		t.Errorf("GuaranteedNmf = %d, want >= 1 for a validated Nmf=1 schedule", rep.GuaranteedNmf)
+	}
+	for _, set := range rep.UnmaskedMinimalMedia {
+		if len(set) < 2 {
+			t.Errorf("minimal unmasked media subset %v smaller than 2", set)
+		}
+	}
+	if rep.Reliability <= 0 || rep.Reliability >= 1 {
+		t.Errorf("joint reliability = %g, want in (0, 1)", rep.Reliability)
+	}
+	if rep.CILow != rep.Reliability || rep.CIHigh != rep.Reliability {
+		t.Errorf("exact CI [%g, %g] not degenerate at %g", rep.CILow, rep.CIHigh, rep.Reliability)
+	}
+}
+
+// TestMonteCarloMatchesExact pins the estimator against the exact joint
+// enumeration on the paper example: the exact reliability must fall
+// inside the Monte-Carlo 95% confidence interval (the CI-agreement
+// property the combined-smoke CI job asserts), and the estimator must be
+// deterministic for a fixed seed.
+func TestMonteCarloMatchesExact(t *testing.T) {
+	s := jointSchedule(t)
+	m := UniformJoint(3, 3, 0.05, 0.05)
+	exact, err := Evaluate(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(s, m, Options{Samples: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Method != MethodMonteCarlo || mc.Samples != 20000 {
+		t.Errorf("method/samples = %s/%d", mc.Method, mc.Samples)
+	}
+	if exact.Reliability < mc.CILow || exact.Reliability > mc.CIHigh {
+		t.Errorf("exact %.6f outside Monte-Carlo 95%% CI [%.6f, %.6f]",
+			exact.Reliability, mc.CILow, mc.CIHigh)
+	}
+	if mc.CIHigh-mc.CILow > 0.02 {
+		t.Errorf("CI width %.4f implausibly wide at 20k samples", mc.CIHigh-mc.CILow)
+	}
+	again, err := MonteCarlo(s, m, Options{Samples: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Reliability != mc.Reliability {
+		t.Errorf("same seed gave %.9f then %.9f", mc.Reliability, again.Reliability)
+	}
+}
+
+// TestEvaluateAutoDispatch pins the exact/Monte-Carlo switch: the paper
+// example (6 units) evaluates exactly; a model pretending to be huge is
+// rejected by Evaluate but accepted by EvaluateAuto via sampling.
+func TestEvaluateAutoDispatch(t *testing.T) {
+	s := jointSchedule(t)
+	rep, err := EvaluateAuto(s, UniformJoint(3, 3, 0.01, 0.01), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != MethodExact {
+		t.Errorf("small architecture dispatched to %s", rep.Method)
+	}
+}
+
+// TestUniformJointModel pins the media arm of the uniform constructor.
+func TestUniformJointModel(t *testing.T) {
+	m := UniformJoint(3, 4, 0.25, 0.125)
+	if len(m.PFail) != 3 || len(m.MFail) != 4 {
+		t.Fatalf("lens = %d/%d", len(m.PFail), len(m.MFail))
+	}
+	for _, q := range m.MFail {
+		if q != 0.125 {
+			t.Errorf("qm = %g", q)
 		}
 	}
 }

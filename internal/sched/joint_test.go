@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// TestValidateJointAcceptsRelayFreePairs pins the positive case: on a
+// 4-ring with both senders adjacent to each receiver (the placement the
+// crash-separated bias produces), every chain is direct, media-disjoint
+// per delivery, and the joint certificate holds.
+func TestValidateJointAcceptsRelayFreePairs(t *testing.T) {
+	p := busChainProblem(t, arch.Ring(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src on P2/P4 (antipodal), dst on P1/P3 (antipodal): every delivery
+	// is a direct hop.
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 1}, {0, 3}, {1, 0}, {1, 2}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
+		}
+	}
+	if err := s.ValidateJoint(); err != nil {
+		t.Fatalf("relay-free antipodal schedule lacks the joint certificate: %v", err)
+	}
+}
+
+// TestValidateJointRejectsRelayMediumAttack pins the negative case the
+// rule exists for: a delivery with one direct chain and one chain relayed
+// through a third-party processor dies to (relay crash, direct-link
+// crash) — one processor plus one medium, inside the {1,1} budget — and
+// ValidateJoint must name the witness.
+func TestValidateJointRejectsRelayMediumAttack(t *testing.T) {
+	p := busChainProblem(t, arch.Ring(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src on P2/P3, dst on P1/P4: the delivery to P1 gets P2's copy over
+	// L1.2 and P3's copy relayed (media-disjointness forces the detour).
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 1}, {0, 2}, {1, 0}, {1, 3}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("PR 4 validation must still pass: %v", err)
+	}
+	err = s.ValidateJoint()
+	if err == nil {
+		t.Fatal("relayed delivery escaped the joint-survivability rule")
+	}
+	if !strings.Contains(err.Error(), "joint survivability") {
+		t.Errorf("error does not name the rule: %v", err)
+	}
+}
+
+// TestValidateJointVoidAtNmfZero pins the budget gate: with Nmf = 0 the
+// joint rule is void and ValidateJoint is exactly Validate.
+func TestValidateJointVoidAtNmfZero(t *testing.T) {
+	p := busChainProblem(t, arch.Ring(4), spec.FaultModel{Npf: 1})
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		task model.TaskID
+		proc arch.ProcID
+	}{{0, 1}, {0, 2}, {1, 0}, {1, 3}} {
+		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ValidateJoint(); err != nil {
+		t.Errorf("Nmf=0 schedule rejected by the void joint rule: %v", err)
+	}
+}
+
+// TestFindJointAttackExact pins the budgeted hitting-set search on known
+// families.
+func TestFindJointAttackExact(t *testing.T) {
+	direct := func(m arch.MediumID) jointChain { return jointChain{media: []arch.MediumID{m}} }
+	relayed := func(p arch.ProcID, ms ...arch.MediumID) jointChain {
+		return jointChain{relays: []arch.ProcID{p}, media: ms}
+	}
+	cases := []struct {
+		name       string
+		set        []jointChain
+		npf, nmf   int
+		vulnerable bool
+	}{
+		{"two disjoint direct chains survive 1+1", []jointChain{direct(0), direct(1)}, 1, 1, false},
+		{"direct + relayed dies to relay+medium", []jointChain{direct(0), relayed(2, 1, 3)}, 1, 1, true},
+		{"direct + relayed survives media-only", []jointChain{direct(0), relayed(2, 1, 3)}, 0, 1, false},
+		{"three direct chains survive 1+2", []jointChain{direct(0), direct(1), direct(2)}, 1, 2, false},
+		{"shared medium dies to one link", []jointChain{direct(0), direct(0)}, 0, 1, true},
+		{"two relays die to two procs", []jointChain{relayed(1, 0), relayed(2, 3)}, 2, 0, true},
+		{"two relays survive one proc", []jointChain{relayed(1, 0), relayed(2, 3)}, 1, 0, false},
+	}
+	for _, c := range cases {
+		attack, vulnerable := findJointAttack(c.set, c.npf, c.nmf)
+		if vulnerable != c.vulnerable {
+			t.Errorf("%s: vulnerable = %v, want %v", c.name, vulnerable, c.vulnerable)
+			continue
+		}
+		if vulnerable {
+			if len(attack.procs) > c.npf || len(attack.media) > c.nmf {
+				t.Errorf("%s: witness %v exceeds budget (%d,%d)", c.name, attack, c.npf, c.nmf)
+			}
+		}
+	}
+}
+
+// TestJointGreedyFallbackSound pins the >16-chain fallback: it must accept
+// only with a certificate (enough relay-free media-disjoint chains, or
+// enough fully disjoint chains) and reject otherwise — soundness over
+// completeness.
+func TestJointGreedyFallbackSound(t *testing.T) {
+	// 17 relay-free chains on distinct media: certificate (a) holds.
+	var safe []jointChain
+	for i := 0; i < 17; i++ {
+		safe = append(safe, jointChain{media: []arch.MediumID{arch.MediumID(i)}})
+	}
+	if _, vulnerable := findJointAttack(safe, 1, 1); vulnerable {
+		t.Error("17 disjoint direct chains rejected by the greedy fallback")
+	}
+	// 17 chains all relayed through processor 0: genuinely vulnerable to
+	// one processor crash, and the fallback must reject.
+	var funnel []jointChain
+	for i := 0; i < 17; i++ {
+		funnel = append(funnel, jointChain{
+			relays: []arch.ProcID{0},
+			media:  []arch.MediumID{arch.MediumID(i)},
+		})
+	}
+	if _, vulnerable := findJointAttack(funnel, 1, 1); !vulnerable {
+		t.Error("17 chains funnelled through one relay accepted by the greedy fallback")
+	}
+}

@@ -190,14 +190,25 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 		// paint later senders into a corner (the first copy's route eats
 		// the only link a later copy's detour needs). The fan solves the
 		// joint problem up front: one media-disjoint route per sender
-		// where the topology permits (DESIGN.md Section 11).
+		// where the topology permits (DESIGN.md Section 11). Relay hops
+		// are steered away from processors hosting replicas of the edge's
+		// endpoint tasks — a relay there would die together with a copy
+		// under one processor crash, exactly the correlation the joint
+		// (processor+medium) budget must avoid (DESIGN.md Section 12).
 		var fan []arch.Route
 		if s.faults.Nmf > 0 {
 			sc.fanProcs = sc.fanProcs[:0]
 			for _, sender := range sc.senders {
 				sc.fanProcs = append(sc.fanProcs, sender.Proc)
 			}
-			fan = s.fanFor(edge.Orig, sc.fanProcs, p)
+			var avoid uint64
+			if !s.relayBlind {
+				avoid = s.replicaProcMask(edge.Src) | s.replicaProcMask(t)
+				if p < 64 {
+					avoid |= 1 << uint(p)
+				}
+			}
+			fan = s.fanFor(edge.Orig, sc.fanProcs, p, avoid)
 		}
 		edgeBest, edgeWorst := math.Inf(1), 0.0
 		for _, sender := range sc.senders {

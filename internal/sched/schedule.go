@@ -1,7 +1,9 @@
 // Package sched implements the static distributed schedule produced by the
 // heuristics: replica placements on processors, communications serialised on
 // media (point-to-point links or buses, possibly multi-hop), fault-free
-// timing, structural validation, and Gantt rendering.
+// timing, structural validation (Validate, plus the stricter joint
+// processor+medium survivability certificate ValidateJoint of DESIGN.md
+// Section 12), and Gantt rendering.
 //
 // A Schedule doubles as the list-scheduling builder: heuristics grow it with
 // PlaceReplica, preview placements with Preview (no mutation, safe
@@ -87,6 +89,11 @@ type Schedule struct {
 	fanMu    *sync.RWMutex
 	routeMu  *sync.Mutex
 	faults   spec.FaultModel
+	// relayBlind disables the relay-processor-aware fan costs (DESIGN.md
+	// Section 12) and reproduces the relay-blind route choice of the plain
+	// disjoint fan. The combined benchmark flips it to price the
+	// relay-aware packing; the zero value (relay-aware) is the default.
+	relayBlind bool
 
 	// directMedia[p*nProcs+q] lists the media directly connecting p and q,
 	// precomputed so the planning hot path never allocates. Immutable and
@@ -180,17 +187,24 @@ func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, er
 
 // fanFor returns the media-disjoint delivery fan of edge from the sender
 // processors srcs towards dst: up to len(srcs) pairwise media-disjoint
-// routes, one per served sender (DESIGN.md Section 11). Fans depend only
-// on the topology and the edge's communication times — never on the
-// schedule state — so the shared per-edge cache stays exact across clones
-// and concurrent previews. Warm lookups take fanMu's read side only; the
-// write side covers the lazy fills (and re-checks, since another preview
-// may have filled the entry between the two locks).
-func (s *Schedule) fanFor(edge model.EdgeID, srcs []arch.ProcID, dst arch.ProcID) []arch.Route {
+// routes, one per served sender (DESIGN.md Section 11). avoid marks the
+// processors hosting replicas of the edge's sender or receiver task as
+// dispreferred relays (DESIGN.md Section 12): their crash already
+// endangers the delivery, so routing a chain through them would couple
+// chain death to replica death under a joint processor+medium crash. Fans
+// depend only on the topology, the edge's communication times and the
+// avoid mask — the mask is part of the cache key, and its inputs (the
+// replica sets of the edge's endpoint tasks) are exactly the TaskRev
+// dependencies the σ-cache already tracks — so the shared per-edge cache
+// stays exact across clones and concurrent previews. Warm lookups take
+// fanMu's read side only; the write side covers the lazy fills (and
+// re-checks, since another preview may have filled the entry between the
+// two locks).
+func (s *Schedule) fanFor(edge model.EdgeID, srcs []arch.ProcID, dst arch.ProcID, avoid uint64) []arch.Route {
 	s.fanMu.RLock()
 	fc := s.edgeFans[edge]
 	if fc != nil {
-		if fan, ok := fc.Lookup(srcs, dst); ok {
+		if fan, ok := fc.LookupAvoiding(srcs, dst, avoid); ok {
 			s.fanMu.RUnlock()
 			return fan
 		}
@@ -208,9 +222,32 @@ func (s *Schedule) fanFor(edge model.EdgeID, srcs []arch.ProcID, dst arch.ProcID
 		})
 		s.edgeFans[edge] = fc
 	}
-	fan := fc.Fan(srcs, dst)
+	fan := fc.FanAvoiding(srcs, dst, avoid)
 	s.fanMu.Unlock()
 	return fan
+}
+
+// SetRelayAware toggles the relay-processor-aware fan costs of Section 12
+// (on by default). Disabling reproduces the relay-blind disjoint fan of
+// Section 11 bit for bit; the combined benchmark uses it as the planner
+// baseline. Toggle before placing replicas — flipping mid-build mixes the
+// two route policies.
+func (s *Schedule) SetRelayAware(on bool) { s.relayBlind = !on }
+
+// RelayAware reports whether relay-processor-aware fan costs are active.
+func (s *Schedule) RelayAware() bool { return !s.relayBlind }
+
+// replicaProcMask returns the bitmask of processors hosting a replica of
+// t (processors beyond 63 are not representable and left out; the fan
+// cache bypasses bitmask keying on such architectures anyway).
+func (s *Schedule) replicaProcMask(t model.TaskID) uint64 {
+	var mask uint64
+	for _, r := range s.replicas[t] {
+		if r.Proc < 64 {
+			mask |= 1 << uint(r.Proc)
+		}
+	}
+	return mask
 }
 
 // Problem returns the scheduling problem.
@@ -355,6 +392,7 @@ func (s *Schedule) Clone() *Schedule {
 		fanMu:        s.fanMu,
 		routeMu:      s.routeMu,
 		faults:       s.faults,
+		relayBlind:   s.relayBlind,
 		directMedia:  s.directMedia,
 		scratch:      s.scratch,
 		replicas:     make([][]*Replica, len(s.replicas)),

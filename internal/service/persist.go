@@ -11,9 +11,15 @@ import (
 // on shutdown and reloads on start, so a restarted ftserved serves its
 // warm set without re-running the scheduler.
 
-// snapshotVersion guards the on-disk format; bump on incompatible
-// changes. Version 1 carries (key, response) pairs in LRU order.
-const snapshotVersion = 1
+// snapshotVersion guards the on-disk format AND the planner behaviour
+// the cached schedules were produced by; bump on incompatible changes to
+// either, so a restart never serves schedules an older planner built.
+// Version 1 carried (key, response) pairs in LRU order; version 2 keeps
+// the format but invalidates schedules from before the joint
+// processor+link planner (DESIGN.md Section 12) — Nmf > 0 problems now
+// schedule with relay-aware fans and crash-separated placement, and a
+// pre-upgrade cache would silently miss that guarantee.
+const snapshotVersion = 2
 
 // cacheSnapshot is the on-disk shape of a cache snapshot.
 type cacheSnapshot struct {

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -133,64 +134,158 @@ func WorstSingleLinkMakespan(s *sched.Schedule) (float64, error) {
 	return worst, nil
 }
 
-// CombinedReport is the outcome of one (processor, medium) crash-at-zero
-// scenario of the combined sweep.
+// CombinedReport is the outcome of one (processor subset, medium) cell of
+// the combined sweep: every probed crash instant with the whole subset
+// and the medium failed from that instant.
 type CombinedReport struct {
-	Proc     arch.ProcID   `json:"proc"`
-	Medium   arch.MediumID `json:"medium"`
-	Makespan float64       `json:"makespan"`
-	// Masked reports whether every output was still produced with both
-	// the processor and the medium dead from time 0.
+	// Procs is the crashed processor subset (ascending ids).
+	Procs []arch.ProcID `json:"procs"`
+	// Medium is the crashed medium.
+	Medium arch.MediumID `json:"medium"`
+	// WorstAt is the crash instant that maximises the makespan.
+	WorstAt float64 `json:"worst_at"`
+	// WorstMakespan is the resulting makespan.
+	WorstMakespan float64 `json:"worst_makespan"`
+	// AtZeroMakespan is the makespan when everything fails at time 0.
+	AtZeroMakespan float64 `json:"at_zero_makespan"`
+	// Masked reports whether every probed crash instant still produced
+	// all outputs (joint failure masking held).
 	Masked bool `json:"masked"`
 }
 
-// CombinedFailureSweep simulates, for every (processor, medium) pair, one
-// iteration with both failed from time 0 — the cross product of the
-// unified fault budget. The validated guarantee covers the two pure
-// sweeps (any Npf processor crashes, any Nmf medium crashes); a mixed
-// scenario is guaranteed only where the Npf+1 copies of every dependency
-// land on pairwise-disjoint chains — automatic on fully connected
-// point-to-point layouts, impossible on a two-bus architecture carrying
-// three copies — so this sweep measures empirically how far a schedule's
-// masking extends beyond the guarantee (DESIGN.md Section 10). Scenarios
-// run concurrently; reports are ordered (proc-major) and do not depend on
-// the worker count.
+// CombinedFailureSweep simulates the joint half of the unified fault
+// budget: every processor subset of size up to the schedule's Npf crossed
+// with every single medium, each crashed together at every instant that
+// can change the outcome (time zero plus the event boundaries of the
+// crashed units in the fault-free timing). PR 3's sweep probed single
+// (processor, medium) pairs at time 0 only; the full grid is what the
+// joint planner of DESIGN.md Section 12 is measured against. The
+// validated guarantee still covers only the two pure sweeps — a mixed
+// scenario is masked by construction only where every surviving copy's
+// chain is relay- and media-clean of the crash, which the crash-separated
+// placement arranges on rings and point-to-point layouts and which
+// ValidateJoint certifies per delivery — so the sweep reports how far a
+// schedule's masking actually extends. Scenarios run concurrently on a
+// GOMAXPROCS pool; reports are ordered (subset size, then ids, then
+// medium) and do not depend on the worker count.
 func CombinedFailureSweep(s *sched.Schedule) ([]CombinedReport, error) {
 	return CombinedFailureSweepWorkers(s, 0)
 }
 
 // CombinedFailureSweepWorkers is CombinedFailureSweep with an explicit
-// worker bound: 0 picks GOMAXPROCS, 1 runs serially.
+// worker bound: 0 picks GOMAXPROCS, 1 runs serially. Each (subset,
+// medium, instant) scenario is an independent simulation; the reduction
+// happens in probe order, making the reports bit-identical for every
+// worker count.
 func CombinedFailureSweepWorkers(s *sched.Schedule, workers int) ([]CombinedReport, error) {
-	nP := s.Problem().Arc.NumProcs()
 	nM := s.Problem().Arc.NumMedia()
-	reports := make([]CombinedReport, nP*nM)
-	jobs := make([]probeJob, 0, nP*nM)
-	for p := 0; p < nP; p++ {
+	subsets := procSubsets(s.Problem().Arc.NumProcs(), s.Npf())
+	cells := len(subsets) * nM
+	probes := make([][]float64, cells)
+	outcomes := make([][]probeOutcome, cells)
+	var jobs []probeJob
+	for si, procs := range subsets {
 		for m := 0; m < nM; m++ {
-			jobs = append(jobs, probeJob{unit: p, idx: m})
+			ci := si*nM + m
+			probes[ci] = combinedCrashProbes(s, procs, arch.MediumID(m))
+			outcomes[ci] = make([]probeOutcome, len(probes[ci]))
+			for i := range probes[ci] {
+				jobs = append(jobs, probeJob{unit: ci, idx: i})
+			}
 		}
 	}
 	err := runProbePool(workers, jobs, func(j probeJob) error {
+		at := probes[j.unit][j.idx]
+		procs := subsets[j.unit/nM]
+		failures := make([]Failure, len(procs))
+		for i, p := range procs {
+			failures[i] = Permanent(p, at)
+		}
 		res, err := Run(s, Scenario{
-			Failures:       []Failure{Permanent(arch.ProcID(j.unit), 0)},
-			MediumFailures: []MediumFailure{PermanentLink(arch.MediumID(j.idx), 0)},
+			Failures:       failures,
+			MediumFailures: []MediumFailure{PermanentLink(arch.MediumID(j.unit%nM), at)},
 		})
 		if err != nil {
 			return err
 		}
-		reports[j.unit*nM+j.idx] = CombinedReport{
-			Proc:     arch.ProcID(j.unit),
-			Medium:   arch.MediumID(j.idx),
-			Makespan: res.Iterations[0].Makespan,
-			Masked:   res.Iterations[0].OutputsOK,
+		outcomes[j.unit][j.idx] = probeOutcome{
+			makespan: res.Iterations[0].Makespan,
+			masked:   res.Iterations[0].OutputsOK,
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	reports := make([]CombinedReport, 0, cells)
+	for si, procs := range subsets {
+		for m := 0; m < nM; m++ {
+			ci := si*nM + m
+			report := CombinedReport{Procs: procs, Medium: arch.MediumID(m), Masked: true, WorstAt: -1}
+			for i, at := range probes[ci] {
+				o := outcomes[ci][i]
+				if o.makespan > report.WorstMakespan {
+					report.WorstMakespan = o.makespan
+					report.WorstAt = at
+				}
+				if at == 0 {
+					report.AtZeroMakespan = o.makespan
+				}
+				if !o.masked {
+					report.Masked = false
+				}
+			}
+			reports = append(reports, report)
+		}
+	}
 	return reports, nil
+}
+
+// procSubsets enumerates the non-empty processor subsets of size at most
+// max(1, npf), smaller sizes first, ids ascending within and across
+// subsets — a deterministic order shared by every worker count.
+func procSubsets(nP, npf int) [][]arch.ProcID {
+	if npf < 1 {
+		npf = 1
+	}
+	if npf > nP {
+		npf = nP
+	}
+	var out [][]arch.ProcID
+	var build func(size, start int, cur []arch.ProcID)
+	build = func(size, start int, cur []arch.ProcID) {
+		if len(cur) == size {
+			out = append(out, append([]arch.ProcID(nil), cur...))
+			return
+		}
+		for p := start; p < nP; p++ {
+			build(size, p+1, append(cur, arch.ProcID(p)))
+		}
+	}
+	for size := 1; size <= npf; size++ {
+		build(size, 0, nil)
+	}
+	return out
+}
+
+// combinedCrashProbes merges the decisive crash instants of every crashed
+// processor and of the crashed medium: time zero plus just before/after
+// each of their fault-free event completions, ascending and deduplicated.
+func combinedCrashProbes(s *sched.Schedule, procs []arch.ProcID, m arch.MediumID) []float64 {
+	var all []float64
+	for _, p := range procs {
+		all = append(all, crashProbes(s, p)...)
+	}
+	all = append(all, linkCrashProbes(s, m)...)
+	sort.Float64s(all)
+	dedup := all[:0]
+	for i, t := range all {
+		if i == 0 || t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
 }
 
 // probeJob indexes one independent scenario of a sweep.

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
+	"ftbar/internal/arch"
 	"ftbar/internal/core"
 	"ftbar/internal/gen"
 	"ftbar/internal/paperex"
@@ -93,12 +95,13 @@ func TestCombinedFailureSweepFullTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	nP, nM := p.Arc.NumProcs(), p.Arc.NumMedia()
-	if len(reports) != nP*nM {
-		t.Fatalf("got %d reports, want %d", len(reports), nP*nM)
+	subsets := nP + nP*(nP-1)/2 // sizes 1 and 2 at Npf = 2
+	if len(reports) != subsets*nM {
+		t.Fatalf("got %d reports, want %d", len(reports), subsets*nM)
 	}
 	for _, r := range reports {
-		if !r.Masked {
-			t.Errorf("(proc %d, medium %d) not masked", r.Proc, r.Medium)
+		if len(r.Procs) == 1 && !r.Masked {
+			t.Errorf("(proc %v, medium %d) not masked", r.Procs, r.Medium)
 		}
 	}
 }
@@ -128,5 +131,74 @@ func TestLinkSweepCatchesUndiverseSchedule(t *testing.T) {
 	}
 	if masked {
 		t.Skip("bus schedule happened to be fully local; no link exposure to demonstrate")
+	}
+}
+
+// TestCombinedSweepWorkerInvariance mirrors the single-link invariance
+// pin for the joint grid: the worker count must not change a single
+// (subset, medium) report — same subsets, same probes, same reduction.
+func TestCombinedSweepWorkerInvariance(t *testing.T) {
+	s := linkBudgetSchedule(t)
+	base, err := CombinedFailureSweepWorkers(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		got, err := CombinedFailureSweepWorkers(s, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], base[i]) {
+				t.Errorf("workers=%d report %d: %+v != %+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestCombinedSweepProbesNonZeroInstants pins the instant dimension PR 3's
+// crash-at-zero sweep lacked: the grid probes event boundaries after time
+// zero, the worst instant is reported, and crashing later can only leave
+// more values delivered (the worst makespan is never below the at-zero
+// makespan of the same cell, and both floor at the fault-free length for
+// masked cells).
+func TestCombinedSweepProbesNonZeroInstants(t *testing.T) {
+	s := linkBudgetSchedule(t)
+	reports, err := CombinedFailureSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := false
+	for _, r := range reports {
+		if r.WorstAt > 0 {
+			nonZero = true
+		}
+		if r.WorstMakespan < r.AtZeroMakespan {
+			t.Errorf("(%v, %d): worst %g below at-zero %g despite the grid containing 0",
+				r.Procs, r.Medium, r.WorstMakespan, r.AtZeroMakespan)
+		}
+	}
+	if !nonZero {
+		t.Error("no report elected a non-zero worst instant; the instant grid is not being probed")
+	}
+}
+
+// TestProcSubsetsEnumeration pins the deterministic subset order the
+// worker-invariance guarantee builds on: smaller sizes first, ascending
+// ids, capped at max(1, npf).
+func TestProcSubsetsEnumeration(t *testing.T) {
+	got := procSubsets(3, 2)
+	want := [][]arch.ProcID{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("procSubsets(3, 2) = %v, want %v", got, want)
+	}
+	if g := procSubsets(3, 0); len(g) != 3 {
+		t.Errorf("procSubsets(3, 0) has %d subsets, want the 3 singletons", len(g))
+	}
+	if g := procSubsets(2, 5); len(g) != 3 {
+		t.Errorf("procSubsets(2, 5) has %d subsets, want 3 (cap at nP)", len(g))
 	}
 }

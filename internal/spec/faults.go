@@ -28,7 +28,10 @@ var (
 // masks any npf <= Npf processor crashes and, separately, any nmf <= Nmf
 // medium crashes; mixed (processor + medium) crashes are additionally
 // masked with npf + nmf <= Npf wherever each copy travels its own medium,
-// which is automatic on point-to-point layouts (DESIGN.md Section 10).
+// which is automatic on point-to-point layouts (DESIGN.md Section 10) and
+// which the joint planner's crash-separated placement plus the
+// sched.ValidateJoint certificate extend to relayed layouts like rings
+// (DESIGN.md Section 12).
 // The zero value (Npf = Nmf = 0) asks for a plain non-fault-tolerant
 // schedule; Nmf may never exceed Npf, since there are only Npf+1 copies
 // to spread.
