@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftbar"
 )
@@ -41,9 +43,16 @@ func run(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "print schedule statistics (utilisation, comm volume, critical ops)")
 	reliab := fs.Float64("reliab", 0, "evaluate joint reliability: every processor and medium fails with this probability per iteration")
 	dot := fs.Bool("dot", false, "emit the algorithm graph in Graphviz DOT format and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the scheduling run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	p, err := loadProblem(*specPath, *example)
 	if err != nil {
 		return err
@@ -139,4 +148,44 @@ func loadProblem(path string, example bool) (*ftbar.Problem, error) {
 	default:
 		return nil, fmt.Errorf("need -example or -spec FILE")
 	}
+}
+
+// startProfiles starts a CPU profile and arranges a heap snapshot, either
+// path may be empty. The returned stop runs after the scheduling run:
+// deferred from run, it stops the CPU profile and writes the heap profile,
+// warning on stderr rather than failing a finished run.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbar: cpuprofile:", err)
+			}
+		}
+		if mem != "" {
+			memF, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftbar: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle accounting so the profile shows live heap
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbar: memprofile:", err)
+			}
+			if err := memF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbar: memprofile:", err)
+			}
+		}
+	}, nil
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftbar/internal/bench"
 	"ftbar/internal/gen"
@@ -42,9 +44,16 @@ func run(args []string, out io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service, faults, combined)")
 	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star | dualbus")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	topo, err := gen.ParseTopology(*topology)
 	if err != nil {
 		return err
@@ -185,4 +194,44 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+}
+
+// startProfiles starts a CPU profile and arranges a heap snapshot, either
+// path may be empty. The returned stop runs after the experiment: deferred
+// from run, it stops the CPU profile and writes the heap profile, warning
+// on stderr rather than failing a finished experiment.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: cpuprofile:", err)
+			}
+		}
+		if mem != "" {
+			memF, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle accounting so the profile shows live heap
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: memprofile:", err)
+			}
+			if err := memF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: memprofile:", err)
+			}
+		}
+	}, nil
 }

@@ -37,6 +37,38 @@ type fanNet struct {
 	adj  [][]int32 // arc indices leaving each node, in insertion order
 }
 
+// fanScratch carries the reusable buffers of the disjoint-fan search: the
+// arc slab, the per-node adjacency lists (truncated, not freed, between
+// calls), and the Bellman-Ford distance/predecessor arrays. One scratch
+// serves any number of sequential searches over any architecture; it is
+// not safe for concurrent use. Reuse changes no observable behaviour —
+// arcs are rebuilt in the same insertion order every call, and the
+// relaxation never reads a cell it has not written this call.
+type fanScratch struct {
+	net     fanNet
+	sorted  []ProcID
+	dist    []float64
+	prevArc []int32
+}
+
+// reset prepares the scratch for a search over `nodes` flow nodes.
+func (sc *fanScratch) reset(nodes int) {
+	sc.net.arcs = sc.net.arcs[:0]
+	if cap(sc.net.adj) < nodes {
+		sc.net.adj = make([][]int32, nodes)
+	}
+	sc.net.adj = sc.net.adj[:nodes]
+	for i := range sc.net.adj {
+		sc.net.adj[i] = sc.net.adj[i][:0]
+	}
+	if cap(sc.dist) < nodes {
+		sc.dist = make([]float64, nodes)
+		sc.prevArc = make([]int32, nodes)
+	}
+	sc.dist = sc.dist[:nodes]
+	sc.prevArc = sc.prevArc[:nodes]
+}
+
 // addArc appends a forward arc and its residual reverse. Each node's
 // adjacency lists exactly the arcs leaving it in the residual graph: the
 // forward arc under from, the reverse under to.
@@ -72,6 +104,13 @@ func (a *Architecture) DisjointFan(srcs []ProcID, dst ProcID, weight func(Medium
 // which finite costs cannot reduce). A nil relayCost is free everywhere and
 // makes the search identical to DisjointFan, arc for arc.
 func (a *Architecture) DisjointFanRelay(srcs []ProcID, dst ProcID, weight func(MediumID) float64, relayCost func(ProcID) float64) []Route {
+	return a.disjointFanRelay(new(fanScratch), srcs, dst, weight, relayCost)
+}
+
+// disjointFanRelay is DisjointFanRelay over caller-owned scratch buffers,
+// the allocation-free form FanCache uses for its cold computes. Only the
+// returned routes escape; everything else lives in sc.
+func (a *Architecture) disjointFanRelay(sc *fanScratch, srcs []ProcID, dst ProcID, weight func(MediumID) float64, relayCost func(ProcID) float64) []Route {
 	out := make([]Route, len(srcs))
 	if len(srcs) == 0 {
 		return out
@@ -84,11 +123,13 @@ func (a *Architecture) DisjointFanRelay(srcs []ProcID, dst ProcID, weight func(M
 	// super-source nP+2nM.
 	src := nP + 2*nM
 	nodes := src + 1
-	net := &fanNet{adj: make([][]int32, nodes)}
+	sc.reset(nodes)
+	net := &sc.net
 	// Sorted source order keeps the arc list — and with it every
 	// tie-break — independent of the caller's ordering.
-	sorted := append([]ProcID(nil), srcs...)
+	sorted := append(sc.sorted[:0], srcs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sc.sorted = sorted
 	for _, sp := range sorted {
 		if sp != dst {
 			net.addArc(src, int(sp), 1, 0, -1)
@@ -112,8 +153,7 @@ func (a *Architecture) DisjointFanRelay(srcs []ProcID, dst ProcID, weight func(M
 	}
 	// Successive shortest augmenting paths (Bellman-Ford handles the
 	// negative residual costs without potentials; the network is tiny).
-	dist := make([]float64, nodes)
-	prevArc := make([]int32, nodes)
+	dist, prevArc := sc.dist, sc.prevArc
 	for served := 0; served < len(srcs); served++ {
 		if !net.shortestPath(src, int(dst), dist, prevArc) {
 			break
@@ -302,6 +342,9 @@ type FanCache struct {
 	// relay outweighs any all-media detour while staying finite (an
 	// avoided relay is a preference, never a feasibility cut).
 	penalty float64
+	// scratch backs the cold computes, so a miss allocates only the routes
+	// it caches. Sharing it is what makes the cache single-writer.
+	scratch fanScratch
 }
 
 type fanKey struct {
@@ -385,7 +428,7 @@ func (c *FanCache) FanAvoiding(srcs []ProcID, dst ProcID, avoid uint64) []Route 
 	}
 	relay := c.relayCostFor(avoid)
 	if c.a.NumProcs() > 64 {
-		return c.a.DisjointFanRelay(srcs, dst, c.weight, relay)
+		return c.a.disjointFanRelay(&c.scratch, srcs, dst, c.weight, relay)
 	}
 	key := fanKey{avoid: avoid, dst: dst}
 	for _, sp := range srcs {
@@ -393,9 +436,11 @@ func (c *FanCache) FanAvoiding(srcs []ProcID, dst ProcID, avoid uint64) []Route 
 	}
 	routes, ok := c.fans[key]
 	if !ok {
+		// The result aligns with its input, and the cached slice must be
+		// in canonical order for every ordering of the same source set.
 		canon := append([]ProcID(nil), srcs...)
 		sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
-		routes = c.a.DisjointFanRelay(canon, dst, c.weight, relay)
+		routes = c.a.disjointFanRelay(&c.scratch, canon, dst, c.weight, relay)
 		c.fans[key] = routes
 	}
 	return routes

@@ -337,3 +337,53 @@ func TestFanCacheAvoidKeying(t *testing.T) {
 		t.Error("zero-mask entry lost after avoid-keyed fill")
 	}
 }
+
+// TestDisjointFanScratchReuse pins that the pooled-scratch form is
+// observably identical to a fresh computation: a single scratch threaded
+// through many searches over many architectures yields route-for-route
+// the same fans as the allocating entry point, so FanCache's buffer reuse
+// can never leak one search's state into the next.
+func TestDisjointFanScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sc := new(fanScratch)
+	for trial := 0; trial < 200; trial++ {
+		a := randomArch(rng)
+		n := a.NumProcs()
+		dst := ProcID(rng.Intn(n))
+		var srcs []ProcID
+		for p := 0; p < n; p++ {
+			if ProcID(p) != dst && rng.Intn(2) == 0 {
+				srcs = append(srcs, ProcID(p))
+			}
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		weight := func(m MediumID) float64 { return 1 + float64(m%3) }
+		var relay func(ProcID) float64
+		if rng.Intn(2) == 0 {
+			relay = func(p ProcID) float64 { return float64(p % 2) }
+		}
+		fresh := a.DisjointFanRelay(srcs, dst, weight, relay)
+		pooled := a.disjointFanRelay(sc, srcs, dst, weight, relay)
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Fatalf("trial %d: pooled scratch diverged:\nfresh:  %v\npooled: %v",
+				trial, fresh, pooled)
+		}
+	}
+}
+
+// TestFanCacheWarmLookupAllocs pins the warm path: once an entry is
+// cached, Fan is a key build plus a map hit and must not allocate.
+func TestFanCacheWarmLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the measured path")
+	}
+	a := Ring(6)
+	c := NewFanCache(a, nil)
+	srcs := []ProcID{1, 3, 4}
+	c.Fan(srcs, 0) // warm
+	if avg := testing.AllocsPerRun(100, func() { c.Fan(srcs, 0) }); avg != 0 {
+		t.Errorf("warm Fan allocates %v per op, want 0", avg)
+	}
+}

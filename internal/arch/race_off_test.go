@@ -1,0 +1,8 @@
+//go:build !race
+
+package arch
+
+// raceEnabled reports whether the race detector instruments this build.
+// Exact-zero allocation gates skip under instrumentation: the detector
+// itself allocates on the paths it shadows.
+const raceEnabled = false

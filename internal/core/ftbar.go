@@ -71,6 +71,13 @@ type Options struct {
 	// disables parallelism. Ignored by the reference engine. The result
 	// does not depend on the worker count.
 	PreviewWorkers int
+	// NoBatchCommits disables batch commits (DESIGN.md Section 13): the
+	// incremental engine's follow-on rounds settled from the previous
+	// selection's records instead of a fresh prepare/select pass. Batch
+	// commits never change the decision log — they only fire when the
+	// round is provably identical — so this knob exists for debugging
+	// and the engine benchmarks.
+	NoBatchCommits bool
 	// LegacyPlanner disables the joint fault model's planner extensions
 	// (DESIGN.md Section 12) — the relay-processor-aware fan costs and
 	// the crash-separated replica placement — and reproduces the
@@ -110,6 +117,12 @@ type Result struct {
 	// never previewed (0 for the reference engine). Skips never change
 	// the decision log; they only avoid work.
 	SkippedCandidates int
+	// BatchedCommits counts the rounds the incremental engine settled
+	// from the previous selection's records without a prepare/select
+	// pass (batch.go; 0 for the reference engine). Batched rounds are
+	// provably identical to sequential ones, so they never change the
+	// decision log either.
+	BatchedCommits int
 }
 
 // Run schedules the problem with FTBAR and returns the fault-tolerant
@@ -142,6 +155,10 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	if opts.Engine == EngineIncremental {
 		sch.rq = newReadyQueue(tg)
 		sch.cache = newSigmaCache(sch, opts.PreviewWorkers)
+		if sch.vuln == nil {
+			sch.evals = make([]candEval, tg.NumTasks())
+			sch.batchOK = !opts.NoBatchCommits
+		}
 	}
 	if err := sch.run(); err != nil {
 		return nil, err
@@ -157,6 +174,7 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	}
 	if sch.cache != nil {
 		res.SkippedCandidates = int(sch.cache.skipped)
+		res.BatchedCommits = sch.batched
 	}
 	ok, rtcErr := sch.s.MeetsRtc()
 	res.MeetsRtc = ok
@@ -189,7 +207,27 @@ func NonFT(p *spec.Problem) (*Result, error) {
 // longest downstream path measured from the end of the task, summing mean
 // execution times (and mean communication times when withComms is set).
 func Tails(p *spec.Problem, tg *model.TaskGraph, withComms bool) []float64 {
-	cm := model.CostModel{
+	return tg.Tails(tailsCostModel(p, tg, withComms))
+}
+
+// NewTailsCache wraps the same S̄ cost model in an incrementally updatable
+// cache (model.TailsCache). One scheduling run never perturbs the tails —
+// they are a static graph quantity — but sweeps that re-cost the problem
+// between runs (fault-frontier analyses scaling exec times, CCR ablations
+// scaling comm times) can hold the cache, invalidate the tasks and edges
+// whose mean times changed, and pay only for the affected upstream cone
+// instead of a full Tails pass per point. The cost model reads p live, so
+// invalidations must be reported before the next read (see
+// model.TailsCache).
+func NewTailsCache(p *spec.Problem, tg *model.TaskGraph, withComms bool) *model.TailsCache {
+	return model.NewTailsCache(tg, tailsCostModel(p, tg, withComms))
+}
+
+// tailsCostModel is the paper's S̄ calibration: mean execution times over
+// the allowed processors, and mean communication times over the media only
+// when withComms is set (the paper's own calibration excludes them).
+func tailsCostModel(p *spec.Problem, tg *model.TaskGraph, withComms bool) model.CostModel {
+	return model.CostModel{
 		TaskCost: func(t model.TaskID) float64 {
 			return p.Exec.MeanTime(tg.Task(t).Op)
 		},
@@ -200,7 +238,6 @@ func Tails(p *spec.Problem, tg *model.TaskGraph, withComms bool) []float64 {
 			return p.Comm.MeanTime(tg.Edge(e).Orig)
 		},
 	}
-	return tg.Tails(cm)
 }
 
 // Sigma computes the schedule pressure of placing task t on processor p
@@ -245,9 +282,27 @@ type scheduler struct {
 	// crash-separated placement bias is active (Nmf >= 1 and not
 	// LegacyPlanner), nil otherwise.
 	vuln [][]bool
+	// evals records, per task id, how the last round priced the
+	// candidate (batch.go); nil under the crash-separated bias, whose
+	// processor picks the records cannot reconstruct. batchOK allows
+	// follow-on rounds to be batch-committed; batched counts the rounds
+	// settled that way. roundStart is the σ-cache epoch of the current
+	// outer round's prepare; staleBuf and deferBuf are lazyKey's
+	// scratch, phaseBuf the candidate-ordering scratch of the two-phase
+	// scans.
+	evals      []candEval
+	batchOK    bool
+	batched    int
+	roundStart uint64
+	staleBuf   []int32
+	deferBuf   []int32
+	phaseBuf   []model.TaskID
+	estBuf     []float64
 	// checkpoints is the reusable buffer stack of the incremental
-	// engine's in-place speculation undo.
+	// engine's in-place speculation undo; memos is the matching stack of
+	// Minimize-loop replay memos (speculation nests, so both form stacks).
 	checkpoints []*sched.Checkpoint
+	memos       []*sched.PlanMemo
 	// evalBuf, procsBuf and sigmasBuf are scratch for candidate
 	// evaluation, the per-step hot path: bestProcs results only live
 	// until the next call (selectCandidate copies the winner's into the
@@ -278,31 +333,65 @@ func (sch *scheduler) run() error {
 		}
 		if sch.cache != nil {
 			sch.cache.prepare(cands)
+			sch.roundStart = sch.cache.step
 		}
 		best, procs, sigmas, urgency, err := sch.selectCandidate(cands)
 		if err != nil {
 			return err
 		}
-		for _, proc := range procs {
-			if sch.opts.NoDuplication {
-				_, err = sch.s.PlaceReplica(best, proc)
-			} else {
-				err = sch.placeMinimized(best, proc)
-			}
+		_, dup, err := sch.commitStep(best, procs, sigmas, urgency)
+		if err != nil {
+			return err
+		}
+		remaining--
+		if sch.batchEnabled() {
+			n, err := sch.batchCommits(dup)
 			if err != nil {
 				return err
 			}
+			remaining -= n
 		}
-		sch.done[best] = true
-		remaining--
-		if sch.rq != nil {
-			sch.rq.commit(best)
-		}
-		sch.steps = append(sch.steps, Step{
-			Task: best, Procs: procs, Sigmas: sigmas, Urgency: urgency,
-		})
 	}
 	return nil
+}
+
+// commitStep places the round winner's replicas, marks it done, updates
+// the ready queue and appends the decision log entry. For the batch
+// machinery it reports whether the commit released new candidates and
+// whether it grew the schedule beyond the winner's own replicas (a kept
+// Minimize-start-time duplication) — either ends a batch (batch.go).
+func (sch *scheduler) commitStep(best model.TaskID, procs []arch.ProcID, sigmas []float64, urgency float64) (releases, dup bool, err error) {
+	repsBefore, readyBefore := 0, 0
+	if sch.rq != nil {
+		repsBefore = sch.s.TotalReplicas()
+		readyBefore = len(sch.rq.ready)
+	}
+	for _, proc := range procs {
+		if sch.opts.NoDuplication {
+			_, err = sch.s.PlaceReplica(best, proc)
+		} else {
+			err = sch.placeMinimized(best, proc)
+		}
+		if err != nil {
+			return false, false, err
+		}
+	}
+	sch.done[best] = true
+	if sch.rq != nil {
+		sch.rq.commit(best)
+		releases = len(sch.rq.ready) != readyBefore-1
+		dup = sch.s.TotalReplicas() != repsBefore+len(procs)
+	}
+	if sch.cache != nil {
+		// Advance the vetting epoch: entries vetted before this commit
+		// (prepare or a batch scan) must be re-walked against the new
+		// schedule state before anything trusts them again.
+		sch.cache.step++
+	}
+	sch.steps = append(sch.steps, Step{
+		Task: best, Procs: procs, Sigmas: sigmas, Urgency: urgency,
+	})
+	return releases, dup, nil
 }
 
 // candidates returns the unscheduled tasks whose predecessors are all
@@ -351,14 +440,18 @@ func (sch *scheduler) candidates() []model.TaskID {
 // it anyway — so the decision log stays bit-identical to the reference
 // engine's.
 func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, float64, error) {
+	if sch.evals != nil {
+		return sch.selectCandidateLazy(cands)
+	}
 	bestTask := model.TaskID(-1)
 	bestUrgency := math.Inf(-1)
 	var bestProcs []arch.ProcID
 	var bestSigmas []float64
 	cur := 0
 	for _, t := range cands {
-		if sch.cache != nil && sch.tg.Task(t).Role != model.MemWrite {
-			if sch.cache.screen(t, sch.fm.Replicas(), bestUrgency) {
+		memWrite := sch.tg.Task(t).Role == model.MemWrite
+		if sch.cache != nil && !memWrite {
+			if _, _, skip := sch.cache.screen(t, sch.fm.Replicas(), bestUrgency); skip {
 				continue
 			}
 			sch.cache.ensure(t)
@@ -373,6 +466,97 @@ func (sch *scheduler) selectCandidate(cands []model.TaskID) (model.TaskID, []arc
 			bestProcs, bestSigmas = procs, sigmas
 			cur = 1 - cur // shield the winner's buffers from the next evaluation
 		}
+	}
+	if bestTask < 0 {
+		return -1, nil, nil, 0, fmt.Errorf("%w: no selectable candidate", ErrInternal)
+	}
+	return bestTask, append([]arch.ProcID(nil), bestProcs...), append([]float64(nil), bestSigmas...), bestUrgency, nil
+}
+
+// selectCandidateLazy is selectCandidate for the lazily-priced engine
+// (cache and per-candidate records active). It scans in two phases:
+// phase one evaluates the cheap candidates — mem writes (priced off the
+// cache on their pinned processors) and candidates whose whole σ-row
+// prepare() vetted, whose evaluation reads only the cache — and phase
+// two prices the candidates with stale entries in descending order of
+// their recorded keys, against a running maximum that is then usually
+// final, so lazyKey's bound skips most of their previews. The winner is
+// the lexicographic maximum of (urgency, smaller id) — identical to the
+// ascending scan's strict-> displacement — and an evaluation error is
+// raised for the smallest-id failing candidate, exactly the one the
+// ascending scan would have tripped on (feasibility is structural, so
+// no skip can hide it).
+func (sch *scheduler) selectCandidateLazy(cands []model.TaskID) (model.TaskID, []arch.ProcID, []float64, float64, error) {
+	bestTask := model.TaskID(-1)
+	bestUrgency := math.Inf(-1)
+	var bestProcs []arch.ProcID
+	var bestSigmas []float64
+	cur := 0
+	errTask := model.TaskID(-1)
+	var firstErr error
+	evalNow := func(t model.TaskID, memWrite bool) {
+		procs, sigmas, urgency, err := sch.bestProcs(t, sch.procsBuf[cur][:0], sch.sigmasBuf[cur][:0])
+		if err != nil {
+			if errTask < 0 || t < errTask {
+				errTask, firstErr = t, err
+			}
+			return
+		}
+		sch.procsBuf[cur], sch.sigmasBuf[cur] = procs, sigmas
+		if memWrite {
+			sch.evals[t] = candEval{round: sch.cache.step, kind: evalMemWrite, proc: procs[0], sigma: urgency}
+		} else {
+			// procs[0] is the (sigma, proc)-ascending argmin: record it so
+			// the batch scan's shortcut and the estimate ordering see this
+			// round's key.
+			sch.evals[t] = candEval{round: sch.cache.step, kind: evalEvaluated, proc: procs[0], sigma: urgency}
+		}
+		if urgency > bestUrgency || (urgency == bestUrgency && t < bestTask) {
+			bestTask, bestUrgency = t, urgency
+			bestProcs, bestSigmas = procs, sigmas
+			cur = 1 - cur // shield the winner's buffers from the next evaluation
+		}
+	}
+	c := sch.cache
+	rest := sch.phaseBuf[:0]
+	for _, t := range cands {
+		if sch.tg.Task(t).Role == model.MemWrite {
+			evalNow(t, true)
+			continue
+		}
+		base := int(t) * c.nProcs
+		vetted := true
+		for p := 0; p < c.nProcs; p++ {
+			if c.entries[base+p].checked != c.step {
+				vetted = false
+				break
+			}
+		}
+		if vetted {
+			evalNow(t, false)
+			continue
+		}
+		rest = append(rest, t)
+	}
+	sch.orderByEstimate(rest)
+	for _, t := range rest {
+		skip, _, feasible := sch.lazyKey(t, bestUrgency, bestTask, true)
+		if skip && feasible {
+			c.skipped++
+			continue
+		}
+		if feasible {
+			// Finish the row in-cache so the evaluation replays from it
+			// instead of re-previewing the entries the deferral skipped.
+			sch.fillRow(t)
+		}
+		// Infeasible candidates fall through so bestProcs raises the
+		// error the reference engine would.
+		evalNow(t, false)
+	}
+	sch.phaseBuf = rest
+	if errTask >= 0 {
+		return -1, nil, nil, 0, firstErr
 	}
 	if bestTask < 0 {
 		return -1, nil, nil, 0, fmt.Errorf("%w: no selectable candidate", ErrInternal)
@@ -500,17 +684,18 @@ func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas 
 		if mp.Write != t {
 			continue
 		}
-		reads := sch.s.Replicas(mp.Read)
-		if len(reads) == 0 {
+		nReads := sch.s.NumReplicas(mp.Read)
+		if nReads == 0 {
 			return nil, nil, 0, fmt.Errorf("%w: mem %q write before read", ErrInternal, task.Name)
 		}
-		for _, r := range reads {
-			sig := sch.sigma(t, r.Proc)
+		for i := 0; i < nReads; i++ {
+			rp := sch.s.ReplicaProcAt(mp.Read, i)
+			sig := sch.sigma(t, rp)
 			if math.IsInf(sig, 1) {
 				return nil, nil, 0, fmt.Errorf("%w: mem %q write forbidden on %q",
-					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(r.Proc).Name)
+					ErrNoProcessorChoice, task.Name, sch.p.Arc.Proc(rp).Name)
 			}
-			procs = append(procs, r.Proc)
+			procs = append(procs, rp)
 			sigmas = append(sigmas, sig)
 		}
 		// Selection needs ascending sigma first; placement order must stay
@@ -525,7 +710,7 @@ func (sch *scheduler) memWriteProcs(t model.TaskID, procs []arch.ProcID, sigmas 
 func (sch *scheduler) extraReplicas() int {
 	extra := 0
 	for t := 0; t < sch.tg.NumTasks(); t++ {
-		if n := len(sch.s.Replicas(model.TaskID(t))); n > sch.fm.Replicas() {
+		if n := sch.s.NumReplicas(model.TaskID(t)); n > sch.fm.Replicas() {
 			extra += n - sch.fm.Replicas()
 		}
 	}

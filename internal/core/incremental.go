@@ -8,6 +8,7 @@ import (
 
 	"ftbar/internal/arch"
 	"ftbar/internal/model"
+	"ftbar/internal/sched"
 )
 
 // This file implements the incremental scheduling engine (DESIGN.md
@@ -109,35 +110,53 @@ func (rq *readyQueue) release(t model.TaskID) {
 }
 
 // sigmaEntry caches one schedule pressure σ(t, p) together with the
-// revision stamps of the schedule state it was computed against. The
-// entry stays valid while every recorded dependency is unchanged:
+// dependency record of the schedule state it was computed against. The
+// entry stays valid while:
 //
-//   - the stamp of p's timeline (procEnd and duplicate checks);
-//   - the replica-set stamps of t and of each distinct predecessor
-//     (replicas are append-only and never re-time);
-//   - the stamp of every medium whose busy-end the preview consulted —
-//     chosen or merely considered — which covers contention on direct
-//     media and on multi-hop routes.
+//   - the cache's row stamp of t is unchanged — the cache bumps it
+//     (syncStamps) whenever the replica set of t or of any successor-list
+//     predecessor of t grew, so a matching stamp means no replica the
+//     preview read has changed (replicas are append-only and never
+//     re-time; this covers senders, arrival times, fan masks, and the
+//     duplicate check);
+//   - procEnd(p) is at or below the recorded S_worst — busy-ends only
+//     grow between cache consultations, and growth up to the start the
+//     preview already settled on is not binding, so S_worst (the only
+//     component σ reads) comes out identical;
+//   - for every medium the preview planned a comm on, the medium's
+//     busy-end is at or below the recorded start of that first comm
+//     (sched.MediumBound): growth within that slack is not binding
+//     either, and media the preview considered but rejected can only
+//     get worse, which keeps every selection decision stable.
 //
-// Under those conditions a recomputation would read exactly the same
-// schedule state, so reusing the cached σ is exact, not approximate.
-// Stamps are globally unique across a clone family (sched.Schedule
-// draws them from a counter shared with its clones), so entries survive
-// Minimize-start-time's clone-and-swap undo: state a discarded branch
-// stamped can never revalidate, and state the undo restored still
-// carries its original stamps.
+// Under those conditions a recomputation would produce exactly the same
+// σ, so reusing the cached value is exact, not approximate — the
+// thresholds just let entries survive commits that touch their media or
+// processor without actually perturbing them. Validity is only ever
+// judged against states the committed trajectory reached (speculative
+// duplications roll back — restoring the revision counters bit-exact —
+// before the cache looks again), on which busy-ends grow monotonically.
 type sigmaEntry struct {
 	used bool
 	// checked marks the prepare() step that last validated or computed
 	// the entry, so get() can skip re-walking the dependency lists for
 	// entries prepare already vetted this step.
-	checked  uint64
-	sigma    float64
-	procRev  uint64
-	selfRev  uint64
-	predRevs []uint64
-	media    []arch.MediumID
-	mediaRev []uint64
+	checked uint64
+	sigma   float64
+	// sworst is the placement's S_worst — the processor busy-end
+	// threshold. +Inf for error entries: preview errors are structural
+	// (duplicate replica, unscheduled predecessor, no route), decided by
+	// the replica-set stamps alone, never by a busy-end.
+	sworst float64
+	// rowStamp is the cache's row stamp of t at computation time; a
+	// mismatch means a replica appeared in t's input neighbourhood.
+	rowStamp uint64
+	bounds   []sched.MediumBound
+	// memo is the entry's per-edge replay record: when a recomputation is
+	// unavoidable, PreviewMemo replays the in-edges whose recorded inputs
+	// still hold and replans only the rest (sched/plan_memo.go). Only used
+	// on memo-safe schedules (sigmaCache.memoOK).
+	memo sched.PlanMemo
 }
 
 // sigmaCache is the (task × processor) pressure cache of the incremental
@@ -145,10 +164,18 @@ type sigmaEntry struct {
 type sigmaCache struct {
 	sch     *scheduler
 	nProcs  int
-	preds   [][]model.TaskID // distinct predecessors, static
-	entries []sigmaEntry     // index t*nProcs + p
+	entries []sigmaEntry // index t*nProcs + p
 	workers int
 	step    uint64 // prepare() invocation counter
+	// rowStamp[t] advances whenever the replica set of t or of one of its
+	// predecessors changed — the structural part of entry validity. It is
+	// maintained by syncStamps, which diffs the schedule's per-task
+	// revision counters (lastRev) at every scan boundary and pushes the
+	// change along the successor lists, so scans compare one stamp per
+	// entry instead of walking the predecessor list every time.
+	rowStamp []uint64
+	lastRev  []uint64
+	succs    [][]model.TaskID // distinct successors, static
 	// cold lists the entry indices needing recomputation this step,
 	// task-major (candidates ascending, processors ascending); coldRanges
 	// maps each candidate to its slice of cold, so ensure() can compute
@@ -159,6 +186,9 @@ type sigmaCache struct {
 	// skipped counts candidate evaluations the cache-aware screen
 	// avoided: their cold previews were never computed.
 	skipped uint64
+	// memoOK gates per-edge plan memoization to the configurations it is
+	// sound for (no medium fault budget, mask-sized media set).
+	memoOK bool
 }
 
 // coldRange is the span of cold entries belonging to one candidate.
@@ -180,16 +210,47 @@ func newSigmaCache(sch *scheduler, workers int) *sigmaCache {
 	n := sch.tg.NumTasks()
 	nProcs := sch.p.Arc.NumProcs()
 	c := &sigmaCache{
-		sch:     sch,
-		nProcs:  nProcs,
-		preds:   make([][]model.TaskID, n),
-		entries: make([]sigmaEntry, n*nProcs),
-		workers: workers,
+		sch:      sch,
+		nProcs:   nProcs,
+		entries:  make([]sigmaEntry, n*nProcs),
+		workers:  workers,
+		rowStamp: make([]uint64, n),
+		lastRev:  make([]uint64, n),
+		succs:    make([][]model.TaskID, n),
+		memoOK:   sch.s.MemoSafe(),
 	}
 	for t := 0; t < n; t++ {
-		c.preds[t] = sch.tg.Preds(model.TaskID(t))
+		c.lastRev[t] = sch.s.TaskRev(model.TaskID(t))
+		c.succs[t] = sch.tg.Succs(model.TaskID(t))
+	}
+	if c.memoOK {
+		// Arena-backed replay memos (one per entry, same indexing): the
+		// pre-sized record slices keep steady-state recomputations
+		// allocation-free.
+		for i, m := range sch.s.NewPlanMemos() {
+			c.entries[i].memo = m
+		}
 	}
 	return c
+}
+
+// syncStamps folds the schedule's replica-set changes since the last scan
+// into the row stamps: a task whose revision counter moved dirties its own
+// row and every successor's row. Speculative duplications that rolled back
+// restore the counters bit-exact, so only net changes dirty anything.
+// Called at every scan boundary (prepare and the batch scan), after which
+// no commit happens until the scan's results are consumed.
+func (c *sigmaCache) syncStamps() {
+	s := c.sch.s
+	for t := range c.lastRev {
+		if r := s.TaskRev(model.TaskID(t)); r != c.lastRev[t] {
+			c.lastRev[t] = r
+			c.rowStamp[t]++
+			for _, succ := range c.succs[t] {
+				c.rowStamp[succ]++
+			}
+		}
+	}
 }
 
 // prepare validates the cache against the current schedule: still-valid
@@ -199,6 +260,7 @@ func newSigmaCache(sch *scheduler, workers int) *sigmaCache {
 // needs it, which lets the cache-aware screen skip doomed candidates
 // without paying for their previews at all.
 func (c *sigmaCache) prepare(cands []model.TaskID) {
+	c.syncStamps()
 	c.step++
 	c.cold = c.cold[:0]
 	c.coldRanges = c.coldRanges[:0]
@@ -209,7 +271,7 @@ func (c *sigmaCache) prepare(cands []model.TaskID) {
 		base := int(t) * c.nProcs
 		lo := int32(len(c.cold))
 		for p := 0; p < c.nProcs; p++ {
-			if c.valid(t, arch.ProcID(p)) {
+			if c.revalidate(t, arch.ProcID(p)) {
 				c.entries[base+p].checked = c.step
 			} else {
 				c.cold = append(c.cold, int32(base+p))
@@ -230,11 +292,15 @@ func (c *sigmaCache) prepare(cands []model.TaskID) {
 // fails when fewer than need processors are usable — so t is only skipped
 // when its valid entries alone prove at least need placements are
 // possible. Both facts come from entries prepare() vetted this step; no
-// preview is computed.
-func (c *sigmaCache) screen(t model.TaskID, need int, bestUrgency float64) bool {
+// preview is computed. On a skip it also returns the bound: the
+// processor of the smallest vetted entry and its pressure — an upper
+// bound on the candidate's selection key that the batch-commit scan
+// (batch.go) re-checks against later rounds.
+func (c *sigmaCache) screen(t model.TaskID, need int, bestUrgency float64) (arch.ProcID, float64, bool) {
 	base := int(t) * c.nProcs
 	finite := 0
 	min := math.Inf(1)
+	argmin := arch.ProcID(-1)
 	for p := 0; p < c.nProcs; p++ {
 		e := &c.entries[base+p]
 		if e.checked != c.step || math.IsInf(e.sigma, 1) {
@@ -242,14 +308,14 @@ func (c *sigmaCache) screen(t model.TaskID, need int, bestUrgency float64) bool 
 		}
 		finite++
 		if e.sigma < min {
-			min = e.sigma
+			min, argmin = e.sigma, arch.ProcID(p)
 		}
 	}
 	if finite < need || min > bestUrgency {
-		return false
+		return -1, 0, false
 	}
 	c.skipped++
-	return true
+	return argmin, min, true
 }
 
 // ensure recomputes candidate t's cold previews, fanning them across the
@@ -310,24 +376,64 @@ func (c *sigmaCache) ensure(t model.TaskID) {
 // current schedule state.
 func (c *sigmaCache) valid(t model.TaskID, p arch.ProcID) bool {
 	e := &c.entries[int(t)*c.nProcs+int(p)]
-	if !e.used {
+	if !e.used || e.rowStamp != c.rowStamp[t] {
 		return false
 	}
 	s := c.sch.s
-	if e.procRev != s.ProcRev(p) || e.selfRev != s.TaskRev(t) {
+	if s.ProcEnd(p) > e.sworst {
 		return false
 	}
-	for i, pred := range c.preds[t] {
-		if e.predRevs[i] != s.TaskRev(pred) {
-			return false
-		}
-	}
-	for i, m := range e.media {
-		if e.mediaRev[i] != s.MediumRev(m) {
+	for _, b := range e.bounds {
+		if s.MediumEnd(b.Medium) > b.Bound {
 			return false
 		}
 	}
 	return true
+}
+
+// revalidate reports whether (t, p)'s entry reflects the current
+// schedule, repairing it first when it can. An entry whose replica-set
+// stamps and media bounds all hold but whose processor outgrew S_worst
+// needs no preview: every arrival is unchanged (same senders, same
+// comms, same busy-end slack), only the processor floor moved, and it
+// moved past the old maximum — so the new S_worst is exactly procEnd(p)
+// and σ re-derives from it. The repair recomputes σ with the same
+// expression shape as compute(), so the result is bit-identical to the
+// preview it replaces; the repaired S_worst becomes the new processor
+// threshold, and later growth just repairs again. Error entries carry
+// sworst = +Inf and are never repaired — their status is structural.
+func (c *sigmaCache) revalidate(t model.TaskID, p arch.ProcID) bool {
+	e := &c.entries[int(t)*c.nProcs+int(p)]
+	if !c.stampsValid(t, p) {
+		return false
+	}
+	s := c.sch.s
+	for _, b := range e.bounds {
+		if s.MediumEnd(b.Medium) > b.Bound {
+			return false
+		}
+	}
+	free := s.ProcEnd(p)
+	if free <= e.sworst {
+		return true
+	}
+	exec := c.sch.p.Exec.Time(c.sch.tg.Task(t).Op, p)
+	e.sigma = free + exec + c.sch.tails[t]
+	e.sworst = free
+	return true
+}
+
+// stampsValid reports whether the replica-set record of (t, p)'s entry —
+// the row stamp syncStamps maintains off t's and its predecessors'
+// revision counters — still matches the schedule. When it does,
+// everything that could have perturbed the entry since it was computed is
+// busy-end growth, so the cached σ is a lower bound on the current one
+// and the cached error status is still exact (lazyKey's monotone
+// deferral, batch.go). Row stamps only advance, so a matching stamp
+// really means "unchanged", not "changed and restored".
+func (c *sigmaCache) stampsValid(t model.TaskID, p arch.ProcID) bool {
+	e := &c.entries[int(t)*c.nProcs+int(p)]
+	return e.used && e.rowStamp == c.rowStamp[t]
 }
 
 // compute fills entry idx with a fresh preview and its dependency record.
@@ -336,24 +442,23 @@ func (c *sigmaCache) compute(idx int) {
 	p := arch.ProcID(idx % c.nProcs)
 	s := c.sch.s
 	e := &c.entries[idx]
-	pl, media, err := s.PreviewTouched(t, p, e.media[:0])
-	e.media = media
-	e.mediaRev = e.mediaRev[:0]
-	for _, m := range media {
-		e.mediaRev = append(e.mediaRev, s.MediumRev(m))
+	var pl sched.Placement
+	var bounds []sched.MediumBound
+	var err error
+	if c.memoOK {
+		pl, bounds, err = s.PreviewMemo(t, p, &e.memo, e.bounds[:0])
+	} else {
+		pl, bounds, err = s.PreviewTouched(t, p, e.bounds[:0])
 	}
+	e.bounds = bounds
 	if err != nil {
-		e.sigma = math.Inf(1)
+		e.sigma, e.sworst = math.Inf(1), math.Inf(1)
 	} else {
 		exec := c.sch.p.Exec.Time(c.sch.tg.Task(t).Op, p)
 		e.sigma = pl.SWorst + exec + c.sch.tails[t]
+		e.sworst = pl.SWorst
 	}
-	e.procRev = s.ProcRev(p)
-	e.selfRev = s.TaskRev(t)
-	e.predRevs = e.predRevs[:0]
-	for _, pred := range c.preds[t] {
-		e.predRevs = append(e.predRevs, s.TaskRev(pred))
-	}
+	e.rowStamp = c.rowStamp[t]
 	e.used = true
 	e.checked = c.step
 }
@@ -364,7 +469,7 @@ func (c *sigmaCache) compute(idx int) {
 // anything else (mem-write pricing) takes the full validity check.
 func (c *sigmaCache) get(t model.TaskID, p arch.ProcID) (float64, bool) {
 	e := &c.entries[int(t)*c.nProcs+int(p)]
-	if e.checked != c.step && !c.valid(t, p) {
+	if e.checked != c.step && !c.revalidate(t, p) {
 		return 0, false
 	}
 	return e.sigma, true

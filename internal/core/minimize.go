@@ -22,6 +22,9 @@ import (
 // which copies no replicas or comms and leaves the schedule object — and
 // therefore the stamp-keyed pressure cache — intact.
 func (sch *scheduler) placeMinimized(t model.TaskID, p arch.ProcID) error {
+	if sch.cache != nil {
+		return sch.placeMinimizedFused(t, p)
+	}
 	pl, details, err := sch.s.PreviewDetail(t, p)
 	if err != nil {
 		return err // step Ë: t cannot be scheduled on p
@@ -43,32 +46,94 @@ func (sch *scheduler) placeMinimized(t model.TaskID, p arch.ProcID) error {
 	return err
 }
 
-// tryDuplication speculatively duplicates lip onto p and keeps the work
-// only when it strictly reduces S_worst(t, p). It returns the improved
-// S_worst and arrival details, or +Inf after undoing a non-improving (or
-// impossible) duplication.
+// placeMinimizedFused is placeMinimized on the incremental engine, with
+// two accelerations the reference engine's clone-and-swap shape rules
+// out. First, the final commit reuses the newest plan instead of
+// replanning: the schedule state at the commit is exactly the state the
+// newest plan ran against — the loop either breaks right after planning,
+// or a failed speculation rolls the state back to it bit-exact — so
+// PlaceReplica's replan would reproduce the held plan and is pure waste.
+// Second, on memo-safe schedules the loop threads a replay memo through
+// its re-plans of (t, p): each iteration differs from the previous one by
+// one committed duplication, so most in-edges replay instead of
+// replanning (sched/plan_memo.go). The memo never outlives the loop — a
+// failed speculation leaves it describing the rolled-back state, which is
+// exactly why pooled memos are Reset on the way in and the loop breaks
+// without another plan on that path.
+func (sch *scheduler) placeMinimizedFused(t model.TaskID, p arch.ProcID) error {
+	memo := sch.getMemo()
+	defer sch.putMemo(memo)
+	tok, err := sch.planFused(t, p, memo)
+	if err != nil {
+		return err // step Ë: t cannot be scheduled on p
+	}
+	for {
+		lip, ok := sch.findLIP(tok.Details(), p)
+		if !ok {
+			break
+		}
+		newTok, improved := sch.tryDuplicationFused(t, p, lip, tok.Placement().SWorst, memo)
+		if !improved {
+			break // step Ï: the duplication was undone
+		}
+		tok.Discard()
+		tok = newTok // step Ñ: improved; look for the new LIP
+	}
+	tok.Commit() // step Ð: schedule at S_best
+	return nil
+}
+
+// planFused plans (t, p) through the loop's replay memo when the
+// schedule supports it, and through a plain plan otherwise.
+func (sch *scheduler) planFused(t model.TaskID, p arch.ProcID, memo *sched.PlanMemo) (sched.PlannedPlacement, error) {
+	if memo != nil {
+		return sch.s.PlanPlacementMemo(t, p, memo)
+	}
+	return sch.s.PlanPlacement(t, p)
+}
+
+// tryDuplicationFused speculatively duplicates lip onto p and keeps the
+// work only when it strictly reduces S_worst(t, p), returning the open
+// plan of (t, p) against the improved state. On a non-improving (or
+// impossible) duplication it rolls the schedule back and reports false.
+func (sch *scheduler) tryDuplicationFused(t model.TaskID, p arch.ProcID, lip model.TaskID,
+	sWorst float64, memo *sched.PlanMemo) (sched.PlannedPlacement, bool) {
+
+	cp := sch.getCheckpoint()
+	defer sch.putCheckpoint(cp)
+	sch.s.Checkpoint(cp)
+	if err := sch.placeMinimizedFused(lip, p); err != nil {
+		// The duplication itself is impossible; undo any partial work
+		// and stop improving.
+		sch.s.Rollback(cp)
+		return sched.PlannedPlacement{}, false
+	}
+	newTok, err := sch.planFused(t, p, memo)
+	if err != nil || newTok.Placement().SWorst >= sWorst-timeEps {
+		newTok.Discard()   // nil-safe on the error path's zero token
+		sch.s.Rollback(cp) // step Ï: undo all replications of Í
+		return sched.PlannedPlacement{}, false
+	}
+	return newTok, true
+}
+
+// tryDuplication is the reference engine's speculation step: clone the
+// schedule, duplicate lip onto p, and swap the clone back unless S_worst
+// strictly improved. It returns the improved S_worst and arrival details,
+// or +Inf after undoing a non-improving (or impossible) duplication.
 func (sch *scheduler) tryDuplication(t model.TaskID, p arch.ProcID, lip model.TaskID,
 	sWorst float64) (float64, []sched.EdgeArrival) {
 
-	var undo func()
-	if sch.cache != nil {
-		cp := sch.getCheckpoint()
-		defer sch.putCheckpoint(cp)
-		sch.s.Checkpoint(cp)
-		undo = func() { sch.s.Rollback(cp) }
-	} else {
-		snapshot := sch.s.Clone()
-		undo = func() { sch.s = snapshot }
-	}
+	snapshot := sch.s.Clone()
 	if err := sch.placeMinimized(lip, p); err != nil {
 		// The duplication itself is impossible; undo any partial work
 		// and stop improving.
-		undo()
+		sch.s = snapshot
 		return math.Inf(1), nil
 	}
 	newPl, newDetails, err := sch.s.PreviewDetail(t, p)
 	if err != nil || newPl.SWorst >= sWorst-timeEps {
-		undo() // step Ï: undo all replications of Í
+		sch.s = snapshot // step Ï: undo all replications of Í
 		return math.Inf(1), nil
 	}
 	return newPl.SWorst, newDetails
@@ -87,6 +152,30 @@ func (sch *scheduler) getCheckpoint() *sched.Checkpoint {
 
 func (sch *scheduler) putCheckpoint(cp *sched.Checkpoint) {
 	sch.checkpoints = append(sch.checkpoints, cp)
+}
+
+// getMemo pops a reusable replay memo for one Minimize loop, Reset so no
+// stale recording — possibly from a rolled-back speculation or another
+// (task, processor) pair — can leak into the new loop. Returns nil when
+// the schedule is not memo-safe; planFused then falls back to plain
+// planning.
+func (sch *scheduler) getMemo() *sched.PlanMemo {
+	if !sch.s.MemoSafe() {
+		return nil
+	}
+	if n := len(sch.memos); n > 0 {
+		m := sch.memos[n-1]
+		sch.memos = sch.memos[:n-1]
+		m.Reset()
+		return m
+	}
+	return new(sched.PlanMemo)
+}
+
+func (sch *scheduler) putMemo(m *sched.PlanMemo) {
+	if m != nil {
+		sch.memos = append(sch.memos, m)
+	}
 }
 
 const timeEps = 1e-9
@@ -120,7 +209,7 @@ func (sch *scheduler) findLIP(details []sched.EdgeArrival, p arch.ProcID) (model
 	if !sch.p.Exec.Allowed(task.Op, p) {
 		return -1, false
 	}
-	if sch.s.ReplicaOn(lip, p) != nil {
+	if sch.s.HasReplicaOn(lip, p) {
 		return -1, false
 	}
 	return lip, true

@@ -1,0 +1,119 @@
+package model
+
+// TailsCache maintains the S̄ tails of a task graph under a cost model
+// whose values may change between queries, recomputing only the tasks
+// whose longest downstream path is actually affected. A full Tails pass
+// touches every edge of the graph; a cache update touches the upstream
+// cone of the perturbed costs and cuts the propagation off at every task
+// whose tail comes out unchanged — when a perturbation only reaches a
+// suffix of the pressure horizon (tasks near the sinks, or a cost change
+// dominated by a heavier sibling branch), the update is far cheaper than
+// the pass. Sweeps that re-cost the same graph many times — fault-frontier
+// analyses, CCR ablations — hold one cache, mutate the cost source,
+// invalidate the changed entries, and call Update before reading.
+//
+// The cache does not snapshot costs: CostModel is a pair of functions, and
+// the cache re-reads them during Update. Callers therefore must invalidate
+// *before* the next Update for every entry whose underlying value changed;
+// an unreported change leaves stale tails (garbage in, garbage out), while
+// a spurious invalidation only costs the recomputation of an unchanged
+// cone.
+type TailsCache struct {
+	tg *TaskGraph
+	cm CostModel
+
+	tails []float64
+	dirty []bool
+	live  int   // dirty tasks not yet settled by Update
+	hi    int   // highest dirty topological position, -1 when clean
+	pos   []int // topological position of each task
+}
+
+// NewTailsCache computes the tails of tg under cm and returns a cache
+// ready for incremental updates.
+func NewTailsCache(tg *TaskGraph, cm CostModel) *TailsCache {
+	c := &TailsCache{
+		tg:    tg,
+		cm:    cm,
+		tails: tg.Tails(cm),
+		dirty: make([]bool, len(tg.tasks)),
+		hi:    -1,
+		pos:   make([]int, len(tg.tasks)),
+	}
+	for i, t := range tg.topo {
+		c.pos[t] = i
+	}
+	return c
+}
+
+// Tails returns the cached tails, settling any pending invalidations
+// first. The slice aliases the cache and is valid until the next
+// invalidate/Update; callers must not mutate it.
+func (c *TailsCache) Tails() []float64 {
+	c.Update()
+	return c.tails
+}
+
+// InvalidateTask reports that TaskCost(t) changed. A task's own cost does
+// not enter its tail — tails are measured from the task's *end* — so the
+// change lands on the tails of t's predecessors.
+func (c *TailsCache) InvalidateTask(t TaskID) {
+	for _, p := range c.tg.preds[t] {
+		c.mark(p)
+	}
+}
+
+// InvalidateEdge reports that EdgeCost(e) changed, which lands on the tail
+// of the edge's source.
+func (c *TailsCache) InvalidateEdge(e TaskEdgeID) {
+	c.mark(c.tg.edges[e].Src)
+}
+
+func (c *TailsCache) mark(t TaskID) {
+	if c.dirty[t] {
+		return
+	}
+	c.dirty[t] = true
+	c.live++
+	if c.pos[t] > c.hi {
+		c.hi = c.pos[t]
+	}
+}
+
+// Update settles every pending invalidation and returns the number of
+// tasks whose tail was recomputed. Dirty tasks are processed in reverse
+// topological order, so each is recomputed exactly once against settled
+// successor tails; a task whose recomputed tail is unchanged stops the
+// propagation — its predecessors never hear about the perturbation.
+func (c *TailsCache) Update() int {
+	if c.live == 0 {
+		return 0
+	}
+	touched := 0
+	for i := c.hi; i >= 0 && c.live > 0; i-- {
+		u := c.tg.topo[i]
+		if !c.dirty[u] {
+			continue
+		}
+		c.dirty[u] = false
+		c.live--
+		touched++
+		var nt float64
+		for _, eid := range c.tg.outs[u] {
+			v := c.tg.edges[eid].Dst
+			if cst := c.cm.EdgeCost(eid) + c.cm.TaskCost(v) + c.tails[v]; cst > nt {
+				nt = cst
+			}
+		}
+		if nt != c.tails[u] {
+			c.tails[u] = nt
+			// Predecessors sit strictly earlier in topological order, so
+			// the descending scan is still ahead of every mark.
+			for _, p := range c.tg.preds[u] {
+				c.mark(p)
+			}
+		}
+	}
+	c.hi = -1
+	return touched
+}

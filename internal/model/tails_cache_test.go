@@ -1,0 +1,201 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sliceCosts is a mutable cost source for cache tests: perturb an entry,
+// report it, Update, compare against a fresh full pass.
+type sliceCosts struct {
+	task []float64
+	edge []float64
+}
+
+func (sc *sliceCosts) model() CostModel {
+	return CostModel{
+		TaskCost: func(t TaskID) float64 { return sc.task[t] },
+		EdgeCost: func(e TaskEdgeID) float64 { return sc.edge[e] },
+	}
+}
+
+// randomLayeredGraph compiles a DAG of `layers` layers of `width` tasks
+// each, with every task wired to 1..3 random tasks of the next layer.
+func randomLayeredGraph(t testing.TB, rng *rand.Rand, layers, width int) *TaskGraph {
+	t.Helper()
+	g := NewGraph()
+	ids := make([][]OpID, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]OpID, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.MustAddOp(fmt.Sprintf("t%d_%d", l, w), Comp)
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for _, src := range ids[l] {
+			seen := map[OpID]bool{}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				dst := ids[l+1][rng.Intn(width)]
+				if !seen[dst] {
+					seen[dst] = true
+					g.MustAddEdge(src, dst)
+				}
+			}
+		}
+	}
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return tg
+}
+
+func randomCosts(rng *rand.Rand, tg *TaskGraph) *sliceCosts {
+	sc := &sliceCosts{
+		task: make([]float64, tg.NumTasks()),
+		edge: make([]float64, tg.NumEdges()),
+	}
+	for i := range sc.task {
+		sc.task[i] = 1 + rng.Float64()*9
+	}
+	for i := range sc.edge {
+		sc.edge[i] = rng.Float64() * 4
+	}
+	return sc
+}
+
+// TestTailsCacheMatchesFullPass drives a cache through random perturbation
+// sequences and checks, after every Update, bit-identity against a fresh
+// full Tails pass. Identity must be exact, not approximate: the cache
+// recomputes each affected task with the same fold the full pass uses and
+// keeps unaffected values verbatim, so any drift is a bug.
+func TestTailsCacheMatchesFullPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tg := randomLayeredGraph(t, rng, 3+rng.Intn(4), 2+rng.Intn(5))
+		sc := randomCosts(rng, tg)
+		c := NewTailsCache(tg, sc.model())
+		for round := 0; round < 30; round++ {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				if rng.Intn(2) == 0 && tg.NumEdges() > 0 {
+					e := TaskEdgeID(rng.Intn(tg.NumEdges()))
+					sc.edge[e] = rng.Float64() * 4
+					c.InvalidateEdge(e)
+				} else {
+					tk := TaskID(rng.Intn(tg.NumTasks()))
+					sc.task[tk] = 1 + rng.Float64()*9
+					c.InvalidateTask(tk)
+				}
+			}
+			got := c.Tails()
+			want := tg.Tails(sc.model())
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d round %d: tails[%d] = %v, want %v",
+						trial, round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTailsCacheCutoff checks that propagation stops at the first task
+// whose tail is unchanged. In root -> mid -> {heavy, light}, re-costing
+// the light leaf must recompute mid's tail (its preview changed even if
+// dominated) and then stop: mid's tail is still set by the heavy leaf, so
+// root is never touched.
+func TestTailsCacheCutoff(t *testing.T) {
+	g := NewGraph()
+	root := g.MustAddOp("root", Comp)
+	mid := g.MustAddOp("mid", Comp)
+	heavy := g.MustAddOp("heavy", Comp)
+	light := g.MustAddOp("light", Comp)
+	g.MustAddEdge(root, mid)
+	g.MustAddEdge(mid, heavy)
+	g.MustAddEdge(mid, light)
+	tg, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sc := &sliceCosts{
+		task: []float64{1, 1, 100, 1},
+		edge: make([]float64, tg.NumEdges()),
+	}
+	c := NewTailsCache(tg, sc.model())
+
+	sc.task[light] = 2 // still dominated by heavy's 100
+	c.InvalidateTask(TaskID(light))
+	if touched := c.Update(); touched != 1 {
+		t.Fatalf("dominated perturbation touched %d tasks, want 1 (mid only)", touched)
+	}
+	want := tg.Tails(sc.model())
+	for i, got := range c.Tails() {
+		if got != want[i] {
+			t.Fatalf("tails[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+
+	sc.task[heavy] = 200 // dominant branch: change must reach the root
+	c.InvalidateTask(TaskID(heavy))
+	if touched := c.Update(); touched != 2 {
+		t.Fatalf("dominant perturbation touched %d tasks, want 2 (mid and root)", touched)
+	}
+	want = tg.Tails(sc.model())
+	for i, got := range c.Tails() {
+		if got != want[i] {
+			t.Fatalf("tails[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestTailsCacheNoopUpdate checks that an un-invalidated cache settles for
+// free and that a spurious invalidation (no underlying change) converges
+// back to the same values.
+func TestTailsCacheNoopUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tg := randomLayeredGraph(t, rng, 4, 4)
+	sc := randomCosts(rng, tg)
+	c := NewTailsCache(tg, sc.model())
+	if touched := c.Update(); touched != 0 {
+		t.Fatalf("clean Update touched %d tasks, want 0", touched)
+	}
+	c.InvalidateTask(TaskID(tg.NumTasks() - 1))
+	c.Update()
+	want := tg.Tails(sc.model())
+	for i, got := range c.Tails() {
+		if got != want[i] {
+			t.Fatalf("tails[%d] = %v, want %v after spurious invalidation", i, got, want[i])
+		}
+	}
+}
+
+// BenchmarkTailsFull / BenchmarkTailsUpdate compare a full Tails pass
+// against an incremental update for a single near-sink edge perturbation
+// on a ~600-task layered graph.
+func BenchmarkTailsFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(2003))
+	tg := randomLayeredGraph(b, rng, 30, 20)
+	sc := randomCosts(rng, tg)
+	cm := sc.model()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Tails(cm)
+	}
+}
+
+func BenchmarkTailsUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2003))
+	tg := randomLayeredGraph(b, rng, 30, 20)
+	sc := randomCosts(rng, tg)
+	c := NewTailsCache(tg, sc.model())
+	e := TaskEdgeID(tg.NumEdges() - 1) // deepest layer: short upstream cone
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.edge[e] = float64(1 + i%2)
+		c.InvalidateEdge(e)
+		c.Update()
+	}
+}

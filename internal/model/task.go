@@ -75,6 +75,11 @@ type TaskGraph struct {
 	taskOf   []TaskID // first task of each op (read half for mems)
 	memPairs []MemPair
 	topo     []TaskID // topological order, deterministic
+	// preds and succs are the distinct-neighbour lists, deduplicated and
+	// sorted once at compile time: schedulers ask for them per task per run,
+	// and rebuilding them through a map each time shows up in profiles.
+	preds [][]TaskID
+	succs [][]TaskID
 }
 
 // Compile validates g and builds its acyclic TaskGraph: each mem vertex is
@@ -114,6 +119,12 @@ func Compile(g *Graph) (*TaskGraph, error) {
 		return nil, err
 	}
 	tg.topo = topo
+	tg.preds = make([][]TaskID, len(tg.tasks))
+	tg.succs = make([][]TaskID, len(tg.tasks))
+	for t := range tg.tasks {
+		tg.preds[t] = tg.taskNeighbors(tg.ins[t], func(e TaskEdge) TaskID { return e.Src })
+		tg.succs[t] = tg.taskNeighbors(tg.outs[t], func(e TaskEdge) TaskID { return e.Dst })
+	}
 	return tg, nil
 }
 
@@ -209,15 +220,13 @@ func (tg *TaskGraph) NumIn(t TaskID) int { return len(tg.ins[t]) }
 // NumOut returns the out-degree of t without allocating.
 func (tg *TaskGraph) NumOut(t TaskID) int { return len(tg.outs[t]) }
 
-// Preds returns the distinct predecessors of t in ascending id order.
-func (tg *TaskGraph) Preds(t TaskID) []TaskID {
-	return tg.taskNeighbors(tg.ins[t], func(e TaskEdge) TaskID { return e.Src })
-}
+// Preds returns the distinct predecessors of t in ascending id order. The
+// returned slice aliases internal storage; callers must not mutate it.
+func (tg *TaskGraph) Preds(t TaskID) []TaskID { return tg.preds[t] }
 
-// Succs returns the distinct successors of t in ascending id order.
-func (tg *TaskGraph) Succs(t TaskID) []TaskID {
-	return tg.taskNeighbors(tg.outs[t], func(e TaskEdge) TaskID { return e.Dst })
-}
+// Succs returns the distinct successors of t in ascending id order. The
+// returned slice aliases internal storage; callers must not mutate it.
+func (tg *TaskGraph) Succs(t TaskID) []TaskID { return tg.succs[t] }
 
 func (tg *TaskGraph) taskNeighbors(edges []TaskEdgeID, pick func(TaskEdge) TaskID) []TaskID {
 	seen := make(map[TaskID]bool, len(edges))

@@ -6,6 +6,7 @@ package sched
 // copy+sorts of the seed implementation).
 
 import (
+	"runtime/debug"
 	"testing"
 
 	"ftbar/internal/arch"
@@ -70,16 +71,16 @@ func TestPreviewDoesNotAllocate(t *testing.T) {
 
 func TestPreviewTouchedDoesNotAllocate(t *testing.T) {
 	s, probe, dst := previewFixture(t)
-	media := make([]arch.MediumID, 0, s.Problem().Arc.NumMedia())
+	bounds := make([]MediumBound, 0, s.Problem().Arc.NumMedia())
 	for i := 0; i < 10; i++ {
 		var err error
-		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+		if _, bounds, err = s.PreviewTouched(probe, dst, bounds[:0]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(100, func() {
 		var err error
-		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+		if _, bounds, err = s.PreviewTouched(probe, dst, bounds[:0]); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -88,32 +89,32 @@ func TestPreviewTouchedDoesNotAllocate(t *testing.T) {
 	}
 }
 
-func TestEarliestReplicasIntoSelection(t *testing.T) {
-	reps := []*Replica{
-		{Index: 0, End: 5},
-		{Index: 1, End: 2},
-		{Index: 2, End: 2},
-		{Index: 3, End: 8},
-		{Index: 4, End: 1},
+func TestEarliestRepsIntoSelection(t *testing.T) {
+	// One task with five replicas on five processors, ends chosen so the
+	// (End, Index) order differs from placement order.
+	var s Schedule
+	s.slab.init(1, 5, 1)
+	for i, end := range []float64{5, 2, 2, 8, 1} {
+		s.slab.appendReplica(0, i, 0, end)
 	}
-	var scratch []*Replica
-	scratch = earliestReplicasInto(scratch, reps, 3)
-	want := []int{4, 1, 2} // by (End, Index): 1, 2#1, 2#2
+	var scratch []repID
+	scratch = s.earliestRepsInto(scratch, 0, 3)
+	want := []int32{4, 1, 2} // by (End, Index): 1, 2#1, 2#2
 	if len(scratch) != len(want) {
 		t.Fatalf("got %d replicas, want %d", len(scratch), len(want))
 	}
 	for i, r := range scratch {
-		if r.Index != want[i] {
-			t.Errorf("selection[%d] = replica %d, want %d", i, r.Index, want[i])
+		if s.slab.repIndex[r] != want[i] {
+			t.Errorf("selection[%d] = replica %d, want %d", i, s.slab.repIndex[r], want[i])
 		}
 	}
 	// n larger than the set: all replicas, still sorted.
-	scratch = earliestReplicasInto(scratch, reps, 10)
-	if len(scratch) != len(reps) {
-		t.Fatalf("got %d replicas, want %d", len(scratch), len(reps))
+	scratch = s.earliestRepsInto(scratch, 0, 10)
+	if len(scratch) != s.slab.numReps() {
+		t.Fatalf("got %d replicas, want %d", len(scratch), s.slab.numReps())
 	}
 	for i := 1; i < len(scratch); i++ {
-		if replicaEarlier(scratch[i], scratch[i-1]) {
+		if s.slab.repEarlier(scratch[i], scratch[i-1]) {
 			t.Errorf("selection out of order at %d", i)
 		}
 	}
@@ -132,13 +133,75 @@ func BenchmarkPreview(b *testing.B) {
 
 func BenchmarkPreviewTouched(b *testing.B) {
 	s, probe, dst := previewFixture(b)
-	media := make([]arch.MediumID, 0, s.Problem().Arc.NumMedia())
+	bounds := make([]MediumBound, 0, s.Problem().Arc.NumMedia())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		if _, media, err = s.PreviewTouched(probe, dst, media[:0]); err != nil {
+		if _, bounds, err = s.PreviewTouched(probe, dst, bounds[:0]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestPreviewZeroAllocsGCOff is the hard form of the preview gate: with
+// the collector paused there is no sync.Pool eviction to tolerate, so a
+// warm Preview must allocate exactly nothing. The soft (GC-on) variants
+// above keep ≤1 of slack for pool refills; this one is the regression
+// tripwire for any new allocation on the hot path.
+func TestPreviewZeroAllocsGCOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the measured path")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s, probe, dst := previewFixture(t)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Preview(probe, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := s.Preview(probe, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Preview allocates %v allocs/op with GC off, want exactly 0", avg)
+	}
+}
+
+// TestCheckpointRollbackAllocs pins the in-place undo: once a Checkpoint's
+// buffers have grown to the schedule's size, repeated checkpoint/rollback
+// cycles are pure slice copies.
+func TestCheckpointRollbackAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the measured path")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s, _, _ := previewFixture(t)
+	cp := new(Checkpoint)
+	for i := 0; i < 3; i++ { // grow cp's buffers
+		s.Checkpoint(cp)
+		s.Rollback(cp)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		s.Checkpoint(cp)
+		s.Rollback(cp)
+	}); avg != 0 {
+		t.Errorf("checkpoint+rollback allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCloneAllocsBounded pins Clone's shape: a slab memcpy plus a bounded
+// handful of header allocations, never proportional to the number of
+// scheduled replicas or comms. The bound is deliberately loose — the
+// regression it guards against is the seed's per-entry deep copy, which
+// was hundreds of allocations on this fixture.
+func TestCloneAllocsBounded(t *testing.T) {
+	s, _, _ := previewFixture(t)
+	avg := testing.AllocsPerRun(20, func() {
+		s.Clone()
+	})
+	if avg > 40 {
+		t.Errorf("Clone allocates %v allocs/op, want a small constant (≤ 40)", avg)
 	}
 }

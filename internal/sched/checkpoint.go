@@ -2,12 +2,12 @@ package sched
 
 // Checkpoint captures the commit state of a schedule so speculative work
 // can be undone in place. Every mutation a Schedule performs is an append
-// (replicas, processor sequences, medium sequences) plus updates to small
-// per-processor / per-medium / per-task arrays, so a checkpoint is just
-// the sequence lengths and copies of those arrays — no replica or comm is
-// deep-copied. Rolling back truncates the sequences and restores the
-// arrays, which is orders of magnitude cheaper than the Clone-and-swap
-// undo and allocation-free once the buffers exist.
+// into the slab columns plus updates to small per-processor / per-medium /
+// per-task arrays, so a checkpoint is two column lengths and flat slice
+// copies of those arrays — no per-replica or per-comm work at all. Rolling
+// back truncates the columns and copies the arrays back, which is orders
+// of magnitude cheaper than the Clone-and-swap undo and allocation-free
+// once the buffers exist.
 //
 // The revision stamp counter is deliberately NOT part of the checkpoint:
 // stamps keep increasing across a rollback, so schedule state committed
@@ -19,31 +19,29 @@ package sched
 // nested take/rollback cycles in between. The zero value is ready to use
 // and buffers are reused across takes.
 type Checkpoint struct {
-	repLen    []int
-	procLen   []int
-	medLen    []int
-	procEnd   []float64
-	mediumEnd []float64
-	procRev   []uint64
-	mediumRev []uint64
-	taskRev   []uint64
+	nReps, nComms int
+	taskRepN      []int32
+	procSeqN      []int32
+	medSeqN       []int32
+	medHead       []commID
+	medTail       []commID
+	procEnd       []float64
+	mediumEnd     []float64
+	procRev       []uint64
+	mediumRev     []uint64
+	taskRev       []uint64
 }
 
 // Checkpoint records the current commit state into cp, reusing its
 // buffers.
 func (s *Schedule) Checkpoint(cp *Checkpoint) {
-	cp.repLen = cp.repLen[:0]
-	for _, reps := range s.replicas {
-		cp.repLen = append(cp.repLen, len(reps))
-	}
-	cp.procLen = cp.procLen[:0]
-	for _, seq := range s.procSeq {
-		cp.procLen = append(cp.procLen, len(seq))
-	}
-	cp.medLen = cp.medLen[:0]
-	for _, seq := range s.mediumSeq {
-		cp.medLen = append(cp.medLen, len(seq))
-	}
+	sl := &s.slab
+	cp.nReps, cp.nComms = sl.numReps(), sl.numComms()
+	cp.taskRepN = append(cp.taskRepN[:0], sl.taskRepN...)
+	cp.procSeqN = append(cp.procSeqN[:0], sl.procSeqN...)
+	cp.medSeqN = append(cp.medSeqN[:0], sl.medSeqN...)
+	cp.medHead = append(cp.medHead[:0], sl.medHead...)
+	cp.medTail = append(cp.medTail[:0], sl.medTail...)
 	cp.procEnd = append(cp.procEnd[:0], s.procEnd...)
 	cp.mediumEnd = append(cp.mediumEnd[:0], s.mediumEnd...)
 	cp.procRev = append(cp.procRev[:0], s.procRev...)
@@ -53,20 +51,22 @@ func (s *Schedule) Checkpoint(cp *Checkpoint) {
 
 // Rollback restores the schedule to the state cp recorded. cp must have
 // been taken from this schedule, and everything committed since is
-// discarded. The stamp counter is not rewound.
+// discarded. The stamp counter is not rewound. Truncation leaves stale
+// entries in the index rows past the restored fills and possibly a stale
+// commNext on a surviving medium tail; both are unreachable because every
+// reader is bounded by the restored counts (see slab.go).
 func (s *Schedule) Rollback(cp *Checkpoint) {
-	for t := range s.replicas {
-		s.replicas[t] = s.replicas[t][:cp.repLen[t]]
-	}
-	for p := range s.procSeq {
-		s.procSeq[p] = s.procSeq[p][:cp.procLen[p]]
-	}
-	for m := range s.mediumSeq {
-		s.mediumSeq[m] = s.mediumSeq[m][:cp.medLen[m]]
-	}
+	sl := &s.slab
+	sl.truncate(cp.nReps, cp.nComms)
+	copy(sl.taskRepN, cp.taskRepN)
+	copy(sl.procSeqN, cp.procSeqN)
+	copy(sl.medSeqN, cp.medSeqN)
+	copy(sl.medHead, cp.medHead)
+	copy(sl.medTail, cp.medTail)
 	copy(s.procEnd, cp.procEnd)
 	copy(s.mediumEnd, cp.mediumEnd)
 	copy(s.procRev, cp.procRev)
 	copy(s.mediumRev, cp.mediumRev)
 	copy(s.taskRev, cp.taskRev)
+	s.invalidateView()
 }

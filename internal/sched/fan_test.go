@@ -64,13 +64,13 @@ func TestFanRoutesRecordedInPreviewDependencies(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Preview dst on P1: the fan serves P2 via L1.2 and P3 via L3.4+L1.4.
-	_, media, err := s.PreviewTouched(1, 0, nil)
+	_, bounds, err := s.PreviewTouched(1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	touched := map[arch.MediumID]bool{}
-	for _, m := range media {
-		touched[m] = true
+	for _, b := range bounds {
+		touched[b.Medium] = true
 	}
 	for _, name := range []string{"L1.2", "L3.4", "L1.4"} {
 		m, ok := p.Arc.MediumByName(name)
@@ -78,7 +78,7 @@ func TestFanRoutesRecordedInPreviewDependencies(t *testing.T) {
 			t.Fatalf("missing medium %s", name)
 		}
 		if !touched[m.ID] {
-			t.Errorf("fan route medium %s missing from preview dependency set %v", name, media)
+			t.Errorf("fan route medium %s missing from preview dependency set %v", name, bounds)
 		}
 	}
 }

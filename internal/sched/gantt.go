@@ -25,11 +25,9 @@ type GanttOptions struct {
 // here it grows rightwards).
 func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
 	length := s.Length()
-	for _, seq := range s.mediumSeq {
-		for _, c := range seq {
-			if c.End > length {
-				length = c.End
-			}
+	for _, e := range s.slab.commEnd {
+		if e > length {
+			length = e
 		}
 	}
 	scale := opts.Scale
@@ -47,10 +45,10 @@ func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
 		fmt.Fprintf(&b, "-- processor %s\n", proc.Name)
 		if opts.Bars {
 			b.WriteString("   ")
-			b.WriteString(barLine(s.replicaSpans(s.procSeq[p]), scale))
+			b.WriteString(barLine(s.replicaSpans(s.ProcSeq(arch.ProcID(p))), scale))
 			b.WriteByte('\n')
 		}
-		for _, r := range s.procSeq[p] {
+		for _, r := range s.ProcSeq(arch.ProcID(p)) {
 			fmt.Fprintf(&b, "   %8.3f .. %8.3f  %s#%d\n", r.Start, r.End, s.tasks.Task(r.Task).Name, r.Index)
 		}
 	}
@@ -59,10 +57,10 @@ func (s *Schedule) Render(w io.Writer, opts GanttOptions) error {
 		fmt.Fprintf(&b, "-- medium %s\n", medium.Name)
 		if opts.Bars {
 			b.WriteString("   ")
-			b.WriteString(barLine(commSpans(s.mediumSeq[m]), scale))
+			b.WriteString(barLine(commSpans(s.MediumSeq(arch.MediumID(m))), scale))
 			b.WriteByte('\n')
 		}
-		for _, c := range s.mediumSeq[m] {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			// Multi-hop chains annotate their position: relay hops park the
 			// data on the intermediate processor's communication unit, the
 			// final hop delivers it to the receiving replica.

@@ -52,7 +52,7 @@ type CommDoc struct {
 func (s *Schedule) Doc() Doc {
 	doc := Doc{Npf: s.faults.Npf, Nmf: s.faults.Nmf, Length: s.Length()}
 	for t := 0; t < s.tasks.NumTasks(); t++ {
-		for _, r := range s.replicas[t] {
+		for _, r := range s.Replicas(model.TaskID(t)) {
 			doc.Replicas = append(doc.Replicas, ReplicaDoc{
 				Task:  s.tasks.Task(model.TaskID(t)).Name,
 				Index: r.Index,
@@ -63,7 +63,7 @@ func (s *Schedule) Doc() Doc {
 		}
 	}
 	for m := 0; m < s.problem.Arc.NumMedia(); m++ {
-		for _, c := range s.mediumSeq[m] {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			doc.Comms = append(doc.Comms, CommDoc{
 				Edge:     s.problem.Alg.EdgeName(c.Orig),
 				SrcIndex: c.SrcIndex,

@@ -83,8 +83,8 @@ func (s *Schedule) validateJointSurvivability() error {
 		srcIndex int
 	}
 	chains := make(map[chainKey]*jointChain)
-	for _, seq := range s.mediumSeq {
-		for _, c := range seq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			k := chainKey{deliveryKey{s.tasks.Edge(c.Edge).Dst, c.DstIndex, c.Edge}, c.SrcIndex}
 			ch := chains[k]
 			if ch == nil {

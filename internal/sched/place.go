@@ -30,6 +30,23 @@ type plannedComm struct {
 	comm Comm
 }
 
+// MediumBound is one entry of a preview's medium dependency set: the plan
+// put a comm on Medium whose start was computed as max(sender/relay
+// availability, the medium's busy-end at the time). Because committed
+// busy-ends only grow, the planned comm — and through the plan's overlay,
+// every later comm on the same medium — comes out identical as long as the
+// medium's busy-end stays at or below Bound (the recorded start): either
+// the busy-end is unchanged, or it grew within the slack the availability
+// floor left, where it was not binding. Media the plan merely considered
+// and rejected need no bound at all: a rejected medium lost an
+// earliest-arrival comparison (or a freshness class) that busy-end growth
+// can only make it lose harder, and the comparisons' first-wins tie-break
+// is stable under growth (DESIGN.md Section 13).
+type MediumBound struct {
+	Medium arch.MediumID
+	Bound  float64
+}
+
 // EdgeArrival describes, for one in-edge of a previewed placement, how the
 // data would arrive: locally from a co-located predecessor replica, or as
 // the first (Best) and last (Worst) of the replicated comms. FTBAR's
@@ -52,9 +69,7 @@ type planScratch struct {
 	// replaces map clearing: a slot is live only when its epoch matches.
 	overlayVal   []float64
 	overlayEpoch []uint64
-	// touchMark dedups the touched-media record the same way.
-	touchMark []uint64
-	epoch     uint64
+	epoch        uint64
 	// usedMark records, per medium, the media already carrying a copy of
 	// the in-edge currently being planned (epoch-marked per edge by
 	// usedEpoch). Replica-aware media selection consults it when the fault
@@ -63,16 +78,32 @@ type planScratch struct {
 	// copies spread over distinct failure domains (DESIGN.md Section 10).
 	usedMark  []uint64
 	usedEpoch uint64
-	// touched lists every medium whose busy-end this plan consulted —
-	// chosen or merely considered — in first-touch order. Incremental
-	// engines persist it as the preview's medium dependency set.
-	touched []arch.MediumID
-	senders []*Replica
+	// bounds records, for each medium this plan put a comm on, the start
+	// of the first comm claiming it — the busy-end threshold under which
+	// a recomputation reproduces the plan exactly (see MediumBound).
+	bounds []MediumBound
+	// senders holds the slab ids of the Npf+1 earliest-finishing
+	// predecessor replicas of the edge being planned.
+	senders []repID
 	// fanProcs collects the sender processors of the edge being planned,
 	// the key of the disjoint-fan lookup.
 	fanProcs []arch.ProcID
 	plans    []plannedComm
 	details  []EdgeArrival
+	// memoRec enables per-edge replay recording (plan_memo.go): planEdge
+	// appends one planEdgeMemo per in-edge to edgeMemos, newComm one
+	// claimRec per (edge, medium) pair to claims — delineated by claimMark
+	// epochs sharing usedEpoch — and mEnd accumulates the media the current
+	// edge's planning read into edgeMask. Only set on memo-safe topologies
+	// (Nmf = 0, at most 64 media).
+	memoRec     bool
+	memoComms   bool
+	edgeMask    uint64
+	claims      []claimRec
+	edgeMemos   []planEdgeMemo
+	memoSenders []repID
+	claimMark   []uint64
+	claimIdx    []int32
 }
 
 // newScratchPool returns a pool of planScratch buffers for an architecture
@@ -82,8 +113,9 @@ func newScratchPool(nMedia int) *sync.Pool {
 		return &planScratch{
 			overlayVal:   make([]float64, nMedia),
 			overlayEpoch: make([]uint64, nMedia),
-			touchMark:    make([]uint64, nMedia),
 			usedMark:     make([]uint64, nMedia),
+			claimMark:    make([]uint64, nMedia),
+			claimIdx:     make([]int32, nMedia),
 		}
 	}}
 }
@@ -91,24 +123,23 @@ func newScratchPool(nMedia int) *sync.Pool {
 // begin resets the scratch for a new plan call.
 func (sc *planScratch) begin() {
 	sc.epoch++
-	sc.touched = sc.touched[:0]
+	sc.bounds = sc.bounds[:0]
 	sc.plans = sc.plans[:0]
 	sc.details = sc.details[:0]
-}
-
-// touch records that medium m's busy-end was consulted.
-func (sc *planScratch) touch(m arch.MediumID) {
-	if sc.touchMark[m] != sc.epoch {
-		sc.touchMark[m] = sc.epoch
-		sc.touched = append(sc.touched, m)
-	}
+	sc.memoRec = false
+	sc.memoComms = false
+	sc.claims = sc.claims[:0]
+	sc.edgeMemos = sc.edgeMemos[:0]
+	sc.memoSenders = sc.memoSenders[:0]
 }
 
 // mEnd returns the tentative busy-end of medium m: the overlay value when
 // one of this plan's earlier hops claimed the medium, the committed
-// busy-end otherwise. Every consultation is recorded in touched.
+// busy-end otherwise.
 func (sc *planScratch) mEnd(s *Schedule, m arch.MediumID) float64 {
-	sc.touch(m)
+	if sc.memoRec {
+		sc.edgeMask |= 1 << uint(m)
+	}
 	if sc.overlayEpoch[m] == sc.epoch {
 		return sc.overlayVal[m]
 	}
@@ -117,7 +148,6 @@ func (sc *planScratch) mEnd(s *Schedule, m arch.MediumID) float64 {
 
 // setOverlay claims medium m until end for the current plan.
 func (sc *planScratch) setOverlay(m arch.MediumID, end float64) {
-	sc.touch(m)
 	sc.overlayEpoch[m] = sc.epoch
 	sc.overlayVal[m] = end
 }
@@ -145,84 +175,26 @@ func (s *Schedule) putScratch(sc *planScratch) { s.scratch.Put(sc) }
 // against the current schedule state, planning (without committing) every
 // communication it implies into sc.plans. When needDetails is set the
 // per-edge arrival breakdown is collected into sc.details. plan reads the
-// schedule but never mutates it, so distinct scratches may plan
-// concurrently.
+// slab columns but never mutates them — and never materialises the pointer
+// view — so distinct scratches may plan concurrently.
 func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDetails bool) (Placement, error) {
+	sl := &s.slab
 	task := s.tasks.Task(t)
 	exec := s.problem.Exec.Time(task.Op, p)
 	if math.IsInf(exec, 1) {
-		return Placement{}, fmt.Errorf("%w: %q on %q",
-			ErrForbiddenPlacement, task.Name, s.problem.Arc.Proc(p).Name)
+		return Placement{}, errForbiddenOn(s, task.Name, p)
 	}
-	if s.ReplicaOn(t, p) != nil {
-		return Placement{}, fmt.Errorf("%w: %q on %q",
-			ErrDuplicateReplica, task.Name, s.problem.Arc.Proc(p).Name)
+	if sl.repOn(int(t), int(p)) >= 0 {
+		return Placement{}, errDuplicateOn(s, task.Name, p)
 	}
-	dstIndex := len(s.replicas[t])
+	dstIndex := int(sl.taskRepN[t])
 	arriveBest := 0.0
 	arriveWorst := 0.0
 	for _, eid := range s.tasks.InView(t) {
 		edge := s.tasks.Edge(eid)
-		srcReps := s.replicas[edge.Src]
-		if len(srcReps) == 0 {
-			return Placement{}, fmt.Errorf("%w: %q needs %q",
-				ErrPredUnscheduled, task.Name, s.tasks.Task(edge.Src).Name)
-		}
-		if local := s.ReplicaOn(edge.Src, p); local != nil {
-			// Paper Figure 3(b): a co-located predecessor replica makes
-			// the dependency an intra-processor communication of zero
-			// cost; no comm is replicated at all.
-			arriveBest = math.Max(arriveBest, local.End)
-			arriveWorst = math.Max(arriveWorst, local.End)
-			if needDetails {
-				sc.details = append(sc.details, EdgeArrival{
-					Edge: eid, Src: edge.Src, Local: true, Best: local.End, Worst: local.End,
-				})
-			}
-			continue
-		}
-		// Paper Figure 3(c): replicate the comm from the Npf+1
-		// earliest-finishing predecessor replicas over parallel media.
-		sc.beginEdge()
-		sc.senders = earliestReplicasInto(sc.senders, srcReps, s.faults.Npf+1)
-		// Under a medium budget the copies must travel media-disjoint
-		// chains, and on sparse topologies per-sender greedy choices can
-		// paint later senders into a corner (the first copy's route eats
-		// the only link a later copy's detour needs). The fan solves the
-		// joint problem up front: one media-disjoint route per sender
-		// where the topology permits (DESIGN.md Section 11). Relay hops
-		// are steered away from processors hosting replicas of the edge's
-		// endpoint tasks — a relay there would die together with a copy
-		// under one processor crash, exactly the correlation the joint
-		// (processor+medium) budget must avoid (DESIGN.md Section 12).
-		var fan []arch.Route
-		if s.faults.Nmf > 0 {
-			sc.fanProcs = sc.fanProcs[:0]
-			for _, sender := range sc.senders {
-				sc.fanProcs = append(sc.fanProcs, sender.Proc)
-			}
-			var avoid uint64
-			if !s.relayBlind {
-				avoid = s.replicaProcMask(edge.Src) | s.replicaProcMask(t)
-				if p < 64 {
-					avoid |= 1 << uint(p)
-				}
-			}
-			fan = s.fanFor(edge.Orig, sc.fanProcs, p, avoid)
-		}
-		edgeBest, edgeWorst := math.Inf(1), 0.0
-		for _, sender := range sc.senders {
-			arrival, err := s.planDelivery(edge, sender, p, dstIndex, arch.RouteFrom(fan, sender.Proc), sc)
-			if err != nil {
-				return Placement{}, err
-			}
-			edgeBest = math.Min(edgeBest, arrival)
-			edgeWorst = math.Max(edgeWorst, arrival)
-		}
-		if needDetails {
-			sc.details = append(sc.details, EdgeArrival{
-				Edge: eid, Src: edge.Src, Best: edgeBest, Worst: edgeWorst,
-			})
+		edgeBest, edgeWorst, err := s.planEdge(eid, edge, t, p, dstIndex, sc, needDetails)
+		if err != nil {
+			return Placement{}, err
 		}
 		arriveBest = math.Max(arriveBest, edgeBest)
 		arriveWorst = math.Max(arriveWorst, edgeWorst)
@@ -233,12 +205,120 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 	return Placement{Task: t, Proc: p, SBest: sBest, SWorst: sWorst, End: sBest + exec}, nil
 }
 
+func errForbiddenOn(s *Schedule, name string, p arch.ProcID) error {
+	return fmt.Errorf("%w: %q on %q", ErrForbiddenPlacement, name, s.problem.Arc.Proc(p).Name)
+}
+
+func errDuplicateOn(s *Schedule, name string, p arch.ProcID) error {
+	return fmt.Errorf("%w: %q on %q", ErrDuplicateReplica, name, s.problem.Arc.Proc(p).Name)
+}
+
+// planEdge plans the arrival of one in-edge of a (t, p) placement: the
+// local case when a predecessor replica is co-located, the replicated
+// comms from the Npf+1 earliest-finishing predecessor replicas otherwise.
+// It returns the edge's best and worst arrival. When sc.memoRec is set it
+// additionally appends the edge's replay record — predecessor revision,
+// read-media mask, per-medium claims — to the scratch (plan_memo.go).
+func (s *Schedule) planEdge(eid model.TaskEdgeID, edge model.TaskEdge, t model.TaskID, p arch.ProcID,
+	dstIndex int, sc *planScratch, needDetails bool) (float64, float64, error) {
+
+	sl := &s.slab
+	if sl.taskRepN[edge.Src] == 0 {
+		return 0, 0, fmt.Errorf("%w: %q needs %q",
+			ErrPredUnscheduled, s.tasks.Task(t).Name, s.tasks.Task(edge.Src).Name)
+	}
+	var claimLo, planLo int32
+	if sc.memoRec {
+		claimLo = int32(len(sc.claims))
+		planLo = int32(len(sc.plans))
+		sc.edgeMask = 0
+	}
+	if local := sl.repOn(int(edge.Src), int(p)); local >= 0 {
+		// Paper Figure 3(b): a co-located predecessor replica makes
+		// the dependency an intra-processor communication of zero
+		// cost; no comm is replicated at all.
+		localEnd := sl.repEnd[local]
+		if needDetails {
+			sc.details = append(sc.details, EdgeArrival{
+				Edge: eid, Src: edge.Src, Local: true, Best: localEnd, Worst: localEnd,
+			})
+		}
+		if sc.memoRec {
+			sLo := int32(len(sc.memoSenders))
+			sc.edgeMemos = append(sc.edgeMemos, planEdgeMemo{
+				src: edge.Src, predRev: s.taskRev[edge.Src], local: true,
+				best: localEnd, worst: localEnd, claimLo: claimLo, claimHi: claimLo,
+				senderLo: sLo, senderHi: sLo, planLo: planLo, planHi: planLo,
+			})
+		}
+		return localEnd, localEnd, nil
+	}
+	// Paper Figure 3(c): replicate the comm from the Npf+1
+	// earliest-finishing predecessor replicas over parallel media.
+	sc.beginEdge()
+	sc.senders = s.earliestRepsInto(sc.senders, edge.Src, s.faults.Npf+1)
+	var senderLo int32
+	if sc.memoRec {
+		senderLo = int32(len(sc.memoSenders))
+		sc.memoSenders = append(sc.memoSenders, sc.senders...)
+	}
+	// Under a medium budget the copies must travel media-disjoint
+	// chains, and on sparse topologies per-sender greedy choices can
+	// paint later senders into a corner (the first copy's route eats
+	// the only link a later copy's detour needs). The fan solves the
+	// joint problem up front: one media-disjoint route per sender
+	// where the topology permits (DESIGN.md Section 11). Relay hops
+	// are steered away from processors hosting replicas of the edge's
+	// endpoint tasks — a relay there would die together with a copy
+	// under one processor crash, exactly the correlation the joint
+	// (processor+medium) budget must avoid (DESIGN.md Section 12).
+	var fan []arch.Route
+	if s.faults.Nmf > 0 {
+		sc.fanProcs = sc.fanProcs[:0]
+		for _, sender := range sc.senders {
+			sc.fanProcs = append(sc.fanProcs, arch.ProcID(sl.repProc[sender]))
+		}
+		var avoid uint64
+		if !s.relayBlind {
+			avoid = s.replicaProcMask(edge.Src) | s.replicaProcMask(t)
+			if p < 64 {
+				avoid |= 1 << uint(p)
+			}
+		}
+		fan = s.fanFor(edge.Orig, sc.fanProcs, p, avoid)
+	}
+	edgeBest, edgeWorst := math.Inf(1), 0.0
+	for _, sender := range sc.senders {
+		route := arch.RouteFrom(fan, arch.ProcID(sl.repProc[sender]))
+		arrival, err := s.planDelivery(edge, sender, p, dstIndex, route, sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		edgeBest = math.Min(edgeBest, arrival)
+		edgeWorst = math.Max(edgeWorst, arrival)
+	}
+	if needDetails {
+		sc.details = append(sc.details, EdgeArrival{
+			Edge: eid, Src: edge.Src, Best: edgeBest, Worst: edgeWorst,
+		})
+	}
+	if sc.memoRec {
+		sc.edgeMemos = append(sc.edgeMemos, planEdgeMemo{
+			src: edge.Src, predRev: s.taskRev[edge.Src], readMask: sc.edgeMask,
+			best: edgeBest, worst: edgeWorst, claimLo: claimLo, claimHi: int32(len(sc.claims)),
+			senderLo: senderLo, senderHi: int32(len(sc.memoSenders)),
+			planLo: planLo, planHi: int32(len(sc.plans)),
+		})
+	}
+	return edgeBest, edgeWorst, nil
+}
+
 // planDelivery plans the comm hops carrying edge's value from the sender
-// replica to processor dst (appended to sc.plans) and returns the arrival
-// time. With a medium budget (Nmf > 0) the caller passes the sender's
-// route from the edge's disjoint fan, and the delivery follows it exactly
-// — possibly store-and-forward through relay processors — so the copies
-// of the dependency travel pairwise media-disjoint chains by
+// replica (a slab id) to processor dst (appended to sc.plans) and returns
+// the arrival time. With a medium budget (Nmf > 0) the caller passes the
+// sender's route from the edge's disjoint fan, and the delivery follows it
+// exactly — possibly store-and-forward through relay processors — so the
+// copies of the dependency travel pairwise media-disjoint chains by
 // construction. Senders the fan could not serve (route == nil, the
 // topology's disjoint budget is exhausted) and the whole Nmf = 0 case
 // take the legacy path: direct media chosen greedily for earliest arrival
@@ -246,18 +326,38 @@ func (s *Schedule) plan(t model.TaskID, p arch.ProcID, sc *planScratch, needDeta
 // an earlier copy already travels whenever a fresh allowed medium exists
 // — and the precomputed shortest store-and-forward route when no direct
 // medium carries the dependency.
-func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.ProcID,
+func (s *Schedule) planDelivery(edge model.TaskEdge, sender repID, dst arch.ProcID,
 	dstIndex int, route arch.Route, sc *planScratch) (float64, error) {
+
+	sl := &s.slab
+	senderEnd := sl.repEnd[sender]
+	senderProc := arch.ProcID(sl.repProc[sender])
+	senderIndex := int(sl.repIndex[sender])
 
 	newComm := func(m arch.MediumID, from, to arch.ProcID, hop int, last bool, start, dur float64) {
 		end := start + dur
+		if sc.overlayEpoch[m] != sc.epoch {
+			// First claim of m: start was floored by the committed busy-end,
+			// so start is the threshold the busy-end must stay under for the
+			// whole per-medium comm chain to replan identically.
+			sc.bounds = append(sc.bounds, MediumBound{Medium: m, Bound: start})
+		}
 		sc.setOverlay(m, end)
 		if s.faults.Nmf > 0 {
 			sc.markUsed(m)
 		}
+		if sc.memoRec {
+			if sc.claimMark[m] == sc.usedEpoch {
+				sc.claims[sc.claimIdx[m]].end = end
+			} else {
+				sc.claimMark[m] = sc.usedEpoch
+				sc.claimIdx[m] = int32(len(sc.claims))
+				sc.claims = append(sc.claims, claimRec{medium: m, bound: start, end: end})
+			}
+		}
 		sc.plans = append(sc.plans, plannedComm{comm: Comm{
 			Edge: edge.ID, Orig: edge.Orig,
-			SrcIndex: sender.Index, DstIndex: dstIndex,
+			SrcIndex: senderIndex, DstIndex: dstIndex,
 			Hop: hop, LastHop: last,
 			Medium: m, From: from, To: to,
 			Start: start, End: end,
@@ -268,7 +368,7 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 	// contending on its medium's tentative busy-end, and returns the
 	// arrival time at the route's final processor.
 	followRoute := func(route arch.Route) (float64, error) {
-		avail := sender.End
+		avail := senderEnd
 		for i, hop := range route {
 			dur := s.problem.Comm.Time(edge.Orig, hop.Medium)
 			if math.IsInf(dur, 1) {
@@ -287,7 +387,7 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 		return followRoute(route)
 	}
 
-	if direct := s.directMedia[int(sender.Proc)*len(s.procEnd)+int(dst)]; len(direct) > 0 {
+	if direct := s.directMedia[int(senderProc)*len(s.procEnd)+int(dst)]; len(direct) > 0 {
 		bestM := arch.MediumID(-1)
 		bestArrive := math.Inf(1)
 		bestStart := 0.0
@@ -302,7 +402,7 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 				continue
 			}
 			fresh := s.faults.Nmf == 0 || !sc.isUsed(m)
-			start := math.Max(sender.End, sc.mEnd(s, m))
+			start := math.Max(senderEnd, sc.mEnd(s, m))
 			arrive := start + dur
 			if fresh != bestFresh {
 				if !fresh {
@@ -314,45 +414,38 @@ func (s *Schedule) planDelivery(edge model.TaskEdge, sender *Replica, dst arch.P
 			bestM, bestArrive, bestStart, bestFresh = m, arrive, start, fresh
 		}
 		if bestM >= 0 {
-			newComm(bestM, sender.Proc, dst, 0, true, bestStart, bestArrive-bestStart)
+			newComm(bestM, senderProc, dst, 0, true, bestStart, bestArrive-bestStart)
 			return bestArrive, nil
 		}
 		// All direct media forbid this edge; fall through to routing.
 	}
-	fallback, err := s.routeFor(edge.Orig, sender.Proc, dst)
+	fallback, err := s.routeFor(edge.Orig, senderProc, dst)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %s from %q to %q",
 			ErrNoPath, s.problem.Alg.EdgeName(edge.Orig),
-			s.problem.Arc.Proc(sender.Proc).Name, s.problem.Arc.Proc(dst).Name)
+			s.problem.Arc.Proc(senderProc).Name, s.problem.Arc.Proc(dst).Name)
 	}
 	return followRoute(fallback)
 }
 
-// replicaEarlier orders replicas by (End, Index): the paper indexes the
-// sending replicas k = 1..Npf+1, and the earliest finishers minimise both
-// S_best and S_worst.
-func replicaEarlier(a, b *Replica) bool {
-	if a.End != b.End {
-		return a.End < b.End
-	}
-	return a.Index < b.Index
-}
-
-// earliestReplicasInto writes the up-to-n earliest replicas of reps into
-// dst (reused, returned re-sliced) in (End, Index) order. The partial
+// earliestRepsInto writes the ids of the up-to-n earliest replicas of t
+// into dst (reused, returned re-sliced) in (End, Index) order. The partial
 // selection keeps the hot path allocation-free: n is Npf+1, a small
-// constant, so the insertion cost is O(len(reps) · n).
-func earliestReplicasInto(dst []*Replica, reps []*Replica, n int) []*Replica {
+// constant, so the insertion cost is O(replicas · n).
+func (s *Schedule) earliestRepsInto(dst []repID, t model.TaskID, n int) []repID {
+	sl := &s.slab
+	row := int(t) * sl.nProcs
 	dst = dst[:0]
-	for _, r := range reps {
+	for k := 0; k < int(sl.taskRepN[t]); k++ {
+		r := sl.taskReps[row+k]
 		if len(dst) < n {
 			dst = append(dst, r)
-		} else if replicaEarlier(r, dst[n-1]) {
+		} else if sl.repEarlier(r, dst[n-1]) {
 			dst[n-1] = r
 		} else {
 			continue
 		}
-		for i := len(dst) - 1; i > 0 && replicaEarlier(dst[i], dst[i-1]); i-- {
+		for i := len(dst) - 1; i > 0 && sl.repEarlier(dst[i], dst[i-1]); i-- {
 			dst[i], dst[i-1] = dst[i-1], dst[i]
 		}
 	}
@@ -369,19 +462,23 @@ func (s *Schedule) Preview(t model.TaskID, p arch.ProcID) (Placement, error) {
 	return pl, err
 }
 
-// PreviewTouched is Preview plus the preview's medium dependency set: every
-// medium whose busy-end the planning consulted, appended to media (which
+// PreviewTouched is Preview plus the preview's medium dependency set: one
+// MediumBound per medium the plan put a comm on, appended to bounds (which
 // may be nil) and returned. A cached preview of (t, p) stays valid while
-// ProcRev(p), the replica counts of t and its predecessors, and the
-// MediumRev of every returned medium are unchanged (DESIGN.md Section 8).
-// On error the appended set covers the media consulted before the failure,
-// and the same dependencies determine that the error itself recurs.
-func (s *Schedule) PreviewTouched(t model.TaskID, p arch.ProcID, media []arch.MediumID) (Placement, []arch.MediumID, error) {
+// the replica-set stamps of t and its predecessors are unchanged,
+// ProcEnd(p) <= the returned SWorst, and MediumEnd(m) <= Bound for every
+// returned bound: replicas are append-only, busy-ends only grow, and
+// growth below those thresholds is never binding (DESIGN.md Sections 8 and
+// 13). Media the plan considered but rejected carry no bound — rejection
+// is monotone under busy-end growth. On error the appended set covers the
+// comms planned before the failure; the error itself is structural and
+// recurs under the stamp conditions alone.
+func (s *Schedule) PreviewTouched(t model.TaskID, p arch.ProcID, bounds []MediumBound) (Placement, []MediumBound, error) {
 	sc := s.getScratch()
 	pl, err := s.plan(t, p, sc, false)
-	media = append(media, sc.touched...)
+	bounds = append(bounds, sc.bounds...)
 	s.putScratch(sc)
-	return pl, media, err
+	return pl, bounds, err
 }
 
 // PreviewDetail is Preview plus the per-edge arrival breakdown, which
@@ -397,34 +494,98 @@ func (s *Schedule) PreviewDetail(t model.TaskID, p arch.ProcID) (Placement, []Ed
 	return pl, details, err
 }
 
+// PlannedPlacement is a plan held open for committing: PlanPlacement
+// computes the placement of (t, p) — with the per-edge arrival breakdown
+// Minimize-start-time needs — and keeps the planned comms instead of
+// discarding them, so a later Commit applies them without replanning.
+// The token is only valid while the schedule is in exactly the state the
+// plan was computed against; Minimize-start-time guarantees that by
+// construction (a speculative duplication either keeps the state that
+// produced the newest token or rolls back bit-exact to the state that
+// produced the previous one). Exactly one of Commit or Discard must be
+// called; both release the scratch the token holds.
+type PlannedPlacement struct {
+	s  *Schedule
+	sc *planScratch
+	pl Placement
+}
+
+// PlanPlacement plans one replica of t on p and returns the open plan.
+func (s *Schedule) PlanPlacement(t model.TaskID, p arch.ProcID) (PlannedPlacement, error) {
+	sc := s.getScratch()
+	pl, err := s.plan(t, p, sc, true)
+	if err != nil {
+		s.putScratch(sc)
+		return PlannedPlacement{}, err
+	}
+	return PlannedPlacement{s: s, sc: sc, pl: pl}, nil
+}
+
+// Placement returns the planned placement.
+func (pp *PlannedPlacement) Placement() Placement { return pp.pl }
+
+// Details returns the per-edge arrival breakdown of the plan. The slice
+// aliases the token's scratch and is valid until Commit or Discard.
+func (pp *PlannedPlacement) Details() []EdgeArrival { return pp.sc.details }
+
+// Commit commits the planned comms and replica, exactly as PlaceReplica
+// would have — the schedule state still matches the plan's, so replanning
+// would reproduce the held plan bit for bit — and releases the token.
+func (pp *PlannedPlacement) Commit() Replica {
+	s, sc, pl := pp.s, pp.sc, pp.pl
+	for i := range sc.plans {
+		s.commitComm(&sc.plans[i].comm)
+	}
+	t, p := pl.Task, pl.Proc
+	r := Replica{Task: t, Index: int(s.slab.taskRepN[t]), Proc: p, Start: pl.SBest, End: pl.End}
+	s.slab.appendReplica(int(t), int(p), pl.SBest, pl.End)
+	s.procEnd[p] = r.End
+	s.procRev[p] = s.nextStamp()
+	s.taskRev[t] = s.nextStamp()
+	s.invalidateView()
+	s.putScratch(sc)
+	pp.sc = nil
+	return r
+}
+
+// Discard abandons the plan and releases the token. Safe on a token
+// already committed or discarded, and on the zero token.
+func (pp *PlannedPlacement) Discard() {
+	if pp.sc != nil {
+		pp.s.putScratch(pp.sc)
+		pp.sc = nil
+	}
+}
+
 // PlaceReplica commits one replica of t on p: the implied comms are
 // serialised on their media and the replica is appended to the processor at
 // its S_best start (paper micro-step "Schedule o to p at S_best(o,p)").
 // Committing bumps the processor's revision and the revision of every
-// medium that received a comm.
-func (s *Schedule) PlaceReplica(t model.TaskID, p arch.ProcID) (*Replica, error) {
+// medium that received a comm, and invalidates the pointer view. The
+// committed replica is returned by value: handing out a pointer into the
+// (just invalidated) view would either allocate or force a rebuild.
+func (s *Schedule) PlaceReplica(t model.TaskID, p arch.ProcID) (Replica, error) {
 	sc := s.getScratch()
 	pl, err := s.plan(t, p, sc, false)
 	if err != nil {
 		s.putScratch(sc)
-		return nil, err
+		return Replica{}, err
 	}
 	for i := range sc.plans {
-		c := sc.plans[i].comm
-		s.appendComm(&c)
+		s.commitComm(&sc.plans[i].comm)
 	}
 	s.putScratch(sc)
-	r := &Replica{Task: t, Index: len(s.replicas[t]), Proc: p, Start: pl.SBest, End: pl.End}
-	s.replicas[t] = append(s.replicas[t], r)
-	s.procSeq[p] = append(s.procSeq[p], r)
+	r := Replica{Task: t, Index: int(s.slab.taskRepN[t]), Proc: p, Start: pl.SBest, End: pl.End}
+	s.slab.appendReplica(int(t), int(p), pl.SBest, pl.End)
 	s.procEnd[p] = r.End
 	s.procRev[p] = s.nextStamp()
 	s.taskRev[t] = s.nextStamp()
+	s.invalidateView()
 	return r, nil
 }
 
-func (s *Schedule) appendComm(c *Comm) {
-	s.mediumSeq[c.Medium] = append(s.mediumSeq[c.Medium], c)
+func (s *Schedule) commitComm(c *Comm) {
+	s.slab.appendComm(c)
 	if c.End > s.mediumEnd[c.Medium] {
 		s.mediumEnd[c.Medium] = c.End
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector instruments this build.
+// The exact-zero allocation gates skip under instrumentation: the detector
+// itself allocates on the paths it shadows, which says nothing about the
+// planner's steady state.
+const raceEnabled = false

@@ -13,6 +13,10 @@
 // micro-step ⑦) is realised. Revision stamps (ProcRev, MediumRev, TaskRev)
 // let incremental heuristics reuse previews across steps (DESIGN.md
 // Section 8).
+//
+// Storage is the flat slab of DESIGN.md Section 13: structure-of-arrays
+// columns addressed by dense ids (slab.go), with the pointer-shaped
+// accessors served by a lazily materialised view (view.go).
 package sched
 
 import (
@@ -21,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ftbar/internal/arch"
 	"ftbar/internal/model"
@@ -66,29 +71,131 @@ type Comm struct {
 	End      float64
 }
 
+// routeStore caches one weighted routing table per data-dependency,
+// consulted only when no direct medium carries the dependency. The cache
+// is deterministic, append-only and shared across a clone family; entries
+// are published copy-on-write through an atomic pointer, so warm lookups
+// from concurrent previews never take a lock and the fill lock covers only
+// the rare cold computations.
+type routeStore struct {
+	mu     sync.Mutex
+	tables atomic.Pointer[map[model.EdgeID]*arch.RouteTable]
+}
+
+func (rs *routeStore) get(edge model.EdgeID) (*arch.RouteTable, bool) {
+	if m := rs.tables.Load(); m != nil {
+		rt, ok := (*m)[edge]
+		return rt, ok
+	}
+	return nil, false
+}
+
+func (rs *routeStore) fill(edge model.EdgeID, p *spec.Problem) (*arch.RouteTable, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	old := rs.tables.Load()
+	if old != nil {
+		if rt, ok := (*old)[edge]; ok {
+			return rt, nil
+		}
+	}
+	rt, err := p.EdgeRoutes(edge)
+	if err != nil {
+		return nil, err
+	}
+	next := make(map[model.EdgeID]*arch.RouteTable, 1)
+	if old != nil {
+		next = make(map[model.EdgeID]*arch.RouteTable, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[edge] = rt
+	rs.tables.Store(&next)
+	return rt, nil
+}
+
+// fanKey identifies one cached disjoint fan: the data-dependency, the
+// sender-processor set and relay-avoid set as bitmasks, and the receiver
+// (DESIGN.md Sections 11-12). Bitmask keying restricts the flat cache to
+// architectures of at most 64 processors; larger ones compute uncached,
+// exactly like the per-edge FanCache they wrap.
+type fanKey struct {
+	edge  model.EdgeID
+	srcs  uint64
+	avoid uint64
+	dst   arch.ProcID
+}
+
+// fanStore caches, per data-dependency, the media-disjoint delivery fans of
+// the Nmf-aware planner. Fans depend only on the topology, the edge's
+// communication times and the key's masks — the avoid mask's inputs (the
+// replica sets of the edge's endpoint tasks) are exactly the TaskRev
+// dependencies the σ-cache already tracks — so one store stays exact across
+// a whole clone family and its concurrent previews. The flat map is
+// published copy-on-write: warm lookups are one atomic load and one map
+// probe, with no reader lock to contend on; the fill lock serialises the
+// cold flow computations and guards the per-edge compute contexts.
+type fanStore struct {
+	mu     sync.Mutex
+	fans   atomic.Pointer[map[fanKey][]arch.Route]
+	caches map[model.EdgeID]*arch.FanCache
+}
+
+func newFanStore() *fanStore {
+	return &fanStore{caches: make(map[model.EdgeID]*arch.FanCache)}
+}
+
+// cacheFor returns edge's compute context, creating it on first use. The
+// caller holds fs.mu. The weight closure must not capture a Schedule: the
+// store is shared by the whole clone family and would otherwise pin
+// whichever clone filled it — the comm table is immutable and shared.
+func (fs *fanStore) cacheFor(edge model.EdgeID, p *spec.Problem) *arch.FanCache {
+	fc, ok := fs.caches[edge]
+	if !ok {
+		e, comm := edge, p.Comm
+		fc = arch.NewFanCache(p.Arc, func(m arch.MediumID) float64 {
+			return comm.Time(e, m)
+		})
+		fs.caches[edge] = fc
+	}
+	return fc
+}
+
+func (fs *fanStore) fill(key fanKey, srcs []arch.ProcID, p *spec.Problem) []arch.Route {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	old := fs.fans.Load()
+	if old != nil {
+		// Another preview may have filled the entry between the caller's
+		// lock-free probe and this lock.
+		if fan, ok := (*old)[key]; ok {
+			return fan
+		}
+	}
+	fan := fs.cacheFor(key.edge, p).FanAvoiding(srcs, key.dst, key.avoid)
+	var next map[fanKey][]arch.Route
+	if old != nil {
+		next = make(map[fanKey][]arch.Route, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	} else {
+		next = make(map[fanKey][]arch.Route, 1)
+	}
+	next[key] = fan
+	fs.fans.Store(&next)
+	return fan
+}
+
 // Schedule is a static distributed schedule under construction or finished.
 // Create one with NewSchedule; the zero value is not usable.
 type Schedule struct {
 	problem *spec.Problem
 	tasks   *model.TaskGraph
-	// edgeRoutes caches one weighted routing table per data-dependency,
-	// consulted only when no direct medium carries the dependency. The
-	// cache is deterministic and append-only, so clones share it; routeMu
-	// (also shared) makes the lazy fills safe under concurrent previews.
-	edgeRoutes map[model.EdgeID]*arch.RouteTable
-	// edgeFans caches, per data-dependency, the media-disjoint delivery
-	// fans of the Nmf-aware planner (DESIGN.md Section 11), keyed inside
-	// each FanCache on the (sender-set, receiver) pair and on the
-	// architecture's topology revision. Shared across clones. Unlike
-	// routeFor — which locks only on the rare no-direct-media fallback —
-	// fanFor runs on every planned in-edge at Nmf > 0, so it is guarded
-	// by its own RWMutex: steady-state hits take the read side and the
-	// parallel preview workers never serialise on a cache that is
-	// already warm.
-	edgeFans map[model.EdgeID]*arch.FanCache
-	fanMu    *sync.RWMutex
-	routeMu  *sync.Mutex
-	faults   spec.FaultModel
+	routes  *routeStore
+	fans    *fanStore
+	faults  spec.FaultModel
 	// relayBlind disables the relay-processor-aware fan costs (DESIGN.md
 	// Section 12) and reproduces the relay-blind route choice of the plain
 	// disjoint fan. The combined benchmark flips it to price the
@@ -104,9 +211,9 @@ type Schedule struct {
 	// (shared across clones: buffers carry no schedule state).
 	scratch *sync.Pool
 
-	replicas  [][]*Replica // per task, in placement order
-	procSeq   [][]*Replica // per processor, in placement order
-	mediumSeq [][]*Comm    // per medium, in placement order
+	// slab holds every replica and comm in flat columns (slab.go).
+	slab slab
+
 	procEnd   []float64
 	mediumEnd []float64
 
@@ -120,6 +227,11 @@ type Schedule struct {
 	mediumRev    []uint64
 	taskRev      []uint64
 	stampCounter *uint64
+
+	// view is the pointer-shaped materialisation of the slab (view.go),
+	// dropped on every mutation.
+	view   atomic.Pointer[scheduleView]
+	viewMu sync.Mutex
 }
 
 // NewSchedule returns an empty schedule for the problem. It validates the
@@ -136,26 +248,23 @@ func NewSchedule(p *spec.Problem) (*Schedule, error) {
 			direct[a*nProcs+b] = p.Arc.MediaBetween(arch.ProcID(a), arch.ProcID(b))
 		}
 	}
-	return &Schedule{
+	s := &Schedule{
 		problem:      p,
 		tasks:        tasks,
-		edgeRoutes:   make(map[model.EdgeID]*arch.RouteTable),
-		edgeFans:     make(map[model.EdgeID]*arch.FanCache),
-		fanMu:        new(sync.RWMutex),
-		routeMu:      new(sync.Mutex),
+		routes:       new(routeStore),
+		fans:         newFanStore(),
 		faults:       p.FaultModel(),
 		directMedia:  direct,
 		scratch:      newScratchPool(nMedia),
-		replicas:     make([][]*Replica, tasks.NumTasks()),
-		procSeq:      make([][]*Replica, nProcs),
-		mediumSeq:    make([][]*Comm, nMedia),
 		procEnd:      make([]float64, nProcs),
 		mediumEnd:    make([]float64, nMedia),
 		procRev:      make([]uint64, nProcs),
 		mediumRev:    make([]uint64, nMedia),
 		taskRev:      make([]uint64, tasks.NumTasks()),
 		stampCounter: new(uint64),
-	}, nil
+	}
+	s.slab.init(tasks.NumTasks(), nProcs, nMedia)
+	return s, nil
 }
 
 // nextStamp returns a fresh revision stamp, unique across the clone
@@ -168,20 +277,17 @@ func (s *Schedule) nextStamp() uint64 {
 
 // routeFor returns the weighted route of edge from processor p to q,
 // computing and caching the edge's routing table on first use. Safe for
-// concurrent previews: the lazy fill is guarded by the shared routeMu.
+// concurrent previews: warm lookups are lock-free against the published
+// map, cold fills are serialised in the store.
 func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, error) {
-	s.routeMu.Lock()
-	rt, ok := s.edgeRoutes[edge]
+	rt, ok := s.routes.get(edge)
 	if !ok {
 		var err error
-		rt, err = s.problem.EdgeRoutes(edge)
+		rt, err = s.routes.fill(edge, s.problem)
 		if err != nil {
-			s.routeMu.Unlock()
 			return nil, err
 		}
-		s.edgeRoutes[edge] = rt
 	}
-	s.routeMu.Unlock()
 	return rt.Route(p, q)
 }
 
@@ -191,40 +297,28 @@ func (s *Schedule) routeFor(edge model.EdgeID, p, q arch.ProcID) (arch.Route, er
 // processors hosting replicas of the edge's sender or receiver task as
 // dispreferred relays (DESIGN.md Section 12): their crash already
 // endangers the delivery, so routing a chain through them would couple
-// chain death to replica death under a joint processor+medium crash. Fans
-// depend only on the topology, the edge's communication times and the
-// avoid mask — the mask is part of the cache key, and its inputs (the
-// replica sets of the edge's endpoint tasks) are exactly the TaskRev
-// dependencies the σ-cache already tracks — so the shared per-edge cache
-// stays exact across clones and concurrent previews. Warm lookups take
-// fanMu's read side only; the write side covers the lazy fills (and
-// re-checks, since another preview may have filled the entry between the
-// two locks).
+// chain death to replica death under a joint processor+medium crash. Warm
+// lookups probe the copy-on-write map with no lock at all; cold fills go
+// through the store's fill lock.
 func (s *Schedule) fanFor(edge model.EdgeID, srcs []arch.ProcID, dst arch.ProcID, avoid uint64) []arch.Route {
-	s.fanMu.RLock()
-	fc := s.edgeFans[edge]
-	if fc != nil {
-		if fan, ok := fc.LookupAvoiding(srcs, dst, avoid); ok {
-			s.fanMu.RUnlock()
+	if s.problem.Arc.NumProcs() > 64 {
+		// No bitmask keys: compute uncached under the fill lock, which
+		// also serialises the per-edge compute context.
+		s.fans.mu.Lock()
+		fan := s.fans.cacheFor(edge, s.problem).FanAvoiding(srcs, dst, avoid)
+		s.fans.mu.Unlock()
+		return fan
+	}
+	key := fanKey{edge: edge, avoid: avoid, dst: dst}
+	for _, sp := range srcs {
+		key.srcs |= 1 << uint(sp)
+	}
+	if m := s.fans.fans.Load(); m != nil {
+		if fan, ok := (*m)[key]; ok {
 			return fan
 		}
 	}
-	s.fanMu.RUnlock()
-	s.fanMu.Lock()
-	fc, ok := s.edgeFans[edge]
-	if !ok {
-		// The closure must not capture the Schedule: the cache is shared
-		// by the whole clone family and would otherwise pin whichever
-		// clone filled it — the comm table is immutable and shared.
-		e, comm := edge, s.problem.Comm
-		fc = arch.NewFanCache(s.problem.Arc, func(m arch.MediumID) float64 {
-			return comm.Time(e, m)
-		})
-		s.edgeFans[edge] = fc
-	}
-	fan := fc.FanAvoiding(srcs, dst, avoid)
-	s.fanMu.Unlock()
-	return fan
+	return s.fans.fill(key, srcs, s.problem)
 }
 
 // SetRelayAware toggles the relay-processor-aware fan costs of Section 12
@@ -241,10 +335,12 @@ func (s *Schedule) RelayAware() bool { return !s.relayBlind }
 // t (processors beyond 63 are not representable and left out; the fan
 // cache bypasses bitmask keying on such architectures anyway).
 func (s *Schedule) replicaProcMask(t model.TaskID) uint64 {
+	sl := &s.slab
+	row := int(t) * sl.nProcs
 	var mask uint64
-	for _, r := range s.replicas[t] {
-		if r.Proc < 64 {
-			mask |= 1 << uint(r.Proc)
+	for i := 0; i < int(sl.taskRepN[t]); i++ {
+		if p := sl.repProc[sl.taskReps[row+i]]; p < 64 {
+			mask |= 1 << uint(p)
 		}
 	}
 	return mask
@@ -266,26 +362,49 @@ func (s *Schedule) Npf() int { return s.faults.Npf }
 func (s *Schedule) Nmf() int { return s.faults.Nmf }
 
 // Replicas returns the replicas of a task in placement order. The returned
-// slice aliases internal storage; callers must not mutate it.
-func (s *Schedule) Replicas(t model.TaskID) []*Replica { return s.replicas[t] }
+// slice aliases the current materialised view; callers must not hold it
+// across commits.
+func (s *Schedule) Replicas(t model.TaskID) []*Replica { return s.viewRO().replicas[t] }
 
 // ReplicaOn returns the replica of t on processor p, or nil.
 func (s *Schedule) ReplicaOn(t model.TaskID, p arch.ProcID) *Replica {
-	for _, r := range s.replicas[t] {
-		if r.Proc == p {
-			return r
-		}
+	id := s.slab.repOn(int(t), int(p))
+	if id < 0 {
+		return nil
 	}
-	return nil
+	return &s.viewRO().reps[id]
 }
 
+// NumReplicas returns the replica count of t without materialising the
+// pointer view: the value accessor hot paths use instead of len(Replicas).
+func (s *Schedule) NumReplicas(t model.TaskID) int { return int(s.slab.taskRepN[t]) }
+
+// HasReplicaOn reports whether t has a replica on p, without materialising
+// the pointer view.
+func (s *Schedule) HasReplicaOn(t model.TaskID, p arch.ProcID) bool {
+	return s.slab.repOn(int(t), int(p)) >= 0
+}
+
+// ReplicaProcAt returns the processor of replica i of t.
+func (s *Schedule) ReplicaProcAt(t model.TaskID, i int) arch.ProcID {
+	return arch.ProcID(s.slab.repProc[s.slab.taskRep(int(t), i)])
+}
+
+// ReplicaEndAt returns the fault-free end of replica i of t.
+func (s *Schedule) ReplicaEndAt(t model.TaskID, i int) float64 {
+	return s.slab.repEnd[s.slab.taskRep(int(t), i)]
+}
+
+// TotalReplicas returns the total number of placements across all tasks.
+func (s *Schedule) TotalReplicas() int { return s.slab.numReps() }
+
 // ProcSeq returns the replicas placed on processor p in order. The slice
-// aliases internal storage.
-func (s *Schedule) ProcSeq(p arch.ProcID) []*Replica { return s.procSeq[p] }
+// aliases the current materialised view.
+func (s *Schedule) ProcSeq(p arch.ProcID) []*Replica { return s.viewRO().procSeq[p] }
 
 // MediumSeq returns the comms scheduled on medium m in order. The slice
-// aliases internal storage.
-func (s *Schedule) MediumSeq(m arch.MediumID) []*Comm { return s.mediumSeq[m] }
+// aliases the current materialised view.
+func (s *Schedule) MediumSeq(m arch.MediumID) []*Comm { return s.viewRO().mediumSeq[m] }
 
 // ProcEnd returns the end of the last replica placed on p (0 when idle).
 func (s *Schedule) ProcEnd(p arch.ProcID) float64 { return s.procEnd[p] }
@@ -313,24 +432,16 @@ func (s *Schedule) TaskRev(t model.TaskID) uint64 { return s.taskRev[t] }
 
 // NumComms returns the total number of scheduled comms (hops count
 // individually).
-func (s *Schedule) NumComms() int {
-	n := 0
-	for _, seq := range s.mediumSeq {
-		n += len(seq)
-	}
-	return n
-}
+func (s *Schedule) NumComms() int { return s.slab.numComms() }
 
 // Length returns the fault-free makespan: the latest end over all replicas.
 // Trailing redundant comms do not extend it (they only matter under
 // failures).
 func (s *Schedule) Length() float64 {
 	var end float64
-	for _, reps := range s.replicas {
-		for _, r := range reps {
-			if r.End > end {
-				end = r.End
-			}
+	for _, e := range s.slab.repEnd {
+		if e > end {
+			end = e
 		}
 	}
 	return end
@@ -349,9 +460,9 @@ func (s *Schedule) OpCompletion(op model.OpID) float64 {
 		}
 	}
 	best := math.Inf(1)
-	for _, r := range s.replicas[t] {
-		if r.End < best {
-			best = r.End
+	for i := 0; i < s.NumReplicas(t); i++ {
+		if e := s.ReplicaEndAt(t, i); e < best {
+			best = e
 		}
 	}
 	return best
@@ -383,21 +494,19 @@ func (s *Schedule) MeetsRtc() (bool, error) {
 
 // Clone returns a deep copy: the fast path behind speculative scheduling
 // (FTBAR duplicates predecessors tentatively and must undo on regression).
+// With the slab this is a fixed number of contiguous column copies,
+// independent of how many replicas and comms the schedule holds; the route
+// and fan stores are shared with the family, copy-on-write.
 func (s *Schedule) Clone() *Schedule {
 	c := &Schedule{
 		problem:      s.problem,
 		tasks:        s.tasks,
-		edgeRoutes:   s.edgeRoutes,
-		edgeFans:     s.edgeFans,
-		fanMu:        s.fanMu,
-		routeMu:      s.routeMu,
+		routes:       s.routes,
+		fans:         s.fans,
 		faults:       s.faults,
 		relayBlind:   s.relayBlind,
 		directMedia:  s.directMedia,
 		scratch:      s.scratch,
-		replicas:     make([][]*Replica, len(s.replicas)),
-		procSeq:      make([][]*Replica, len(s.procSeq)),
-		mediumSeq:    make([][]*Comm, len(s.mediumSeq)),
 		procEnd:      append([]float64(nil), s.procEnd...),
 		mediumEnd:    append([]float64(nil), s.mediumEnd...),
 		procRev:      append([]uint64(nil), s.procRev...),
@@ -405,36 +514,15 @@ func (s *Schedule) Clone() *Schedule {
 		taskRev:      append([]uint64(nil), s.taskRev...),
 		stampCounter: s.stampCounter,
 	}
-	for t, reps := range s.replicas {
-		c.replicas[t] = make([]*Replica, len(reps))
-		for i, r := range reps {
-			cp := *r
-			c.replicas[t][i] = &cp
-		}
-	}
-	// Replica indices are dense per task, so the processor sequences remap
-	// through (Task, Index) instead of a pointer map.
-	for p, seq := range s.procSeq {
-		c.procSeq[p] = make([]*Replica, len(seq))
-		for i, r := range seq {
-			c.procSeq[p][i] = c.replicas[r.Task][r.Index]
-		}
-	}
-	for m, seq := range s.mediumSeq {
-		c.mediumSeq[m] = make([]*Comm, len(seq))
-		for i, cm := range seq {
-			cp := *cm
-			c.mediumSeq[m][i] = &cp
-		}
-	}
+	c.slab.copyFrom(&s.slab)
 	return c
 }
 
 // Scheduled reports whether every replica requirement is met: each task has
 // at least Npf+1 replicas.
 func (s *Schedule) Scheduled() bool {
-	for _, reps := range s.replicas {
-		if len(reps) < s.faults.Npf+1 {
+	for _, n := range s.slab.taskRepN {
+		if int(n) < s.faults.Npf+1 {
 			return false
 		}
 	}

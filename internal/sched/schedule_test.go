@@ -372,11 +372,11 @@ func TestValidateCatchesTamperedTimes(t *testing.T) {
 	s.PlaceReplica(a, 0)
 	s.PlaceReplica(a, 1)
 	s.PlaceReplica(b, 0)
-	r, _ := s.PlaceReplica(b, 1)
+	s.PlaceReplica(b, 1)
 	if err := s.Validate(); err != nil {
 		t.Fatalf("valid schedule rejected: %v", err)
 	}
-	r.Start -= 0.5 // break End = Start + exec
+	s.Replicas(b)[1].Start -= 0.5 // break End = Start + exec
 	if err := s.Validate(); !errors.Is(err, ErrInvalid) {
 		t.Errorf("tampered schedule accepted: %v", err)
 	}

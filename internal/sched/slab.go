@@ -1,0 +1,213 @@
+package sched
+
+// The slab is the schedule's storage engine: every replica and every comm
+// lives in flat structure-of-arrays columns addressed by dense integer ids,
+// and the per-task / per-processor / per-medium orderings are index arrays
+// over those ids (DESIGN.md Section 13). Nothing in the hot path chases a
+// pointer or allocates: appends write into pre-sized rows, Checkpoint and
+// Rollback reduce to slice copies plus column truncation, and Clone is a
+// column-by-column memcpy. The pointer-shaped API the cold consumers use
+// (Replicas, ProcSeq, MediumSeq — the simulator and executive key maps on
+// *Replica/*Comm identity) is served by a lazily materialised view built
+// from the columns, see view.go.
+//
+// Two invariants make the fixed-stride rows possible:
+//
+//   - a task has at most one replica per processor (ErrDuplicateReplica),
+//     so a task has at most nProcs replicas: taskReps is one row of nProcs
+//     slots per task, taskRepN its fill;
+//   - consequently a processor runs at most one replica of each task, so a
+//     processor sequence holds at most nTasks entries: procSeq is one row
+//     of nTasks slots per processor.
+//
+// Per-medium comm counts have no such bound, so medium order is an
+// intrusive linked list over the comm columns (commNext / medHead /
+// medTail / medSeqN). Rollback truncates the comm columns and restores the
+// heads, tails and counts from the checkpoint; a surviving tail comm may
+// then carry a stale commNext into the truncated region, which is harmless
+// because every walk is bounded by medSeqN and the next append overwrites
+// the tail's link.
+type slab struct {
+	nTasks, nProcs, nMedia int
+
+	// Replica columns, indexed by repID in placement order.
+	repTask  []int32 // model.TaskID
+	repIndex []int32 // dense per task: 0..taskRepN-1
+	repProc  []int32 // arch.ProcID
+	repStart []float64
+	repEnd   []float64
+
+	// taskReps[t*nProcs+i] is the id of replica i of task t; taskRepN[t]
+	// is the replica count. Row order is placement order, which is also
+	// index order.
+	taskReps []repID
+	taskRepN []int32
+	// procSeq[p*nTasks+j] is the id of the j-th replica placed on p.
+	procSeq  []repID
+	procSeqN []int32
+
+	// Comm columns, indexed by commID in commit order.
+	commEdge   []int32 // model.TaskEdgeID
+	commOrig   []int32 // model.EdgeID
+	commSrc    []int32 // sender replica index within its task
+	commDst    []int32 // destination replica index within its task
+	commHop    []int32
+	commLast   []bool
+	commMedium []int32 // arch.MediumID
+	commFrom   []int32 // arch.ProcID
+	commTo     []int32 // arch.ProcID
+	commStart  []float64
+	commEnd    []float64
+
+	// Intrusive per-medium order: medHead[m] / medTail[m] delimit medium
+	// m's chain through commNext, medSeqN[m] bounds every walk.
+	commNext []commID
+	medHead  []commID
+	medTail  []commID
+	medSeqN  []int32
+}
+
+// repID and commID are dense indices into the slab columns.
+type (
+	repID  = int32
+	commID = int32
+)
+
+func (sl *slab) init(nTasks, nProcs, nMedia int) {
+	sl.nTasks, sl.nProcs, sl.nMedia = nTasks, nProcs, nMedia
+	sl.taskReps = make([]repID, nTasks*nProcs)
+	sl.taskRepN = make([]int32, nTasks)
+	sl.procSeq = make([]repID, nProcs*nTasks)
+	sl.procSeqN = make([]int32, nProcs)
+	sl.medHead = make([]commID, nMedia)
+	sl.medTail = make([]commID, nMedia)
+	sl.medSeqN = make([]int32, nMedia)
+	for m := 0; m < nMedia; m++ {
+		sl.medHead[m], sl.medTail[m] = -1, -1
+	}
+}
+
+func (sl *slab) numReps() int  { return len(sl.repTask) }
+func (sl *slab) numComms() int { return len(sl.commEdge) }
+
+// taskRep returns the id of replica i of task t.
+func (sl *slab) taskRep(t, i int) repID { return sl.taskReps[t*sl.nProcs+i] }
+
+// repOn returns the id of t's replica on processor p, or -1.
+func (sl *slab) repOn(t, p int) repID {
+	row := t * sl.nProcs
+	for i := 0; i < int(sl.taskRepN[t]); i++ {
+		if id := sl.taskReps[row+i]; int(sl.repProc[id]) == p {
+			return id
+		}
+	}
+	return -1
+}
+
+// repEarlier orders replicas by (End, Index): the paper indexes the
+// sending replicas k = 1..Npf+1, and the earliest finishers minimise both
+// S_best and S_worst.
+func (sl *slab) repEarlier(a, b repID) bool {
+	if sl.repEnd[a] != sl.repEnd[b] {
+		return sl.repEnd[a] < sl.repEnd[b]
+	}
+	return sl.repIndex[a] < sl.repIndex[b]
+}
+
+// appendReplica commits one replica of t on p and returns its id. The
+// caller has already ruled out a duplicate replica on p, which is what
+// bounds the index rows.
+func (sl *slab) appendReplica(t, p int, start, end float64) repID {
+	id := repID(len(sl.repTask))
+	idx := sl.taskRepN[t]
+	sl.repTask = append(sl.repTask, int32(t))
+	sl.repIndex = append(sl.repIndex, idx)
+	sl.repProc = append(sl.repProc, int32(p))
+	sl.repStart = append(sl.repStart, start)
+	sl.repEnd = append(sl.repEnd, end)
+	sl.taskReps[t*sl.nProcs+int(idx)] = id
+	sl.taskRepN[t] = idx + 1
+	sl.procSeq[p*sl.nTasks+int(sl.procSeqN[p])] = id
+	sl.procSeqN[p]++
+	return id
+}
+
+// appendComm commits one comm hop and links it onto its medium's chain.
+func (sl *slab) appendComm(c *Comm) commID {
+	id := commID(len(sl.commEdge))
+	sl.commEdge = append(sl.commEdge, int32(c.Edge))
+	sl.commOrig = append(sl.commOrig, int32(c.Orig))
+	sl.commSrc = append(sl.commSrc, int32(c.SrcIndex))
+	sl.commDst = append(sl.commDst, int32(c.DstIndex))
+	sl.commHop = append(sl.commHop, int32(c.Hop))
+	sl.commLast = append(sl.commLast, c.LastHop)
+	sl.commMedium = append(sl.commMedium, int32(c.Medium))
+	sl.commFrom = append(sl.commFrom, int32(c.From))
+	sl.commTo = append(sl.commTo, int32(c.To))
+	sl.commStart = append(sl.commStart, c.Start)
+	sl.commEnd = append(sl.commEnd, c.End)
+	sl.commNext = append(sl.commNext, -1)
+	m := int(c.Medium)
+	if sl.medTail[m] >= 0 {
+		sl.commNext[sl.medTail[m]] = id
+	} else {
+		sl.medHead[m] = id
+	}
+	sl.medTail[m] = id
+	sl.medSeqN[m]++
+	return id
+}
+
+// truncate drops every replica and comm beyond the given counts. The index
+// rows are restored by the caller (Rollback) from its checkpoint copies;
+// row slots past the restored fills are stale and never read.
+func (sl *slab) truncate(nReps, nComms int) {
+	sl.repTask = sl.repTask[:nReps]
+	sl.repIndex = sl.repIndex[:nReps]
+	sl.repProc = sl.repProc[:nReps]
+	sl.repStart = sl.repStart[:nReps]
+	sl.repEnd = sl.repEnd[:nReps]
+	sl.commEdge = sl.commEdge[:nComms]
+	sl.commOrig = sl.commOrig[:nComms]
+	sl.commSrc = sl.commSrc[:nComms]
+	sl.commDst = sl.commDst[:nComms]
+	sl.commHop = sl.commHop[:nComms]
+	sl.commLast = sl.commLast[:nComms]
+	sl.commMedium = sl.commMedium[:nComms]
+	sl.commFrom = sl.commFrom[:nComms]
+	sl.commTo = sl.commTo[:nComms]
+	sl.commStart = sl.commStart[:nComms]
+	sl.commEnd = sl.commEnd[:nComms]
+	sl.commNext = sl.commNext[:nComms]
+}
+
+// copyFrom overwrites sl with a deep copy of src, reusing sl's column
+// capacity when present. This is the whole of Clone's data movement: a
+// fixed number of contiguous copies, independent of schedule shape.
+func (sl *slab) copyFrom(src *slab) {
+	sl.nTasks, sl.nProcs, sl.nMedia = src.nTasks, src.nProcs, src.nMedia
+	sl.repTask = append(sl.repTask[:0], src.repTask...)
+	sl.repIndex = append(sl.repIndex[:0], src.repIndex...)
+	sl.repProc = append(sl.repProc[:0], src.repProc...)
+	sl.repStart = append(sl.repStart[:0], src.repStart...)
+	sl.repEnd = append(sl.repEnd[:0], src.repEnd...)
+	sl.taskReps = append(sl.taskReps[:0], src.taskReps...)
+	sl.taskRepN = append(sl.taskRepN[:0], src.taskRepN...)
+	sl.procSeq = append(sl.procSeq[:0], src.procSeq...)
+	sl.procSeqN = append(sl.procSeqN[:0], src.procSeqN...)
+	sl.commEdge = append(sl.commEdge[:0], src.commEdge...)
+	sl.commOrig = append(sl.commOrig[:0], src.commOrig...)
+	sl.commSrc = append(sl.commSrc[:0], src.commSrc...)
+	sl.commDst = append(sl.commDst[:0], src.commDst...)
+	sl.commHop = append(sl.commHop[:0], src.commHop...)
+	sl.commLast = append(sl.commLast[:0], src.commLast...)
+	sl.commMedium = append(sl.commMedium[:0], src.commMedium...)
+	sl.commFrom = append(sl.commFrom[:0], src.commFrom...)
+	sl.commTo = append(sl.commTo[:0], src.commTo...)
+	sl.commStart = append(sl.commStart[:0], src.commStart...)
+	sl.commEnd = append(sl.commEnd[:0], src.commEnd...)
+	sl.commNext = append(sl.commNext[:0], src.commNext...)
+	sl.medHead = append(sl.medHead[:0], src.medHead...)
+	sl.medTail = append(sl.medTail[:0], src.medTail...)
+	sl.medSeqN = append(sl.medSeqN[:0], src.medSeqN...)
+}

@@ -43,7 +43,8 @@ func (s *Schedule) Stats() Stats {
 		MediumBusy:        make([]float64, s.problem.Arc.NumMedia()),
 		MediumUtilisation: make([]float64, s.problem.Arc.NumMedia()),
 	}
-	for t, reps := range s.replicas {
+	for t := 0; t < s.tasks.NumTasks(); t++ {
+		reps := s.Replicas(model.TaskID(t))
 		st.Replicas += len(reps)
 		if extra := len(reps) - (s.faults.Npf + 1); extra > 0 {
 			st.ExtraReplicas += extra
@@ -59,8 +60,8 @@ func (s *Schedule) Stats() Stats {
 			st.CriticalOps = append(st.CriticalOps, model.TaskID(t))
 		}
 	}
-	for m, seq := range s.mediumSeq {
-		for _, c := range seq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			st.Comms++
 			st.CommTime += c.End - c.Start
 			st.MediumBusy[m] += c.End - c.Start

@@ -58,7 +58,7 @@ func (s *Schedule) Validate() error {
 func (s *Schedule) validateReplicas() error {
 	for t := 0; t < s.tasks.NumTasks(); t++ {
 		task := s.tasks.Task(model.TaskID(t))
-		reps := s.replicas[t]
+		reps := s.Replicas(model.TaskID(t))
 		if len(reps) < s.faults.Npf+1 {
 			return fmt.Errorf("task %q has %d replicas, need %d", task.Name, len(reps), s.faults.Npf+1)
 		}
@@ -86,7 +86,7 @@ func (s *Schedule) validateReplicas() error {
 
 func (s *Schedule) validateMems() error {
 	for _, mp := range s.tasks.MemPairs() {
-		reads, writes := s.replicas[mp.Read], s.replicas[mp.Write]
+		reads, writes := s.Replicas(mp.Read), s.Replicas(mp.Write)
 		if len(reads) != len(writes) {
 			return fmt.Errorf("mem %q: %d read replicas, %d write replicas",
 				s.problem.Alg.Op(mp.Op).Name, len(reads), len(writes))
@@ -104,14 +104,16 @@ func (s *Schedule) validateMems() error {
 }
 
 func (s *Schedule) validateSequences() error {
-	for p, seq := range s.procSeq {
+	for p := 0; p < s.slab.nProcs; p++ {
+		seq := s.ProcSeq(arch.ProcID(p))
 		for i := 1; i < len(seq); i++ {
 			if seq[i].Start < seq[i-1].End-timeEps {
 				return fmt.Errorf("processor %q overlaps at item %d", s.problem.Arc.Proc(arch.ProcID(p)).Name, i)
 			}
 		}
 	}
-	for m, seq := range s.mediumSeq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		seq := s.MediumSeq(arch.MediumID(m))
 		for i := 1; i < len(seq); i++ {
 			if seq[i].Start < seq[i-1].End-timeEps {
 				return fmt.Errorf("medium %q overlaps at item %d", s.problem.Arc.Medium(arch.MediumID(m)).Name, i)
@@ -122,7 +124,8 @@ func (s *Schedule) validateSequences() error {
 }
 
 func (s *Schedule) validateComms() error {
-	for m, seq := range s.mediumSeq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		seq := s.MediumSeq(arch.MediumID(m))
 		medium := s.problem.Arc.Medium(arch.MediumID(m))
 		for i, c := range seq {
 			if c.Medium != medium.ID {
@@ -177,8 +180,8 @@ func (s *Schedule) validateHopChains() error {
 		dstIndex int
 	}
 	chains := make(map[chainKey][]*Comm)
-	for _, seq := range s.mediumSeq {
-		for _, c := range seq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			k := chainKey{c.Edge, c.SrcIndex, c.DstIndex}
 			chains[k] = append(chains[k], c)
 		}
@@ -211,8 +214,8 @@ func (s *Schedule) validateHopChains() error {
 func (s *Schedule) validateCoverage() error {
 	// arrivals[task][index][edge] collects last-hop delivery times.
 	arrivals := make(map[model.TaskID]map[int]map[model.TaskEdgeID][]float64)
-	for _, seq := range s.mediumSeq {
-		for _, c := range seq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			if !c.LastHop {
 				continue
 			}
@@ -232,7 +235,7 @@ func (s *Schedule) validateCoverage() error {
 	}
 	for t := 0; t < s.tasks.NumTasks(); t++ {
 		tid := model.TaskID(t)
-		for _, r := range s.replicas[t] {
+		for _, r := range s.Replicas(tid) {
 			for _, eid := range s.tasks.In(tid) {
 				edge := s.tasks.Edge(eid)
 				ends := arrivals[tid][r.Index][eid]
@@ -254,7 +257,7 @@ func (s *Schedule) validateCoverage() error {
 					continue
 				}
 				want := s.faults.Npf + 1
-				if have := len(s.replicas[edge.Src]); have < want {
+				if have := len(s.Replicas(edge.Src)); have < want {
 					want = have
 				}
 				if len(ends) < want {
@@ -301,8 +304,8 @@ func (s *Schedule) validateDiversity() error {
 		srcIndex int
 	}
 	chains := make(map[chainKey][]arch.MediumID)
-	for _, seq := range s.mediumSeq {
-		for _, c := range seq {
+	for m := 0; m < s.slab.nMedia; m++ {
+		for _, c := range s.MediumSeq(arch.MediumID(m)) {
 			k := chainKey{s.tasks.Edge(c.Edge).Dst, c.DstIndex, c.Edge, c.SrcIndex}
 			chains[k] = append(chains[k], c.Medium)
 		}
@@ -417,7 +420,7 @@ pack:
 }
 
 func (s *Schedule) replicaAt(t model.TaskID, index int) *Replica {
-	reps := s.replicas[t]
+	reps := s.Replicas(t)
 	if index < 0 || index >= len(reps) {
 		return nil
 	}

@@ -89,8 +89,11 @@ func TestValidateCatchesMediumOverlap(t *testing.T) {
 	if len(comms) != 2 {
 		t.Fatalf("fixture drift: %d comms", len(comms))
 	}
+	// Corrupt the materialised view: Validate reads through it, and with
+	// no commit in between it keeps serving this same instance.
+	v := s.viewRO()
 	src := comms[1]
-	s.mediumSeq[src.Medium] = nil
+	v.mediumSeq[src.Medium] = nil
 	dstMedium := comms[0].Medium
 	moved := *src
 	moved.Medium = dstMedium
@@ -98,7 +101,7 @@ func TestValidateCatchesMediumOverlap(t *testing.T) {
 	// only if both procs connect; use identical From/To as comms[0].
 	moved.From, moved.To = comms[0].From, comms[0].To
 	moved.Start, moved.End = comms[0].Start, comms[0].End
-	s.mediumSeq[dstMedium] = append(s.mediumSeq[dstMedium], &moved)
+	v.mediumSeq[dstMedium] = append(v.mediumSeq[dstMedium], &moved)
 	if err := s.Validate(); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("Validate = %v, want ErrInvalid", err)
 	}
@@ -167,7 +170,7 @@ func TestValidateCatchesMissingIncomingComm(t *testing.T) {
 	// Drop one of b#1's two incoming comms: coverage requires Npf+1 = 2.
 	for m := 0; m < s.Problem().Arc.NumMedia(); m++ {
 		if seq := s.MediumSeq(arch.MediumID(m)); len(seq) > 0 {
-			s.mediumSeq[m] = nil
+			s.viewRO().mediumSeq[m] = nil
 			break
 		}
 	}
