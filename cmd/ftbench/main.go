@@ -9,6 +9,7 @@
 //	ftbench -experiment npf              # overhead vs Npf (Sect. 7)
 //	ftbench -experiment scaling          # engine-vs-engine wall clock
 //	ftbench -experiment service          # scheduling-service load test
+//	ftbench -experiment service -stages  # + staged arrival-rate profile
 //	ftbench -experiment faults           # Npf+Nmf masking across topologies
 //	ftbench -experiment combined         # joint proc+link masking, reliability
 //	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 2003, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of a table (scaling, service, faults, combined)")
+	stages := fs.Bool("stages", false, "service experiment: add the staged arrival-rate profile (per-stage p50/p99/hit-rate)")
 	topology := fs.String("topology", "full", "architecture shape for fig9/fig10: full | bus | ring | star | dualbus")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the experiment")
@@ -122,12 +124,28 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *stages {
+			scfg := bench.DefaultStaged()
+			scfg.Seed = *seed
+			rep.Staged, err = bench.StagedService(scfg)
+			if err != nil {
+				return err
+			}
+		}
 		if *jsonOut {
 			return bench.RenderServiceJSON(out, rep)
 		}
 		fmt.Fprintf(out, "Service: %d clients, %d requests/cell, %d distinct problems in the repeated workload\n",
 			cfg.Clients, cfg.Requests, cfg.Distinct)
-		return bench.RenderService(out, rep)
+		if err := bench.RenderService(out, rep); err != nil {
+			return err
+		}
+		if rep.Staged != nil {
+			fmt.Fprintf(out, "\nStaged: %d workers, open-loop arrival profile, fresh problem every %d requests\n",
+				rep.Staged.Config.Workers, rep.Staged.Config.UniqueEvery)
+			return bench.RenderStaged(out, rep.Staged)
+		}
+		return nil
 	case "faults":
 		cfg := bench.DefaultFaults()
 		cfg.Seed = *seed

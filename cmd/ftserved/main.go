@@ -9,6 +9,10 @@
 //	ftserved -workers 4 -queue 64     # pool and backlog bounds
 //	ftserved -cache 4096              # schedule cache entries (-1 disables)
 //	ftserved -cache-file cache.json   # persist the cache across restarts
+//	ftserved -log-level debug -log-format json
+//	ftserved -pprof                   # mount net/http/pprof under /debug/pprof/
+//	ftserved -report-every 30s        # periodic metrics summary to the log stream
+//	ftserved -report-file metrics.json # periodic JSON metrics snapshot
 //
 // Endpoints:
 //
@@ -16,6 +20,7 @@
 //	POST /v1/batch     {"requests": [...]}
 //	POST /v1/sweep     {"problem": ..., "npfs": [0, 1, 2]}
 //	GET  /v1/stats
+//	GET  /metrics      Prometheus text exposition (internal/obsv)
 //	GET  /healthz
 //
 // Try it with the paper's worked example:
@@ -29,14 +34,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
 	"syscall"
 	"time"
 
+	"ftbar/internal/obsv"
 	"ftbar/internal/service"
 )
 
@@ -46,6 +54,24 @@ func main() {
 	if err := run(os.Args[1:], os.Stderr, nil, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "ftserved:", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the structured logger the server logs through: text or
+// JSON handler on logw, filtered at level.
+func newLogger(logw io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(logw, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(logw, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
 }
 
@@ -60,7 +86,16 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	cacheSize := fs.Int("cache", 0, "schedule cache entries (0 = 1024, negative disables)")
 	cacheFile := fs.String("cache-file", "", "persist the schedule cache to this file across restarts")
 	gogc := fs.Int("gogc", 400, "garbage collector target percent (0 keeps the runtime default)")
+	logLevel := fs.String("log-level", "info", "log level: debug | info | warn | error")
+	logFormat := fs.String("log-format", "text", "log format: text | json")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	reportEvery := fs.Duration("report-every", 0, "emit a periodic metrics summary at this interval (0 disables)")
+	reportFile := fs.String("report-file", "", "write periodic metrics snapshots to this JSON file (needs -report-every)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(logw, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	// Scheduling keeps a tiny live heap; at the default GOGC=100 the
@@ -78,19 +113,30 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 		// overwritten on the next clean shutdown) instead of wedging a
 		// supervised restart loop.
 		if n, err := svc.LoadCacheFile(*cacheFile); err != nil {
-			fmt.Fprintf(logw, "ftserved: ignoring cache file: %v\n", err)
+			logger.Warn("ignoring cache file", "file", *cacheFile, "error", err)
 		} else {
-			fmt.Fprintf(logw, "ftserved: restored %d cached schedules from %s\n", n, *cacheFile)
+			logger.Info("restored cached schedules", "count", n, "file", *cacheFile)
 		}
 		// Snapshot on graceful shutdown, after the HTTP server has
 		// drained, so the warm set survives the restart.
 		defer func() {
 			if n, err := svc.SaveCacheFile(*cacheFile); err != nil {
-				fmt.Fprintf(logw, "ftserved: save cache file: %v\n", err)
+				logger.Error("save cache file", "file", *cacheFile, "error", err)
 			} else {
-				fmt.Fprintf(logw, "ftserved: saved %d cached schedules to %s\n", n, *cacheFile)
+				logger.Info("saved cached schedules", "count", n, "file", *cacheFile)
 			}
 		}()
+	}
+	if *reportEvery > 0 {
+		reporters := []obsv.Reporter{
+			&obsv.ConsoleReporter{W: logw, Hist: svc.Metrics().LookupHistogram},
+		}
+		if *reportFile != "" {
+			reporters = append(reporters, &obsv.JSONFileReporter{Path: *reportFile})
+		}
+		defer svc.Metrics().StartReporting(*reportEvery, reporters...)()
+	} else if *reportFile != "" {
+		return fmt.Errorf("-report-file needs -report-every")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -98,13 +144,25 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 		return err
 	}
 	st := svc.Stats()
-	fmt.Fprintf(logw, "ftserved: listening on %s (workers=%d queue=%d cache=%d)\n",
-		ln.Addr(), st.Workers, st.QueueCapacity, st.CacheCapacity)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", st.Workers, "queue", st.QueueCapacity, "cache", st.CacheCapacity)
 	if announced != nil {
 		announced <- ln.Addr()
 	}
 
-	srv := &http.Server{Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *pprofOn {
+		// Explicit registrations instead of the package's DefaultServeMux
+		// side effect, so profiling stays opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -112,7 +170,7 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 		return err
 	case <-stop:
 	}
-	fmt.Fprintf(logw, "ftserved: shutting down\n")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)

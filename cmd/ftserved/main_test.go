@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"ftbar"
 )
@@ -61,11 +63,34 @@ func TestServeScheduleShutdown(t *testing.T) {
 		t.Errorf("stats status %d", stats.StatusCode)
 	}
 
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if metrics.StatusCode != http.StatusOK {
+		t.Errorf("metrics status %d", metrics.StatusCode)
+	}
+	if !strings.Contains(string(mb), "ftbar_service_requests_total 1") {
+		t.Errorf("exposition missing request counter:\n%s", mb)
+	}
+
+	// pprof is off by default.
+	pp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+
 	stop <- os.Interrupt
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	for _, want := range []string{"listening on", "shutting down"} {
+	for _, want := range []string{"listening", "shutting down"} {
 		if !strings.Contains(logs.String(), want) {
 			t.Errorf("log missing %q: %s", want, logs.String())
 		}
@@ -73,8 +98,124 @@ func TestServeScheduleShutdown(t *testing.T) {
 }
 
 func TestBadFlags(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}, os.Stderr, nil, nil); err == nil {
-		t.Error("bad flag accepted")
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-log-level", "shouting"},
+		{"-log-format", "xml"},
+		{"-report-file", "x.json"}, // needs -report-every
+	} {
+		if err := run(args, io.Discard, nil, nil); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestLogFlags checks the slog wiring: JSON format emits parseable lines
+// and a raised level suppresses the info-level startup log.
+func TestLogFlags(t *testing.T) {
+	boot := func(extra ...string) string {
+		announced := make(chan net.Addr, 1)
+		stop := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		var logs strings.Builder
+		go func() {
+			done <- run(append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...),
+				&logs, announced, stop)
+		}()
+		<-announced
+		stop <- os.Interrupt
+		if err := <-done; err != nil {
+			t.Fatalf("run %v: %v", extra, err)
+		}
+		return logs.String()
+	}
+
+	jsonLogs := boot("-log-format", "json")
+	for _, line := range strings.Split(strings.TrimSpace(jsonLogs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q (%v)", line, err)
+		}
+		if rec["msg"] == "" || rec["level"] == "" {
+			t.Errorf("JSON log line missing msg/level: %q", line)
+		}
+	}
+	if !strings.Contains(jsonLogs, `"msg":"listening"`) {
+		t.Errorf("JSON logs missing startup line: %s", jsonLogs)
+	}
+
+	if quiet := boot("-log-level", "error"); strings.Contains(quiet, "listening") {
+		t.Errorf("error level still logged startup info: %s", quiet)
+	}
+}
+
+// TestPprofFlag mounts the profiler and fetches an index page.
+func TestPprofFlag(t *testing.T) {
+	announced := make(chan net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-pprof"},
+			io.Discard, announced, stop)
+	}()
+	addr := <-announced
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index status %d body %.80s", resp.StatusCode, body)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestReportFlags drives the periodic reporters: console summaries land
+// in the log stream and the JSON snapshot file appears.
+func TestReportFlags(t *testing.T) {
+	reportFile := t.TempDir() + "/metrics.json"
+	announced := make(chan net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var logs strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-report-every", "10ms", "-report-file", reportFile}, &logs, announced, stop)
+	}()
+	addr := <-announced
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(reportFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("report file never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if !strings.Contains(logs.String(), "ftbar_service_requests_total") {
+		t.Errorf("console report missing from log stream: %s", logs.String())
 	}
 }
 
@@ -151,8 +292,8 @@ func TestCacheFileRestart(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("second run: %v", err)
 	}
-	if !strings.Contains(logs.String(), "restored 1 cached schedules") {
-		t.Errorf("log missing restore line: %s", logs.String())
+	if got := logs.String(); !strings.Contains(got, "restored cached schedules") || !strings.Contains(got, "count=1") {
+		t.Errorf("log missing restore line: %s", got)
 	}
 }
 

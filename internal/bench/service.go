@@ -86,6 +86,9 @@ type ServiceReport struct {
 	Experiment string        `json:"experiment"`
 	Config     ServiceConfig `json:"config"`
 	Cells      []ServiceCell `json:"cells"`
+	// Staged is the staged arrival-rate section (ftbench -experiment
+	// service -stages); absent from plain runs.
+	Staged *StagedReport `json:"staged,omitempty"`
 }
 
 // Service runs the load experiment in-process.

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStagedService runs a shrunken three-stage profile end to end and
+// checks the report invariants: every stage launched work, the mixed
+// workload kept the scheduler busy (unique-every-k guarantees misses),
+// repeats landed as hits once the cache warmed, and the
+// machine-normalised tail is populated from a positive calibration.
+func TestStagedService(t *testing.T) {
+	cfg := StagedConfig{
+		Workers:     2,
+		Distinct:    4,
+		UniqueEvery: 4,
+		Tasks:       10,
+		Procs:       3,
+		Npf:         1,
+		CCR:         1,
+		Seed:        2003,
+		Stages: []StageSpec{
+			{Name: "warm", Rate: 150, Seconds: 0.2},
+			{Name: "ramp", Rate: 400, Seconds: 0.2, Ramp: true},
+			{Name: "peak", Rate: 400, Seconds: 0.2},
+		},
+		MaxInFlight:     64,
+		CalibrationRuns: 5,
+	}
+	rep, err := StagedService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CalibrationMs <= 0 {
+		t.Fatalf("calibration %v ms, want > 0", rep.CalibrationMs)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("%d stages, want 3", len(rep.Stages))
+	}
+	var runs int
+	for _, st := range rep.Stages {
+		if st.Requests == 0 {
+			t.Errorf("stage %q launched nothing", st.Name)
+		}
+		if st.P99Ms < st.P50Ms {
+			t.Errorf("stage %q p99 %v < p50 %v", st.Name, st.P99Ms, st.P50Ms)
+		}
+		if st.P99Ms > 0 && st.P99OverCalibration <= 0 {
+			t.Errorf("stage %q missing normalised tail", st.Name)
+		}
+		runs += st.SchedulerRuns
+	}
+	if runs == 0 {
+		t.Error("no stage ran the scheduler despite UniqueEvery misses")
+	}
+	// Completed = hits + misses; the last stage of a warmed cache with
+	// 3 of 4 requests repeated should see hits.
+	if last := rep.Stages[2]; last.HitRate <= 0 {
+		t.Errorf("peak stage hit rate %v, want > 0 on a warmed cache", last.HitRate)
+	}
+
+	var text strings.Builder
+	if err := RenderStaged(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "p99/cal") {
+		t.Errorf("staged table missing header: %s", text.String())
+	}
+	// The staged section round-trips inside the service report.
+	full := &ServiceReport{Experiment: "service", Staged: rep}
+	var buf strings.Builder
+	if err := RenderServiceJSON(&buf, full); err != nil {
+		t.Fatal(err)
+	}
+	var back ServiceReport
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Staged == nil || len(back.Staged.Stages) != 3 {
+		t.Errorf("JSON round trip lost the staged section")
+	}
+}
+
+func TestStagedBadConfig(t *testing.T) {
+	if _, err := StagedService(StagedConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultStaged()
+	cfg.Stages = nil
+	if _, err := StagedService(cfg); err == nil {
+		t.Error("stage-less config accepted")
+	}
+}

@@ -96,6 +96,9 @@ func (sch *scheduler) batchCommits(dup bool) (int, error) {
 	for !dup && len(sch.rq.ready) > 0 {
 		w, urg, ok := sch.nextBatchWinner()
 		if !ok {
+			// The proof failed; the next decision replans through a full
+			// prepare/select round. Counted for Result.Planner only.
+			sch.batchFallbacks++
 			break
 		}
 		procs, sigmas, urgency, err := sch.bestProcs(w, sch.procsBuf[0][:0], sch.sigmasBuf[0][:0])

@@ -123,6 +123,39 @@ type Result struct {
 	// provably identical to sequential ones, so they never change the
 	// decision log either.
 	BatchedCommits int
+	// Planner is the run's planner-work breakdown for the observability
+	// layer (internal/obsv): how many σ previews were actually computed
+	// versus screened away, how often the σ cache answered without a
+	// preview, and how the rounds split between batch commits and replan
+	// fallbacks. The counters are plain integers collected alongside
+	// state the engines already maintain — no atomics, no allocations —
+	// so instrumented runs stay bit-identical and the hot-path alloc
+	// gates are unaffected.
+	Planner PlannerStats
+}
+
+// PlannerStats summarises the work profile of one scheduling run. Every
+// field is observational: none of them feeds back into any decision.
+type PlannerStats struct {
+	// Rounds counts the outer prepare/select rounds (decisions made the
+	// sequential way; batched commits are counted separately).
+	Rounds int `json:"rounds"`
+	// PreviewsComputed counts the σ previews actually computed — the
+	// dominant cost of a run.
+	PreviewsComputed int `json:"previews_computed"`
+	// PreviewsScreened counts the candidate evaluations the cache-aware
+	// screen and lazy pricing proved irrelevant, whose previews were
+	// never paid for (== Result.SkippedCandidates).
+	PreviewsScreened int `json:"previews_screened"`
+	// SigmaReuses counts σ-cache entries revalidated against the live
+	// schedule and reused without recomputation.
+	SigmaReuses int `json:"sigma_reuses"`
+	// BatchedCommits counts decisions settled by batch commits
+	// (== Result.BatchedCommits); BatchFallbacks counts the batch scans
+	// that could not prove the next winner and fell back to a full
+	// prepare/select round.
+	BatchedCommits int `json:"batched_commits"`
+	BatchFallbacks int `json:"batch_fallbacks"`
 }
 
 // Run schedules the problem with FTBAR and returns the fault-tolerant
@@ -175,7 +208,13 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	if sch.cache != nil {
 		res.SkippedCandidates = int(sch.cache.skipped)
 		res.BatchedCommits = sch.batched
+		res.Planner.PreviewsComputed = int(sch.cache.computed.Load())
+		res.Planner.PreviewsScreened = int(sch.cache.skipped)
+		res.Planner.SigmaReuses = int(sch.cache.reused)
+		res.Planner.BatchedCommits = sch.batched
+		res.Planner.BatchFallbacks = sch.batchFallbacks
 	}
+	res.Planner.Rounds = sch.rounds
 	ok, rtcErr := sch.s.MeetsRtc()
 	res.MeetsRtc = ok
 	if rtcErr != nil {
@@ -290,14 +329,18 @@ type scheduler struct {
 	// outer round's prepare; staleBuf and deferBuf are lazyKey's
 	// scratch, phaseBuf the candidate-ordering scratch of the two-phase
 	// scans.
-	evals      []candEval
-	batchOK    bool
-	batched    int
-	roundStart uint64
-	staleBuf   []int32
-	deferBuf   []int32
-	phaseBuf   []model.TaskID
-	estBuf     []float64
+	evals   []candEval
+	batchOK bool
+	batched int
+	// rounds and batchFallbacks feed Result.Planner: outer
+	// prepare/select rounds, and batch scans that failed their proof.
+	rounds         int
+	batchFallbacks int
+	roundStart     uint64
+	staleBuf       []int32
+	deferBuf       []int32
+	phaseBuf       []model.TaskID
+	estBuf         []float64
 	// checkpoints is the reusable buffer stack of the incremental
 	// engine's in-place speculation undo; memos is the matching stack of
 	// Minimize-loop replay memos (speculation nests, so both form stacks).
@@ -331,6 +374,7 @@ func (sch *scheduler) run() error {
 		if len(cands) == 0 {
 			return fmt.Errorf("%w: %d tasks unschedulable", ErrInternal, remaining)
 		}
+		sch.rounds++
 		if sch.cache != nil {
 			sch.cache.prepare(cands)
 			sch.roundStart = sch.cache.step

@@ -184,8 +184,14 @@ type sigmaCache struct {
 	cold       []int32
 	coldRanges []coldRange
 	// skipped counts candidate evaluations the cache-aware screen
-	// avoided: their cold previews were never computed.
-	skipped uint64
+	// avoided: their cold previews were never computed. computed counts
+	// the previews that were (atomic: ensure fans compute across the
+	// worker pool); reused counts revalidations that kept an entry
+	// without a preview (only ever bumped on the serial control path).
+	// All three are observational — Result.Planner reads them out.
+	skipped  uint64
+	computed atomic.Uint64
+	reused   uint64
 	// memoOK gates per-edge plan memoization to the configurations it is
 	// sound for (no medium fault budget, mask-sized media set).
 	memoOK bool
@@ -413,6 +419,7 @@ func (c *sigmaCache) revalidate(t model.TaskID, p arch.ProcID) bool {
 			return false
 		}
 	}
+	c.reused++
 	free := s.ProcEnd(p)
 	if free <= e.sworst {
 		return true
@@ -438,6 +445,7 @@ func (c *sigmaCache) stampsValid(t model.TaskID, p arch.ProcID) bool {
 
 // compute fills entry idx with a fresh preview and its dependency record.
 func (c *sigmaCache) compute(idx int) {
+	c.computed.Add(1)
 	t := model.TaskID(idx / c.nProcs)
 	p := arch.ProcID(idx % c.nProcs)
 	s := c.sch.s

@@ -27,7 +27,23 @@ type TailsCache struct {
 	live  int   // dirty tasks not yet settled by Update
 	hi    int   // highest dirty topological position, -1 when clean
 	pos   []int // topological position of each task
+
+	stats TailsCacheStats
 }
+
+// TailsCacheStats is the cache's cumulative dirty-scan work profile,
+// for the observability layer: how many Update calls actually ran, how
+// many topological positions the descending scans visited, and how many
+// tails were recomputed. Scanned − Recomputed positions were skipped as
+// clean; a full Tails pass would have recomputed every task each time.
+type TailsCacheStats struct {
+	Updates    uint64 `json:"updates"`
+	Scanned    uint64 `json:"scanned"`
+	Recomputed uint64 `json:"recomputed"`
+}
+
+// Stats returns the cumulative dirty-scan counters.
+func (c *TailsCache) Stats() TailsCacheStats { return c.stats }
 
 // NewTailsCache computes the tails of tg under cm and returns a cache
 // ready for incremental updates.
@@ -89,8 +105,10 @@ func (c *TailsCache) Update() int {
 	if c.live == 0 {
 		return 0
 	}
+	c.stats.Updates++
 	touched := 0
 	for i := c.hi; i >= 0 && c.live > 0; i-- {
+		c.stats.Scanned++
 		u := c.tg.topo[i]
 		if !c.dirty[u] {
 			continue
@@ -115,5 +133,6 @@ func (c *TailsCache) Update() int {
 		}
 	}
 	c.hi = -1
+	c.stats.Recomputed += uint64(touched)
 	return touched
 }

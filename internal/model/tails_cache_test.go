@@ -149,6 +149,44 @@ func TestTailsCacheCutoff(t *testing.T) {
 	}
 }
 
+// TestTailsCacheStats checks that the cumulative work profile reconciles
+// with what Update reports: a clean Update counts nothing, a dominated
+// perturbation records more scanned positions than recomputed tails only
+// when the scan actually skipped clean entries, and Recomputed matches the
+// sum of Update return values.
+func TestTailsCacheStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tg := randomLayeredGraph(t, rng, 5, 4)
+	sc := randomCosts(rng, tg)
+	c := NewTailsCache(tg, sc.model())
+
+	if s := c.Stats(); s != (TailsCacheStats{}) {
+		t.Fatalf("fresh cache stats = %+v, want zero", s)
+	}
+	c.Update() // clean: no live work, must not count as an update
+	if s := c.Stats(); s.Updates != 0 {
+		t.Fatalf("clean Update counted: %+v", s)
+	}
+
+	var recomputed uint64
+	for i := 0; i < 8; i++ {
+		e := TaskEdgeID(rng.Intn(tg.NumEdges()))
+		sc.edge[e] += rng.Float64() * 5
+		c.InvalidateEdge(e)
+		recomputed += uint64(c.Update())
+	}
+	s := c.Stats()
+	if s.Updates != 8 {
+		t.Errorf("Updates = %d, want 8", s.Updates)
+	}
+	if s.Recomputed != recomputed {
+		t.Errorf("Recomputed = %d, want %d (sum of Update returns)", s.Recomputed, recomputed)
+	}
+	if s.Scanned < s.Recomputed {
+		t.Errorf("Scanned = %d < Recomputed = %d; scan visits every recomputed position", s.Scanned, s.Recomputed)
+	}
+}
+
 // TestTailsCacheNoopUpdate checks that an un-invalidated cache settles for
 // free and that a spurious invalidation (no underlying change) converges
 // back to the same values.

@@ -1,0 +1,238 @@
+package obsv
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x_total", "")
+	g := r.NewGauge("x", "")
+	h := r.NewHistogram("x_seconds", "")
+	r.NewGaugeFunc("x_fn", "", func() float64 { return 1 })
+	// None of these may panic, allocate state, or record anything.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.25)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments recorded values")
+	}
+	if snap := r.Gather(); len(snap.Samples) != 0 {
+		t.Errorf("nil registry gathered %d samples", len(snap.Samples))
+	}
+	if stop := r.StartReporting(0, NopReporter{}); stop == nil {
+		t.Error("nil registry returned nil stop")
+	} else {
+		stop()
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ftbar_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.NewGauge("ftbar_test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", g.Value())
+	}
+	// Re-registration returns the same instrument.
+	if r.NewCounter("ftbar_test_total", "help") != c {
+		t.Error("re-registered counter is a different instrument")
+	}
+	if r.NewGauge("ftbar_test_gauge", "help") != g {
+		t.Error("re-registered gauge is a different instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.NewGauge("ftbar_x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram("h", "", HistogramOpts{Lowest: 1, Buckets: 8})
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // at or below the floor
+		{1.001, 1}, {2, 1}, // (1, 2]
+		{2.001, 2}, {4, 2}, // (2, 4]
+		{128, 7}, {129, 8}, {1e12, 8}, // last finite bucket, overflow
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram("h", "", HistogramOpts{Lowest: 1, Buckets: 20})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 100 observations spread uniformly over (0, 100].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if want := 5050.0; h.Sum() != want {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	// Log buckets bound the relative error by the bucket factor (2x).
+	for _, c := range []struct{ q, exact float64 }{{0.5, 50}, {0.9, 90}, {0.99, 99}} {
+		got := h.Quantile(c.q)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("q%g = %g, want within 2x of %g", c.q, got, c.exact)
+		}
+	}
+	// Monotone in q.
+	if h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Error("quantiles not monotone")
+	}
+	// Everything in the overflow bucket still answers finitely.
+	o := newHistogram("o", "", HistogramOpts{Lowest: 1, Buckets: 4})
+	o.Observe(1e9)
+	if q := o.Quantile(0.99); math.IsInf(q, 1) || q <= 0 {
+		t.Errorf("overflow-only quantile = %g", q)
+	}
+	// NaN and -Inf are dropped.
+	o.Observe(math.NaN())
+	o.Observe(math.Inf(-1))
+	if o.Count() != 1 {
+		t.Errorf("NaN/-Inf observed (count=%d)", o.Count())
+	}
+}
+
+func TestGatherSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_b_total", "b help").Add(2)
+	r.NewGauge("ftbar_a", "a help").Set(7)
+	r.NewGaugeFunc("ftbar_c", "c help", func() float64 { return 42 })
+	h := r.NewHistogramOpts("ftbar_d_seconds", "d help", HistogramOpts{Lowest: 0.001, Buckets: 10})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	snap := r.Gather()
+	var names []string
+	for _, s := range snap.Samples {
+		names = append(names, s.Name)
+	}
+	want := []string{"ftbar_a", "ftbar_b_total", "ftbar_c", "ftbar_d_seconds"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("gathered %v, want %v", names, want)
+	}
+	if snap.Samples[0].Value != 7 || snap.Samples[1].Value != 2 || snap.Samples[2].Value != 42 {
+		t.Errorf("sample values wrong: %+v", snap.Samples[:3])
+	}
+	d := snap.Samples[3]
+	if d.Kind != KindHistogram || d.Count != 2 || len(d.Buckets) != 11 {
+		t.Fatalf("histogram sample wrong: %+v", d)
+	}
+	// Buckets are cumulative and end at +Inf.
+	last := d.Buckets[len(d.Buckets)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 2 {
+		t.Errorf("last bucket %+v, want +Inf/2", last)
+	}
+	for i := 1; i < len(d.Buckets); i++ {
+		if d.Buckets[i].Count < d.Buckets[i-1].Count {
+			t.Error("buckets not cumulative")
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("m_total", "path", "/v1/x"); got != `m_total{path="/v1/x"}` {
+		t.Errorf("Label = %s", got)
+	}
+	two := Label(Label("m", "a", "1"), "b", `say "hi"\`)
+	if two != `m{a="1",b="say \"hi\"\\"}` {
+		t.Errorf("stacked Label = %s", two)
+	}
+	base, labels := splitName(two)
+	if base != "m" || labels != `a="1",b="say \"hi\"\\"` {
+		t.Errorf("splitName = %q / %q", base, labels)
+	}
+}
+
+func TestConcurrentObserveAndGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ftbar_race_total", "")
+	h := r.NewHistogram("ftbar_race_seconds", "")
+	g := r.NewGauge("ftbar_race_gauge", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+				g.Add(1)
+				if i%50 == 0 {
+					r.Gather()
+					h.Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 4000 || h.Count() != 4000 || g.Value() != 4000 {
+		t.Errorf("lost updates: counter=%d hist=%d gauge=%g", c.Value(), h.Count(), g.Value())
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins that a snapshot with an observed
+// histogram — whose last cumulative bucket bound is +Inf — survives
+// encoding/json both ways (the JSON-file reporter depends on it).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_rt_total", "").Add(3)
+	h := r.NewHistogram("ftbar_rt_seconds", "")
+	h.Observe(0.004)
+	h.Observe(1e12) // lands in the overflow bucket
+	snap := r.Gather()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not unmarshal: %v", err)
+	}
+	if len(back.Samples) != len(snap.Samples) {
+		t.Fatalf("round trip lost samples: %d != %d", len(back.Samples), len(snap.Samples))
+	}
+	for i, s := range back.Samples {
+		if s.Kind != KindHistogram {
+			continue
+		}
+		last := s.Buckets[len(s.Buckets)-1]
+		if !math.IsInf(last.Le, 1) {
+			t.Errorf("sample %d last bucket bound %v, want +Inf", i, last.Le)
+		}
+		if last.Count != snap.Samples[i].Buckets[len(s.Buckets)-1].Count {
+			t.Errorf("sample %d overflow count changed across the round trip", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file writes the Prometheus text exposition format (version
+// 0.0.4) by hand, so the /metrics endpoint needs no client library.
+// Families (metrics sharing a base name across label sets) emit one
+// HELP/TYPE header; histograms expand into cumulative _bucket lines
+// plus _sum and _count, the shape PromQL's histogram_quantile expects.
+
+// WriteProm renders the snapshot in the exposition format.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, s := range snap.Samples {
+		base, labels := splitName(s.Name)
+		if !seen[base] {
+			seen[base] = true
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, strings.ReplaceAll(s.Help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, s.Kind)
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, bk := range s.Buckets {
+				fmt.Fprintf(&b, "%s %d\n", labelled(base+"_bucket", labels, "le", promFloat(bk.Le)), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s %s\n", labelled(base+"_sum", labels, "", ""), promFloat(s.Sum))
+			fmt.Fprintf(&b, "%s %d\n", labelled(base+"_count", labels, "", ""), s.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", labelled(base, labels, "", ""), promFloat(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelled reassembles a metric line's name from the family name, the
+// const label body and an optional extra label (the histogram "le").
+func labelled(base, labels, extraKey, extraVal string) string {
+	if extraKey != "" {
+		extra := fmt.Sprintf(`%s="%s"`, extraKey, extraVal)
+		if labels == "" {
+			labels = extra
+		} else {
+			labels += "," + extra
+		}
+	}
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// promFloat renders a float the way Prometheus spells it, +Inf
+// included.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in the exposition format — the /metrics
+// endpoint. A nil registry serves an empty (valid) page.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, r.Gather()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package obsv
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_req_total", "Requests.").Add(7)
+	r.NewGauge("ftbar_depth", "Queue depth.").Set(3)
+	h := r.NewHistogramOpts(Label("ftbar_lat_seconds", "path", "/v1/schedule"),
+		"Latency.", HistogramOpts{Lowest: 0.001, Buckets: 4})
+	h.Observe(0.0005)
+	h.Observe(0.003)
+	h.Observe(100) // overflow
+
+	var b strings.Builder
+	if err := WriteProm(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ftbar_req_total Requests.",
+		"# TYPE ftbar_req_total counter",
+		"ftbar_req_total 7",
+		"# TYPE ftbar_depth gauge",
+		"ftbar_depth 3",
+		"# TYPE ftbar_lat_seconds histogram",
+		`ftbar_lat_seconds_bucket{path="/v1/schedule",le="0.001"} 1`,
+		`ftbar_lat_seconds_bucket{path="/v1/schedule",le="0.004"} 2`,
+		`ftbar_lat_seconds_bucket{path="/v1/schedule",le="+Inf"} 3`,
+		`ftbar_lat_seconds_count{path="/v1/schedule"} 3`,
+		`ftbar_lat_seconds_sum{path="/v1/schedule"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with multiple label sets.
+	r.NewHistogramOpts(Label("ftbar_lat_seconds", "path", "/v1/batch"),
+		"Latency.", HistogramOpts{Lowest: 0.001, Buckets: 4}).Observe(0.002)
+	b.Reset()
+	if err := WriteProm(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "# TYPE ftbar_lat_seconds histogram"); n != 1 {
+		t.Errorf("family TYPE header emitted %d times, want 1", n)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_h_total", "").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ftbar_h_total 1") {
+		t.Errorf("body missing counter: %s", rec.Body.String())
+	}
+	// Nil registry: empty but valid.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,151 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter consumes registry snapshots. The Prometheus /metrics handler
+// is the pull-side reporter (prom.go); these are the push side, driven
+// by StartReporting on a fixed period.
+type Reporter interface {
+	Report(Snapshot) error
+}
+
+// NopReporter discards snapshots — the default when no reporting is
+// configured. (The cheaper disable is a nil *Registry, which turns the
+// instruments themselves into no-ops; NopReporter exists for call sites
+// that want a non-nil Reporter unconditionally.)
+type NopReporter struct{}
+
+// Report discards the snapshot.
+func (NopReporter) Report(Snapshot) error { return nil }
+
+// ConsoleReporter renders each snapshot as a compact text block on W,
+// one metric per line, histograms as count/p50/p99 summaries.
+type ConsoleReporter struct {
+	W io.Writer
+	// Hist optionally resolves quantiles for histogram lines; when nil,
+	// only count and sum are printed. Wire it to the owning registry's
+	// LookupHistogram for live quantiles.
+	Hist func(name string) *Histogram
+}
+
+// Report writes the snapshot as text.
+func (c ConsoleReporter) Report(snap Snapshot) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- metrics %s --\n", snap.At.Format(time.RFC3339))
+	for _, s := range snap.Samples {
+		switch s.Kind {
+		case KindHistogram:
+			if c.Hist != nil {
+				if h := c.Hist(s.Name); h != nil {
+					fmt.Fprintf(&b, "%-56s count=%d p50=%.6g p99=%.6g\n",
+						s.Name, s.Count, h.Quantile(0.50), h.Quantile(0.99))
+					continue
+				}
+			}
+			fmt.Fprintf(&b, "%-56s count=%d sum=%.6g\n", s.Name, s.Count, s.Sum)
+		default:
+			fmt.Fprintf(&b, "%-56s %.6g\n", s.Name, s.Value)
+		}
+	}
+	_, err := io.WriteString(c.W, b.String())
+	return err
+}
+
+// JSONFileReporter writes each snapshot as indented JSON to Path,
+// atomically (temp file + rename), so scrapers never read a torn file.
+// The file always holds the latest snapshot only; it is a state export,
+// not a log.
+type JSONFileReporter struct {
+	Path string
+}
+
+// Report replaces the file with the snapshot.
+func (j JSONFileReporter) Report(snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(j.Path)
+	tmp, err := os.CreateTemp(dir, ".obsv-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), j.Path)
+}
+
+// LookupHistogram returns the named histogram when the registry holds
+// one, nil otherwise — the hook ConsoleReporter uses for quantiles.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, _ := r.named[name].(*Histogram)
+	return h
+}
+
+// StartReporting gathers the registry every interval and feeds each
+// reporter, until the returned stop function is called. Stop is
+// idempotent, flushes one final snapshot, and waits for the loop to
+// exit. Reporter errors are counted on the registry
+// (ftbar_obsv_report_errors_total) rather than propagated — a broken
+// sink must not take the service down with it.
+func (r *Registry) StartReporting(interval time.Duration, reporters ...Reporter) (stop func()) {
+	if r == nil || len(reporters) == 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	errs := r.NewCounter("ftbar_obsv_report_errors_total", "Reporter invocations that returned an error.")
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		report := func() {
+			snap := r.Gather()
+			for _, rep := range reporters {
+				if err := rep.Report(snap); err != nil {
+					errs.Inc()
+				}
+			}
+		}
+		for {
+			select {
+			case <-t.C:
+				report()
+			case <-done:
+				report() // final flush so short-lived runs still export
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

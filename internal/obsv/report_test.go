@@ -1,0 +1,113 @@
+package obsv
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConsoleReporter(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_console_total", "").Add(3)
+	h := r.NewHistogram("ftbar_console_seconds", "")
+	h.Observe(0.010)
+	h.Observe(0.020)
+	var b strings.Builder
+	rep := ConsoleReporter{W: &b, Hist: r.LookupHistogram}
+	if err := rep.Report(r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ftbar_console_total", "3", "ftbar_console_seconds", "count=2", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("console output missing %q:\n%s", want, out)
+		}
+	}
+	// Without the histogram hook, the line falls back to count/sum.
+	b.Reset()
+	if err := (ConsoleReporter{W: &b}).Report(r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sum=") {
+		t.Errorf("hookless console output missing sum: %s", b.String())
+	}
+}
+
+func TestJSONFileReporter(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	r := NewRegistry()
+	r.NewCounter("ftbar_json_total", "help").Add(9)
+	rep := JSONFileReporter{Path: path}
+	if err := rep.Report(r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	// A second report atomically replaces the first.
+	r.NewCounter("ftbar_json_total", "help").Add(1)
+	if err := rep.Report(r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("file is not a snapshot: %v", err)
+	}
+	if len(snap.Samples) != 1 || snap.Samples[0].Value != 10 {
+		t.Errorf("snapshot %+v, want one sample at 10", snap.Samples)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".obsv-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// errReporter fails every report, for the error-counter path.
+type errReporter struct{}
+
+func (errReporter) Report(Snapshot) error { return errors.New("sink down") }
+
+func TestStartReportingPeriodicAndFinalFlush(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ftbar_periodic_total", "").Add(1)
+	var mu sync.Mutex
+	var got []Snapshot
+	collect := reporterFunc(func(s Snapshot) error {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+		return nil
+	})
+	stop := r.StartReporting(5*time.Millisecond, collect, errReporter{})
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n < 2 {
+		t.Errorf("periodic reporter fired %d times, want >= 2 (ticks + final flush)", n)
+	}
+	if errs := r.NewCounter("ftbar_obsv_report_errors_total", "").Value(); errs == 0 {
+		t.Error("failing reporter not counted")
+	}
+	// NopReporter absorbs everything without error.
+	if err := (NopReporter{}).Report(r.Gather()); err != nil {
+		t.Error(err)
+	}
+}
+
+type reporterFunc func(Snapshot) error
+
+func (f reporterFunc) Report(s Snapshot) error { return f(s) }

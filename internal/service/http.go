@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ftbar/internal/obsv"
 	"ftbar/internal/spec"
 )
 
@@ -122,10 +124,26 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 //	POST /v1/batch     many problems          -> BatchResponse
 //	POST /v1/sweep     one problem, many Npfs -> SweepResponse
 //	GET  /v1/stats     counters and latencies -> Stats
+//	GET  /metrics      Prometheus exposition  -> text/plain 0.0.4
 //	GET  /healthz      liveness               -> "ok"
+//
+// Each /v1 endpoint records its handler latency into a per-path
+// histogram (ftbar_http_request_duration_seconds{path=...}) on the
+// service registry; the instruments are registered idempotently so
+// Handler may be called more than once.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(path string, fn http.HandlerFunc) {
+		h := s.reg.NewHistogramOpts(
+			obsv.Label("ftbar_http_request_duration_seconds", "path", path),
+			"HTTP handler latency by endpoint.", obsv.HistogramOpts{Lowest: 1e-6})
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			fn(w, r)
+			h.Observe(time.Since(t0).Seconds())
+		})
+	}
+	handle("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodPost) {
 			return
 		}
@@ -140,7 +158,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, reply)
 	})
-	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodPost) {
 			return
 		}
@@ -150,7 +168,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, s.Batch(r.Context(), &req))
 	})
-	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodPost) {
 			return
 		}
@@ -165,12 +183,13 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodGet) {
 			return
 		}
 		writeJSON(w, s.Stats())
 	})
+	mux.Handle("/metrics", obsv.Handler(s.reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -17,13 +17,13 @@ package service
 import (
 	"context"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ftbar/internal/core"
+	"ftbar/internal/obsv"
 	"ftbar/internal/sched"
 	"ftbar/internal/sim"
 )
@@ -67,19 +67,25 @@ type Service struct {
 	cfg   Config
 	cache *cache
 	queue chan *job
+	reg   *obsv.Registry
 
 	closeMu sync.RWMutex
 	closed  bool
 	wg      sync.WaitGroup
 
-	requests      atomic.Uint64
-	cacheHits     atomic.Uint64
-	cacheMisses   atomic.Uint64
-	schedulerRuns atomic.Uint64
-	rejected      atomic.Uint64
-	errors        atomic.Uint64
+	requests      *obsv.Counter
+	cacheHits     *obsv.Counter
+	cacheMisses   *obsv.Counter
+	schedulerRuns *obsv.Counter
+	rejected      *obsv.Counter
+	errors        *obsv.Counter
+	inFlight      atomic.Int64
 
-	lat *latencyRecorder
+	// lat is the whole-run request latency distribution, in seconds,
+	// recorded on every successful reply (queue wait included).
+	lat *obsv.Histogram
+
+	planner plannerMetrics
 
 	// computeHook, when set, runs inside each worker computation before
 	// the scheduler; tests use it to hold workers and fill the queue
@@ -87,21 +93,76 @@ type Service struct {
 	computeHook func()
 }
 
+// plannerMetrics aggregates the core engine's per-run work profile
+// (core.PlannerStats) across every scheduler run the service performs.
+// The core package stays free of obsv — it returns plain ints and the
+// service folds them into counters after each run.
+type plannerMetrics struct {
+	rounds           *obsv.Counter
+	previewsComputed *obsv.Counter
+	previewsScreened *obsv.Counter
+	sigmaReuses      *obsv.Counter
+	batchedCommits   *obsv.Counter
+	batchFallbacks   *obsv.Counter
+}
+
+func (m *plannerMetrics) add(p core.PlannerStats) {
+	m.rounds.Add(uint64(p.Rounds))
+	m.previewsComputed.Add(uint64(p.PreviewsComputed))
+	m.previewsScreened.Add(uint64(p.PreviewsScreened))
+	m.sigmaReuses.Add(uint64(p.SigmaReuses))
+	m.batchedCommits.Add(uint64(p.BatchedCommits))
+	m.batchFallbacks.Add(uint64(p.BatchFallbacks))
+}
+
 // New starts a service with cfg's worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	reg := obsv.NewRegistry()
 	s := &Service{
 		cfg:   cfg,
 		cache: newCache(cfg.CacheSize),
 		queue: make(chan *job, cfg.QueueSize),
-		lat:   newLatencyRecorder(4096),
+		reg:   reg,
+
+		requests:      reg.NewCounter("ftbar_service_requests_total", "Scheduling requests admitted to the cache/queue path."),
+		cacheHits:     reg.NewCounter("ftbar_service_cache_hits_total", "Requests answered from the content-addressed cache or by coalescing."),
+		cacheMisses:   reg.NewCounter("ftbar_service_cache_misses_total", "Requests that owned a cache entry and went to the queue."),
+		schedulerRuns: reg.NewCounter("ftbar_service_scheduler_runs_total", "Core scheduler executions (cache misses that were admitted)."),
+		rejected:      reg.NewCounter("ftbar_service_rejected_total", "Requests rejected with backpressure (HTTP 429) on a full queue."),
+		errors:        reg.NewCounter("ftbar_service_errors_total", "Scheduler computations that returned an error."),
+		lat: reg.NewHistogramOpts("ftbar_service_request_duration_seconds",
+			"End-to-end latency of successful requests, queue wait included.",
+			obsv.HistogramOpts{Lowest: 1e-6}),
+		planner: plannerMetrics{
+			rounds:           reg.NewCounter("ftbar_planner_rounds_total", "Scheduling rounds across all runs."),
+			previewsComputed: reg.NewCounter("ftbar_planner_previews_computed_total", "Candidate previews computed (σ-cache misses)."),
+			previewsScreened: reg.NewCounter("ftbar_planner_previews_screened_total", "Candidate previews skipped by the cache-aware screen."),
+			sigmaReuses:      reg.NewCounter("ftbar_planner_sigma_reuses_total", "σ-cache entries revalidated and reused without recompute."),
+			batchedCommits:   reg.NewCounter("ftbar_planner_batched_commits_total", "Rounds committed from a batch under proof obligations."),
+			batchFallbacks:   reg.NewCounter("ftbar_planner_batch_fallbacks_total", "Batch proof failures that fell back to a full replan."),
+		},
 	}
+	reg.NewGaugeFunc("ftbar_service_queue_depth", "Jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.NewGaugeFunc("ftbar_service_queue_capacity", "Capacity of the bounded queue.",
+		func() float64 { return float64(cfg.QueueSize) })
+	reg.NewGaugeFunc("ftbar_service_in_flight", "Requests between admission and reply.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.NewGaugeFunc("ftbar_service_cache_entries", "Entries in the content-addressed schedule cache.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.NewGaugeFunc("ftbar_service_workers", "Size of the scheduling worker pool.",
+		func() float64 { return float64(cfg.Workers) })
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// Metrics returns the service's registry, for /metrics exposition and
+// periodic reporters. The registry lives as long as the service.
+func (s *Service) Metrics() *obsv.Registry { return s.reg }
 
 // Close rejects further submissions, drains the queued jobs and stops the
 // workers.
@@ -122,7 +183,7 @@ func (s *Service) worker() {
 	for j := range s.queue {
 		resp, err := s.compute(j.req)
 		if err != nil {
-			s.errors.Add(1)
+			s.errors.Inc()
 		}
 		s.cache.complete(j.e, resp, err)
 	}
@@ -137,11 +198,12 @@ func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.schedulerRuns.Add(1)
+	s.schedulerRuns.Inc()
 	res, err := core.Run(req.Problem, opts)
 	if err != nil {
 		return nil, err
 	}
+	s.planner.add(res.Planner)
 	data, err := res.Schedule.MarshalJSON()
 	if err != nil {
 		return nil, err
@@ -194,16 +256,18 @@ func (s *Service) do(ctx context.Context, req *ScheduleRequest, wait bool) (*Sch
 	if err != nil {
 		return nil, err
 	}
-	s.requests.Add(1)
-	stop := s.lat.start()
+	s.requests.Inc()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	t0 := time.Now()
 	for {
 		e, owner := s.cache.acquire(key)
 		if owner {
-			s.cacheMisses.Add(1)
+			s.cacheMisses.Inc()
 			if err := s.submit(ctx, &job{req: req, e: e}, wait); err != nil {
 				s.cache.abandon(e, err)
 				if err == ErrOverloaded {
-					s.rejected.Add(1)
+					s.rejected.Inc()
 				}
 				return nil, err
 			}
@@ -223,9 +287,9 @@ func (s *Service) do(ctx context.Context, req *ScheduleRequest, wait bool) (*Sch
 			return nil, e.err
 		}
 		if !owner {
-			s.cacheHits.Add(1)
+			s.cacheHits.Inc()
 		}
-		stop()
+		s.lat.Observe(time.Since(t0).Seconds())
 		return &ScheduleReply{ScheduleResponse: e.resp, Cached: !owner}, nil
 	}
 }
@@ -273,8 +337,9 @@ type Stats struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 }
 
-// Stats snapshots the counters. The latency percentiles cover the last
-// 4096 successful requests, end to end (queue wait included).
+// Stats snapshots the counters. The latency percentiles cover every
+// successful request since the service started, end to end (queue wait
+// included), read from the streaming histogram — not a sliding window.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Workers:       s.cfg.Workers,
@@ -282,63 +347,20 @@ func (s *Service) Stats() Stats {
 		QueueCapacity: s.cfg.QueueSize,
 		CacheEntries:  s.cache.len(),
 		CacheCapacity: s.cfg.CacheSize,
-		Requests:      s.requests.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		SchedulerRuns: s.schedulerRuns.Load(),
-		Rejected:      s.rejected.Load(),
-		Errors:        s.errors.Load(),
+		Requests:      s.requests.Value(),
+		CacheHits:     s.cacheHits.Value(),
+		CacheMisses:   s.cacheMisses.Value(),
+		SchedulerRuns: s.schedulerRuns.Value(),
+		Rejected:      s.rejected.Value(),
+		Errors:        s.errors.Value(),
 	}
 	if st.Requests > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(st.Requests)
 	}
-	st.LatencyP50Ms, st.LatencyP90Ms, st.LatencyP99Ms = s.lat.percentiles()
+	if s.lat.Count() > 0 {
+		st.LatencyP50Ms = s.lat.Quantile(0.50) * 1e3
+		st.LatencyP90Ms = s.lat.Quantile(0.90) * 1e3
+		st.LatencyP99Ms = s.lat.Quantile(0.99) * 1e3
+	}
 	return st
-}
-
-// latencyRecorder keeps a bounded ring of request latencies in
-// milliseconds.
-type latencyRecorder struct {
-	mu   sync.Mutex
-	ring []float64
-	n    int // total recorded
-}
-
-func newLatencyRecorder(size int) *latencyRecorder {
-	return &latencyRecorder{ring: make([]float64, 0, size)}
-}
-
-// start returns a stop func that records the elapsed time when called.
-func (l *latencyRecorder) start() func() {
-	t0 := time.Now()
-	return func() {
-		l.record(float64(time.Since(t0).Nanoseconds()) / 1e6)
-	}
-}
-
-func (l *latencyRecorder) record(ms float64) {
-	l.mu.Lock()
-	if len(l.ring) < cap(l.ring) {
-		l.ring = append(l.ring, ms)
-	} else {
-		l.ring[l.n%cap(l.ring)] = ms
-	}
-	l.n++
-	l.mu.Unlock()
-}
-
-// percentiles returns p50, p90 and p99 over the retained window.
-func (l *latencyRecorder) percentiles() (p50, p90, p99 float64) {
-	l.mu.Lock()
-	samples := append([]float64(nil), l.ring...)
-	l.mu.Unlock()
-	if len(samples) == 0 {
-		return 0, 0, 0
-	}
-	sort.Float64s(samples)
-	at := func(q float64) float64 {
-		i := int(q*float64(len(samples)-1) + 0.5)
-		return samples[i]
-	}
-	return at(0.50), at(0.90), at(0.99)
 }
