@@ -38,7 +38,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | service | faults | combined")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | sweepreuse | service | faults | combined")
 	nmf := fs.Int("nmf", -1, "override the faults/combined experiments' Nmf budgets (-1 keeps the default grid)")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
@@ -117,6 +117,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Scaling: incremental vs reference engine (CCR=%g, %d graphs/cell)\n",
 			cfg.CCR, cfg.Graphs)
 		return bench.RenderScaling(out, rep)
+	case "sweepreuse":
+		cfg := bench.DefaultSweepReuse()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.Graphs = *graphs
+		}
+		rep, err := bench.SweepReuse(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderSweepReuseJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Sweep reuse: warm (RunArena) vs cold solves over derived-problem families (N=%d, P=%d, Npf=%d, %d graphs/cell)\n",
+			cfg.Tasks, cfg.Procs, cfg.Npf, cfg.Graphs)
+		return bench.RenderSweepReuse(out, rep)
 	case "service":
 		cfg := bench.DefaultService()
 		cfg.Seed = *seed

@@ -8,7 +8,8 @@
 //	ftserved -addr 127.0.0.1:9000     # explicit address
 //	ftserved -workers 4 -queue 64     # pool and backlog bounds
 //	ftserved -cache 4096              # schedule cache entries (-1 disables)
-//	ftserved -cache-file cache.json   # persist the cache across restarts
+//	ftserved -cache-file cache.json   # persist cache + warm-start logs across restarts
+//	ftserved -arena 128               # warm-start records per shape (-1 disables)
 //	ftserved -log-level debug -log-format json
 //	ftserved -pprof                   # mount net/http/pprof under /debug/pprof/
 //	ftserved -report-every 30s        # periodic metrics summary to the log stream
@@ -84,7 +85,8 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	workers := fs.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "request queue bound (0 = 4x workers)")
 	cacheSize := fs.Int("cache", 0, "schedule cache entries (0 = 1024, negative disables)")
-	cacheFile := fs.String("cache-file", "", "persist the schedule cache to this file across restarts")
+	cacheFile := fs.String("cache-file", "", "persist the schedule cache and warm-start logs to this file across restarts")
+	arenaSize := fs.Int("arena", 0, "warm-start records per problem shape (0 = 64, negative disables)")
 	gogc := fs.Int("gogc", 400, "garbage collector target percent (0 keeps the runtime default)")
 	logLevel := fs.String("log-level", "info", "log level: debug | info | warn | error")
 	logFormat := fs.String("log-format", "text", "log format: text | json")
@@ -105,7 +107,10 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	if *gogc > 0 && os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(*gogc)
 	}
-	svc := service.New(service.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})
+	svc := service.New(service.Config{
+		Workers: *workers, QueueSize: *queue,
+		CacheSize: *cacheSize, ArenaSize: *arenaSize,
+	})
 	defer svc.Close()
 	if *cacheFile != "" {
 		// The cache is an optimization, never a startup dependency: a

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSweepReuseSmall: a reduced grid runs clean, every cell is
+// bit-identical, exactly one cell is tracked, and the warm paths
+// actually replayed decisions somewhere.
+func TestSweepReuseSmall(t *testing.T) {
+	cfg := SweepReuseConfig{
+		Tasks: 16, Procs: 4, CCR: 1, Npf: 1,
+		Resolves: 3, Deadlines: 3, Rounds: 2, Graphs: 1, Seed: 11,
+	}
+	rep, err := SweepReuse(cfg)
+	if err != nil {
+		t.Fatalf("SweepReuse: %v", err)
+	}
+	if len(rep.Cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(rep.Cells))
+	}
+	tracked, warmed := 0, 0
+	for _, c := range rep.Cells {
+		if !c.Identical {
+			t.Errorf("cell %s/%s: warm diverged from cold", c.Kind, c.Topology)
+		}
+		if c.Solves == 0 {
+			t.Errorf("cell %s/%s: no solves", c.Kind, c.Topology)
+		}
+		if c.Tracked {
+			tracked++
+			if c.Kind != "failures" || c.Topology != "full" {
+				t.Errorf("tracked cell is %s/%s, want failures/full", c.Kind, c.Topology)
+			}
+		}
+		warmed += c.WarmStarts
+	}
+	if tracked != 1 {
+		t.Errorf("%d tracked cells, want exactly 1", tracked)
+	}
+	if warmed == 0 {
+		t.Errorf("no warm starts anywhere in the grid")
+	}
+
+	var txt bytes.Buffer
+	if err := RenderSweepReuse(&txt, rep); err != nil {
+		t.Fatalf("RenderSweepReuse: %v", err)
+	}
+	if !strings.Contains(txt.String(), "failures") {
+		t.Errorf("table missing failures rows:\n%s", txt.String())
+	}
+	var js bytes.Buffer
+	if err := RenderSweepReuseJSON(&js, rep); err != nil {
+		t.Fatalf("RenderSweepReuseJSON: %v", err)
+	}
+	var back SweepReuseReport
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Experiment != "sweepreuse" || len(back.Cells) != len(rep.Cells) {
+		t.Errorf("round-tripped report differs")
+	}
+}
+
+// TestSweepReuseRejectsBadConfig: degenerate grids are refused.
+func TestSweepReuseRejectsBadConfig(t *testing.T) {
+	if _, err := SweepReuse(SweepReuseConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -87,16 +87,17 @@ type Options struct {
 	LegacyPlanner bool
 }
 
-// Step records one scheduling decision for inspection and tests.
+// Step records one scheduling decision for inspection, tests and the
+// cross-run decision records (record.go, hence the JSON tags).
 type Step struct {
-	Task model.TaskID
+	Task model.TaskID `json:"task"`
 	// Procs are the chosen processors in placement order: ascending
 	// pressure, except under a combined budget where slots beyond the
 	// first are crash-separated first and pressure-ordered second
 	// (DESIGN.md Section 12).
-	Procs   []arch.ProcID
-	Sigmas  []float64 // pressures of the chosen processors
-	Urgency float64   // best pressure, the selection key
+	Procs   []arch.ProcID `json:"procs"`
+	Sigmas  []float64     `json:"sigmas"`  // pressures of the chosen processors
+	Urgency float64       `json:"urgency"` // best pressure, the selection key
 }
 
 // Result is the outcome of a scheduling run.
@@ -156,6 +157,18 @@ type PlannerStats struct {
 	// prepare/select round.
 	BatchedCommits int `json:"batched_commits"`
 	BatchFallbacks int `json:"batch_fallbacks"`
+	// The remaining counters are the cross-run reuse profile (arena.go,
+	// DESIGN.md Section 15). WarmStarts counts runs that started from a
+	// recorded decision log instead of an empty schedule;
+	// ReplayedDecisions counts the decisions taken by replaying that log
+	// rather than searching; ReplayFallbacks counts replays abandoned
+	// because a recorded decision failed its validity check (the run then
+	// restarted cold); SigmaRowsCarried counts the σ vectors carried into
+	// the warm run's decision log verbatim from the parent run.
+	WarmStarts        int `json:"warm_starts"`
+	ReplayedDecisions int `json:"replayed_decisions"`
+	ReplayFallbacks   int `json:"replay_fallbacks"`
+	SigmaRowsCarried  int `json:"sigma_rows_carried"`
 }
 
 // Run schedules the problem with FTBAR and returns the fault-tolerant
@@ -166,6 +179,20 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runOn(p, opts, s, nil, nil)
+}
+
+// runOn runs the heuristic on an existing (possibly donor-recycled)
+// schedule. A non-empty prefix primes the scheduler as if those decisions
+// had just been taken: the caller has already replayed their placements
+// onto s (arena.go), so only done-marking, ready-queue catch-up and the
+// decision log need reconstructing — the σ cache and batch machinery
+// start cold and exact, which keeps the resumed suffix bit-identical to
+// the suffix of a cold run. A non-nil rec captures the run's decision
+// record for future replays; recording is only wired for the incremental
+// engine (the reference engine's clone-and-swap speculation escapes the
+// media-touch mask, see sched.MediaTouched).
+func runOn(p *spec.Problem, opts Options, s *sched.Schedule, prefix []Step, rec *RunRecord) (*Result, error) {
 	if opts.LegacyPlanner {
 		s.SetRelayAware(false)
 	}
@@ -193,6 +220,18 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 			sch.batchOK = !opts.NoBatchCommits
 		}
 	}
+	if len(prefix) > 0 {
+		sch.steps = append(make([]Step, 0, tg.NumTasks()), prefix...)
+		for _, st := range prefix {
+			sch.done[st.Task] = true
+			if sch.rq != nil {
+				sch.rq.commit(st.Task)
+			}
+		}
+	}
+	if rec != nil && recordable(opts) {
+		sch.rec = rec
+	}
 	if err := sch.run(); err != nil {
 		return nil, err
 	}
@@ -219,6 +258,9 @@ func Run(p *spec.Problem, opts Options) (*Result, error) {
 	res.MeetsRtc = ok
 	if rtcErr != nil {
 		res.RtcViolation = rtcErr.Error()
+	}
+	if sch.rec != nil {
+		sch.rec.finish(sch.s, res)
 	}
 	return res, nil
 }
@@ -354,6 +396,12 @@ type scheduler struct {
 	evalBuf   []procSigma
 	procsBuf  [2][]arch.ProcID
 	sigmasBuf [2][]float64
+	// rec, when set, captures the run's decision record (record.go): one
+	// placement-count and media-mask snapshot per committed step, plus the
+	// finished placement log. Capture is observational — it reads counters
+	// the commit path already maintains — so recorded runs stay
+	// bit-identical to unrecorded ones.
+	rec *RunRecord
 }
 
 // procSigma is one (processor, pressure) evaluation.
@@ -363,7 +411,12 @@ type procSigma struct {
 }
 
 func (sch *scheduler) run() error {
-	remaining := sch.tg.NumTasks()
+	remaining := 0
+	for _, d := range sch.done {
+		if !d {
+			remaining++
+		}
+	}
 	for remaining > 0 {
 		var cands []model.TaskID
 		if sch.rq != nil {
@@ -435,6 +488,15 @@ func (sch *scheduler) commitStep(best model.TaskID, procs []arch.ProcID, sigmas 
 	sch.steps = append(sch.steps, Step{
 		Task: best, Procs: procs, Sigmas: sigmas, Urgency: urgency,
 	})
+	if sch.rec != nil {
+		// Snapshot taken after the step's placements: the placement count
+		// is the replay cut for this step, and the media mask — monotone,
+		// so it covers every preview this round priced before committing —
+		// is the bound the delta-invalidation rule checks (DESIGN.md
+		// Section 15). Batched rounds route through here too.
+		sch.rec.StepPlaces = append(sch.rec.StepPlaces, int32(sch.s.TotalReplicas()))
+		sch.rec.MaskAfter = append(sch.rec.MaskAfter, sch.s.MediaTouched())
+	}
 	return releases, dup, nil
 }
 

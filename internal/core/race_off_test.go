@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// The replay alloc gate skips under instrumentation: the detector itself
+// allocates on the paths it shadows (see internal/sched/race_off_test.go).
+const raceEnabled = false

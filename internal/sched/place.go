@@ -169,7 +169,25 @@ func (s *Schedule) getScratch() *planScratch {
 	return sc
 }
 
-func (s *Schedule) putScratch(sc *planScratch) { s.scratch.Put(sc) }
+func (s *Schedule) putScratch(sc *planScratch) {
+	// Fold the plan's claimed media into the schedule's monotone touch
+	// mask (see Schedule.mediaTouched). Every plan path — committed
+	// placements, rejected selection previews, memo replays, Minimize
+	// speculation — releases its scratch here, so the mask covers every
+	// medium whose busy-end any decision arithmetic read as a claim. The
+	// load-check avoids the atomic RMW once the bits are already set,
+	// which is the steady state.
+	if s.maskTracked && len(sc.bounds) > 0 {
+		var m uint64
+		for i := range sc.bounds {
+			m |= 1 << uint(sc.bounds[i].Medium)
+		}
+		if s.mediaTouched.Load()&m != m {
+			s.mediaTouched.Or(m)
+		}
+	}
+	s.scratch.Put(sc)
+}
 
 // plan computes the placement of one replica of task t on processor p
 // against the current schedule state, planning (without committing) every

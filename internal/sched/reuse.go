@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"ftbar/internal/arch"
+	"ftbar/internal/model"
+	"ftbar/internal/spec"
+)
+
+// This file is the sched half of the cross-run reuse layer (DESIGN.md
+// Section 15): donor-backed construction that recycles a retired
+// schedule's slab storage, the media-touch mask accessors the replay
+// validity rule reads, and the commit-order replica accessor the decision
+// recorder walks.
+
+// MediaTouched returns the monotone bitmask of media any plan on this
+// schedule claimed a comm slot on (bit m set = medium m). It
+// over-approximates the media the run's decisions read: a medium whose
+// bit is clear was never bound by any preview or commit, so forbidding it
+// cannot change any of the decisions taken so far. Meaningful only when
+// MediaMaskTracked reports true.
+func (s *Schedule) MediaTouched() uint64 { return s.mediaTouched.Load() }
+
+// MediaMaskTracked reports whether the media-touch mask is maintained:
+// architectures with more than 64 media are not representable and every
+// medium must be assumed touched.
+func (s *Schedule) MediaMaskTracked() bool { return s.maskTracked }
+
+// OrMediaTouched folds extra bits into the media-touch mask. A warm
+// start that replays a recorded prefix seeds the fresh schedule with the
+// parent run's mask at the cut: the replay re-commits only the surviving
+// plans, not the rejected previews the parent's decisions were weighed
+// against, so without the seed the child's own record would
+// under-approximate its decisions' media dependencies.
+func (s *Schedule) OrMediaTouched(mask uint64) {
+	if s.maskTracked && mask != 0 {
+		s.mediaTouched.Or(mask)
+	}
+}
+
+// ReplicaByOrder returns replica i in global commit order (0 ≤ i <
+// TotalReplicas) by value, without materialising the pointer view. The
+// decision recorder uses it to snapshot the placement log of a finished
+// run; replayers re-commit those placements in the same order.
+func (s *Schedule) ReplicaByOrder(i int) Replica {
+	sl := &s.slab
+	return Replica{
+		Task:  model.TaskID(sl.repTask[i]),
+		Index: int(sl.repIndex[i]),
+		Proc:  arch.ProcID(sl.repProc[i]),
+		Start: sl.repStart[i],
+		End:   sl.repEnd[i],
+	}
+}
+
+// NewScheduleReusing returns an empty schedule for p, recycling the slab
+// column capacity — and, when the problems share structure, the immutable
+// precomputed tables — of a retired donor schedule. The donor is consumed:
+// its storage is stolen, and it must not be used again. A nil or
+// shape-mismatched donor degrades to NewSchedule.
+//
+// Like NewSchedule, the problem is validated through Compile unless its
+// task graph is already memoised (the spec.Derive path, which validates
+// at derivation time instead).
+func NewScheduleReusing(p *spec.Problem, donor *Schedule) (*Schedule, error) {
+	if donor == nil {
+		return NewSchedule(p)
+	}
+	tasks, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	nProcs, nMedia := p.Arc.NumProcs(), p.Arc.NumMedia()
+	if donor.slab.nTasks != tasks.NumTasks() || donor.slab.nProcs != nProcs || donor.slab.nMedia != nMedia {
+		return NewSchedule(p)
+	}
+	s := &Schedule{
+		problem:      p,
+		tasks:        tasks,
+		routes:       new(routeStore),
+		fans:         newFanStore(),
+		faults:       p.FaultModel(),
+		procEnd:      zeroFloats(donor.procEnd),
+		mediumEnd:    zeroFloats(donor.mediumEnd),
+		procRev:      zeroUints(donor.procRev),
+		mediumRev:    zeroUints(donor.mediumRev),
+		taskRev:      zeroUints(donor.taskRev),
+		stampCounter: donor.stampCounter, // monotone: stamps are never reused
+		maskTracked:  nMedia <= 64,
+	}
+	if donor.problem.Arc == p.Arc {
+		// Derive shares the architecture by pointer, so the direct-media
+		// index and the scratch pool (whose buffers are sized by nMedia
+		// and carry no schedule state) transfer as-is.
+		s.directMedia = donor.directMedia
+		s.scratch = donor.scratch
+	} else {
+		direct := make([][]arch.MediumID, nProcs*nProcs)
+		for a := 0; a < nProcs; a++ {
+			for b := 0; b < nProcs; b++ {
+				direct[a*nProcs+b] = p.Arc.MediaBetween(arch.ProcID(a), arch.ProcID(b))
+			}
+		}
+		s.directMedia = direct
+		s.scratch = newScratchPool(nMedia)
+	}
+	if donor.problem.Arc == p.Arc && donor.problem.Comm == p.Comm {
+		// Routes and fans depend only on the architecture and the comm
+		// table, both shared: the warm caches stay exact.
+		s.routes = donor.routes
+		s.fans = donor.fans
+	}
+	s.slab = donor.slab
+	s.slab.reset()
+	donor.slab = slab{}
+	return s, nil
+}
+
+// reset empties the slab in place, keeping every column's capacity. Index
+// rows beyond the zeroed fills are stale and never read, exactly as after
+// a Rollback.
+func (sl *slab) reset() {
+	sl.truncate(0, 0)
+	for i := range sl.taskRepN {
+		sl.taskRepN[i] = 0
+	}
+	for i := range sl.procSeqN {
+		sl.procSeqN[i] = 0
+	}
+	for m := range sl.medHead {
+		sl.medHead[m], sl.medTail[m] = -1, -1
+		sl.medSeqN[m] = 0
+	}
+}
+
+func zeroFloats(b []float64) []float64 {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func zeroUints(b []uint64) []uint64 {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"ftbar/internal/core"
 )
 
 // This file implements cache persistence across service restarts
@@ -18,13 +20,26 @@ import (
 // the format but invalidates schedules from before the joint
 // processor+link planner (DESIGN.md Section 12) — Nmf > 0 problems now
 // schedule with relay-aware fans and crash-separated placement, and a
-// pre-upgrade cache would silently miss that guarantee.
-const snapshotVersion = 2
+// pre-upgrade cache would silently miss that guarantee. Version 3 adds
+// the arena pool's warm-start decision logs (Records); the entry format
+// is unchanged, so version 2 files still load (entries only — the arenas
+// just start cold). Loading an UNKNOWN version stays an error: records
+// are self-verifying on replay, but responses are served verbatim.
+const snapshotVersion = 3
+
+// oldestLoadableVersion is the earliest snapshot version LoadCacheFile
+// accepts. Versions 2 and 3 share the entry format and the Section 12
+// planner; a version 2 file simply carries no warm-start records.
+const oldestLoadableVersion = 2
 
 // cacheSnapshot is the on-disk shape of a cache snapshot.
 type cacheSnapshot struct {
 	Version int                  `json:"version"`
 	Entries []cacheSnapshotEntry `json:"entries"`
+	// Records are the arena pool's warm-start decision logs (since
+	// version 3); they let a restarted service replay, not re-search,
+	// repeat problems. Absent in older snapshots.
+	Records []*core.RunRecord `json:"records,omitempty"`
 }
 
 // cacheSnapshotEntry is one persisted (key, response) pair.
@@ -83,7 +98,11 @@ func (c *cache) restore(entries []cacheSnapshotEntry) int {
 // via a temp file in the same directory). It returns the number of
 // entries written.
 func (s *Service) SaveCacheFile(path string) (int, error) {
-	snap := cacheSnapshot{Version: snapshotVersion, Entries: s.cache.snapshot()}
+	snap := cacheSnapshot{
+		Version: snapshotVersion,
+		Entries: s.cache.snapshot(),
+		Records: s.arenas.export(),
+	}
 	data, err := json.Marshal(snap)
 	if err != nil {
 		return 0, fmt.Errorf("service: encode cache snapshot: %w", err)
@@ -114,8 +133,10 @@ func (s *Service) LoadCacheFile(path string) (int, error) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return 0, fmt.Errorf("service: decode cache snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return 0, fmt.Errorf("service: cache snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < oldestLoadableVersion || snap.Version > snapshotVersion {
+		return 0, fmt.Errorf("service: cache snapshot version %d, want %d..%d",
+			snap.Version, oldestLoadableVersion, snapshotVersion)
 	}
+	s.arenas.restore(snap.Records)
 	return s.cache.restore(snap.Entries), nil
 }

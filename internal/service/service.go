@@ -40,6 +40,10 @@ type Config struct {
 	// 0 picks 1024, negative disables caching (in-flight coalescing
 	// remains).
 	CacheSize int
+	// ArenaSize bounds each per-shape run arena (decision records kept
+	// for cross-run warm starts), in records; 0 picks 64, negative
+	// disables warm starts entirely and every run searches cold.
+	ArenaSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
+	}
+	if c.ArenaSize == 0 {
+		c.ArenaSize = 64
 	}
 	return c
 }
@@ -64,10 +71,11 @@ type job struct {
 // Service is a concurrent scheduling service. Create one with New and
 // release its workers with Close.
 type Service struct {
-	cfg   Config
-	cache *cache
-	queue chan *job
-	reg   *obsv.Registry
+	cfg    Config
+	cache  *cache
+	arenas *arenaPool
+	queue  chan *job
+	reg    *obsv.Registry
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -104,6 +112,10 @@ type plannerMetrics struct {
 	sigmaReuses      *obsv.Counter
 	batchedCommits   *obsv.Counter
 	batchFallbacks   *obsv.Counter
+	warmStarts       *obsv.Counter
+	replayedDecns    *obsv.Counter
+	replayFallbacks  *obsv.Counter
+	sigmaRowsCarried *obsv.Counter
 }
 
 func (m *plannerMetrics) add(p core.PlannerStats) {
@@ -113,6 +125,10 @@ func (m *plannerMetrics) add(p core.PlannerStats) {
 	m.sigmaReuses.Add(uint64(p.SigmaReuses))
 	m.batchedCommits.Add(uint64(p.BatchedCommits))
 	m.batchFallbacks.Add(uint64(p.BatchFallbacks))
+	m.warmStarts.Add(uint64(p.WarmStarts))
+	m.replayedDecns.Add(uint64(p.ReplayedDecisions))
+	m.replayFallbacks.Add(uint64(p.ReplayFallbacks))
+	m.sigmaRowsCarried.Add(uint64(p.SigmaRowsCarried))
 }
 
 // New starts a service with cfg's worker pool.
@@ -120,10 +136,11 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	reg := obsv.NewRegistry()
 	s := &Service{
-		cfg:   cfg,
-		cache: newCache(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueSize),
-		reg:   reg,
+		cfg:    cfg,
+		cache:  newCache(cfg.CacheSize),
+		arenas: newArenaPool(cfg.ArenaSize),
+		queue:  make(chan *job, cfg.QueueSize),
+		reg:    reg,
 
 		requests:      reg.NewCounter("ftbar_service_requests_total", "Scheduling requests admitted to the cache/queue path."),
 		cacheHits:     reg.NewCounter("ftbar_service_cache_hits_total", "Requests answered from the content-addressed cache or by coalescing."),
@@ -141,6 +158,10 @@ func New(cfg Config) *Service {
 			sigmaReuses:      reg.NewCounter("ftbar_planner_sigma_reuses_total", "σ-cache entries revalidated and reused without recompute."),
 			batchedCommits:   reg.NewCounter("ftbar_planner_batched_commits_total", "Rounds committed from a batch under proof obligations."),
 			batchFallbacks:   reg.NewCounter("ftbar_planner_batch_fallbacks_total", "Batch proof failures that fell back to a full replan."),
+			warmStarts:       reg.NewCounter("ftbar_planner_warm_starts_total", "Runs warm-started from a recorded decision log (cross-run reuse)."),
+			replayedDecns:    reg.NewCounter("ftbar_planner_replayed_decisions_total", "Decisions replayed from records instead of searched."),
+			replayFallbacks:  reg.NewCounter("ftbar_planner_replay_fallbacks_total", "Replays abandoned on a stale decision log (run restarted cold)."),
+			sigmaRowsCarried: reg.NewCounter("ftbar_planner_sigma_rows_carried_total", "Recorded σ rows carried into warm runs instead of recomputed."),
 		},
 	}
 	reg.NewGaugeFunc("ftbar_service_queue_depth", "Jobs waiting in the bounded queue.",
@@ -151,6 +172,10 @@ func New(cfg Config) *Service {
 		func() float64 { return float64(s.inFlight.Load()) })
 	reg.NewGaugeFunc("ftbar_service_cache_entries", "Entries in the content-addressed schedule cache.",
 		func() float64 { return float64(s.cache.len()) })
+	reg.NewGaugeFunc("ftbar_service_arena_shapes", "Problem shapes holding a live run arena.",
+		func() float64 { return float64(s.arenas.shapes()) })
+	reg.NewGaugeFunc("ftbar_service_arena_records", "Decision records retained across the per-shape run arenas.",
+		func() float64 { return float64(s.arenas.records()) })
 	reg.NewGaugeFunc("ftbar_service_workers", "Size of the scheduling worker pool.",
 		func() float64 { return float64(cfg.Workers) })
 	for w := 0; w < cfg.Workers; w++ {
@@ -199,7 +224,13 @@ func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
 		return nil, err
 	}
 	s.schedulerRuns.Inc()
-	res, err := core.Run(req.Problem, opts)
+	// Run through the shape's arena: identical or near-identical problems
+	// warm-start from recorded decision logs (a nil arena — pool disabled
+	// — degrades to a plain cold run). The schedule is recycled into the
+	// arena's donor pool at the end: the response carries only marshalled
+	// copies, never the live schedule.
+	arena := s.arenas.get(req.Problem)
+	res, err := arena.Run(req.Problem, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +265,10 @@ func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
 		}
 		resp.Sweep = reports
 	}
+	// The response is fully built (Stats is a value copy, Sweep holds only
+	// value reports, Schedule is marshalled bytes): hand the schedule's
+	// slab back to the arena as a warm-start donor.
+	arena.Recycle(res.Schedule)
 	return resp, nil
 }
 

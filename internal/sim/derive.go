@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"math"
+
+	"ftbar/internal/spec"
+)
+
+// ScenarioProblem maps a failure scenario onto the reschedule problem a
+// recovering system would solve, expressed through the spec.Derive
+// mutation API so a reuse layer (core.RunArena) knows exactly what
+// changed. The mapping covers the sweeps' standard shapes:
+//
+//   - no failures: the problem itself (an identical derivation);
+//   - exactly one permanent processor failure: crash-proc — every
+//     operation is forbidden on the dead processor, which stays in the
+//     architecture as a relay;
+//   - exactly one permanent medium failure: forbid-medium — every
+//     data-dependency is forbidden on the dead medium.
+//
+// The third result is false when the scenario is not expressible as one
+// Derive mutation (multiple failures, intermittent windows, mid-schedule
+// crash times — a static reschedule models none of those); callers then
+// solve the scenario problem however they were going to anyway. Note a
+// derivable scenario's crash time is ignored: the derived problem is the
+// steady-state "the component is gone" reschedule, not a mid-iteration
+// recovery.
+func ScenarioProblem(p *spec.Problem, sc Scenario) (*spec.Problem, spec.Delta, bool, error) {
+	nProc, nMed := len(sc.Failures), len(sc.MediumFailures)
+	switch {
+	case nProc == 0 && nMed == 0:
+		child, d, err := p.Derive(spec.Mutation{Kind: spec.MutIdentical})
+		return child, d, err == nil, err
+	case nProc == 1 && nMed == 0 && math.IsInf(sc.Failures[0].Until, 1):
+		child, d, err := p.Derive(spec.Mutation{Kind: spec.MutCrashProc, Proc: sc.Failures[0].Proc})
+		return child, d, err == nil, err
+	case nProc == 0 && nMed == 1 && math.IsInf(sc.MediumFailures[0].Until, 1):
+		child, d, err := p.Derive(spec.Mutation{Kind: spec.MutForbidMedium, Medium: sc.MediumFailures[0].Medium})
+		return child, d, err == nil, err
+	}
+	return nil, spec.Delta{}, false, nil
+}

@@ -298,6 +298,7 @@ type Problem struct {
 	Npf int
 
 	tasks *model.TaskGraph // compiled lazily by Compile
+	ckey  string           // content address, memoised by ContentKey
 }
 
 // FaultModel resolves the effective fault budget: Faults when set, the
