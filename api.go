@@ -3,8 +3,10 @@ package ftbar
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"ftbar/internal/arch"
+	"ftbar/internal/cluster"
 	"ftbar/internal/core"
 	"ftbar/internal/exec"
 	"ftbar/internal/gen"
@@ -16,6 +18,7 @@ import (
 	"ftbar/internal/service"
 	"ftbar/internal/sim"
 	"ftbar/internal/spec"
+	"ftbar/internal/wire"
 )
 
 // Algorithm model (paper Section 3.2).
@@ -171,7 +174,10 @@ const (
 	TopoDualBus = gen.TopoDualBus
 )
 
-// Scheduling service (DESIGN.md Section 9).
+// Scheduling service (DESIGN.md Section 9). cmd/ftserved serves this
+// in one of three roles: standalone (one process, the default), worker
+// (one shard of a cluster) or master (admission and routing over the
+// workers); the HTTP/JSON edge is identical in every role.
 type (
 	// Service is the concurrent scheduling service: a bounded worker
 	// pool behind a bounded queue, with a content-addressed schedule
@@ -181,6 +187,9 @@ type (
 	ServiceConfig = service.Config
 	// ServiceStats is the observable state of a running service.
 	ServiceStats = service.Stats
+	// Scheduler is what serves the HTTP edge: a *Service (standalone
+	// and worker roles) or a *ClusterMaster (master role).
+	Scheduler = service.Scheduler
 	// ScheduleRequest asks the service for one schedule.
 	ScheduleRequest = service.ScheduleRequest
 	// ScheduleReply is a response plus its cache provenance.
@@ -188,6 +197,40 @@ type (
 	// ScheduleDoc is the exported JSON document shape of a Schedule.
 	ScheduleDoc = sched.Doc
 )
+
+// Clustered deployment (DESIGN.md Section 16): a master routes each
+// request by its problem's content address over a consistent hash ring
+// of workers, so every worker's schedule cache and warm-start arenas
+// hold one shard of the keyspace. Workers speak a versioned wire RPC
+// (internal/wire); the REST/JSON edge stays byte-identical to the
+// standalone role.
+type (
+	// ClusterMaster is the admission and routing layer; it implements
+	// Scheduler, so NewServiceHandler(master) serves the standalone edge.
+	ClusterMaster = cluster.Master
+	// ClusterMasterConfig sizes the master's fan-out and health probing.
+	ClusterMasterConfig = cluster.MasterConfig
+	// ClusterWorker exposes one Service as a cluster member over the
+	// versioned RPC.
+	ClusterWorker = cluster.Worker
+	// ClusterRegistry tracks worker membership and health (up, down,
+	// draining) and keeps the routing ring in sync.
+	ClusterRegistry = cluster.Registry
+	// ClusterRegistryConfig tunes worker health probing.
+	ClusterRegistryConfig = cluster.RegistryConfig
+	// ClusterRing is the consistent hash ring workers shard over.
+	ClusterRing = cluster.Ring
+	// WireError is the versioned API's structured error: a stable Code
+	// plus a human-readable message, mapped deterministically to HTTP
+	// statuses at the edge.
+	WireError = wire.Error
+	// WireCode enumerates the stable error codes.
+	WireCode = wire.Code
+)
+
+// WireVersion is the cluster RPC protocol version; master and workers
+// refuse to mix versions.
+const WireVersion = wire.Version
 
 // NewGraph returns an empty algorithm graph.
 func NewGraph() *Graph { return model.NewGraph() }
@@ -335,6 +378,19 @@ func ParseTopology(s string) (Topology, error) { return gen.ParseTopology(s) }
 // with Close. Service.Handler returns the HTTP surface cmd/ftserved
 // serves.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandler returns the HTTP/JSON edge over any Scheduler — a
+// standalone *Service or a routing *ClusterMaster serve the same bytes.
+func NewServiceHandler(s Scheduler) http.Handler { return service.NewHandler(s) }
+
+// NewClusterMaster builds a routing master with no workers; register
+// them with AddWorker, then Start health probing and serve
+// NewServiceHandler(master).
+func NewClusterMaster(cfg ClusterMasterConfig) *ClusterMaster { return cluster.NewMaster(cfg) }
+
+// NewClusterWorker exposes svc as cluster member id; point it at a
+// listener with Serve. The caller keeps ownership of svc.
+func NewClusterWorker(id string, svc *Service) *ClusterWorker { return cluster.NewWorker(id, svc) }
 
 // PaperExample returns the paper's worked example: the Figure 2 graphs,
 // the Tables 1-2 time tables, Rtc = 16 and Npf = 1.

@@ -10,6 +10,7 @@
 //	ftbench -experiment scaling          # engine-vs-engine wall clock
 //	ftbench -experiment service          # scheduling-service load test
 //	ftbench -experiment service -stages  # + staged arrival-rate profile
+//	ftbench -experiment cluster          # master/worker sharding ladder
 //	ftbench -experiment faults           # Npf+Nmf masking across topologies
 //	ftbench -experiment combined         # joint proc+link masking, reliability
 //	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
@@ -38,7 +39,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | sweepreuse | service | faults | combined")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | sweepreuse | service | cluster | faults | combined")
 	nmf := fs.Int("nmf", -1, "override the faults/combined experiments' Nmf budgets (-1 keeps the default grid)")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
@@ -162,6 +163,19 @@ func run(args []string, out io.Writer) error {
 			return bench.RenderStaged(out, rep.Staged)
 		}
 		return nil
+	case "cluster":
+		cfg := bench.DefaultCluster()
+		cfg.Seed = *seed
+		rep, err := bench.Cluster(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return bench.RenderClusterJSON(out, rep)
+		}
+		fmt.Fprintf(out, "Cluster: master/worker sharding over %v workers (%d clients, %d requests/cell, working set %d vs %d cache entries/worker)\n",
+			cfg.Workers, cfg.Clients, cfg.Requests, cfg.Distinct, cfg.CachePerWorker)
+		return bench.RenderCluster(out, rep)
 	case "faults":
 		cfg := bench.DefaultFaults()
 		cfg.Seed = *seed

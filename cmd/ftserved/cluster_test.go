@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ftbar"
+)
+
+// bootRole starts one ftserved process-in-a-goroutine and returns its
+// announced addresses (HTTP, then RPC for workers) plus the stop/done
+// pair to shut it down.
+func bootRole(t *testing.T, args ...string) (addrs []net.Addr, stop chan os.Signal, done chan error) {
+	t.Helper()
+	n := 1
+	for _, a := range args {
+		if a == "worker" {
+			n = 2
+		}
+	}
+	announced := make(chan net.Addr, n)
+	stop = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	var logs strings.Builder
+	go func() { done <- run(args, &logs, announced, stop) }()
+	for i := 0; i < n; i++ {
+		select {
+		case a := <-announced:
+			addrs = append(addrs, a)
+		case err := <-done:
+			t.Fatalf("role exited before announcing: %v\n%s", err, logs.String())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("role never announced\n%s", logs.String())
+		}
+	}
+	return addrs, stop, done
+}
+
+func shutdown(t *testing.T, stop chan os.Signal, done chan error) {
+	t.Helper()
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("role did not shut down")
+	}
+}
+
+// TestClusterRoles boots a 1-master 2-worker cluster through the real
+// flag surface, schedules the paper example at the master's edge, kills
+// one worker mid-service, and confirms the edge keeps answering while
+// the master's metrics record the death.
+func TestClusterRoles(t *testing.T) {
+	w1Addrs, w1Stop, w1Done := bootRole(t,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-rpc-addr", "127.0.0.1:0", "-worker-id", "w1")
+	w2Addrs, w2Stop, w2Done := bootRole(t,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-rpc-addr", "127.0.0.1:0", "-worker-id", "w2")
+	mAddrs, mStop, mDone := bootRole(t,
+		"-role", "master", "-addr", "127.0.0.1:0", "-probe-every", "50ms",
+		"-workers-addrs", fmt.Sprintf("w1=%s,w2=%s", w1Addrs[1], w2Addrs[1]))
+	defer shutdown(t, mStop, mDone)
+	defer shutdown(t, w2Stop, w2Done)
+
+	base := fmt.Sprintf("http://%s", mAddrs[0])
+	schedule := func(npf int) (*http.Response, []byte) {
+		t.Helper()
+		p := ftbar.PaperExample()
+		p.Npf = npf
+		body, err := json.Marshal(map[string]any{"problem": p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, rb
+	}
+
+	resp, rb := schedule(1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("paper example via master: status %d: %s", resp.StatusCode, rb)
+	}
+	var reply struct {
+		MeetsRtc bool `json:"meets_rtc"`
+	}
+	if err := json.Unmarshal(rb, &reply); err != nil || !reply.MeetsRtc {
+		t.Fatalf("implausible reply (err %v): %.200s", err, rb)
+	}
+
+	// Kill worker 1 without grace, then keep scheduling: the ring
+	// successor absorbs its keyspace.
+	w1Stop <- os.Interrupt
+	<-w1Done
+	deadline := time.Now().Add(10 * time.Second)
+	for npf := 0; npf <= 1; npf++ {
+		for {
+			resp, rb = schedule(npf)
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("npf %d after worker kill: status %d: %s", npf, resp.StatusCode, rb)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// The master's exposition names the death and the cluster gauges.
+	// Routing may never touch the dead worker (its keys can all live on
+	// the survivor), so the health prober is the guaranteed detector —
+	// poll until it has fired.
+	var exposition string
+	for {
+		mResp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, _ := io.ReadAll(mResp.Body)
+		mResp.Body.Close()
+		exposition = string(mb)
+		if strings.Contains(exposition, "ftbar_cluster_worker_down_total 1") &&
+			strings.Contains(exposition, "ftbar_cluster_workers_up 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker death never counted:\n%s", exposition)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(exposition, "ftbar_cluster_requests_total") {
+		t.Error("master exposition missing ftbar_cluster_requests_total")
+	}
+
+	// /v1/stats aggregates the surviving shard.
+	sResp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Workers       int    `json:"workers"`
+		SchedulerRuns uint64 `json:"scheduler_runs"`
+	}
+	if err := json.NewDecoder(sResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sResp.Body.Close()
+	if st.Workers != 1 {
+		t.Errorf("aggregated workers = %d, want 1 after the kill", st.Workers)
+	}
+	if st.SchedulerRuns == 0 {
+		t.Error("aggregated scheduler_runs = 0")
+	}
+}
+
+// TestRoleFlagValidation: misconfigured roles fail fast with an error,
+// not a half-started server.
+func TestRoleFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-role", "conductor"},
+		{"-role", "master"}, // no -workers-addrs
+		{"-role", "master", "-workers-addrs", "w1="},
+		{"-role", "master", "-workers-addrs", "localhost:9,", "-cache-file", "x.json"},
+	} {
+		if err := run(args, io.Discard, nil, nil); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

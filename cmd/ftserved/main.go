@@ -2,9 +2,22 @@
 // HTTP/JSON server that schedules problems on a bounded worker pool and
 // serves repeated requests from a content-addressed cache.
 //
+// It runs in one of three roles:
+//
+//	-role standalone   serve and schedule in one process (the default;
+//	                   byte-identical to the pre-cluster ftserved)
+//	-role worker       one cluster shard: scheduler pool, warm-start
+//	                   arenas and cache shard behind the versioned
+//	                   cluster RPC (-rpc-addr), plus the usual HTTP
+//	                   surface for this shard's /metrics and /v1/stats
+//	-role master       admission and routing: serves the identical
+//	                   HTTP edge, hashes each request's content address
+//	                   onto a consistent ring of workers
+//	                   (-workers-addrs) and scatter/gathers batches
+//
 // Usage:
 //
-//	ftserved                          # listen on :8080, GOMAXPROCS workers
+//	ftserved                          # standalone on :8080, GOMAXPROCS workers
 //	ftserved -addr 127.0.0.1:9000     # explicit address
 //	ftserved -workers 4 -queue 64     # pool and backlog bounds
 //	ftserved -cache 4096              # schedule cache entries (-1 disables)
@@ -15,7 +28,12 @@
 //	ftserved -report-every 30s        # periodic metrics summary to the log stream
 //	ftserved -report-file metrics.json # periodic JSON metrics snapshot
 //
-// Endpoints:
+//	# a 1-master, 2-worker cluster on one host:
+//	ftserved -role worker -addr :8181 -rpc-addr :8091 &
+//	ftserved -role worker -addr :8182 -rpc-addr :8092 &
+//	ftserved -role master -addr :8080 -workers-addrs localhost:8091,localhost:8092
+//
+// Endpoints (identical in every role):
 //
 //	POST /v1/schedule  {"problem": ..., "options": ..., "include": ...}
 //	POST /v1/batch     {"requests": [...]}
@@ -42,9 +60,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
+	"ftbar/internal/cluster"
 	"ftbar/internal/obsv"
 	"ftbar/internal/service"
 )
@@ -76,12 +96,42 @@ func newLogger(logw io.Writer, level, format string) (*slog.Logger, error) {
 	}
 }
 
+// parseWorkerAddrs splits -workers-addrs: comma-separated entries, each
+// "addr" (the address doubles as the member ID) or "id=addr".
+func parseWorkerAddrs(s string) (ids, addrs []string, err error) {
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr := entry, entry
+		if k := strings.IndexByte(entry, '='); k >= 0 {
+			id, addr = entry[:k], entry[k+1:]
+		}
+		if id == "" || addr == "" {
+			return nil, nil, fmt.Errorf("-workers-addrs entry %q: want addr or id=addr", entry)
+		}
+		ids = append(ids, id)
+		addrs = append(addrs, addr)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("-workers-addrs is empty")
+	}
+	return ids, addrs, nil
+}
+
 // run parses flags, serves until stop fires, then shuts down gracefully.
 // The listener's resolved address is sent on announced when non-nil (the
-// tests listen on :0).
+// tests listen on :0); a worker announces its HTTP address first, then
+// its RPC address.
 func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan os.Signal) error {
 	fs := flag.NewFlagSet("ftserved", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", "listen address")
+	role := fs.String("role", "standalone", "role: standalone | worker | master")
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	rpcAddr := fs.String("rpc-addr", ":8091", "worker: cluster RPC listen address")
+	workerID := fs.String("worker-id", "", "worker: cluster member ID (default: the resolved RPC address)")
+	workersAddrs := fs.String("workers-addrs", "", "master: comma-separated worker RPC endpoints, each addr or id=addr")
+	probeEvery := fs.Duration("probe-every", 0, "master: worker health-probe period (0 = 500ms)")
 	workers := fs.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "request queue bound (0 = 4x workers)")
 	cacheSize := fs.Int("cache", 0, "schedule cache entries (0 = 1024, negative disables)")
@@ -100,6 +150,11 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	if err != nil {
 		return err
 	}
+	switch *role {
+	case "standalone", "worker", "master":
+	default:
+		return fmt.Errorf("-role %q: want standalone, worker or master", *role)
+	}
 	// Scheduling keeps a tiny live heap; at the default GOGC=100 the
 	// collector fires every few milliseconds and serialises the worker
 	// pool, so the service trades memory headroom for throughput. An
@@ -107,39 +162,83 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	if *gogc > 0 && os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(*gogc)
 	}
-	svc := service.New(service.Config{
-		Workers: *workers, QueueSize: *queue,
-		CacheSize: *cacheSize, ArenaSize: *arenaSize,
-	})
-	defer svc.Close()
-	if *cacheFile != "" {
-		// The cache is an optimization, never a startup dependency: a
-		// corrupt or version-mismatched snapshot starts cold (and is
-		// overwritten on the next clean shutdown) instead of wedging a
-		// supervised restart loop.
-		if n, err := svc.LoadCacheFile(*cacheFile); err != nil {
-			logger.Warn("ignoring cache file", "file", *cacheFile, "error", err)
-		} else {
-			logger.Info("restored cached schedules", "count", n, "file", *cacheFile)
+
+	// sched is whatever serves the HTTP edge: the in-process service
+	// (standalone and worker roles) or the routing master. The edge
+	// itself — service.NewHandler — is identical either way.
+	var sched service.Scheduler
+	var announceRPC net.Addr
+	switch *role {
+	case "master":
+		if *cacheFile != "" {
+			return fmt.Errorf("-cache-file applies to standalone and worker roles (the master holds no cache)")
 		}
-		// Snapshot on graceful shutdown, after the HTTP server has
-		// drained, so the warm set survives the restart.
-		defer func() {
-			if n, err := svc.SaveCacheFile(*cacheFile); err != nil {
-				logger.Error("save cache file", "file", *cacheFile, "error", err)
+		ids, addrs, err := parseWorkerAddrs(*workersAddrs)
+		if err != nil {
+			return fmt.Errorf("master needs worker endpoints: %w", err)
+		}
+		m := cluster.NewMaster(cluster.MasterConfig{
+			Registry: cluster.RegistryConfig{ProbeEvery: *probeEvery},
+		})
+		for i := range ids {
+			m.AddWorker(ids[i], addrs[i])
+		}
+		m.Start()
+		defer m.Close()
+		logger.Info("master routing", "workers", len(ids), "probe-every", *probeEvery)
+		sched = m
+	default: // standalone, worker: a full in-process service
+		svc := service.New(service.Config{
+			Workers: *workers, QueueSize: *queue,
+			CacheSize: *cacheSize, ArenaSize: *arenaSize,
+		})
+		defer svc.Close()
+		if *cacheFile != "" {
+			// The cache is an optimization, never a startup dependency: a
+			// corrupt or version-mismatched snapshot starts cold (and is
+			// overwritten on the next clean shutdown) instead of wedging a
+			// supervised restart loop.
+			if n, err := svc.LoadCacheFile(*cacheFile); err != nil {
+				logger.Warn("ignoring cache file", "file", *cacheFile, "error", err)
 			} else {
-				logger.Info("saved cached schedules", "count", n, "file", *cacheFile)
+				logger.Info("restored cached schedules", "count", n, "file", *cacheFile)
 			}
-		}()
+			// Snapshot on graceful shutdown, after the HTTP server has
+			// drained, so the warm set survives the restart.
+			defer func() {
+				if n, err := svc.SaveCacheFile(*cacheFile); err != nil {
+					logger.Error("save cache file", "file", *cacheFile, "error", err)
+				} else {
+					logger.Info("saved cached schedules", "count", n, "file", *cacheFile)
+				}
+			}()
+		}
+		if *role == "worker" {
+			rln, err := net.Listen("tcp", *rpcAddr)
+			if err != nil {
+				return fmt.Errorf("cluster RPC listen: %w", err)
+			}
+			id := *workerID
+			if id == "" {
+				id = rln.Addr().String()
+			}
+			w := cluster.NewWorker(id, svc)
+			w.Serve(rln)
+			defer w.Close()
+			announceRPC = rln.Addr()
+			logger.Info("cluster RPC listening", "rpc-addr", rln.Addr().String(), "worker-id", id)
+		}
+		sched = svc
 	}
+
 	if *reportEvery > 0 {
 		reporters := []obsv.Reporter{
-			&obsv.ConsoleReporter{W: logw, Hist: svc.Metrics().LookupHistogram},
+			&obsv.ConsoleReporter{W: logw, Hist: sched.Metrics().LookupHistogram},
 		}
 		if *reportFile != "" {
 			reporters = append(reporters, &obsv.JSONFileReporter{Path: *reportFile})
 		}
-		defer svc.Metrics().StartReporting(*reportEvery, reporters...)()
+		defer sched.Metrics().StartReporting(*reportEvery, reporters...)()
 	} else if *reportFile != "" {
 		return fmt.Errorf("-report-file needs -report-every")
 	}
@@ -148,15 +247,18 @@ func run(args []string, logw io.Writer, announced chan<- net.Addr, stop <-chan o
 	if err != nil {
 		return err
 	}
-	st := svc.Stats()
-	logger.Info("listening", "addr", ln.Addr().String(),
+	st := sched.Stats()
+	logger.Info("listening", "addr", ln.Addr().String(), "role", *role,
 		"workers", st.Workers, "queue", st.QueueCapacity, "cache", st.CacheCapacity)
 	if announced != nil {
 		announced <- ln.Addr()
+		if announceRPC != nil {
+			announced <- announceRPC
+		}
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", svc.Handler())
+	mux.Handle("/", service.NewHandler(sched))
 	if *pprofOn {
 		// Explicit registrations instead of the package's DefaultServeMux
 		// side effect, so profiling stays opt-in.

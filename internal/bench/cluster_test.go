@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestClusterExperiment runs a shrunken sharding ladder end to end and
+// pins the mechanism (not the speedup, which needs real cache pressure
+// and a longer run): the workingset cells must shard the working set —
+// more workers, more aggregate cache, fewer scheduler runs — and the
+// killworker cell must stay under the 5% client-visible error budget
+// while the master's counters record the death.
+func TestClusterExperiment(t *testing.T) {
+	cfg := ClusterConfig{
+		Workers:        []int{1, 2},
+		Clients:        4,
+		Requests:       32,
+		Distinct:       16,
+		CachePerWorker: 12,
+		Tasks:          10,
+		Procs:          4,
+		Npf:            1,
+		CCR:            1,
+		Seed:           2003,
+	}
+	rep, err := Cluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// unique + workingset per ladder rung, plus the kill cell.
+	if rep.Experiment != "cluster" || len(rep.Cells) != 2*len(cfg.Workers)+1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	var wsRuns []uint64
+	for _, c := range rep.Cells {
+		if c.Throughput <= 0 || c.P50Ms < 0 || c.P99Ms < c.P50Ms {
+			t.Errorf("implausible cell %+v", c)
+		}
+		switch c.Workload {
+		case "unique":
+			if c.SchedulerRuns != uint64(cfg.Requests) {
+				t.Errorf("unique workload ran the scheduler %d times, want %d",
+					c.SchedulerRuns, cfg.Requests)
+			}
+			if c.Errors != 0 {
+				t.Errorf("unique workload saw %d errors", c.Errors)
+			}
+		case "workingset":
+			wsRuns = append(wsRuns, c.SchedulerRuns)
+		case "killworker":
+			if c.ErrorRate >= 0.05 {
+				t.Errorf("killworker error rate %g, want < 0.05", c.ErrorRate)
+			}
+			if c.WorkerDown < 1 {
+				t.Errorf("killworker cell counted %d worker deaths, want >= 1", c.WorkerDown)
+			}
+		default:
+			t.Errorf("unknown workload %q", c.Workload)
+		}
+	}
+	// 2 workers hold the whole 16-problem set across 12-entry shards
+	// (the slack absorbs hash imbalance); 1 worker thrashes and re-runs
+	// the scheduler for evicted keys.
+	if len(wsRuns) != 2 || wsRuns[1] >= wsRuns[0] {
+		t.Errorf("workingset scheduler runs %v: sharding did not add cache capacity", wsRuns)
+	}
+	if wsRuns[len(wsRuns)-1] != uint64(cfg.Distinct) {
+		t.Errorf("largest cluster ran the scheduler %d times for %d distinct problems",
+			wsRuns[len(wsRuns)-1], cfg.Distinct)
+	}
+	if rep.KillErrorRate >= 0.05 {
+		t.Errorf("kill error rate %g, want < 0.05", rep.KillErrorRate)
+	}
+
+	var text strings.Builder
+	if err := RenderCluster(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "workingset speedup") {
+		t.Errorf("table missing summary line: %s", text.String())
+	}
+	var buf strings.Builder
+	if err := RenderClusterJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterReport
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) {
+		t.Errorf("JSON round trip lost cells")
+	}
+}
+
+func TestClusterBadConfig(t *testing.T) {
+	if _, err := Cluster(ClusterConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultCluster()
+	cfg.CachePerWorker = cfg.Distinct
+	if _, err := Cluster(cfg); err == nil {
+		t.Error("cache >= working set accepted (the cell would measure nothing)")
+	}
+}

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+	"ftbar/internal/service"
+	"ftbar/internal/spec"
+	"ftbar/internal/wire"
+	"ftbar/internal/wire/pb"
+)
+
+// testCluster is a master plus n in-process workers on real loopback TCP.
+type testCluster struct {
+	master  *Master
+	workers []*Worker
+}
+
+func startCluster(t *testing.T, n int, cfg MasterConfig) *testCluster {
+	t.Helper()
+	tc := &testCluster{master: NewMaster(cfg)}
+	for i := 0; i < n; i++ {
+		svc := service.New(service.Config{Workers: 1})
+		w := NewWorker(fmt.Sprintf("worker-%d", i), svc)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Serve(ln)
+		tc.master.AddWorker(w.ID(), w.Addr())
+		tc.workers = append(tc.workers, w)
+	}
+	t.Cleanup(func() {
+		tc.master.Close()
+		for _, w := range tc.workers {
+			w.Close()
+			w.Service().Close()
+		}
+	})
+	return tc
+}
+
+func testProblem(t *testing.T, seed int64) *spec.Problem {
+	t.Helper()
+	p, err := gen.Generate(gen.Params{
+		N: 12, CCR: 2, Procs: 4, Npf: int(seed % 2),
+		Topology: gen.Topology(seed % 4), Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func schedulerRunsTotal(tc *testCluster) uint64 {
+	var total uint64
+	for _, w := range tc.workers {
+		total += w.Service().Stats().SchedulerRuns
+	}
+	return total
+}
+
+// TestMasterEdgeByteIdentical pins the tentpole's compatibility claim:
+// the paper example scheduled through a master + 2 workers returns the
+// byte-identical body the standalone service is pinned to by its golden
+// files.
+func TestMasterEdgeByteIdentical(t *testing.T) {
+	tc := startCluster(t, 2, MasterConfig{})
+	srv := httptest.NewServer(service.NewHandler(tc.master))
+	defer srv.Close()
+
+	pj, err := paperex.Problem().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/schedule", "application/json",
+		strings.NewReader(`{"problem":`+string(pj)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "service", "testdata", "golden", "schedule_paper.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("master edge drifted from the standalone golden\ngot:  %.300s\nwant: %.300s", body, golden)
+	}
+}
+
+// TestRoutingIsShardedAndCached drives distinct problems through the
+// master twice: the first pass runs each exactly once cluster-wide, the
+// second pass is all cache hits on whichever worker owns the key.
+func TestRoutingIsShardedAndCached(t *testing.T) {
+	tc := startCluster(t, 3, MasterConfig{})
+	const d = 9
+	ctx := context.Background()
+	for pass := 0; pass < 2; pass++ {
+		for seed := int64(1); seed <= d; seed++ {
+			reply, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)})
+			if err != nil {
+				t.Fatalf("pass %d seed %d: %v", pass, seed, err)
+			}
+			if wantCached := pass == 1; reply.Cached != wantCached {
+				t.Errorf("pass %d seed %d: cached=%v, want %v", pass, seed, reply.Cached, wantCached)
+			}
+		}
+	}
+	if got := schedulerRunsTotal(tc); got != d {
+		t.Errorf("scheduler ran %d times cluster-wide, want exactly %d", got, d)
+	}
+	// The keyspace actually sharded: with 9 keys on 3 workers it is
+	// astronomically unlikely (and with this fixed corpus, simply false)
+	// that one worker owns everything.
+	owners := 0
+	for _, w := range tc.workers {
+		if w.Service().Stats().SchedulerRuns > 0 {
+			owners++
+		}
+	}
+	if owners < 2 {
+		t.Errorf("all keys landed on %d worker(s); routing is not sharding", owners)
+	}
+}
+
+// TestWorkerKillReroutes is the fault-injection satellite: kill a worker
+// mid-service, then (a) requests for keys it owned reroute to the ring
+// successor and succeed, (b) the master counts the death, and (c)
+// concurrent duplicates of one key still run the scheduler exactly once
+// cluster-wide — coalescing holds across the reroute.
+func TestWorkerKillReroutes(t *testing.T) {
+	tc := startCluster(t, 3, MasterConfig{
+		Registry: RegistryConfig{ProbeEvery: 50 * time.Millisecond, DownAfter: 2},
+	})
+	ctx := context.Background()
+
+	// Warm every worker so each owns part of the keyspace.
+	for seed := int64(1); seed <= 9; seed++ {
+		if _, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the worker that owns the most keys (it certainly owns some).
+	victim := 0
+	for i, w := range tc.workers {
+		if w.Service().Stats().SchedulerRuns > tc.workers[victim].Service().Stats().SchedulerRuns {
+			victim = i
+		}
+	}
+	tc.workers[victim].Close()
+
+	// Every previously scheduled problem must still answer — rerouted and
+	// recomputed on the successor where the victim owned the key.
+	failures := 0
+	for seed := int64(1); seed <= 9; seed++ {
+		if _, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)}); err != nil {
+			failures++
+			t.Errorf("seed %d after kill: %v", seed, err)
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d/9 requests failed after a single worker death", failures)
+	}
+	if got := tc.master.workerDown.Value(); got < 1 {
+		t.Errorf("ftbar_cluster_worker_down_total = %d, want >= 1", got)
+	}
+
+	// Concurrent duplicates of a fresh key: exactly one scheduler run.
+	before := schedulerRunsTotal(tc)
+	fresh := testProblem(t, 77)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: fresh})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("duplicate during post-kill window: %v", err)
+		}
+	}
+	if got := schedulerRunsTotal(tc) - before; got != 1 {
+		t.Errorf("8 concurrent duplicates caused %d scheduler runs, want exactly 1", got)
+	}
+}
+
+// TestDrainHandoff pins the graceful-drain protocol: the drained
+// worker's cache shard installs on the ring successor, so the moved keys
+// answer as cache hits without a single new scheduler run.
+func TestDrainHandoff(t *testing.T) {
+	tc := startCluster(t, 2, MasterConfig{})
+	ctx := context.Background()
+	for seed := int64(1); seed <= 6; seed++ {
+		if _, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain whichever worker holds cache entries (with 6 keys both do).
+	victim := tc.workers[0]
+	if victim.Service().Stats().CacheEntries == 0 {
+		victim = tc.workers[1]
+	}
+	victimEntries := victim.Service().Stats().CacheEntries
+	if victimEntries == 0 {
+		t.Fatal("no worker holds cache entries; test corpus too small")
+	}
+	moved, err := tc.master.Drain(ctx, victim.ID(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved < victimEntries {
+		t.Errorf("drain moved %d entries, victim held %d", moved, victimEntries)
+	}
+	if got := tc.master.drains.Value(); got != 1 {
+		t.Errorf("ftbar_cluster_drains_total = %d", got)
+	}
+
+	runsBefore := schedulerRunsTotal(tc)
+	for seed := int64(1); seed <= 6; seed++ {
+		reply, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)})
+		if err != nil {
+			t.Fatalf("seed %d after drain: %v", seed, err)
+		}
+		if !reply.Cached {
+			t.Errorf("seed %d recomputed after handoff; shard did not move warm", seed)
+		}
+	}
+	if got := schedulerRunsTotal(tc) - runsBefore; got != 0 {
+		t.Errorf("%d scheduler runs after handoff, want 0 (all hits)", got)
+	}
+}
+
+// TestDrainingWorkerBouncesNewWork: a worker mid-drain rejects Schedule
+// RPCs with DRAINING and the master walks on.
+func TestDrainingWorkerBouncesNewWork(t *testing.T) {
+	tc := startCluster(t, 1, MasterConfig{})
+	tc.workers[0].draining.Store(true)
+	_, err := tc.master.Schedule(context.Background(),
+		&wire.ScheduleRequest{Problem: testProblem(t, 3)})
+	if !errors.Is(err, wire.ErrWorkerUnavailable) {
+		t.Errorf("draining-only cluster returned %v, want WORKER_UNAVAILABLE", err)
+	}
+}
+
+// TestNoWorkers: an empty cluster fails typed, and the HTTP edge maps it
+// to 503 with the code header.
+func TestNoWorkers(t *testing.T) {
+	m := NewMaster(MasterConfig{})
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	pj, _ := paperex.Problem().MarshalJSON()
+	resp, err := http.Post(srv.URL+"/v1/schedule", "application/json",
+		strings.NewReader(`{"problem":`+string(pj)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Ftbar-Error-Code"); h != string(wire.CodeWorkerUnavailable) {
+		t.Errorf("error code header %q", h)
+	}
+	if string(body) != "cluster: no worker available\n" {
+		t.Errorf("body %q", body)
+	}
+}
+
+// TestVersionedJobRejected: a job stamped with a future wire version is
+// rejected as VERSION_MISMATCH by the worker, not misinterpreted.
+func TestVersionedJobRejected(t *testing.T) {
+	tc := startCluster(t, 1, MasterConfig{})
+	client := NewClient(tc.workers[0].Addr())
+	defer client.Close()
+	pj, _ := json.Marshal(&wire.ScheduleRequest{Problem: paperex.Problem()})
+	payload := (&pb.ScheduleJob{WireVersion: wire.Version + 41, Request: pj, Wait: true}).Marshal()
+	_, err := client.Call(context.Background(), pb.MethodWorkerSchedule, payload)
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Errorf("future-versioned job: %v, want VERSION_MISMATCH", err)
+	}
+}
+
+// TestHandshakeVersionMismatch: a server speaking another wire version
+// is refused during the handshake, before any request bytes flow.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 16)
+		conn.Read(buf)
+		// Reply FTBW + uvarint(99): a future-versioned peer.
+		conn.Write(append([]byte(transportMagic), 99))
+	}()
+	client := NewClient(ln.Addr().String())
+	defer client.Close()
+	_, err = client.Call(context.Background(), pb.MethodWorkerHealth,
+		(&pb.HealthRequest{WireVersion: wire.Version}).Marshal())
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Errorf("mismatched handshake: %v, want VERSION_MISMATCH", err)
+	}
+}
+
+// TestMasterStatsAggregate: the cluster /v1/stats sums the shards.
+func TestMasterStatsAggregate(t *testing.T) {
+	tc := startCluster(t, 2, MasterConfig{})
+	ctx := context.Background()
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tc.master.Stats()
+	if st.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", st.Workers)
+	}
+	if st.SchedulerRuns != 4 {
+		t.Errorf("aggregated SchedulerRuns = %d, want 4", st.SchedulerRuns)
+	}
+	if st.CacheEntries != 4 {
+		t.Errorf("aggregated CacheEntries = %d, want 4", st.CacheEntries)
+	}
+}
+
+// TestProberRevivesWorker: a worker marked down by a routing failure
+// comes back once health probes succeed again.
+func TestProberRevivesWorker(t *testing.T) {
+	tc := startCluster(t, 2, MasterConfig{
+		Registry: RegistryConfig{ProbeEvery: 20 * time.Millisecond, DownAfter: 2},
+	})
+	tc.master.Start()
+	id := tc.workers[0].ID()
+	tc.master.Registry().MarkDown(id)
+	if tc.master.Registry().State(id) != StateDown {
+		t.Fatal("MarkDown did not take")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for tc.master.Registry().State(id) != StateUp && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := tc.master.Registry().State(id); got != StateUp {
+		t.Errorf("worker stuck %v after revival window", got)
+	}
+	if got := tc.master.workerUp.Value(); got < 1 {
+		t.Errorf("ftbar_cluster_worker_up_total = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("content-key-%d", i)
+	}
+	return out
+}
+
+// TestRingBalance pins the ±20% balance property from the issue: with
+// the default vnode count, every member's share of a large keyspace
+// stays within 20% of the uniform share.
+func TestRingBalance(t *testing.T) {
+	for _, members := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("%d_members", members), func(t *testing.T) {
+			r := NewRing(0)
+			for i := 0; i < members; i++ {
+				r.Add(fmt.Sprintf("worker-%d", i))
+			}
+			const n = 20000
+			counts := make(map[string]int)
+			for _, k := range keys(n) {
+				counts[r.Owner(k)]++
+			}
+			uniform := float64(n) / float64(members)
+			for id, c := range counts {
+				if dev := float64(c)/uniform - 1; dev > 0.20 || dev < -0.20 {
+					t.Errorf("%s owns %d keys, %.1f%% off uniform %0.f", id, c, dev*100, uniform)
+				}
+			}
+			if len(counts) != members {
+				t.Errorf("only %d of %d members own keys", len(counts), members)
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemapping pins consistency: removing a member remaps
+// ONLY the keys it owned, adding a member steals roughly 1/N of the
+// keyspace and moves nothing else.
+func TestRingMinimalRemapping(t *testing.T) {
+	r := NewRing(0)
+	ids := []string{"w0", "w1", "w2", "w3"}
+	for _, id := range ids {
+		r.Add(id)
+	}
+	ks := keys(10000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	r.Remove("w2")
+	for _, k := range ks {
+		after := r.Owner(k)
+		if before[k] != "w2" && after != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+		if before[k] == "w2" && after == "w2" {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+	}
+
+	r.Add("w2") // idempotent vnode positions: same hash points return
+	moved := 0
+	for _, k := range ks {
+		if r.Owner(k) != before[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("re-adding w2 left %d keys on the wrong owner (vnode positions not stable)", moved)
+	}
+
+	r.Add("w4")
+	stolen := 0
+	for _, k := range ks {
+		after := r.Owner(k)
+		if after != before[k] {
+			if after != "w4" {
+				t.Fatalf("adding w4 moved key %s to %s (not the new member)", k, after)
+			}
+			stolen++
+		}
+	}
+	// w4 should take about 1/5 of the keyspace; ±20% honours the balance
+	// tolerance above.
+	share := float64(stolen) / float64(len(ks))
+	if share < 0.2*0.8 || share > 0.2*1.2 {
+		t.Errorf("new member stole %.1f%% of keys, want ~20%%", share*100)
+	}
+}
+
+// TestRingSuccessorsAgreeWithRemoval pins the reroute rule: the second
+// successor of a key is exactly its owner once the first is removed, so
+// failover routing and post-removal routing land on the same worker.
+func TestRingSuccessorsAgreeWithRemoval(t *testing.T) {
+	r := NewRing(0)
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		r.Add(id)
+	}
+	for _, k := range keys(500) {
+		succ := r.Successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v", k, succ)
+		}
+		r.Remove(succ[0])
+		if got := r.Owner(k); got != succ[1] {
+			t.Fatalf("after removing %s, key %s routes to %s, want successor %s",
+				succ[0], k, got, succ[1])
+		}
+		r.Add(succ[0])
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate sizes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("k") != "" || r.Successors("k", 3) != nil || r.Len() != 0 {
+		t.Error("empty ring should own nothing")
+	}
+	r.Add("only")
+	if r.Owner("k") != "only" {
+		t.Error("single member must own every key")
+	}
+	if got := r.Successors("k", 5); len(got) != 1 || got[0] != "only" {
+		t.Errorf("Successors on single-member ring = %v", got)
+	}
+	r.Remove("only")
+	r.Remove("only") // no-op
+	if r.Owner("k") != "" {
+		t.Error("ring not empty after removal")
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftbar/internal/gen"
+	"ftbar/internal/paperex"
+	"ftbar/internal/spec"
+)
+
+// -update-golden regenerates the committed response snapshots. The files
+// were captured from the pre-cluster service (before the internal/wire
+// extraction) and pin the edge contract: whatever the package is
+// restructured into, the standalone role must keep returning these bytes.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current responses")
+
+// goldenCase is one pinned (endpoint, body) exchange. Every case runs on
+// a fresh single-threaded service so cache provenance (the cached flags)
+// and response bytes are deterministic.
+type goldenCase struct {
+	name string
+	path string
+	body string
+}
+
+// goldenProblems returns the differential corpus: the paper's worked
+// example plus ten seeded problems across the four seed topologies.
+func goldenProblems(t *testing.T) map[string]*spec.Problem {
+	t.Helper()
+	out := map[string]*spec.Problem{"paper": paperex.Problem()}
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := gen.Generate(gen.Params{
+			N: 15, CCR: 2, Procs: 4, Npf: int(seed % 2),
+			Topology: gen.Topology(seed % 4), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt02(seed)] = p
+	}
+	return out
+}
+
+func fmt02(seed int64) string {
+	return string([]byte{'s', 'e', 'e', 'd', '_', byte('0' + seed/10), byte('0' + seed%10)})
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	problems := goldenProblems(t)
+	mustBody := func(v string) string { return v }
+	var cases []goldenCase
+	// Deterministic order: paper first, then the seeds.
+	names := []string{"paper"}
+	for seed := int64(1); seed <= 10; seed++ {
+		names = append(names, fmt02(seed))
+	}
+	for _, name := range names {
+		pb, err := problems[name].MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, goldenCase{
+			name: "schedule_" + name,
+			path: "/v1/schedule",
+			body: mustBody(`{"problem":` + string(pb) + `}`),
+		})
+	}
+	paper, err := problems["paper"].MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		goldenCase{
+			name: "schedule_paper_full",
+			path: "/v1/schedule",
+			body: `{"problem":` + string(paper) + `,"include":{"gantt":true,"stats":true,"sweep":true}}`,
+		},
+		goldenCase{
+			name: "batch_seeds",
+			path: "/v1/batch",
+			body: `{"requests":[{"problem":` + string(mustMarshal(t, problems["seed_01"])) +
+				`},{"problem":` + string(mustMarshal(t, problems["seed_02"])) +
+				`},{"problem":` + string(mustMarshal(t, problems["seed_03"])) + `}]}`,
+		},
+		goldenCase{
+			name: "sweep_paper",
+			path: "/v1/sweep",
+			body: `{"problem":` + string(paper) + `,"npfs":[0,1,2]}`,
+		},
+	)
+	return cases
+}
+
+func mustMarshal(t *testing.T, p *spec.Problem) []byte {
+	t.Helper()
+	b, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenResponses pins every service endpoint body byte-for-byte
+// against the committed pre-PR snapshots: the standalone role of the
+// cluster split must be indistinguishable from the single-process
+// service it replaced.
+func TestGoldenResponses(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			// One worker, fresh per case: response bytes and cached flags
+			// depend only on the request.
+			s := New(Config{Workers: 1})
+			defer s.Close()
+			srv := httptest.NewServer(s.Handler())
+			defer srv.Close()
+			resp, err := http.Post(srv.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", tc.path, resp.StatusCode, got)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run go test ./internal/service -run TestGoldenResponses -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: response drifted from the pre-PR golden %s\ngot:  %.400s\nwant: %.400s",
+					tc.path, path, got, want)
+			}
+		})
+	}
+}

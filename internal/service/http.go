@@ -12,14 +12,38 @@ import (
 
 	"ftbar/internal/obsv"
 	"ftbar/internal/spec"
+	"ftbar/internal/wire"
 )
 
-// fanOut runs fn(0..n-1) on a bounded set of goroutines: enough to keep
-// the pool and queue saturated, never one per element, so an arbitrarily
-// large composite request cannot multiply goroutines past the service's
-// sizing.
-func (s *Service) fanOut(n int, fn func(int)) {
-	width := s.cfg.Workers + s.cfg.QueueSize
+// Scheduler is the serving surface behind the HTTP edge. The standalone
+// Service implements it in-process; cluster.Master implements it by
+// routing each request to the worker that owns its content address.
+// NewHandler builds the identical REST/JSON surface over either, which
+// is how the cluster split keeps the edge byte-compatible: one handler,
+// two engines.
+type Scheduler interface {
+	// Schedule submits a request and waits for its result, blocking
+	// while the backlog is full.
+	Schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire.ScheduleReply, error)
+	// TrySchedule is Schedule with backpressure: a full backlog rejects
+	// with wire.ErrOverloaded instead of waiting.
+	TrySchedule(ctx context.Context, req *wire.ScheduleRequest) (*wire.ScheduleReply, error)
+	// Stats snapshots the observable state (GET /v1/stats).
+	Stats() Stats
+	// Metrics returns the registry /metrics exposes.
+	Metrics() *obsv.Registry
+	// FanWidth bounds the goroutines one composite (batch or sweep)
+	// request may fan across.
+	FanWidth() int
+}
+
+// FanWidth bounds composite fan-out to what the pool and queue can
+// absorb, so an arbitrarily large batch cannot multiply goroutines past
+// the service's sizing.
+func (s *Service) FanWidth() int { return s.cfg.Workers + s.cfg.QueueSize }
+
+// fanOut runs fn(0..n-1) on at most width goroutines.
+func fanOut(width, n int, fn func(int)) {
 	if width > n {
 		width = n
 	}
@@ -41,14 +65,14 @@ func (s *Service) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// Batch fans the requests across the worker pool and waits for all of
-// them. Batch elements use blocking submission: the bounded queue still
-// limits the in-flight backlog, elements beyond it wait for free slots
-// instead of failing the whole batch. Per-element failures land in the
-// item's Error field.
-func (s *Service) Batch(ctx context.Context, req *BatchRequest) *BatchResponse {
+// Batch fans the requests across the scheduler and waits for all of
+// them. Batch elements use blocking submission: the bounded backlog
+// still limits the in-flight work, elements beyond it wait for free
+// slots instead of failing the whole batch. Per-element failures land in
+// the item's Error field.
+func Batch(ctx context.Context, s Scheduler, req *BatchRequest) *BatchResponse {
 	out := &BatchResponse{Responses: make([]BatchItem, len(req.Requests))}
-	s.fanOut(len(req.Requests), func(i int) {
+	fanOut(s.FanWidth(), len(req.Requests), func(i int) {
 		reply, err := s.Schedule(ctx, &req.Requests[i])
 		if err != nil {
 			out.Responses[i].Error = err.Error()
@@ -60,11 +84,18 @@ func (s *Service) Batch(ctx context.Context, req *BatchRequest) *BatchResponse {
 	return out
 }
 
+// Batch fans the requests across the worker pool (see the package-level
+// Batch).
+func (s *Service) Batch(ctx context.Context, req *BatchRequest) *BatchResponse {
+	return Batch(ctx, s, req)
+}
+
 // Sweep schedules the problem once per requested Npf, fanned across the
-// pool. Every variant goes through the content-addressed cache, so a
-// sweep re-run after an exploratory change only recomputes the variants
-// the change invalidated.
-func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+// scheduler. Every variant goes through the content-addressed cache, so
+// a sweep re-run after an exploratory change only recomputes the
+// variants the change invalidated; under a cluster the variants hash to
+// different shards and run on different workers.
+func Sweep(ctx context.Context, s Scheduler, req *SweepRequest) (*SweepResponse, error) {
 	if req.Problem == nil {
 		return nil, fmt.Errorf("%w: missing problem", ErrBadRequest)
 	}
@@ -72,7 +103,7 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 		return nil, fmt.Errorf("%w: empty npfs", ErrBadRequest)
 	}
 	out := &SweepResponse{Variants: make([]SweepVariant, len(req.Npfs))}
-	s.fanOut(len(req.Npfs), func(i int) {
+	fanOut(s.FanWidth(), len(req.Npfs), func(i int) {
 		npf := req.Npfs[i]
 		out.Variants[i].Npf = npf
 		if npf < 0 {
@@ -118,7 +149,13 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 	return out, nil
 }
 
-// Handler returns the HTTP surface of the service:
+// Sweep schedules the problem once per requested Npf (see the
+// package-level Sweep).
+func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	return Sweep(ctx, s, req)
+}
+
+// NewHandler returns the HTTP surface of a scheduler:
 //
 //	POST /v1/schedule  one problem            -> ScheduleReply
 //	POST /v1/batch     many problems          -> BatchResponse
@@ -129,12 +166,14 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 //
 // Each /v1 endpoint records its handler latency into a per-path
 // histogram (ftbar_http_request_duration_seconds{path=...}) on the
-// service registry; the instruments are registered idempotently so
-// Handler may be called more than once.
-func (s *Service) Handler() http.Handler {
+// scheduler's registry; the instruments are registered idempotently so
+// NewHandler may be called more than once. Error responses carry the
+// typed wire.Error code in the X-Ftbar-Error-Code header with the
+// pre-cluster plain-text body unchanged.
+func NewHandler(s Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	handle := func(path string, fn http.HandlerFunc) {
-		h := s.reg.NewHistogramOpts(
+		h := s.Metrics().NewHistogramOpts(
 			obsv.Label("ftbar_http_request_duration_seconds", "path", path),
 			"HTTP handler latency by endpoint.", obsv.HistogramOpts{Lowest: 1e-6})
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
@@ -166,7 +205,7 @@ func (s *Service) Handler() http.Handler {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.Batch(r.Context(), &req))
+		writeJSON(w, Batch(r.Context(), s, &req))
 	})
 	handle("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodPost) {
@@ -176,7 +215,7 @@ func (s *Service) Handler() http.Handler {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		resp, err := s.Sweep(r.Context(), &req)
+		resp, err := Sweep(r.Context(), s, &req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -189,13 +228,16 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, s.Stats())
 	})
-	mux.Handle("/metrics", obsv.Handler(s.reg))
+	mux.Handle("/metrics", obsv.Handler(s.Metrics()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
+
+// Handler returns the HTTP surface of the service (see NewHandler).
+func (s *Service) Handler() http.Handler { return NewHandler(s) }
 
 func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
@@ -218,28 +260,27 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
+		w.Header().Set(errorCodeHeader, string(wire.CodeBadRequest))
 		http.Error(w, fmt.Sprintf("bad request: %v", err), status)
 		return false
 	}
 	return true
 }
 
-// writeError maps service errors to HTTP statuses: 429 for backpressure,
-// 400 for bad requests, 503 for a closed service, 422 for scheduling
-// failures on a well-formed problem.
+// errorCodeHeader carries the typed wire.Error code of a failed request
+// out of band, keeping the plain-text body byte-identical to the
+// pre-cluster service.
+const errorCodeHeader = "X-Ftbar-Error-Code"
+
+// writeError maps a failure onto its edge status through the typed code
+// (wire.HTTPStatus): OVERLOADED 429, BAD_REQUEST 400, CLOSED and
+// WORKER_UNAVAILABLE 503, TIMEOUT 408, INVALID_PROBLEM and
+// VALIDATION_FAILED (the untyped residue) 422 — the table in DESIGN.md
+// Section 16.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusUnprocessableEntity
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusRequestTimeout
-	}
-	http.Error(w, err.Error(), status)
+	code := wire.CodeOf(err)
+	w.Header().Set(errorCodeHeader, string(code))
+	http.Error(w, err.Error(), wire.HTTPStatus(code))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -94,10 +94,15 @@ func (c *cache) restore(entries []cacheSnapshotEntry) int {
 	return n
 }
 
-// SaveCacheFile writes the current cache contents to path (atomically,
-// via a temp file in the same directory). It returns the number of
-// entries written.
-func (s *Service) SaveCacheFile(path string) (int, error) {
+// SnapshotBytes serialises the cache contents and warm-start records as
+// one snapshot document. It is the in-memory half of SaveCacheFile, and
+// what a draining cluster worker hands to its ring successor.
+func (s *Service) SnapshotBytes() ([]byte, error) {
+	data, _, err := s.snapshotBytes()
+	return data, err
+}
+
+func (s *Service) snapshotBytes() ([]byte, int, error) {
 	snap := cacheSnapshot{
 		Version: snapshotVersion,
 		Entries: s.cache.snapshot(),
@@ -105,7 +110,35 @@ func (s *Service) SaveCacheFile(path string) (int, error) {
 	}
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return 0, fmt.Errorf("service: encode cache snapshot: %w", err)
+		return nil, 0, fmt.Errorf("service: encode cache snapshot: %w", err)
+	}
+	return data, len(snap.Entries), nil
+}
+
+// RestoreBytes loads a snapshot produced by SnapshotBytes into the cache
+// and arena pool, returning the number of cache entries restored. Keys
+// already present locally win (the receiver's entries are at least as
+// fresh), and entries beyond capacity are dropped LRU-first.
+func (s *Service) RestoreBytes(data []byte) (int, error) {
+	var snap cacheSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("service: decode cache snapshot: %w", err)
+	}
+	if snap.Version < oldestLoadableVersion || snap.Version > snapshotVersion {
+		return 0, fmt.Errorf("service: cache snapshot version %d, want %d..%d",
+			snap.Version, oldestLoadableVersion, snapshotVersion)
+	}
+	s.arenas.restore(snap.Records)
+	return s.cache.restore(snap.Entries), nil
+}
+
+// SaveCacheFile writes the current cache contents to path (atomically,
+// via a temp file in the same directory). It returns the number of
+// entries written.
+func (s *Service) SaveCacheFile(path string) (int, error) {
+	data, n, err := s.snapshotBytes()
+	if err != nil {
+		return 0, err
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
@@ -115,7 +148,7 @@ func (s *Service) SaveCacheFile(path string) (int, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	return len(snap.Entries), nil
+	return n, nil
 }
 
 // LoadCacheFile reloads a snapshot written by SaveCacheFile into the
@@ -129,14 +162,5 @@ func (s *Service) LoadCacheFile(path string) (int, error) {
 		}
 		return 0, err
 	}
-	var snap cacheSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return 0, fmt.Errorf("service: decode cache snapshot: %w", err)
-	}
-	if snap.Version < oldestLoadableVersion || snap.Version > snapshotVersion {
-		return 0, fmt.Errorf("service: cache snapshot version %d, want %d..%d",
-			snap.Version, oldestLoadableVersion, snapshotVersion)
-	}
-	s.arenas.restore(snap.Records)
-	return s.cache.restore(snap.Entries), nil
+	return s.RestoreBytes(data)
 }

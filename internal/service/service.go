@@ -26,6 +26,7 @@ import (
 	"ftbar/internal/obsv"
 	"ftbar/internal/sched"
 	"ftbar/internal/sim"
+	"ftbar/internal/wire"
 )
 
 // Config sizes the service.
@@ -219,9 +220,18 @@ func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
 	if s.computeHook != nil {
 		s.computeHook()
 	}
-	opts, err := req.Options.coreOptions()
+	opts, err := req.Options.CoreOptions()
 	if err != nil {
 		return nil, err
+	}
+	// Classify the failure's side before running: a spec-invalid problem
+	// is the caller's fault (INVALID_PROBLEM), whatever the scheduler
+	// rejects beyond that failed on a well-formed problem
+	// (VALIDATION_FAILED). Wrap keeps the message text — and with it the
+	// edge's 422 body — unchanged; Compile memoises, so the scheduler
+	// does not re-validate.
+	if err := req.Problem.Validate(); err != nil {
+		return nil, wire.Wrap(wire.CodeInvalidProblem, err)
 	}
 	s.schedulerRuns.Inc()
 	// Run through the shape's arena: identical or near-identical problems
@@ -232,7 +242,7 @@ func (s *Service) compute(req *ScheduleRequest) (*ScheduleResponse, error) {
 	arena := s.arenas.get(req.Problem)
 	res, err := arena.Run(req.Problem, opts)
 	if err != nil {
-		return nil, err
+		return nil, wire.Wrap(wire.CodeValidationFailed, err)
 	}
 	s.planner.add(res.Planner)
 	data, err := res.Schedule.MarshalJSON()

@@ -1,169 +1,50 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"errors"
-	"fmt"
-
-	"ftbar/internal/core"
-	"ftbar/internal/sched"
-	"ftbar/internal/sim"
-	"ftbar/internal/spec"
+	"ftbar/internal/wire"
 )
 
-// Errors of the request admission path.
+// The request/response documents of the service live in internal/wire
+// (the versioned API surface shared with the cluster's master/worker
+// RPC); the aliases below keep this package's exported surface — and
+// every JSON field name — byte-identical to the pre-cluster service.
+// internal/service's golden tests pin exactly that.
+type (
+	// RequestOptions is the wire form of core.Options.
+	RequestOptions = wire.RequestOptions
+	// Include selects the optional derived artefacts of a response.
+	Include = wire.Include
+	// ScheduleRequest asks the service for one fault-tolerant schedule.
+	ScheduleRequest = wire.ScheduleRequest
+	// ScheduleResponse is the immutable, cacheable outcome of one request.
+	ScheduleResponse = wire.ScheduleResponse
+	// ScheduleReply wraps a response with its cache provenance.
+	ScheduleReply = wire.ScheduleReply
+	// BatchRequest fans several schedule requests across the worker pool.
+	BatchRequest = wire.BatchRequest
+	// BatchItem is the outcome of one batch element.
+	BatchItem = wire.BatchItem
+	// BatchResponse mirrors the batch request, index-aligned.
+	BatchResponse = wire.BatchResponse
+	// SweepRequest schedules one problem at several replication levels.
+	SweepRequest = wire.SweepRequest
+	// SweepVariant is the outcome of one replication level.
+	SweepVariant = wire.SweepVariant
+	// SweepResponse mirrors the sweep request, index-aligned with Npfs.
+	SweepResponse = wire.SweepResponse
+)
+
+// Errors of the request admission path: typed wire errors now, with the
+// exact messages (and thus HTTP bodies) of the former stringly
+// sentinels. errors.Is keeps working on both sides of the RPC boundary
+// because wire.Error matches on code.
 var (
 	// ErrOverloaded reports that the bounded request queue is full; the
 	// HTTP layer maps it to 429.
-	ErrOverloaded = errors.New("service: request queue full")
+	ErrOverloaded = wire.ErrOverloaded
 	// ErrClosed reports a submission to a closed service.
-	ErrClosed = errors.New("service: closed")
+	ErrClosed = wire.ErrClosed
 	// ErrBadRequest reports an undecodable or invalid request; the HTTP
 	// layer maps it to 400.
-	ErrBadRequest = errors.New("service: bad request")
+	ErrBadRequest = wire.ErrBadRequest
 )
-
-// RequestOptions is the wire form of core.Options.
-type RequestOptions struct {
-	// NoDuplication disables Minimize-start-time (the paper's basic
-	// heuristic when combined with Npf = 0).
-	NoDuplication bool `json:"no_duplication,omitempty"`
-	// TailsWithComms adds mean communication times to the S̄ tails.
-	TailsWithComms bool `json:"tails_with_comms,omitempty"`
-	// Engine selects the scheduling engine: "" or "incremental" for the
-	// default, "reference" for the seed oracle.
-	Engine string `json:"engine,omitempty"`
-	// PreviewWorkers bounds the incremental engine's preview pool; 0 lets
-	// the engine pick. The schedule does not depend on it, so it is
-	// excluded from the cache key.
-	PreviewWorkers int `json:"preview_workers,omitempty"`
-}
-
-// coreOptions translates the wire options, rejecting unknown engines.
-func (o RequestOptions) coreOptions() (core.Options, error) {
-	opts := core.Options{
-		NoDuplication:  o.NoDuplication,
-		TailsWithComms: o.TailsWithComms,
-		PreviewWorkers: o.PreviewWorkers,
-	}
-	switch o.Engine {
-	case "", "incremental":
-		opts.Engine = core.EngineIncremental
-	case "reference":
-		opts.Engine = core.EngineReference
-	default:
-		return opts, fmt.Errorf("%w: unknown engine %q", ErrBadRequest, o.Engine)
-	}
-	return opts, nil
-}
-
-// Include selects the optional derived artefacts of a response. Each flag
-// is part of the cache key: a response is cached with exactly the
-// artefacts its first computation produced.
-type Include struct {
-	// Gantt includes the textual Gantt chart.
-	Gantt bool `json:"gantt,omitempty"`
-	// Stats includes the schedule statistics.
-	Stats bool `json:"stats,omitempty"`
-	// Sweep includes the worst-case single-failure sweep.
-	Sweep bool `json:"sweep,omitempty"`
-}
-
-// ScheduleRequest asks the service for one fault-tolerant schedule.
-type ScheduleRequest struct {
-	Problem *spec.Problem  `json:"problem"`
-	Options RequestOptions `json:"options"`
-	Include Include        `json:"include"`
-}
-
-// CacheKey returns the content address of the request: a SHA-256 over the
-// canonical JSON of the problem and the semantically relevant options.
-// Identical problems submitted by different clients therefore share one
-// cache entry, whatever object identities the decoded requests have.
-func (r *ScheduleRequest) CacheKey() (string, error) {
-	if r.Problem == nil {
-		return "", fmt.Errorf("%w: missing problem", ErrBadRequest)
-	}
-	pb, err := json.Marshal(r.Problem)
-	if err != nil {
-		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	// Spellings that select the same engine must share a key.
-	engine := r.Options.Engine
-	if engine == "" {
-		engine = "incremental"
-	}
-	h := sha256.New()
-	h.Write(pb)
-	fmt.Fprintf(h, "|nodup=%t|tails=%t|engine=%s|gantt=%t|stats=%t|sweep=%t",
-		r.Options.NoDuplication, r.Options.TailsWithComms, engine,
-		r.Include.Gantt, r.Include.Stats, r.Include.Sweep)
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-// ScheduleResponse is the immutable, cacheable outcome of one request.
-type ScheduleResponse struct {
-	Length        float64           `json:"length"`
-	MeetsRtc      bool              `json:"meets_rtc"`
-	RtcViolation  string            `json:"rtc_violation,omitempty"`
-	Steps         int               `json:"steps"`
-	ExtraReplicas int               `json:"extra_replicas"`
-	Schedule      json.RawMessage   `json:"schedule"`
-	Gantt         string            `json:"gantt,omitempty"`
-	Stats         *sched.Stats      `json:"stats,omitempty"`
-	Sweep         []sim.CrashReport `json:"sweep,omitempty"`
-}
-
-// ScheduleReply wraps a response with per-delivery metadata: Cached is
-// true when the response came from the content-addressed cache (or from a
-// coalesced in-flight computation) without running the scheduler.
-type ScheduleReply struct {
-	*ScheduleResponse
-	Cached bool `json:"cached"`
-}
-
-// BatchRequest fans several schedule requests across the worker pool.
-type BatchRequest struct {
-	Requests []ScheduleRequest `json:"requests"`
-}
-
-// BatchItem is the outcome of one batch element: a reply or an error.
-type BatchItem struct {
-	*ScheduleResponse
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
-
-// BatchResponse mirrors the batch request, index-aligned.
-type BatchResponse struct {
-	Responses []BatchItem `json:"responses"`
-}
-
-// SweepRequest schedules one problem at several replication levels, the
-// every-Npf-variant workload the paper implies. Variants fan across the
-// worker pool and hit the same content-addressed cache as single requests.
-type SweepRequest struct {
-	Problem *spec.Problem  `json:"problem"`
-	Options RequestOptions `json:"options"`
-	Include Include        `json:"include"`
-	// Npfs lists the replication levels to schedule, e.g. [0, 1, 2].
-	Npfs []int `json:"npfs"`
-}
-
-// SweepVariant is the outcome of one replication level.
-type SweepVariant struct {
-	Npf int `json:"npf"`
-	*ScheduleResponse
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-	// Overhead is the paper's Section 6.2 formula against the sweep's own
-	// Npf = 0 variant, when the sweep includes one.
-	Overhead float64 `json:"overhead,omitempty"`
-}
-
-// SweepResponse mirrors the sweep request, index-aligned with Npfs.
-type SweepResponse struct {
-	Variants []SweepVariant `json:"variants"`
-}

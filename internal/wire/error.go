@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code classifies a service failure. Codes are the stable, versioned
+// part of an error: messages may be reworded, codes may only be added.
+// They follow the Code+fields idiom: one screaming-snake token that a
+// client can switch on, with human context in Message and structured
+// context in Fields.
+type Code string
+
+// The error vocabulary of the scheduling service.
+const (
+	// CodeOverloaded: the bounded request queue is full; retry later
+	// (HTTP 429).
+	CodeOverloaded Code = "OVERLOADED"
+	// CodeBadRequest: the request document is undecodable or incomplete
+	// (HTTP 400).
+	CodeBadRequest Code = "BAD_REQUEST"
+	// CodeInvalidProblem: the problem document decoded but fails
+	// specification validation — inconsistent tables, bad budgets
+	// (HTTP 422).
+	CodeInvalidProblem Code = "INVALID_PROBLEM"
+	// CodeValidationFailed: the scheduler ran on a well-formed problem
+	// and could not produce (or validate) a schedule (HTTP 422).
+	CodeValidationFailed Code = "VALIDATION_FAILED"
+	// CodeWorkerUnavailable: no live worker owns the problem's shard
+	// (HTTP 503, cluster only).
+	CodeWorkerUnavailable Code = "WORKER_UNAVAILABLE"
+	// CodeVersionMismatch: master and worker speak different wire
+	// versions (HTTP 502, cluster only).
+	CodeVersionMismatch Code = "VERSION_MISMATCH"
+	// CodeDraining: the worker is draining and no longer accepts jobs
+	// (cluster-internal; masters reroute instead of surfacing it).
+	CodeDraining Code = "DRAINING"
+	// CodeClosed: the service is shutting down (HTTP 503).
+	CodeClosed Code = "CLOSED"
+	// CodeTimeout: the request's context expired while queued or in
+	// flight (HTTP 408).
+	CodeTimeout Code = "TIMEOUT"
+	// CodeInternal: an unexpected fault — encoding, transport framing
+	// (HTTP 500).
+	CodeInternal Code = "INTERNAL"
+)
+
+// Error is a typed service error: a stable Code, a human-readable
+// Message, and optional structured Fields (worker id, shard key, …).
+// It replaces the ad-hoc error strings of the pre-cluster service and
+// travels as-is through the internal RPC, so errors.Is works across
+// process boundaries (two Errors match when their Codes match).
+type Error struct {
+	Code    Code              `json:"code"`
+	Message string            `json:"message"`
+	Fields  map[string]string `json:"fields,omitempty"`
+}
+
+// Error returns the message alone: edge bodies stay byte-identical to
+// the pre-cluster stringly errors, with the code carried out of band
+// (the X-Ftbar-Error-Code header and the JSON form).
+func (e *Error) Error() string { return e.Message }
+
+// Is matches any *Error carrying the same code, so a sentinel like
+// ErrOverloaded matches a decoded RPC error without pointer identity.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// WithField returns a copy of e carrying an extra structured field; the
+// receiver (often a shared sentinel) is never mutated.
+func (e *Error) WithField(key, value string) *Error {
+	out := &Error{Code: e.Code, Message: e.Message, Fields: make(map[string]string, len(e.Fields)+1)}
+	for k, v := range e.Fields {
+		out.Fields[k] = v
+	}
+	out.Fields[key] = value
+	return out
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Wrap types an existing error without changing its text: the returned
+// Error's message is err.Error(), so edge bodies that used to surface
+// the raw error stay byte-identical. A nil err returns nil; an err that
+// already is (or wraps) an *Error keeps its original code.
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	var we *Error
+	if errors.As(err, &we) {
+		return err
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
+
+// Sentinels of the admission path. The messages are frozen: they are the
+// HTTP error bodies of the pre-cluster service.
+var (
+	// ErrOverloaded reports that the bounded request queue is full; the
+	// HTTP layer maps it to 429.
+	ErrOverloaded = &Error{Code: CodeOverloaded, Message: "service: request queue full"}
+	// ErrClosed reports a submission to a closed service.
+	ErrClosed = &Error{Code: CodeClosed, Message: "service: closed"}
+	// ErrBadRequest reports an undecodable or invalid request; the HTTP
+	// layer maps it to 400.
+	ErrBadRequest = &Error{Code: CodeBadRequest, Message: "service: bad request"}
+	// ErrWorkerUnavailable reports that no live worker owns the shard.
+	ErrWorkerUnavailable = &Error{Code: CodeWorkerUnavailable, Message: "cluster: no worker available"}
+	// ErrVersionMismatch reports a master/worker wire-version skew.
+	ErrVersionMismatch = &Error{Code: CodeVersionMismatch, Message: "cluster: wire version mismatch"}
+	// ErrDraining reports a job sent to a draining worker.
+	ErrDraining = &Error{Code: CodeDraining, Message: "cluster: worker draining"}
+)
+
+// CodeOf classifies an arbitrary error: a typed (possibly wrapped)
+// *Error yields its code, context expiry yields CodeTimeout, anything
+// else is a scheduling failure on a well-formed problem
+// (CodeValidationFailed) — the pre-cluster service mapped exactly that
+// residue to 422.
+func CodeOf(err error) Code {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return CodeTimeout
+	}
+	return CodeValidationFailed
+}
+
+// HTTPStatus maps a code onto its edge status. The mapping is total and
+// deterministic — the table in DESIGN.md Section 16 — and preserves the
+// pre-cluster statuses for the codes that existed as sentinels.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeInvalidProblem, CodeValidationFailed:
+		return http.StatusUnprocessableEntity
+	case CodeWorkerUnavailable, CodeClosed, CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeVersionMismatch:
+		return http.StatusBadGateway
+	case CodeTimeout:
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

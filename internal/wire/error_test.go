@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSentinelMessagesFrozen pins the exact error bodies of the
+// pre-cluster service: these strings are the HTTP plain-text bodies and
+// must never drift.
+func TestSentinelMessagesFrozen(t *testing.T) {
+	for _, tc := range []struct {
+		err  *Error
+		want string
+		code Code
+	}{
+		{ErrOverloaded, "service: request queue full", CodeOverloaded},
+		{ErrClosed, "service: closed", CodeClosed},
+		{ErrBadRequest, "service: bad request", CodeBadRequest},
+		{ErrWorkerUnavailable, "cluster: no worker available", CodeWorkerUnavailable},
+		{ErrVersionMismatch, "cluster: wire version mismatch", CodeVersionMismatch},
+		{ErrDraining, "cluster: worker draining", CodeDraining},
+	} {
+		if tc.err.Error() != tc.want {
+			t.Errorf("%s message %q, want %q", tc.code, tc.err.Error(), tc.want)
+		}
+		if tc.err.Code != tc.code {
+			t.Errorf("sentinel code %q, want %q", tc.err.Code, tc.code)
+		}
+	}
+}
+
+// TestErrorsIsAcrossTheWire checks the errors.Is contract survives an
+// encode/decode cycle: a worker's rejection decoded from JSON still
+// matches the sentinel, without pointer identity.
+func TestErrorsIsAcrossTheWire(t *testing.T) {
+	data, err := json.Marshal(ErrOverloaded.WithField("worker", "w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := new(Error)
+	if err := json.Unmarshal(data, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(decoded, ErrOverloaded) {
+		t.Error("decoded OVERLOADED does not match ErrOverloaded")
+	}
+	if errors.Is(decoded, ErrClosed) {
+		t.Error("decoded OVERLOADED matches ErrClosed")
+	}
+	// The fmt wrapping idiom keeps working through the sentinel.
+	wrapped := fmt.Errorf("%w: missing problem", ErrBadRequest)
+	if !errors.Is(wrapped, ErrBadRequest) {
+		t.Error("fmt-wrapped sentinel lost errors.Is")
+	}
+	if CodeOf(wrapped) != CodeBadRequest {
+		t.Errorf("CodeOf(wrapped) = %s", CodeOf(wrapped))
+	}
+}
+
+// TestWithFieldDoesNotMutate guards the shared sentinels.
+func TestWithFieldDoesNotMutate(t *testing.T) {
+	e := ErrWorkerUnavailable.WithField("shard", "abc")
+	if len(ErrWorkerUnavailable.Fields) != 0 {
+		t.Fatal("WithField mutated the sentinel")
+	}
+	if e.Fields["shard"] != "abc" || e.Code != CodeWorkerUnavailable {
+		t.Fatalf("WithField copy wrong: %+v", e)
+	}
+	e2 := e.WithField("worker", "w2")
+	if e.Fields["worker"] != "" {
+		t.Fatal("second WithField mutated the first copy")
+	}
+	if e2.Fields["shard"] != "abc" || e2.Fields["worker"] != "w2" {
+		t.Fatalf("fields not accumulated: %+v", e2)
+	}
+}
+
+// TestWrapKeepsText pins Wrap's byte-compatibility contract and its
+// code-preserving behaviour on already-typed errors.
+func TestWrapKeepsText(t *testing.T) {
+	plain := errors.New("schedule failed validation: chain packing")
+	w := Wrap(CodeValidationFailed, plain)
+	if w.Error() != plain.Error() {
+		t.Errorf("Wrap changed the text: %q", w.Error())
+	}
+	if CodeOf(w) != CodeValidationFailed {
+		t.Errorf("CodeOf = %s", CodeOf(w))
+	}
+	if Wrap(CodeInternal, nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+	// Wrapping an already-typed error keeps the original code.
+	again := Wrap(CodeInternal, fmt.Errorf("ctx: %w", ErrOverloaded))
+	if CodeOf(again) != CodeOverloaded {
+		t.Errorf("re-wrap clobbered the code: %s", CodeOf(again))
+	}
+}
+
+// TestStatusMapping pins the deterministic edge mapping table
+// (DESIGN.md Section 16).
+func TestStatusMapping(t *testing.T) {
+	want := map[Code]int{
+		CodeOverloaded:        http.StatusTooManyRequests,
+		CodeBadRequest:        http.StatusBadRequest,
+		CodeInvalidProblem:    http.StatusUnprocessableEntity,
+		CodeValidationFailed:  http.StatusUnprocessableEntity,
+		CodeWorkerUnavailable: http.StatusServiceUnavailable,
+		CodeVersionMismatch:   http.StatusBadGateway,
+		CodeDraining:          http.StatusServiceUnavailable,
+		CodeClosed:            http.StatusServiceUnavailable,
+		CodeTimeout:           http.StatusRequestTimeout,
+		CodeInternal:          http.StatusInternalServerError,
+		Code("SOMETHING_NEW"): http.StatusInternalServerError,
+	}
+	for code, status := range want {
+		if got := HTTPStatus(code); got != status {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, status)
+		}
+	}
+}
+
+// TestCodeOfClassification: untyped errors keep the pre-cluster 422
+// residue, context expiry becomes TIMEOUT.
+func TestCodeOfClassification(t *testing.T) {
+	if got := CodeOf(errors.New("no valid processor")); got != CodeValidationFailed {
+		t.Errorf("untyped error → %s", got)
+	}
+	if got := CodeOf(fmt.Errorf("waiting: %w", context.DeadlineExceeded)); got != CodeTimeout {
+		t.Errorf("deadline → %s", got)
+	}
+	if got := CodeOf(context.Canceled); got != CodeTimeout {
+		t.Errorf("canceled → %s", got)
+	}
+}

@@ -1,0 +1,363 @@
+// Command gen generates ftbar.pb.go from ftbar.proto: a deliberately
+// small protoc replacement for the proto3 subset the wire envelopes use
+// (scalar uint64/bool, string, bytes, message and repeated-message
+// fields, plus one service block whose methods number the RPC frames).
+// The full toolchain is not vendored — the container builds offline —
+// but the emitted wire format IS protobuf: a real protoc-generated
+// binding for ftbar.proto decodes these bytes unchanged, which keeps the
+// internal API swappable for stock gRPC.
+//
+// The output is deterministic (declaration order in, declaration order
+// out), so `go generate ./internal/wire/pb/... && git diff --exit-code`
+// is the CI drift check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type field struct {
+	Name     string // proto snake_case
+	GoName   string
+	Type     string // uint64 | bool | string | bytes | <message>
+	Number   int
+	Repeated bool
+	Comment  []string
+}
+
+type message struct {
+	Name    string
+	Fields  []field
+	Comment []string
+}
+
+type method struct {
+	Name, Req, Resp string
+	Number          int
+}
+
+type svc struct {
+	Name    string
+	Methods []method
+}
+
+func main() {
+	proto := flag.String("proto", "ftbar.proto", "input proto file")
+	out := flag.String("out", "ftbar.pb.go", "output Go file")
+	pkg := flag.String("pkg", "pb", "output package name")
+	flag.Parse()
+	src, err := os.ReadFile(*proto)
+	if err != nil {
+		fatal(err)
+	}
+	msgs, services, err := parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *proto, err))
+	}
+	code, err := emit(*pkg, *proto, msgs, services)
+	if err != nil {
+		fatal(err)
+	}
+	formatted, err := format.Source([]byte(code))
+	if err != nil {
+		fatal(fmt.Errorf("generated code does not parse: %w", err))
+	}
+	if err := os.WriteFile(*out, formatted, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}
+
+var (
+	fieldRe  = regexp.MustCompile(`^(repeated\s+)?([A-Za-z0-9_.]+)\s+([a-z0-9_]+)\s*=\s*(\d+)\s*;$`)
+	methodRe = regexp.MustCompile(`^rpc\s+([A-Za-z0-9_]+)\s*\(\s*([A-Za-z0-9_.]+)\s*\)\s+returns\s+\(\s*([A-Za-z0-9_.]+)\s*\)\s*;$`)
+)
+
+// parse reads the proto subset line by line. Comments directly above a
+// message or field are carried into the generated code.
+func parse(src string) ([]message, []svc, error) {
+	var msgs []message
+	var services []svc
+	var cur *message
+	var curSvc *svc
+	var comment []string
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "":
+			comment = nil
+		case strings.HasPrefix(line, "//"):
+			comment = append(comment, strings.TrimPrefix(line, "//"))
+		case strings.HasPrefix(line, "syntax"):
+			if line != `syntax = "proto3";` {
+				return nil, nil, fmt.Errorf("line %d: only proto3 is supported", ln+1)
+			}
+			comment = nil
+		case strings.HasPrefix(line, "package "), strings.HasPrefix(line, "option "):
+			comment = nil
+		case strings.HasPrefix(line, "message "):
+			name := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "message")), "{")
+			msgs = append(msgs, message{Name: strings.TrimSpace(name), Comment: comment})
+			cur = &msgs[len(msgs)-1]
+			comment = nil
+		case strings.HasPrefix(line, "service "):
+			name := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "service")), "{")
+			services = append(services, svc{Name: strings.TrimSpace(name)})
+			curSvc = &services[len(services)-1]
+			comment = nil
+		case line == "}":
+			cur, curSvc = nil, nil
+			comment = nil
+		case curSvc != nil:
+			m := methodRe.FindStringSubmatch(line)
+			if m == nil {
+				return nil, nil, fmt.Errorf("line %d: unsupported service statement %q", ln+1, line)
+			}
+			curSvc.Methods = append(curSvc.Methods, method{
+				Name: m[1], Req: m[2], Resp: m[3], Number: len(curSvc.Methods) + 1,
+			})
+			comment = nil
+		case cur != nil:
+			m := fieldRe.FindStringSubmatch(line)
+			if m == nil {
+				return nil, nil, fmt.Errorf("line %d: unsupported field statement %q", ln+1, line)
+			}
+			num, err := strconv.Atoi(m[4])
+			if err != nil || num < 1 {
+				return nil, nil, fmt.Errorf("line %d: bad field number %q", ln+1, m[4])
+			}
+			f := field{
+				Name: m[3], GoName: goName(m[3]), Type: m[2], Number: num,
+				Repeated: m[1] != "", Comment: comment,
+			}
+			if n := len(cur.Fields); n > 0 && cur.Fields[n-1].Number >= num {
+				return nil, nil, fmt.Errorf("line %d: field numbers must ascend", ln+1)
+			}
+			cur.Fields = append(cur.Fields, f)
+			comment = nil
+		default:
+			return nil, nil, fmt.Errorf("line %d: unsupported statement %q", ln+1, line)
+		}
+	}
+	byName := map[string]bool{}
+	for _, m := range msgs {
+		byName[m.Name] = true
+	}
+	for _, m := range msgs {
+		for _, f := range m.Fields {
+			switch f.Type {
+			case "uint64", "bool", "string", "bytes":
+				if f.Repeated {
+					return nil, nil, fmt.Errorf("message %s: repeated %s is not supported", m.Name, f.Type)
+				}
+			default:
+				if !byName[f.Type] {
+					return nil, nil, fmt.Errorf("message %s: unknown field type %q", m.Name, f.Type)
+				}
+			}
+		}
+	}
+	for _, s := range services {
+		for _, mt := range s.Methods {
+			if !byName[mt.Req] || !byName[mt.Resp] {
+				return nil, nil, fmt.Errorf("service %s: method %s references unknown messages", s.Name, mt.Name)
+			}
+		}
+	}
+	return msgs, services, nil
+}
+
+func goName(snake string) string {
+	parts := strings.Split(snake, "_")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "")
+}
+
+func goType(f field) string {
+	switch f.Type {
+	case "uint64":
+		return "uint64"
+	case "bool":
+		return "bool"
+	case "string":
+		return "string"
+	case "bytes":
+		return "[]byte"
+	default:
+		if f.Repeated {
+			return "[]*" + f.Type
+		}
+		return "*" + f.Type
+	}
+}
+
+func emit(pkg, proto string, msgs []message, services []svc) (string, error) {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("// Code generated by gen/main.go from %s. DO NOT EDIT.", proto)
+	w("")
+	w("package %s", pkg)
+	for _, m := range msgs {
+		w("")
+		for _, c := range m.Comment {
+			w("//%s", c)
+		}
+		w("type %s struct {", m.Name)
+		for _, f := range m.Fields {
+			for _, c := range f.Comment {
+				w("\t//%s", c)
+			}
+			w("\t%s %s", f.GoName, goType(f))
+		}
+		w("}")
+		emitMarshal(w, m)
+		emitUnmarshal(w, m)
+	}
+	for _, s := range services {
+		w("")
+		w("// Methods of the %s service, numbered in declaration order; the", s.Name)
+		w("// numbers identify request frames on the cluster transport.")
+		w("const (")
+		for _, mt := range s.Methods {
+			w("\tMethod%s%s uint64 = %d // %s(%s) returns (%s)", s.Name, mt.Name, mt.Number, mt.Name, mt.Req, mt.Resp)
+		}
+		w(")")
+		w("")
+		w("// %sMethodName names a method number, for errors and metrics.", s.Name)
+		w("func %sMethodName(m uint64) string {", s.Name)
+		w("\tswitch m {")
+		for _, mt := range s.Methods {
+			w("\tcase Method%s%s:", s.Name, mt.Name)
+			w("\t\treturn %q", mt.Name)
+		}
+		w("\tdefault:")
+		w("\t\treturn \"unknown\"")
+		w("\t}")
+		w("}")
+	}
+	return b.String(), nil
+}
+
+func emitMarshal(w func(string, ...any), m message) {
+	w("")
+	w("// Marshal encodes the message in the protobuf wire format (proto3")
+	w("// semantics: zero-valued scalar fields are omitted).")
+	w("func (m *%s) Marshal() []byte {", m.Name)
+	if len(m.Fields) == 0 {
+		w("\treturn nil")
+		w("}")
+		return
+	}
+	w("\tvar b []byte")
+	for _, f := range m.Fields {
+		switch f.Type {
+		case "uint64":
+			w("\tb = appendUint64Field(b, %d, m.%s)", f.Number, f.GoName)
+		case "bool":
+			w("\tb = appendBoolField(b, %d, m.%s)", f.Number, f.GoName)
+		case "string":
+			w("\tb = appendStringField(b, %d, m.%s)", f.Number, f.GoName)
+		case "bytes":
+			w("\tb = appendBytesField(b, %d, m.%s)", f.Number, f.GoName)
+		default:
+			if f.Repeated {
+				w("\tfor _, v := range m.%s {", f.GoName)
+				w("\t\tif v != nil {")
+				w("\t\t\tb = appendMessageField(b, %d, v.Marshal())", f.Number)
+				w("\t\t}")
+				w("\t}")
+			} else {
+				w("\tif m.%s != nil {", f.GoName)
+				w("\t\tb = appendMessageField(b, %d, m.%s.Marshal())", f.Number, f.GoName)
+				w("\t}")
+			}
+		}
+	}
+	w("\treturn b")
+	w("}")
+}
+
+func emitUnmarshal(w func(string, ...any), m message) {
+	w("")
+	w("// Unmarshal decodes data into the message, resetting it first.")
+	w("// Unknown fields are skipped for forward compatibility.")
+	w("func (m *%s) Unmarshal(data []byte) error {", m.Name)
+	w("\t*m = %s{}", m.Name)
+	w("\tfor len(data) > 0 {")
+	w("\t\ttag, n := consumeVarint(data)")
+	w("\t\tif n <= 0 {")
+	w("\t\t\treturn errMalformed")
+	w("\t\t}")
+	w("\t\tdata = data[n:]")
+	w("\t\tswitch tag >> 3 {")
+	for _, f := range m.Fields {
+		w("\t\tcase %d:", f.Number)
+		switch f.Type {
+		case "uint64", "bool":
+			w("\t\t\tif tag&7 != wireVarint {")
+			w("\t\t\t\treturn errMalformed")
+			w("\t\t\t}")
+			w("\t\t\tv, n := consumeVarint(data)")
+			w("\t\t\tif n <= 0 {")
+			w("\t\t\t\treturn errMalformed")
+			w("\t\t\t}")
+			if f.Type == "bool" {
+				w("\t\t\tm.%s = v != 0", f.GoName)
+			} else {
+				w("\t\t\tm.%s = v", f.GoName)
+			}
+			w("\t\t\tdata = data[n:]")
+		case "string", "bytes":
+			w("\t\t\tv, n := consumeBytes(data, tag)")
+			w("\t\t\tif n <= 0 {")
+			w("\t\t\t\treturn errMalformed")
+			w("\t\t\t}")
+			if f.Type == "string" {
+				w("\t\t\tm.%s = string(v)", f.GoName)
+			} else {
+				w("\t\t\tm.%s = append([]byte(nil), v...)", f.GoName)
+			}
+			w("\t\t\tdata = data[n:]")
+		default:
+			w("\t\t\tv, n := consumeBytes(data, tag)")
+			w("\t\t\tif n <= 0 {")
+			w("\t\t\t\treturn errMalformed")
+			w("\t\t\t}")
+			w("\t\t\tsub := new(%s)", f.Type)
+			w("\t\t\tif err := sub.Unmarshal(v); err != nil {")
+			w("\t\t\t\treturn err")
+			w("\t\t\t}")
+			if f.Repeated {
+				w("\t\t\tm.%s = append(m.%s, sub)", f.GoName, f.GoName)
+			} else {
+				w("\t\t\tm.%s = sub", f.GoName)
+			}
+			w("\t\t\tdata = data[n:]")
+		}
+	}
+	w("\t\tdefault:")
+	w("\t\t\tn := skipField(data, tag&7)")
+	w("\t\t\tif n < 0 {")
+	w("\t\t\t\treturn errMalformed")
+	w("\t\t\t}")
+	w("\t\t\tdata = data[n:]")
+	w("\t\t}")
+	w("\t}")
+	w("\treturn nil")
+	w("}")
+}

@@ -1,0 +1,135 @@
+// Package pb holds the generated bindings of the cluster's internal RPC
+// envelopes: ftbar.proto is the source of truth, ftbar.pb.go is emitted
+// from it by gen/main.go and checked in (the build is offline, so the
+// bindings cannot be produced at build time — CI regenerates and fails
+// on drift instead). The encoding is the protobuf wire format, so a
+// stock protoc + gRPC toolchain pointed at ftbar.proto interoperates
+// with these bytes unchanged.
+package pb
+
+//go:generate go run ./gen -proto ftbar.proto -out ftbar.pb.go
+
+import "errors"
+
+// Wire types of the protobuf encoding; only varint and length-delimited
+// are emitted, the fixed widths exist so unknown fields skip correctly.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// errMalformed reports a frame that does not decode as its message.
+var errMalformed = errors.New("pb: malformed message")
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, num int, wt int) []byte {
+	return appendVarint(b, uint64(num)<<3|uint64(wt))
+}
+
+func appendUint64Field(b []byte, num int, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	return appendVarint(appendTag(b, num, wireVarint), v)
+}
+
+func appendBoolField(b []byte, num int, v bool) []byte {
+	if !v {
+		return b
+	}
+	return append(appendTag(b, num, wireVarint), 1)
+}
+
+func appendStringField(b []byte, num int, v string) []byte {
+	if v == "" {
+		return b
+	}
+	b = appendVarint(appendTag(b, num, wireBytes), uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendBytesField(b []byte, num int, v []byte) []byte {
+	if len(v) == 0 {
+		return b
+	}
+	b = appendVarint(appendTag(b, num, wireBytes), uint64(len(v)))
+	return append(b, v...)
+}
+
+// appendMessageField writes an embedded message even when empty: proto3
+// distinguishes a present empty message (non-nil pointer) from an absent
+// one.
+func appendMessageField(b []byte, num int, v []byte) []byte {
+	b = appendVarint(appendTag(b, num, wireBytes), uint64(len(v)))
+	return append(b, v...)
+}
+
+// consumeVarint decodes a varint, returning the value and the bytes
+// consumed; n <= 0 reports truncation or overflow.
+func consumeVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			if i == 9 && b[i] > 1 {
+				return 0, 0 // overflows uint64
+			}
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// consumeBytes decodes a length-delimited payload for tag, returning the
+// payload view and the total bytes consumed; n <= 0 reports a wire-type
+// mismatch or truncation.
+func consumeBytes(b []byte, tag uint64) ([]byte, int) {
+	if tag&7 != wireBytes {
+		return nil, 0
+	}
+	l, n := consumeVarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, 0
+	}
+	return b[n : n+int(l)], n + int(l)
+}
+
+// skipField returns the size of an unknown field's payload, or -1 when
+// it cannot be skipped.
+func skipField(b []byte, wt uint64) int {
+	switch wt {
+	case wireVarint:
+		_, n := consumeVarint(b)
+		if n <= 0 {
+			return -1
+		}
+		return n
+	case wireFixed64:
+		if len(b) < 8 {
+			return -1
+		}
+		return 8
+	case wireFixed32:
+		if len(b) < 4 {
+			return -1
+		}
+		return 4
+	case wireBytes:
+		l, n := consumeVarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return -1
+		}
+		return n + int(l)
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,166 @@
+package pb
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGoldenWireFormat pins the encoding against hand-assembled protobuf
+// bytes: field 1 varint, field 2 length-delimited string, etc. A stock
+// protoc binding for ftbar.proto produces exactly these frames, which is
+// the interoperability claim of the hand-rolled generator.
+func TestGoldenWireFormat(t *testing.T) {
+	job := &ScheduleJob{WireVersion: 1, ContentKey: "ab", Request: []byte{0xde, 0xad}, Wait: true}
+	// 0x08 (field 1, varint) 0x01
+	// 0x12 (field 2, bytes) len 2 "ab"
+	// 0x1a (field 3, bytes) len 2 de ad
+	// 0x20 (field 4, varint) 0x01
+	want := "0801" + "120261" + "62" + "1a02dead" + "2001"
+	if got := hex.EncodeToString(job.Marshal()); got != want {
+		t.Fatalf("ScheduleJob wire bytes:\ngot  %s\nwant %s", got, want)
+	}
+	e := &Error{Code: "OVERLOADED", Message: "q", Fields: []*Field{{Key: "k", Value: "v"}}}
+	// field 1 "OVERLOADED", field 2 "q", field 3 embedded Field{"k","v"}
+	wantErr := "0a0a4f5645524c4f41444544" + "120171" + "1a060a016b120176"
+	if got := hex.EncodeToString(e.Marshal()); got != wantErr {
+		t.Fatalf("Error wire bytes:\ngot  %s\nwant %s", got, wantErr)
+	}
+}
+
+// TestRoundTrips re-decodes every message type, populated and zero.
+func TestRoundTrips(t *testing.T) {
+	cases := []interface {
+		Marshal() []byte
+	}{
+		&Error{Code: "WORKER_UNAVAILABLE", Message: "cluster: no worker available",
+			Fields: []*Field{{Key: "worker", Value: "w1"}, {Key: "shard", Value: "abc"}}},
+		&Error{},
+		&Field{Key: "k", Value: "v"},
+		&ScheduleJob{WireVersion: 7, ContentKey: "deadbeef", Request: []byte(`{"problem":{}}`), Wait: true},
+		&ScheduleJob{},
+		&ScheduleResult{Response: []byte(`{"length":13.05}`), Cached: true},
+		&HealthRequest{WireVersion: 1},
+		&HealthReply{WorkerId: "w0", Status: "draining", WireVersion: 1, InFlight: 3, CacheEntries: 17, SchedulerRuns: 99},
+		&StatsRequest{},
+		&StatsReply{Stats: []byte(`{"workers":2}`)},
+		&DrainRequest{Handoff: true},
+		&DrainReply{Entries: 12, Snapshot: []byte{1, 2, 3}},
+		&InstallRequest{Snapshot: []byte{9}},
+		&InstallReply{Entries: 4},
+	}
+	for _, msg := range cases {
+		data := msg.Marshal()
+		out := reflect.New(reflect.TypeOf(msg).Elem()).Interface()
+		if err := out.(interface{ Unmarshal([]byte) error }).Unmarshal(data); err != nil {
+			t.Fatalf("%T: unmarshal: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, out) {
+			t.Errorf("%T round trip:\ngot  %+v\nwant %+v", msg, out, msg)
+		}
+	}
+}
+
+// TestUnknownFieldsSkipped checks forward compatibility: a frame with
+// extra fields (a newer peer) decodes, keeping the known ones.
+func TestUnknownFieldsSkipped(t *testing.T) {
+	base := (&HealthReply{WorkerId: "w1", Status: "ok"}).Marshal()
+	extra := appendUint64Field(base, 63, 12345)          // unknown varint
+	extra = appendStringField(extra, 62, "future field") // unknown bytes
+	extra = append(appendTag(extra, 61, wireFixed32), 1, 2, 3, 4)
+	extra = append(appendTag(extra, 60, wireFixed64), 1, 2, 3, 4, 5, 6, 7, 8)
+	var got HealthReply
+	if err := got.Unmarshal(extra); err != nil {
+		t.Fatalf("unmarshal with unknown fields: %v", err)
+	}
+	if got.WorkerId != "w1" || got.Status != "ok" {
+		t.Errorf("known fields lost: %+v", got)
+	}
+}
+
+// TestMalformedFrames checks truncation and wire-type confusion fail
+// loudly instead of mis-decoding.
+func TestMalformedFrames(t *testing.T) {
+	good := (&ScheduleJob{ContentKey: "abc", Request: []byte{1, 2, 3}}).Marshal()
+	for i := 1; i < len(good); i++ {
+		var job ScheduleJob
+		if err := job.Unmarshal(good[:i]); err == nil && i != len(good) {
+			// Some prefixes decode as fewer fields — that is fine as long
+			// as truncation inside a field errors; check a couple directly.
+			continue
+		}
+	}
+	var job ScheduleJob
+	if err := job.Unmarshal([]byte{0x12, 0xff}); err == nil { // bytes field, length 255, truncated
+		t.Error("truncated length-delimited field decoded")
+	}
+	if err := job.Unmarshal([]byte{0x80}); err == nil { // dangling varint tag
+		t.Error("dangling tag decoded")
+	}
+	// Field 2 (string content_key) sent as varint: wire-type mismatch.
+	if err := job.Unmarshal([]byte{0x10, 0x01}); err == nil {
+		t.Error("wire-type confusion decoded")
+	}
+}
+
+// TestEmptyEmbeddedMessage pins proto3 presence: a non-nil empty
+// embedded message survives a round trip as non-nil.
+func TestEmptyEmbeddedMessage(t *testing.T) {
+	e := &Error{Fields: []*Field{{}}}
+	var out Error
+	if err := out.Unmarshal(e.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Fields) != 1 || out.Fields[0] == nil {
+		t.Fatalf("empty embedded Field lost: %+v", out)
+	}
+}
+
+// TestVarintBoundaries exercises multi-byte varints and the overflow
+// guard.
+func TestVarintBoundaries(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1<<32 - 1, 1<<64 - 1} {
+		r := &HealthReply{SchedulerRuns: v, WorkerId: "w"}
+		var out HealthReply
+		if err := out.Unmarshal(r.Marshal()); err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if out.SchedulerRuns != v {
+			t.Errorf("v=%d round-tripped to %d", v, out.SchedulerRuns)
+		}
+	}
+	// An 11-byte varint overflows uint64 and must be rejected.
+	overflow := bytes.Repeat([]byte{0xff}, 10)
+	if _, n := consumeVarint(append([]byte(nil), overflow...)); n > 0 {
+		t.Error("overflowing varint accepted")
+	}
+}
+
+// TestGeneratedCodeInSync regenerates ftbar.pb.go into a scratch file
+// and diffs it against the checked-in copy, so a proto edit without a
+// `go generate` fails here as well as in CI.
+func TestGeneratedCodeInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	tmp := filepath.Join(t.TempDir(), "ftbar.pb.go")
+	cmd := exec.Command("go", "run", "./gen", "-proto", "ftbar.proto", "-out", tmp)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go run ./gen: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile("ftbar.pb.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("ftbar.pb.go is stale: run `go generate ./internal/wire/pb/...`")
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"sort"
+
+	"ftbar/internal/wire/pb"
+)
+
+// PB converts the error to its protobuf wire form for the master/worker
+// RPC boundary. Fields are emitted in sorted key order so equal errors
+// encode to equal bytes.
+func (e *Error) PB() *pb.Error {
+	out := &pb.Error{Code: string(e.Code), Message: e.Message}
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out.Fields = make([]*pb.Field, 0, len(keys))
+		for _, k := range keys {
+			out.Fields = append(out.Fields, &pb.Field{Key: k, Value: e.Fields[k]})
+		}
+	}
+	return out
+}
+
+// ErrorFromPB rebuilds a typed error from its protobuf wire form. The
+// result satisfies errors.Is against the sentinel of the same code, so a
+// worker's rejection classifies identically on the master. A nil or
+// code-less input degrades to CodeInternal rather than losing the error.
+func ErrorFromPB(p *pb.Error) *Error {
+	if p == nil {
+		return &Error{Code: CodeInternal, Message: "wire: empty error"}
+	}
+	e := &Error{Code: Code(p.Code), Message: p.Message}
+	if e.Code == "" {
+		e.Code = CodeInternal
+	}
+	if len(p.Fields) > 0 {
+		e.Fields = make(map[string]string, len(p.Fields))
+		for _, f := range p.Fields {
+			if f != nil {
+				e.Fields[f.Key] = f.Value
+			}
+		}
+	}
+	return e
+}

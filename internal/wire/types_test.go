@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"ftbar/internal/paperex"
+
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenRoundTrips decodes every committed golden response body
+// (captured from the pre-extraction service) into the moved wire structs
+// and re-encodes it: byte equality proves the move kept every JSON field
+// name, order and omitempty decision intact.
+func TestGoldenRoundTrips(t *testing.T) {
+	dir := filepath.Join("..", "service", "testdata", "golden")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("suspiciously small golden corpus: %d files", len(files))
+	}
+	for _, f := range files {
+		t.Run(f.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var into any
+			switch {
+			case f.Name() == "batch_seeds.json":
+				into = new(BatchResponse)
+			case f.Name() == "sweep_paper.json":
+				into = new(SweepResponse)
+			default:
+				into = new(ScheduleReply)
+			}
+			dec := json.NewDecoder(bytes.NewReader(data))
+			if err := dec.Decode(into); err != nil {
+				t.Fatalf("decode into %T: %v", into, err)
+			}
+			var out bytes.Buffer
+			enc := json.NewEncoder(&out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(into); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Errorf("round trip through %T drifted from golden\ngot:  %.300s\nwant: %.300s",
+					into, out.Bytes(), data)
+			}
+		})
+	}
+}
+
+// TestCacheKeyStability pins the content-address semantics the cluster
+// routes on: equal problems share a key whatever the decoded object
+// identity, engine spellings normalise, include flags alter the key (a
+// response is cached with exactly its artefacts), and a missing problem
+// fails as BAD_REQUEST.
+func TestCacheKeyStability(t *testing.T) {
+	if _, err := (&ScheduleRequest{}).CacheKey(); CodeOf(err) != CodeBadRequest {
+		t.Errorf("missing problem: CodeOf = %s, want BAD_REQUEST", CodeOf(err))
+	}
+	a := ScheduleRequest{Problem: paperex.Problem()}
+	b := ScheduleRequest{Problem: paperex.Problem()}
+	ka, err := a.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("identical problems in distinct objects got different keys")
+	}
+	b.Options.Engine = "incremental"
+	if kb2, _ := b.CacheKey(); kb2 != ka {
+		t.Error("engine spelling changed the key")
+	}
+	b.Include.Gantt = true
+	if kb3, _ := b.CacheKey(); kb3 == ka {
+		t.Error("include flags did not change the key")
+	}
+}
