@@ -163,15 +163,29 @@ type (
 	GenParams = gen.Params
 	// Topology selects the generated architecture shape.
 	Topology = gen.Topology
+	// Family selects the generated task-graph family.
+	Family = gen.Family
 )
 
 // Generated architecture shapes.
 const (
-	TopoFull    = gen.TopoFull
-	TopoBus     = gen.TopoBus
-	TopoRing    = gen.TopoRing
-	TopoStar    = gen.TopoStar
-	TopoDualBus = gen.TopoDualBus
+	TopoFull      = gen.TopoFull
+	TopoBus       = gen.TopoBus
+	TopoRing      = gen.TopoRing
+	TopoStar      = gen.TopoStar
+	TopoDualBus   = gen.TopoDualBus
+	TopoMesh      = gen.TopoMesh
+	TopoTorus     = gen.TopoTorus
+	TopoHypercube = gen.TopoHypercube
+	TopoGeom      = gen.TopoGeom
+)
+
+// Generated task-graph families.
+const (
+	FamLayered  = gen.FamLayered
+	FamForkJoin = gen.FamForkJoin
+	FamMatmul   = gen.FamMatmul
+	FamChain    = gen.FamChain
 )
 
 // Scheduling service (DESIGN.md Section 9). cmd/ftserved serves this
@@ -371,8 +385,13 @@ func Execute(s *Schedule, cfg RunConfig) (*ExecResult, error) { return exec.Run(
 // Generate builds a random problem with the paper's Section 6.1 recipe.
 func Generate(p GenParams) (*Problem, error) { return gen.Generate(p) }
 
-// ParseTopology maps "full", "bus", "ring" or "star" to its Topology.
+// ParseTopology maps a topology's short name ("full", "ring", "mesh",
+// "hypercube", ...) to its Topology.
 func ParseTopology(s string) (Topology, error) { return gen.ParseTopology(s) }
+
+// ParseFamily maps a task-graph family's short name ("layered",
+// "forkjoin", "matmul", "chain") to its Family.
+func ParseFamily(s string) (Family, error) { return gen.ParseFamily(s) }
 
 // NewService starts a concurrent scheduling service; release its workers
 // with Close. Service.Handler returns the HTTP surface cmd/ftserved

@@ -13,6 +13,7 @@
 //	ftbench -experiment cluster          # master/worker sharding ladder
 //	ftbench -experiment faults           # Npf+Nmf masking across topologies
 //	ftbench -experiment combined         # joint proc+link masking, reliability
+//	ftbench -experiment corpus           # scenario corpus floors + warm timing
 //	ftbench -experiment service -json    # machine-readable (BENCH_*.json)
 //	ftbench -experiment fig9 -graphs 60  # the paper's full 60-graph runs
 //	ftbench -experiment fig10 -csv       # CSV series for plotting
@@ -39,7 +40,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | sweepreuse | service | cluster | faults | combined")
+	experiment := fs.String("experiment", "example", "example | fig9 | fig10 | npf | scaling | sweepreuse | service | cluster | faults | combined | corpus")
+	scenarios := fs.String("scenarios", "testdata/scenarios", "corpus experiment: scenario directory")
 	nmf := fs.Int("nmf", -1, "override the faults/combined experiments' Nmf budgets (-1 keeps the default grid)")
 	graphs := fs.Int("graphs", 0, "random graphs per point (0 = the paper's default)")
 	seed := fs.Int64("seed", 2003, "base seed")
@@ -226,6 +228,28 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "Combined: joint Npf+Nmf masking, certificate and reliability at q=%g (N=%d, CCR=%g, P=%d, %d graphs/cell)\n",
 			cfg.Q, cfg.N, cfg.CCR, cfg.Procs, cfg.Graphs)
 		return bench.RenderCombined(out, rep)
+	case "corpus":
+		cfg := bench.DefaultCorpus()
+		cfg.Dir = *scenarios
+		rep, err := bench.Corpus(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			err = bench.RenderCorpusJSON(out, rep)
+		} else {
+			fmt.Fprintf(out, "Corpus: %d scenarios from %s (floors + cold/warm timing)\n",
+				len(rep.Cells), cfg.Dir)
+			err = bench.RenderCorpus(out, rep)
+		}
+		if err != nil {
+			return err
+		}
+		// Exit non-zero on violations so CI fails without parsing.
+		if !rep.AllFloorsMet {
+			return fmt.Errorf("corpus: floor violations")
+		}
+		return nil
 	case "npf":
 		cfg := bench.DefaultNpf()
 		cfg.Seed = *seed

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -88,7 +90,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "fig42"}, &out); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-experiment", "fig9", "-topology", "torus"}, &out); err == nil {
+	if err := run([]string{"-experiment", "fig9", "-topology", "moebius"}, &out); err == nil {
 		t.Error("unknown topology accepted")
 	}
 }
@@ -162,6 +164,49 @@ func TestRunServiceTable(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+// TestRunCorpusSmall smoke-tests the corpus experiment end to end on a
+// one-scenario directory: table, JSON, and the non-zero exit on a floor
+// violation.
+func TestRunCorpusSmall(t *testing.T) {
+	dir := t.TempDir()
+	ok := `{"version": 1, "name": "tiny", "gen": {"n": 8, "ccr": 1, "procs": 4, "npf": 1, "seed": 5}, "graphs": 1, "floors": {"validated_rate": 1.0, "link_masked": 1.0}}`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte(ok), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-experiment", "corpus", "-scenarios", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Corpus: 1 scenarios", "tiny", "all floors met"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("corpus table missing %q: %s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "corpus", "-scenarios", dir, "-json"}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep struct {
+		Experiment   string `json:"experiment"`
+		AllFloorsMet bool   `json:"all_floors_met"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	if rep.Experiment != "corpus" || !rep.AllFloorsMet {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	// A violated floor must fail the command (CI relies on the exit code).
+	bad := `{"version": 1, "name": "bad", "gen": {"n": 8, "ccr": 1, "procs": 4, "topology": "star", "npf": 1, "nmf": 1, "seed": 5}, "graphs": 1, "floors": {"validated_rate": 1.0}}`
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "corpus", "-scenarios", dir}, &out); err == nil {
+		t.Error("floor violation exited zero")
 	}
 }
 

@@ -7,6 +7,9 @@
 //	ftgen -n 50 -ccr 5 -procs 4 -npf 1 -seed 7 > problem.json
 //	ftgen -topology ring -n 30 > ring.json
 //	ftgen -npf 1 -nmf 1 -topology dualbus > linkft.json
+//	ftgen -family matmul -width 3 -topology torus -procs 9 > mm.json
+//	ftgen -scenario testdata/scenarios/mesh6-layered-11.json > p.json
+//	ftgen -scenario spec.json -graph 2 > third.json
 //	ftgen -paper > example.json
 //	ftgen -paper -topology ring -procs 4 -nmf 1 > ringex.json
 package main
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"ftbar"
+	"ftbar/internal/harness"
 )
 
 func main() {
@@ -33,16 +37,28 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 30, "number of operations")
 	ccr := fs.Float64("ccr", 1, "communication-to-computation ratio")
 	procs := fs.Int("procs", 4, "number of processors")
-	topology := fs.String("topology", "full", "architecture shape: full | bus | ring | star | dualbus")
+	topology := fs.String("topology", "full", "architecture shape: full | bus | ring | star | dualbus | mesh | torus | hypercube | geom")
+	family := fs.String("family", "layered", "task-graph family: layered | forkjoin | matmul | chain")
+	width := fs.Int("width", 0, "structured family width (workers / blocks / stages); 0 derives it from -n")
+	radius := fs.Float64("radius", 0, "geom topology link radius; 0 picks the connectivity threshold")
 	npf := fs.Int("npf", 1, "tolerated processor failures")
 	nmf := fs.Int("nmf", 0, "tolerated medium (link/bus) failures; must not exceed npf")
 	seed := fs.Int64("seed", 1, "random seed")
 	het := fs.Float64("heterogeneity", 0, "per-processor time spread in [0,1)")
 	paper := fs.Bool("paper", false, "emit the paper's worked example instead of a random problem; composes with -topology/-procs/-npf/-nmf")
+	scenario := fs.String("scenario", "", "emit a problem from a scenario spec file (internal/harness); overrides the generator flags")
+	graph := fs.Int("graph", 0, "with -scenario: which problem of the population to emit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scenario != "" {
+		return emitScenario(*scenario, *graph, out)
+	}
 	topo, err := ftbar.ParseTopology(*topology)
+	if err != nil {
+		return err
+	}
+	fam, err := ftbar.ParseFamily(*family)
 	if err != nil {
 		return err
 	}
@@ -81,12 +97,38 @@ func run(args []string, out io.Writer) error {
 	default:
 		p, err = ftbar.Generate(ftbar.GenParams{
 			N: *n, CCR: *ccr, Procs: *procs, Topology: topo,
+			Family: fam, Width: *width, Radius: *radius,
 			Npf: *npf, Nmf: *nmf, Seed: *seed, Heterogeneity: *het,
 		})
 		if err != nil {
 			return err
 		}
 	}
+	return emit(p, out)
+}
+
+// emitScenario re-emits problem `graph` of a scenario spec's population,
+// exactly as the corpus runner generates it.
+func emitScenario(path string, graph int, out io.Writer) error {
+	s, err := harness.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if graph < 0 || graph >= s.Graphs {
+		return fmt.Errorf("scenario %s has graphs 0..%d, not %d", s.Name, s.Graphs-1, graph)
+	}
+	params, err := s.Params(graph)
+	if err != nil {
+		return err
+	}
+	p, err := ftbar.Generate(params)
+	if err != nil {
+		return err
+	}
+	return emit(p, out)
+}
+
+func emit(p *ftbar.Problem, out io.Writer) error {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return err

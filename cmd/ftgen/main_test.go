@@ -41,8 +41,11 @@ func TestRunRejectsBadParams(t *testing.T) {
 	if err := run([]string{"-npf", "9", "-procs", "3"}, &out); err == nil {
 		t.Error("Npf >= procs accepted")
 	}
-	if err := run([]string{"-topology", "torus"}, &out); err == nil {
+	if err := run([]string{"-topology", "moebius"}, &out); err == nil {
 		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-family", "spaghetti"}, &out); err == nil {
+		t.Error("unknown family accepted")
 	}
 }
 
@@ -122,6 +125,63 @@ func TestRunPaperOnRing(t *testing.T) {
 	}
 	if full.Arc.NumProcs() != 4 || full.Arc.NumMedia() != 6 {
 		t.Errorf("explicit -procs ignored: procs=%d media=%d", full.Arc.NumProcs(), full.Arc.NumMedia())
+	}
+}
+
+// TestRunFamily pins the structured-family flags: -family matmul with
+// -width 3 emits the 45-op blocked multiply on the requested topology.
+func TestRunFamily(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-family", "matmul", "-width", "3", "-topology", "torus", "-procs", "9", "-nmf", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Alg.NumOps() != 45 {
+		t.Errorf("matmul width 3 has %d ops, want 45", p.Alg.NumOps())
+	}
+	if p.Arc.NumProcs() != 9 || p.Arc.NumMedia() != 18 {
+		t.Errorf("not a 3x3 torus: procs=%d media=%d", p.Arc.NumProcs(), p.Arc.NumMedia())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("emitted problem invalid: %v", err)
+	}
+}
+
+// TestRunScenario pins -scenario: the emitted problem is exactly what
+// the corpus runner generates for that population index.
+func TestRunScenario(t *testing.T) {
+	const spec = "../../testdata/scenarios/mesh6-layered-11.json"
+	var out strings.Builder
+	if err := run([]string{"-scenario", spec}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var p ftbar.Problem
+	if err := json.Unmarshal([]byte(out.String()), &p); err != nil {
+		t.Fatalf("output is not a problem: %v", err)
+	}
+	if p.Alg.NumOps() != 20 || p.Arc.NumProcs() != 6 {
+		t.Errorf("problem shape: ops=%d procs=%d", p.Alg.NumOps(), p.Arc.NumProcs())
+	}
+	if got := p.FaultModel(); got != (ftbar.FaultModel{Npf: 1, Nmf: 1}) {
+		t.Errorf("emitted budget %+v", got)
+	}
+	// Another population index emits a different problem.
+	var second strings.Builder
+	if err := run([]string{"-scenario", spec, "-graph", "1"}, &second); err != nil {
+		t.Fatalf("run -graph 1: %v", err)
+	}
+	if out.String() == second.String() {
+		t.Error("-graph 1 emitted the same problem as -graph 0")
+	}
+	// Out-of-range index and missing file are refused.
+	if err := run([]string{"-scenario", spec, "-graph", "99"}, &out); err == nil {
+		t.Error("out-of-range -graph accepted")
+	}
+	if err := run([]string{"-scenario", "no-such-file.json"}, &out); err == nil {
+		t.Error("missing scenario file accepted")
 	}
 }
 

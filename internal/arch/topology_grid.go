@@ -1,0 +1,217 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file provides the structured interconnects of the scenario corpus
+// (DESIGN.md Section 17): 2D meshes and tori, hypercubes, and seeded
+// random-geometric layouts. Like the constructors in topology.go they
+// name processors "P1".."Pn" and point-to-point links "Li.j" with i < j,
+// and they are fully deterministic — the geometric layout in its seed —
+// so generated problems and their content keys are reproducible.
+
+// gridShape splits n processors into the most square rows x cols grid
+// with rows <= cols (5 -> 2x3, 8 -> 2x4, 9 -> 3x3). The last row may be
+// partial when n is not a product.
+func gridShape(n int) (rows, cols int) {
+	if n < 1 {
+		return 0, 0
+	}
+	rows = int(math.Sqrt(float64(n)))
+	for rows > 1 && (n+rows-1)/rows*(rows-1) >= n {
+		// A shorter grid still holds every processor; prefer it so no
+		// row ends up empty.
+		rows--
+	}
+	cols = (n + rows - 1) / rows
+	return rows, cols
+}
+
+// linkSet accumulates unordered processor pairs, refusing duplicates, and
+// commits them to the architecture in insertion order.
+type linkSet struct {
+	a    *Architecture
+	seen map[[2]ProcID]bool
+}
+
+func newLinkSet(a *Architecture) *linkSet {
+	return &linkSet{a: a, seen: make(map[[2]ProcID]bool)}
+}
+
+func (ls *linkSet) add(i, j ProcID) {
+	if i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if ls.seen[[2]ProcID{i, j}] {
+		return
+	}
+	ls.seen[[2]ProcID{i, j}] = true
+	ls.a.MustAddMedium(fmt.Sprintf("L%d.%d", i+1, j+1), i, j)
+}
+
+// Mesh builds n processors on the most square 2D grid (gridShape) with a
+// point-to-point link between horizontal and vertical neighbours. A 2x2
+// mesh is the 4-ring; larger meshes add the multi-hop diameter the
+// disjoint-fan planner routes around.
+func Mesh(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	rows, cols := gridShape(n)
+	ls := newLinkSet(a)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p := r*cols + c
+			if p >= n {
+				continue
+			}
+			if c+1 < cols && p+1 < n {
+				ls.add(ProcID(p), ProcID(p+1))
+			}
+			if r+1 < rows && p+cols < n {
+				ls.add(ProcID(p), ProcID(p+cols))
+			}
+		}
+	}
+	return a
+}
+
+// Torus is Mesh plus the wrap-around links closing every row and column
+// into a cycle (duplicates on 2-wide dimensions are skipped). Interior
+// processors gain edge-connectivity 4, the shape that admits Nmf up to 3
+// under per-route disjointness.
+func Torus(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	rows, cols := gridShape(n)
+	ls := newLinkSet(a)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p := r*cols + c
+			if p >= n {
+				continue
+			}
+			right := r*cols + (c+1)%cols
+			down := ((r+1)%rows)*cols + c
+			if right < n {
+				ls.add(ProcID(p), ProcID(right))
+			}
+			if down < n {
+				ls.add(ProcID(p), ProcID(down))
+			}
+		}
+	}
+	return a
+}
+
+// Hypercube builds n processors linked whenever their 0-based ids differ
+// in exactly one bit. For n a power of two this is the classical
+// d-dimensional hypercube (every processor has edge-connectivity d); any
+// other n yields the induced subgraph on the first n vertices.
+func Hypercube(n int) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	ls := newLinkSet(a)
+	for i := 0; i < n; i++ {
+		for b := 1; b < n; b <<= 1 {
+			if j := i ^ b; j < n && j > i {
+				ls.add(ProcID(i), ProcID(j))
+			}
+		}
+	}
+	return a
+}
+
+// Geometric builds a seeded random-geometric layout: n processors placed
+// uniformly in the unit square (deterministically in seed), a link
+// between every pair within the given radius, and — because a random
+// placement can fragment — the components are then stitched together by
+// linking the closest cross-component pair until the architecture is
+// connected. radius <= 0 defaults to the standard connectivity-threshold
+// scale sqrt(2 ln n / n).
+func Geometric(n int, radius float64, seed int64) *Architecture {
+	a := New()
+	for i := 1; i <= n; i++ {
+		a.MustAddProcessor(fmt.Sprintf("P%d", i))
+	}
+	if n < 2 {
+		return a
+	}
+	if radius <= 0 {
+		radius = math.Sqrt(2 * math.Log(float64(n)) / float64(n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	ls := newLinkSet(a)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if comp[i] != i {
+			comp[i] = find(comp[i])
+		}
+		return comp[i]
+	}
+	union := func(i, j int) { comp[find(i)] = find(j) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(i, j) <= radius {
+				ls.add(ProcID(i), ProcID(j))
+				union(i, j)
+			}
+		}
+	}
+	// Stitch: repeatedly link the closest pair spanning two components
+	// (ties break towards lower ids via the scan order), a deterministic
+	// minimum-distance merge that terminates after at most n-1 links.
+	for {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if find(i) != find(j) && dist(i, j) < best {
+					bi, bj, best = i, j, dist(i, j)
+				}
+			}
+		}
+		if bi < 0 {
+			return a
+		}
+		ls.add(ProcID(bi), ProcID(bj))
+		union(bi, bj)
+	}
+}
+
+// Degrees returns the per-processor incident-media counts, sorted
+// ascending — the connectivity profile scenario tests assert against.
+func (a *Architecture) Degrees() []int {
+	deg := make([]int, a.NumProcs())
+	for m := 0; m < a.NumMedia(); m++ {
+		for _, p := range a.media[m].Endpoints {
+			deg[p]++
+		}
+	}
+	sort.Ints(deg)
+	return deg
+}

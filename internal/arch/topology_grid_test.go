@@ -1,0 +1,189 @@
+package arch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestGridShape(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {5, 2, 3},
+		{6, 2, 3}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4},
+	}
+	for _, tc := range cases {
+		rows, cols := gridShape(tc.n)
+		if rows != tc.rows || cols != tc.cols {
+			t.Errorf("gridShape(%d) = %dx%d, want %dx%d", tc.n, rows, cols, tc.rows, tc.cols)
+		}
+		if rows*cols < tc.n {
+			t.Errorf("gridShape(%d) = %dx%d does not hold %d procs", tc.n, rows, cols, tc.n)
+		}
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	// 3x3 mesh: 2*3*2 = 12 links; corner degree 2, edge 3, centre 4.
+	a := Mesh(9)
+	if got := a.NumMedia(); got != 12 {
+		t.Errorf("Mesh(9) media = %d, want 12", got)
+	}
+	want := []int{2, 2, 2, 2, 3, 3, 3, 3, 4}
+	if got := a.Degrees(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Mesh(9) degrees = %v, want %v", got, want)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Mesh(9) invalid: %v", err)
+	}
+	// 2x2 mesh degenerates to the 4-cycle.
+	if got := Mesh(4).NumMedia(); got != 4 {
+		t.Errorf("Mesh(4) media = %d, want 4", got)
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	// 3x3 torus is 4-regular: 9*4/2 = 18 links.
+	a := Torus(9)
+	if got := a.NumMedia(); got != 18 {
+		t.Errorf("Torus(9) media = %d, want 18", got)
+	}
+	for i, d := range a.Degrees() {
+		if d != 4 {
+			t.Errorf("Torus(9) degree[%d] = %d, want 4", i, d)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Torus(9) invalid: %v", err)
+	}
+	// 2-wide dimensions must not duplicate the wrap link: the 2x2 torus is
+	// still the plain 4-cycle.
+	if got := Torus(4).NumMedia(); got != 4 {
+		t.Errorf("Torus(4) media = %d, want 4", got)
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	// The 3-cube: 8 procs, 12 links, 3-regular.
+	a := Hypercube(8)
+	if got := a.NumMedia(); got != 12 {
+		t.Errorf("Hypercube(8) media = %d, want 12", got)
+	}
+	for i, d := range a.Degrees() {
+		if d != 3 {
+			t.Errorf("Hypercube(8) degree[%d] = %d, want 3", i, d)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Hypercube(8) invalid: %v", err)
+	}
+	// Non-power-of-2: the induced subgraph on {0..5} of the 3-cube keeps
+	// the links with both endpoints < 6 — three bit-1 pairs, two bit-2
+	// pairs and two bit-4 pairs.
+	b := Hypercube(6)
+	if err := b.Validate(); err != nil {
+		t.Errorf("Hypercube(6) invalid: %v", err)
+	}
+	if got := b.NumMedia(); got != 7 {
+		t.Errorf("Hypercube(6) media = %d, want 7", got)
+	}
+}
+
+func TestGeometricConnectedAndSeeded(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		a := Geometric(n, 0, 7)
+		if got := a.NumProcs(); got != n {
+			t.Fatalf("Geometric(%d) procs = %d", n, got)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("Geometric(%d) invalid: %v", n, err)
+		}
+		// Component stitching guarantees connectivity whatever the draw.
+		assertConnected(t, a)
+	}
+	// Same seed, same layout; different seed, (almost surely) different.
+	a1, a2 := Geometric(12, 0, 5), Geometric(12, 0, 5)
+	if !reflect.DeepEqual(mediaNames(a1), mediaNames(a2)) {
+		t.Error("Geometric not deterministic in seed")
+	}
+	b := Geometric(12, 0, 6)
+	if reflect.DeepEqual(mediaNames(a1), mediaNames(b)) {
+		t.Error("Geometric(seed 5) == Geometric(seed 6) (suspicious)")
+	}
+	// A radius covering the whole unit square yields the complete graph.
+	if got := Geometric(5, 2, 1).NumMedia(); got != 10 {
+		t.Errorf("Geometric radius 2 media = %d, want 10", got)
+	}
+}
+
+func TestGridTopologiesNaming(t *testing.T) {
+	// Every grid constructor follows the repo convention: procs "P1".."Pn"
+	// and links "Li.j" with i < j (1-based).
+	for name, a := range map[string]*Architecture{
+		"mesh": Mesh(6), "torus": Torus(6), "hypercube": Hypercube(4),
+		"geom": Geometric(6, 0, 3),
+	} {
+		for i := 0; i < a.NumProcs(); i++ {
+			if want := fmt.Sprintf("P%d", i+1); a.Proc(ProcID(i)).Name != want {
+				t.Errorf("%s: proc %d named %q, want %q", name, i, a.Proc(ProcID(i)).Name, want)
+			}
+		}
+		for m := 0; m < a.NumMedia(); m++ {
+			med := a.Medium(MediumID(m))
+			if len(med.Endpoints) != 2 {
+				t.Fatalf("%s: medium %q has %d endpoints", name, med.Name, len(med.Endpoints))
+			}
+			i, j := med.Endpoints[0], med.Endpoints[1]
+			if i > j {
+				i, j = j, i
+			}
+			if want := fmt.Sprintf("L%d.%d", i+1, j+1); med.Name != want {
+				t.Errorf("%s: medium named %q, want %q", name, med.Name, want)
+			}
+		}
+	}
+}
+
+func assertConnected(t *testing.T, a *Architecture) {
+	t.Helper()
+	n := a.NumProcs()
+	if n == 0 {
+		return
+	}
+	adj := make([][]int, n)
+	for m := 0; m < a.NumMedia(); m++ {
+		eps := a.Medium(MediumID(m)).Endpoints
+		for _, p := range eps {
+			for _, q := range eps {
+				if p != q {
+					adj[p] = append(adj[p], int(q))
+				}
+			}
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			t.Errorf("processor P%d unreachable", p+1)
+		}
+	}
+}
+
+func mediaNames(a *Architecture) []string {
+	out := make([]string, a.NumMedia())
+	for m := range out {
+		out[m] = a.Medium(MediumID(m)).Name
+	}
+	return out
+}

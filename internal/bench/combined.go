@@ -155,6 +155,14 @@ func combinedCell(cfg CombinedConfig, topo gen.Topology, budget spec.FaultModel)
 				cell.SpecRejected++
 				continue
 			}
+			// The planner's diversity gate refused every feasible placement
+			// (sched.ErrNoDisjointDelivery surfacing as no processor
+			// choice); pre-gate these graphs produced schedules that failed
+			// validation, so the refusal counts as a scheduler rejection.
+			if errors.Is(err, core.ErrNoProcessorChoice) {
+				cell.SchedRejected++
+				continue
+			}
 			return cell, fmt.Errorf("combined %s %s seed %d: %w", topo, budget, seed, err)
 		}
 		start = time.Now()

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyScenario is a fast population for exercising the corpus plumbing
+// without re-running the committed corpus (internal/harness does that).
+const tinyScenario = `{
+  "version": 1,
+  "name": "tiny-full4",
+  "gen": {"n": 10, "ccr": 1, "procs": 4, "npf": 1, "seed": 31},
+  "graphs": 2,
+  "floors": {"validated_rate": 1.0, "link_masked": 1.0}
+}`
+
+// impossibleScenario demands a validated rate a star under Nmf=1 cannot
+// reach, for the violation path.
+const impossibleScenario = `{
+  "version": 1,
+  "name": "impossible-star",
+  "gen": {"n": 10, "ccr": 1, "procs": 4, "topology": "star", "npf": 1, "nmf": 1, "seed": 31},
+  "graphs": 2,
+  "floors": {"validated_rate": 1.0}
+}`
+
+func writeScenario(t *testing.T, dir, name, doc string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusExperiment(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "tiny.json", tinyScenario)
+	rep, err := Corpus(CorpusConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || !rep.AllFloorsMet {
+		t.Fatalf("report %+v", rep)
+	}
+	c := rep.Cells[0]
+	if c.Name != "tiny-full4" || c.Topology != "full" || c.Family != "layered" {
+		t.Errorf("cell identity %+v", c)
+	}
+	if !c.FloorsMet || c.FloorsErr != "" {
+		t.Errorf("floors not met: %q", c.FloorsErr)
+	}
+	if c.Outcome.Validated != 2 || c.Outcome.LinkMasked != 1 {
+		t.Errorf("outcome %+v", c.Outcome)
+	}
+	// A validated first problem gets cold and warm timings; the warm run
+	// is a record replay so both must be measured.
+	if c.ColdMs <= 0 || c.WarmMs <= 0 {
+		t.Errorf("timings cold=%g warm=%g, want both > 0", c.ColdMs, c.WarmMs)
+	}
+	var text strings.Builder
+	if err := RenderCorpus(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "tiny-full4") || !strings.Contains(text.String(), "all floors met") {
+		t.Errorf("table output:\n%s", text.String())
+	}
+	var js strings.Builder
+	if err := RenderCorpusJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"experiment": "corpus"`) {
+		t.Errorf("json output:\n%s", js.String())
+	}
+}
+
+func TestCorpusReportsViolations(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "impossible.json", impossibleScenario)
+	rep, err := Corpus(CorpusConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllFloorsMet {
+		t.Fatal("impossible floor reported as met")
+	}
+	c := rep.Cells[0]
+	if c.FloorsMet || !strings.Contains(c.FloorsErr, "validated_rate") {
+		t.Errorf("cell %+v", c)
+	}
+	// A fully refused population times as (0, 0).
+	if c.ColdMs != 0 || c.WarmMs != 0 {
+		t.Errorf("refused scenario timed: cold=%g warm=%g", c.ColdMs, c.WarmMs)
+	}
+	var text strings.Builder
+	if err := RenderCorpus(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "FLOOR VIOLATIONS") {
+		t.Errorf("table lacks the violation block:\n%s", text.String())
+	}
+}
+
+func TestCorpusBadConfig(t *testing.T) {
+	if _, err := Corpus(CorpusConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty dir error = %v, want ErrBadConfig", err)
+	}
+	if _, err := Corpus(CorpusConfig{Dir: "no-such-dir"}); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

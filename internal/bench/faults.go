@@ -61,10 +61,10 @@ type FaultsCell struct {
 	Graphs   int    `json:"graphs"`
 	// SpecRejected counts problems the spec validator refused up front
 	// (not enough media diversity on the architecture); SchedRejected
-	// counts produced schedules the diversity validator refused (the
-	// heuristic could not spread the copies over disjoint media, e.g.
-	// overlapping multi-hop routes). Validated schedules carry the
-	// guarantee.
+	// counts problems the scheduler refused — the planner's diversity
+	// gate found no placement whose deliveries could spread over Nmf+1
+	// disjoint media (pre-gate these came out as produced schedules that
+	// failed validation). Validated schedules carry the guarantee.
 	SpecRejected  int `json:"spec_rejected"`
 	SchedRejected int `json:"sched_rejected"`
 	Validated     int `json:"validated"`
@@ -141,6 +141,14 @@ func faultsCell(cfg FaultsConfig, topo gen.Topology, budget spec.FaultModel) (Fa
 			// The spec validator refused the (architecture, budget) pair.
 			if errors.Is(err, spec.ErrMediaDiversity) || errors.Is(err, spec.ErrTooFewprocs) {
 				cell.SpecRejected++
+				continue
+			}
+			// The planner's diversity gate (sched.ErrNoDisjointDelivery)
+			// left the heuristic without enough usable processors: the
+			// schedule the pre-gate planner would have emitted here failed
+			// validation, so the refusal counts as a scheduler rejection.
+			if errors.Is(err, core.ErrNoProcessorChoice) {
+				cell.SchedRejected++
 				continue
 			}
 			return cell, fmt.Errorf("faults %s %s seed %d: %w", topo, budget, seed, err)

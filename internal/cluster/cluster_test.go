@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ftbar/internal/gen"
+	"ftbar/internal/obsv"
 	"ftbar/internal/paperex"
 	"ftbar/internal/service"
 	"ftbar/internal/spec"
@@ -253,6 +254,89 @@ func TestDrainHandoff(t *testing.T) {
 	}
 	if got := schedulerRunsTotal(tc) - runsBefore; got != 0 {
 		t.Errorf("%d scheduler runs after handoff, want 0 (all hits)", got)
+	}
+}
+
+// counterValue reads one named counter out of a service's metrics
+// registry; the planner counters are not part of Stats, so the cluster
+// tests observe them the way a reporter would.
+func counterValue(reg *obsv.Registry, name string) uint64 {
+	for _, s := range reg.Gather().Samples {
+		if s.Name == name {
+			return uint64(s.Value)
+		}
+	}
+	return 0
+}
+
+// TestDrainHandoffWarmStartsAtScale is the arena side of the drain
+// protocol, at a size where the handed-off shard matters: the snapshot
+// carries the warm-start decision records along with the cache entries,
+// so after the drain the receiving worker REPLAYS the moved problems
+// instead of re-searching them. The test drains the more-loaded of two
+// workers, then re-requests every problem with different Include flags —
+// a different content key, so each request misses the response cache and
+// must compute — and asserts a floor on the replay hit rate of those
+// computes on the receiving shard.
+func TestDrainHandoffWarmStartsAtScale(t *testing.T) {
+	tc := startCluster(t, 2, MasterConfig{})
+	ctx := context.Background()
+	const problems = 24
+	for seed := int64(1); seed <= problems; seed++ {
+		if _, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{Problem: testProblem(t, seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain the loaded worker: the one that computed the larger shard.
+	victim, survivor := tc.workers[0], tc.workers[1]
+	if survivor.Service().Stats().SchedulerRuns > victim.Service().Stats().SchedulerRuns {
+		victim, survivor = survivor, victim
+	}
+	victimRuns := victim.Service().Stats().SchedulerRuns
+	if victimRuns == 0 {
+		t.Fatal("victim computed nothing; test corpus too small")
+	}
+	moved, err := tc.master.Drain(ctx, victim.ID(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("drain moved no cache entries")
+	}
+
+	reg := survivor.Service().Metrics()
+	warmBefore := counterValue(reg, "ftbar_planner_warm_starts_total")
+	runsBefore := survivor.Service().Stats().SchedulerRuns
+	// Different Include flags change the content key, so every request
+	// below misses the response cache and computes on the survivor — from
+	// a transferred (or local) decision record if the handoff worked.
+	for seed := int64(1); seed <= problems; seed++ {
+		reply, err := tc.master.Schedule(ctx, &wire.ScheduleRequest{
+			Problem: testProblem(t, seed),
+			Include: wire.Include{Stats: true},
+		})
+		if err != nil {
+			t.Fatalf("seed %d after drain: %v", seed, err)
+		}
+		if reply.Cached {
+			t.Fatalf("seed %d hit the response cache; the test needs computes", seed)
+		}
+	}
+	computes := survivor.Service().Stats().SchedulerRuns - runsBefore
+	if computes != problems {
+		t.Fatalf("survivor computed %d of %d re-requests", computes, problems)
+	}
+	warm := counterValue(reg, "ftbar_planner_warm_starts_total") - warmBefore
+	rate := float64(warm) / float64(computes)
+	// The floor, not 1.0 exactly: the guarantee under test is that the
+	// moved records replay, not that no future record is ever evicted.
+	if rate < 0.9 {
+		t.Errorf("replay hit rate after drain = %d/%d = %.2f, want >= 0.9 "+
+			"(handoff dropped the victim's %d-run decision log)",
+			warm, computes, rate, victimRuns)
+	}
+	if got := counterValue(reg, "ftbar_planner_replayed_decisions_total"); got == 0 {
+		t.Error("no decisions replayed on the receiving shard")
 	}
 }
 

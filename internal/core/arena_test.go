@@ -43,16 +43,15 @@ func assertWarmMatchesCold(t *testing.T, p *spec.Problem, opts Options, warm *Re
 			t.Errorf("%s: task %d replica count: cold %d, warm %d", label, task, c, w)
 		}
 	}
-	// Validation verdicts must agree. (They are not always nil: the
-	// planner has a known gap under Nmf > 0 when a medium is forbidden —
-	// both runs then emit the same diversity-violating schedule, and the
-	// reuse layer must reproduce it exactly, warts included.)
-	cv, wv := cold.Schedule.Validate(), warm.Schedule.Validate()
-	switch {
-	case (cv == nil) != (wv == nil):
-		t.Errorf("%s: validation verdicts differ: cold %v, warm %v", label, cv, wv)
-	case cv != nil && cv.Error() != wv.Error():
-		t.Errorf("%s: validation errors differ: cold %v, warm %v", label, cv, wv)
+	// Every emitted schedule must pass full validation. The planner
+	// refuses placements whose deliveries cannot meet the medium budget
+	// (sched.ErrNoDisjointDelivery), so a diversity-violating schedule can
+	// no longer be produced — a run either validates or errors out.
+	if cv := cold.Schedule.Validate(); cv != nil {
+		t.Errorf("%s: cold schedule fails validation: %v", label, cv)
+	}
+	if wv := warm.Schedule.Validate(); wv != nil {
+		t.Errorf("%s: warm schedule fails validation: %v", label, wv)
 	}
 }
 

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftbar/internal/model"
+)
+
+// Family selects the task-graph family of a generated problem. The zero
+// value is the paper's random layered DAG (Section 6.1); the structured
+// families come from the corpus literature (PAPERS.md): fork-join
+// pipelines, blocked matrix-multiply DAGs exploiting interconnect
+// symmetry (Simhadri), and periodic marked-graph chains of streaming
+// schedules (Millo & de Simone). Structured families are deterministic
+// in their shape parameters alone — the seed only draws their times — so
+// a scenario names exactly the graph it runs.
+type Family int
+
+// Families.
+const (
+	FamLayered Family = iota
+	FamForkJoin
+	FamMatmul
+	FamChain
+)
+
+// ParseFamily maps a short name ("layered", "forkjoin", "matmul",
+// "chain") back to its Family, the inverse of String.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "", "layered":
+		return FamLayered, nil
+	case "forkjoin":
+		return FamForkJoin, nil
+	case "matmul":
+		return FamMatmul, nil
+	case "chain":
+		return FamChain, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown family %q", ErrBadParams, s)
+	}
+}
+
+// Families lists every task-graph family, in id order.
+func Families() []Family {
+	return []Family{FamLayered, FamForkJoin, FamMatmul, FamChain}
+}
+
+// String returns the family's short name.
+func (f Family) String() string {
+	switch f {
+	case FamLayered:
+		return "layered"
+	case FamForkJoin:
+		return "forkjoin"
+	case FamMatmul:
+		return "matmul"
+	case FamChain:
+		return "chain"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// generate dispatches to the family's graph builder. Only the layered
+// family consumes randomness; the structured shapes are functions of
+// (N, Width) alone.
+func (f Family) generate(rng *rand.Rand, params Params) (*model.Graph, error) {
+	switch f {
+	case FamForkJoin:
+		return forkJoinGraph(params)
+	case FamMatmul:
+		return matmulGraph(params)
+	case FamChain:
+		return chainGraph(params)
+	default:
+		return generateGraph(rng, params)
+	}
+}
+
+// forkJoinGraph builds a pipeline of fork-join stages: per stage a fork
+// op scatters to width parallel workers whose results a join op gathers;
+// the join feeds the next stage's fork. Width defaults to about sqrt of
+// the per-stage budget and the stage count fills the N target, so the
+// graph alternates serial bottlenecks (fork/join, the replica-placement
+// stress) with wide parallel fans (the media-contention stress).
+func forkJoinGraph(params Params) (*model.Graph, error) {
+	width := params.Width
+	if width == 0 {
+		width = int(math.Round(math.Sqrt(float64(params.N))))
+	}
+	if width < 2 {
+		width = 2
+	}
+	stages := params.N / (width + 2)
+	if stages < 1 {
+		stages = 1
+	}
+	g := model.NewGraph()
+	var prevJoin model.OpID
+	op := 0
+	name := func() string { op++; return fmt.Sprintf("op%03d", op-1) }
+	for s := 0; s < stages; s++ {
+		fork := g.MustAddOp(name(), model.Comp)
+		if s > 0 {
+			g.MustAddEdge(prevJoin, fork)
+		}
+		workers := make([]model.OpID, width)
+		for w := 0; w < width; w++ {
+			workers[w] = g.MustAddOp(name(), model.Comp)
+			g.MustAddEdge(fork, workers[w])
+		}
+		join := g.MustAddOp(name(), model.Comp)
+		for _, w := range workers {
+			g.MustAddEdge(w, join)
+		}
+		prevJoin = join
+	}
+	return g, nil
+}
+
+// matmulGraph builds the blocked matrix-multiply DAG on a width x width
+// block grid: one multiply task per (i, j, k) block triple feeding, per
+// output block (i, j), a chain of accumulate tasks — the reduction order
+// a static schedule must serialise. Width (the block count per dimension,
+// default from the cube root of N) sets the shape: width^3 multiplies
+// plus width^2 * (width - 1) accumulates.
+func matmulGraph(params Params) (*model.Graph, error) {
+	b := params.Width
+	if b == 0 {
+		b = int(math.Round(math.Cbrt(float64(params.N) / 2)))
+	}
+	if b < 2 {
+		b = 2
+	}
+	g := model.NewGraph()
+	mul := make([][][]model.OpID, b)
+	for i := 0; i < b; i++ {
+		mul[i] = make([][]model.OpID, b)
+		for j := 0; j < b; j++ {
+			mul[i][j] = make([]model.OpID, b)
+			for k := 0; k < b; k++ {
+				mul[i][j][k] = g.MustAddOp(fmt.Sprintf("mul%d.%d.%d", i, j, k), model.Comp)
+			}
+		}
+	}
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			acc := mul[i][j][0]
+			for k := 1; k < b; k++ {
+				sum := g.MustAddOp(fmt.Sprintf("acc%d.%d.%d", i, j, k), model.Comp)
+				g.MustAddEdge(acc, sum)
+				g.MustAddEdge(mul[i][j][k], sum)
+				acc = sum
+			}
+		}
+	}
+	return g, nil
+}
+
+// chainGraph builds the unrolled periodic marked-graph chain: a pipeline
+// of width stages iterated over enough periods to fill the N target,
+// where stage s of period p depends on stage s-1 of the same period (the
+// data flow) and on stage s of the previous period (the marked-graph
+// token returning the stage's resource). The resulting grid is the
+// classic streaming-schedule shape whose steady state the static
+// schedule must sustain.
+func chainGraph(params Params) (*model.Graph, error) {
+	stages := params.Width
+	if stages == 0 {
+		stages = int(math.Round(math.Sqrt(float64(params.N))))
+	}
+	if stages < 2 {
+		stages = 2
+	}
+	periods := (params.N + stages - 1) / stages
+	if periods < 1 {
+		periods = 1
+	}
+	g := model.NewGraph()
+	prev := make([]model.OpID, stages)
+	for p := 0; p < periods; p++ {
+		for s := 0; s < stages; s++ {
+			op := g.MustAddOp(fmt.Sprintf("st%d.p%d", s, p), model.Comp)
+			if s > 0 {
+				g.MustAddEdge(op-1, op)
+			}
+			if p > 0 {
+				g.MustAddEdge(prev[s], op)
+			}
+			prev[s] = op
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"ftbar/internal/model"
+)
+
+func TestParseFamilyRoundTrip(t *testing.T) {
+	for _, f := range Families() {
+		got, err := ParseFamily(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFamily(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFamily("spaghetti"); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unknown family error = %v, want ErrBadParams", err)
+	}
+	if f, err := ParseFamily(""); err != nil || f != FamLayered {
+		t.Errorf("empty family = %v, %v, want layered", f, err)
+	}
+}
+
+func TestGenerateRejectsBadFamily(t *testing.T) {
+	if _, err := Generate(Params{N: 5, CCR: 1, Procs: 3, Family: Family(9), Seed: 1}); !errors.Is(err, ErrBadParams) {
+		t.Error("bad family accepted")
+	}
+	if _, err := Generate(Params{N: 5, CCR: 1, Procs: 3, Width: -1, Seed: 1}); !errors.Is(err, ErrBadParams) {
+		t.Error("negative width accepted")
+	}
+	if _, err := Generate(Params{N: 5, CCR: 1, Procs: 3, Radius: -0.5, Seed: 1}); !errors.Is(err, ErrBadParams) {
+		t.Error("negative radius accepted")
+	}
+}
+
+// TestForkJoinShape pins the fork-join family: with Width = w each stage
+// is fork + w workers + join, stages chain through their joins, and the
+// workers of one stage form an antichain fed by the fork alone.
+func TestForkJoinShape(t *testing.T) {
+	p, err := Generate(Params{N: 24, CCR: 1, Procs: 4, Family: FamForkJoin, Width: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Alg
+	// 24 / (4+2) = 4 stages of 6 ops.
+	if got := g.NumOps(); got != 24 {
+		t.Fatalf("ops = %d, want 24", got)
+	}
+	// Per stage: 4 fork->worker + 4 worker->join edges; 3 join->fork links.
+	if got := g.NumEdges(); got != 4*8+3 {
+		t.Errorf("edges = %d, want %d", got, 4*8+3)
+	}
+	if got := len(g.Sources()); got != 1 {
+		t.Errorf("sources = %d, want 1 (first fork)", got)
+	}
+	if got := len(g.Sinks()); got != 1 {
+		t.Errorf("sinks = %d, want 1 (last join)", got)
+	}
+	// First fork scatters to exactly Width workers.
+	if got := len(g.Succs(0)); got != 4 {
+		t.Errorf("fork out-degree = %d, want 4", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("problem invalid: %v", err)
+	}
+}
+
+// TestMatmulShape pins the blocked matrix-multiply family: width^3
+// multiply tasks plus width^2 * (width-1) accumulate chains.
+func TestMatmulShape(t *testing.T) {
+	p, err := Generate(Params{N: 30, CCR: 1, Procs: 4, Family: FamMatmul, Width: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Alg
+	b := 3
+	wantOps := b*b*b + b*b*(b-1) // 27 multiplies + 18 accumulates
+	if got := g.NumOps(); got != wantOps {
+		t.Fatalf("ops = %d, want %d", got, wantOps)
+	}
+	// Every accumulate has two inputs: the running sum and one multiply.
+	if got := g.NumEdges(); got != 2*b*b*(b-1) {
+		t.Errorf("edges = %d, want %d", got, 2*b*b*(b-1))
+	}
+	// All multiplies are sources; the last accumulate per block is a sink.
+	if got := len(g.Sources()); got != b*b*b {
+		t.Errorf("sources = %d, want %d", got, b*b*b)
+	}
+	if got := len(g.Sinks()); got != b*b {
+		t.Errorf("sinks = %d, want %d", got, b*b)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("problem invalid: %v", err)
+	}
+}
+
+// TestChainShape pins the periodic marked-graph chain: a stages x periods
+// grid where interior ops depend on the previous stage (data) and the
+// previous period (token), so there is exactly one source and one sink.
+func TestChainShape(t *testing.T) {
+	p, err := Generate(Params{N: 20, CCR: 1, Procs: 4, Family: FamChain, Width: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Alg
+	stages, periods := 4, 5
+	if got := g.NumOps(); got != stages*periods {
+		t.Fatalf("ops = %d, want %d", got, stages*periods)
+	}
+	// (stages-1)*periods data edges + stages*(periods-1) token edges.
+	wantEdges := (stages-1)*periods + stages*(periods-1)
+	if got := g.NumEdges(); got != wantEdges {
+		t.Errorf("edges = %d, want %d", got, wantEdges)
+	}
+	if got := len(g.Sources()); got != 1 {
+		t.Errorf("sources = %d, want 1 (stage 0, period 0)", got)
+	}
+	if got := len(g.Sinks()); got != 1 {
+		t.Errorf("sinks = %d, want 1 (last stage, last period)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("problem invalid: %v", err)
+	}
+}
+
+// TestFamiliesDeriveWidth checks that every structured family accepts
+// Width = 0 and derives a sane shape near the N target.
+func TestFamiliesDeriveWidth(t *testing.T) {
+	for _, f := range []Family{FamForkJoin, FamMatmul, FamChain} {
+		p, err := Generate(Params{N: 40, CCR: 1, Procs: 4, Family: f, Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		n := p.Alg.NumOps()
+		if n < 10 || n > 120 {
+			t.Errorf("%v: derived shape has %d ops for N=40 target", f, n)
+		}
+		if err := p.Alg.Validate(); err != nil {
+			t.Errorf("%v: graph invalid: %v", f, err)
+		}
+	}
+}
+
+// TestFamilyGraphsDeterministicInShape checks structured graphs depend
+// only on (N, Width): two seeds give identical topology, different times.
+func TestFamilyGraphsDeterministicInShape(t *testing.T) {
+	for _, f := range []Family{FamForkJoin, FamMatmul, FamChain} {
+		a, err := Generate(Params{N: 24, CCR: 1, Procs: 4, Family: f, Width: 3, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Params{N: 24, CCR: 1, Procs: 4, Family: f, Width: 3, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Alg.NumOps() != b.Alg.NumOps() || a.Alg.NumEdges() != b.Alg.NumEdges() {
+			t.Errorf("%v: shape differs across seeds", f)
+		}
+		for e := 0; e < a.Alg.NumEdges(); e++ {
+			if a.Alg.Edge(model.EdgeID(e)) != b.Alg.Edge(model.EdgeID(e)) {
+				t.Errorf("%v: edge %d differs across seeds", f, e)
+				break
+			}
+		}
+		if a.Exec.Time(0, 0) == b.Exec.Time(0, 0) {
+			t.Errorf("%v: seeds 1 and 2 drew identical times (suspicious)", f)
+		}
+	}
+}

@@ -23,18 +23,25 @@ var ErrBadParams = errors.New("gen: invalid parameters")
 type Topology int
 
 // Topologies. The zero value is the paper's fully connected layout; the
-// others exercise shared-bus contention, multi-hop routing, and (dual
-// bus) redundant media for the link-failure budget.
+// others exercise shared-bus contention, multi-hop routing, redundant
+// media for the link-failure budget (dual bus), and the structured
+// interconnects of the scenario corpus (mesh, torus, hypercube and
+// seeded random-geometric layouts; DESIGN.md Section 17).
 const (
 	TopoFull Topology = iota
 	TopoBus
 	TopoRing
 	TopoStar
 	TopoDualBus
+	TopoMesh
+	TopoTorus
+	TopoHypercube
+	TopoGeom
 )
 
 // ParseTopology maps a short name ("full", "bus", "ring", "star",
-// "dualbus") back to its Topology, the inverse of String.
+// "dualbus", "mesh", "torus", "hypercube", "geom") back to its Topology,
+// the inverse of String.
 func ParseTopology(s string) (Topology, error) {
 	switch s {
 	case "", "full":
@@ -47,6 +54,14 @@ func ParseTopology(s string) (Topology, error) {
 		return TopoStar, nil
 	case "dualbus":
 		return TopoDualBus, nil
+	case "mesh":
+		return TopoMesh, nil
+	case "torus":
+		return TopoTorus, nil
+	case "hypercube":
+		return TopoHypercube, nil
+	case "geom", "geometric":
+		return TopoGeom, nil
 	default:
 		return 0, fmt.Errorf("%w: unknown topology %q", ErrBadParams, s)
 	}
@@ -54,7 +69,8 @@ func ParseTopology(s string) (Topology, error) {
 
 // Topologies lists every generated architecture shape, in id order.
 func Topologies() []Topology {
-	return []Topology{TopoFull, TopoBus, TopoRing, TopoStar, TopoDualBus}
+	return []Topology{TopoFull, TopoBus, TopoRing, TopoStar, TopoDualBus,
+		TopoMesh, TopoTorus, TopoHypercube, TopoGeom}
 }
 
 // String returns the topology's short name.
@@ -70,6 +86,14 @@ func (t Topology) String() string {
 		return "star"
 	case TopoDualBus:
 		return "dualbus"
+	case TopoMesh:
+		return "mesh"
+	case TopoTorus:
+		return "torus"
+	case TopoHypercube:
+		return "hypercube"
+	case TopoGeom:
+		return "geom"
 	default:
 		return fmt.Sprintf("Topology(%d)", int(t))
 	}
@@ -87,6 +111,19 @@ type Params struct {
 	// Topology selects the architecture shape; the default TopoFull is
 	// the paper's fully connected layout.
 	Topology Topology
+	// Family selects the task-graph family; the default FamLayered is the
+	// paper's random layered DAG. The structured families (fork-join,
+	// blocked matrix multiply, periodic marked-graph chain) treat N as a
+	// size target and round to their natural shape (family.go).
+	Family Family
+	// Width overrides the structured families' derived width: workers per
+	// fork-join stage, matrix blocks per dimension, or pipeline stages of
+	// the periodic chain. 0 derives it from N. Ignored by FamLayered.
+	Width int
+	// Radius overrides the random-geometric topology's link radius; 0
+	// defaults to the connectivity-threshold scale (arch.Geometric).
+	// Ignored by the other topologies.
+	Radius float64
 	// Npf is the processor-failure count of the generated problem.
 	Npf int
 	// Nmf is the medium-failure count of the generated problem (the
@@ -135,16 +172,26 @@ func (p Params) validate() error {
 	case p.AvgComp < 0 || p.Jitter < 0 || p.Jitter >= 1 || p.Heterogeneity < 0 || p.Heterogeneity >= 1:
 		return fmt.Errorf("%w: AvgComp=%g Jitter=%g Heterogeneity=%g",
 			ErrBadParams, p.AvgComp, p.Jitter, p.Heterogeneity)
-	case p.Topology < TopoFull || p.Topology > TopoDualBus:
+	case p.Topology < TopoFull || p.Topology > TopoGeom:
 		return fmt.Errorf("%w: Topology=%d", ErrBadParams, p.Topology)
+	case p.Family < FamLayered || p.Family > FamChain:
+		return fmt.Errorf("%w: Family=%d", ErrBadParams, p.Family)
+	case p.Width < 0 || p.Radius < 0:
+		return fmt.Errorf("%w: Width=%d Radius=%g", ErrBadParams, p.Width, p.Radius)
 	}
 	return nil
 }
 
 // Architecture builds the topology's architecture graph with procs
 // processors, the shape Generate uses internally; callers re-hosting a
-// fixed problem (e.g. the paper example on a ring) use it directly.
+// fixed problem (e.g. the paper example on a ring) use it directly. The
+// random-geometric layout uses the default radius and a fixed placement
+// seed here; Generate derives both from its Params instead.
 func (t Topology) Architecture(procs int) *arch.Architecture {
+	return t.architecture(procs, 0, 1)
+}
+
+func (t Topology) architecture(procs int, radius float64, seed int64) *arch.Architecture {
 	switch t {
 	case TopoBus:
 		return arch.Bus(procs)
@@ -154,14 +201,24 @@ func (t Topology) Architecture(procs int) *arch.Architecture {
 		return arch.Star(procs)
 	case TopoDualBus:
 		return arch.DualBus(procs)
+	case TopoMesh:
+		return arch.Mesh(procs)
+	case TopoTorus:
+		return arch.Torus(procs)
+	case TopoHypercube:
+		return arch.Hypercube(procs)
+	case TopoGeom:
+		return arch.Geometric(procs, radius, seed)
 	default:
 		return arch.FullyConnected(procs)
 	}
 }
 
-// architecture builds the topology selected by the params.
+// architecture builds the topology selected by the params. The geometric
+// placement seed is offset from the problem seed so the layout does not
+// collapse to the task-graph stream's first draws.
 func (p Params) architecture() *arch.Architecture {
-	return p.Topology.Architecture(p.Procs)
+	return p.Topology.architecture(p.Procs, p.Radius, p.Seed+7919)
 }
 
 // Generate builds one random problem. The same Params always produce the
@@ -172,7 +229,7 @@ func Generate(params Params) (*spec.Problem, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(params.Seed))
-	g, err := generateGraph(rng, params)
+	g, err := params.Family.generate(rng, params)
 	if err != nil {
 		return nil, err
 	}

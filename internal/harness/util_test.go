@@ -1,0 +1,12 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) error {
+	t.Helper()
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

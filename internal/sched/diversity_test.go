@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -99,11 +100,12 @@ func TestDiversityTiesStayOnOneBusWithoutBudget(t *testing.T) {
 
 // TestValidateDiversityRejectsSharedMedium pins the diversity rule
 // itself: a schedule whose copies share one bus under an Nmf = 1 budget
-// must be rejected. The shared bus is forced by forbidding BUSB for the
-// dependency, which the spec validator tolerates (co-location could
-// still honour the budget) but this placement does not.
+// must be rejected. The planner refuses to build such a schedule
+// (ErrNoDisjointDelivery), so the violating placements are produced under
+// an Nmf = 0 budget — both tie-broken copies land on BUSA — and the
+// budget is raised before validation.
 func TestValidateDiversityRejectsSharedMedium(t *testing.T) {
-	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1})
 	if err := p.Comm.Forbid(0, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +121,47 @@ func TestValidateDiversityRejectsSharedMedium(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	s.faults.Nmf = 1
 	err = s.Validate()
 	if err == nil || !strings.Contains(err.Error(), "media-disjoint") {
 		t.Errorf("shared-medium schedule: got %v, want media-disjoint rejection", err)
+	}
+}
+
+// TestPlanRefusesSharedMedium pins the planner half of the same guarantee:
+// with BUSB forbidden for the dependency, a remote dst placement under
+// Nmf = 1 can be served by at most one media-disjoint chain, and the plan
+// must refuse it with ErrNoDisjointDelivery instead of emitting a schedule
+// that validation would reject. (The spec validator tolerates the problem
+// because co-location could still honour the budget — and indeed a
+// co-located placement succeeds.)
+func TestPlanRefusesSharedMedium(t *testing.T) {
+	p := busChainProblem(t, arch.DualBus(4), spec.FaultModel{Npf: 1, Nmf: 1})
+	if err := p.Comm.Forbid(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(1, 2); !errors.Is(err, ErrNoDisjointDelivery) {
+		t.Errorf("remote dst on one usable bus: got %v, want ErrNoDisjointDelivery", err)
+	}
+	// Co-location keeps the dependency off the media entirely, so the
+	// placement the spec validator reasoned about is accepted.
+	if _, err := s.PlaceReplica(1, 0); err != nil {
+		t.Errorf("co-located dst: %v", err)
+	}
+	if _, err := s.PlaceReplica(1, 1); err != nil {
+		t.Errorf("co-located dst: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("co-located schedule invalid: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -136,8 +137,11 @@ func TestRelayHopsInDocAndGantt(t *testing.T) {
 
 // TestFanFallbackSharedLinkStillRejected pins the honest failure mode: on
 // a star the spoke's single link is a genuine cut, the fan cannot serve a
-// second disjoint chain, and validation must still reject the schedule —
-// routing around sparse topologies must never water the guarantee down.
+// second disjoint chain, and the plan must refuse the placement with
+// ErrNoDisjointDelivery — routing around sparse topologies must never
+// water the guarantee down, and since the gate the refusal happens at
+// plan time instead of surfacing as a validation failure afterwards. The
+// hub, with every spoke link incident, can still host a replica.
 func TestFanFallbackSharedLinkStillRejected(t *testing.T) {
 	p := busChainProblem(t, arch.Star(4), spec.FaultModel{Npf: 1, Nmf: 1})
 	s, err := NewSchedule(p)
@@ -147,13 +151,20 @@ func TestFanFallbackSharedLinkStillRejected(t *testing.T) {
 	for _, pl := range []struct {
 		task model.TaskID
 		proc arch.ProcID
-	}{{0, 1}, {0, 2}, {1, 3}, {1, 0}} {
+	}{{0, 1}, {0, 2}, {1, 0}} {
 		if _, err := s.PlaceReplica(pl.task, pl.proc); err != nil {
 			t.Fatalf("place %d on %d: %v", pl.task, pl.proc, err)
 		}
 	}
-	err = s.Validate()
-	if err == nil || !strings.Contains(err.Error(), "media-disjoint") {
-		t.Errorf("spoke-funnelled schedule: got %v, want media-disjoint rejection", err)
+	if _, err := s.PlaceReplica(1, 3); !errors.Is(err, ErrNoDisjointDelivery) {
+		t.Errorf("dst on a spoke behind a single-link cut: got %v, want ErrNoDisjointDelivery", err)
+	}
+	// Co-locating the second dst replica with a sender keeps that
+	// delivery local, and the schedule validates.
+	if _, err := s.PlaceReplica(1, 1); err != nil {
+		t.Fatalf("co-located dst on P2: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("hub+co-located schedule invalid: %v", err)
 	}
 }

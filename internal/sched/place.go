@@ -304,6 +304,26 @@ func (s *Schedule) planEdge(eid model.TaskEdgeID, edge model.TaskEdge, t model.T
 			}
 		}
 		fan = s.fanFor(edge.Orig, sc.fanProcs, p, avoid)
+		// Feasibility gate: the fan maximises the number of served sources
+		// (relay avoidance is a cost preference, never a cut), so its served
+		// count is exactly the maximum number of pairwise media-disjoint
+		// chains any plan could deliver from these senders. Below Nmf+1 the
+		// validator's diversity rule must reject every possible plan, so the
+		// placement is refused here and the pressure comes out +Inf — the
+		// heuristic then steers the replica to a processor the budget can
+		// actually protect (or to a co-located one, handled above), instead
+		// of emitting a schedule that fails validation.
+		served := 0
+		for _, r := range fan {
+			if r != nil {
+				served++
+			}
+		}
+		if served < s.faults.Nmf+1 {
+			return 0, 0, fmt.Errorf("%w: %s to %q has %d, need %d",
+				ErrNoDisjointDelivery, s.problem.Alg.EdgeName(edge.Orig),
+				s.problem.Arc.Proc(p).Name, served, s.faults.Nmf+1)
+		}
 	}
 	edgeBest, edgeWorst := math.Inf(1), 0.0
 	for _, sender := range sc.senders {

@@ -38,6 +38,7 @@ var (
 	ErrPredUnscheduled    = errors.New("sched: predecessor has no replica yet")
 	ErrDuplicateReplica   = errors.New("sched: task already has a replica on processor")
 	ErrNoPath             = errors.New("sched: no usable medium for dependency")
+	ErrNoDisjointDelivery = errors.New("sched: not enough media-disjoint routes for fault budget")
 	ErrInvalid            = errors.New("sched: invalid schedule")
 )
 
